@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the RkNNT engines: the sweeps behind
+//! Figures 9, 11 and 14 (running time vs k, |Q| and interval I) plus the
+//! Figure 10/12 phase-relevant engine comparison at the defaults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rknnt_bench::{Dataset, DatasetKind, ScaleConfig};
+use rknnt_core::{
+    DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery, VoronoiEngine,
+};
+use rknnt_data::workload;
+use std::hint::black_box;
+
+fn bench_scale() -> ScaleConfig {
+    ScaleConfig {
+        city_scale: 0.04,
+        transitions: 8_000,
+        synthetic_transitions: 8_000,
+        queries_per_point: 4,
+        seed: 42,
+    }
+}
+
+/// Figure 9: running time vs k for the three engines (LA-like dataset).
+fn rknnt_vs_k(c: &mut Criterion) {
+    let dataset = Dataset::build(DatasetKind::LaLike, &bench_scale());
+    let queries = workload::rknnt_queries(&dataset.city, 4, 5, 3_000.0, 1);
+    let fr = FilterRefineEngine::new(&dataset.routes, &dataset.transitions);
+    let vo = VoronoiEngine::new(&dataset.routes, &dataset.transitions);
+    let dc = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
+    let engines: Vec<(&str, &dyn RknnTEngine)> =
+        vec![("filter-refine", &fr), ("voronoi", &vo), ("divide-conquer", &dc)];
+    let mut group = c.benchmark_group("rknnt_vs_k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for k in [1usize, 10, 25] {
+        for (name, engine) in &engines {
+            group.bench_with_input(BenchmarkId::new(*name, k), &k, |b, &k| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(engine.execute(&RknntQuery::exists(q.clone(), k)));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 11: running time vs query length |Q| (LA-like dataset, k = 10).
+fn rknnt_vs_qlen(c: &mut Criterion) {
+    let dataset = Dataset::build(DatasetKind::LaLike, &bench_scale());
+    let fr = FilterRefineEngine::new(&dataset.routes, &dataset.transitions);
+    let dc = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
+    let mut group = c.benchmark_group("rknnt_vs_qlen");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for len in [3usize, 5, 10] {
+        let queries = workload::rknnt_queries(&dataset.city, 4, len, 3_000.0, 2);
+        for (name, engine) in [("filter-refine", &fr as &dyn RknnTEngine), ("divide-conquer", &dc)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, len), &queries, |b, queries| {
+                b.iter(|| {
+                    for q in queries {
+                        black_box(engine.execute(&RknntQuery::exists(q.clone(), 10)));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 14: running time vs the interval I between query points.
+fn rknnt_vs_interval(c: &mut Criterion) {
+    let dataset = Dataset::build(DatasetKind::NycLike, &bench_scale());
+    let vo = VoronoiEngine::new(&dataset.routes, &dataset.transitions);
+    let mut group = c.benchmark_group("rknnt_vs_interval");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for interval in [1_000.0f64, 3_000.0, 6_000.0] {
+        let queries = workload::rknnt_queries(&dataset.city, 4, 5, interval, 3);
+        group.bench_with_input(
+            BenchmarkId::new("voronoi", interval as u64),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for q in queries {
+                        black_box(vo.execute(&RknntQuery::exists(q.clone(), 10)));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rknnt_vs_k, rknnt_vs_qlen, rknnt_vs_interval);
+criterion_main!(benches);

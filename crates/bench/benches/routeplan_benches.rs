@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks for the MaxRkNNT / MinRkNNT planners: the
+//! sweeps behind Figures 18 and 19 (running time vs ψ(se) and vs τ/ψ(se))
+//! and the pre-computation cost of Table 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rknnt_bench::{Dataset, DatasetKind, ScaleConfig};
+use rknnt_data::workload;
+use rknnt_routeplan::{
+    BruteForcePlanner, Objective, PlanQuery, PlannerConfig, Precomputation, PrePlanner,
+    PruningPlanner, RoutePlanner,
+};
+use std::hint::black_box;
+
+fn bench_scale() -> ScaleConfig {
+    ScaleConfig {
+        city_scale: 0.03,
+        transitions: 5_000,
+        synthetic_transitions: 5_000,
+        queries_per_point: 3,
+        seed: 7,
+    }
+}
+
+fn planner_queries(dataset: &Dataset, pre: &Precomputation, span: f64, ratio: f64) -> Vec<PlanQuery> {
+    workload::plan_queries(&dataset.graph, 3, span, span * 0.5, 11)
+        .into_iter()
+        .filter_map(|(start, end)| {
+            let shortest = pre.matrix().distance(start, end);
+            shortest.is_finite().then_some(PlanQuery {
+                start,
+                end,
+                tau: shortest * ratio,
+            })
+        })
+        .collect()
+}
+
+/// Figure 18 / 19: the four planners at a representative span and τ ratio.
+fn maxrknnt_planners(c: &mut Criterion) {
+    let dataset = Dataset::build(DatasetKind::LaLike, &bench_scale());
+    let config = PlannerConfig {
+        k: 5,
+        max_candidate_paths: 256,
+    };
+    let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+    let diag = dataset
+        .city
+        .config
+        .area()
+        .min
+        .distance(&dataset.city.config.area().max);
+    let queries = planner_queries(&dataset, &pre, diag * 0.15, 1.4);
+    let brute = BruteForcePlanner::new(&dataset.graph, &dataset.routes, &dataset.transitions, config);
+    let pre_planner = PrePlanner::new(&dataset.graph, &pre, config);
+    let pruning = PruningPlanner::new(&dataset.graph, &pre);
+
+    let mut group = c.benchmark_group("maxrknnt_planners");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.bench_function("bruteforce_max", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(brute.plan(q, Objective::Maximize));
+            }
+        })
+    });
+    group.bench_function("pre_max", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(pre_planner.plan(q, Objective::Maximize));
+            }
+        })
+    });
+    group.bench_function("pruning_max", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(pruning.plan(q, Objective::Maximize));
+            }
+        })
+    });
+    group.bench_function("pruning_min", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(pruning.plan(q, Objective::Minimize));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Figure 19: the pruning planner as τ/ψ(se) grows.
+fn maxrknnt_vs_tau(c: &mut Criterion) {
+    let dataset = Dataset::build(DatasetKind::NycLike, &bench_scale());
+    let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, 5);
+    let diag = dataset
+        .city
+        .config
+        .area()
+        .min
+        .distance(&dataset.city.config.area().max);
+    let pruning = PruningPlanner::new(&dataset.graph, &pre);
+    let mut group = c.benchmark_group("maxrknnt_vs_tau");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for ratio in [1.0f64, 1.4, 2.0] {
+        let queries = planner_queries(&dataset, &pre, diag * 0.12, ratio);
+        group.bench_with_input(
+            BenchmarkId::new("pruning_max", format!("{ratio:.1}")),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for q in queries {
+                        black_box(pruning.plan(q, Objective::Maximize));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 5: pre-computation cost as k grows.
+fn precomputation(c: &mut Criterion) {
+    let dataset = Dataset::build(DatasetKind::LaLike, &bench_scale());
+    let mut group = c.benchmark_group("precomputation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for k in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(Precomputation::build(
+                    &dataset.graph,
+                    &dataset.routes,
+                    &dataset.transitions,
+                    k,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, maxrknnt_planners, maxrknnt_vs_tau, precomputation);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the substrates: R-tree maintenance and
+//! queries (dynamic-update cost the paper's index design argues for) and the
+//! graph algorithms behind the planners. These are the ablation benches
+//! DESIGN.md calls out for the index-layer design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rknnt_geo::{Point, Rect};
+use rknnt_graph::{yen_k_shortest_paths, DistanceMatrix, RouteGraph};
+use rknnt_rtree::{RTree, RTreeConfig};
+use std::hint::black_box;
+
+fn scatter(n: usize) -> Vec<(Point, u32)> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 2654435761) % 1_000_000) as f64 / 37.0;
+            let y = ((i * 40503 + 17) % 1_000_000) as f64 / 53.0;
+            (Point::new(x, y), i as u32)
+        })
+        .collect()
+}
+
+/// Bulk loading versus incremental insertion (why the stores bulk-load).
+fn rtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for n in [1_000usize, 10_000] {
+        let items = scatter(n);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &items, |b, items| {
+            b.iter(|| black_box(RTree::bulk_load(RTreeConfig::default(), items.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("insert", n), &items, |b, items| {
+            b.iter(|| {
+                let mut tree = RTree::new(RTreeConfig::default());
+                for (p, d) in items {
+                    tree.insert(*p, *d);
+                }
+                black_box(tree)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Query primitives used by every RkNNT phase.
+fn rtree_queries(c: &mut Criterion) {
+    let items = scatter(20_000);
+    let tree = RTree::bulk_load(RTreeConfig::default(), items);
+    let mut group = c.benchmark_group("rtree_queries");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.bench_function("knn_10", |b| {
+        b.iter(|| black_box(tree.knn(&Point::new(12_345.0, 6_789.0), 10)))
+    });
+    group.bench_function("range", |b| {
+        let rect = Rect::new(Point::new(5_000.0, 5_000.0), Point::new(9_000.0, 9_000.0));
+        b.iter(|| black_box(tree.range(&rect).len()))
+    });
+    group.bench_function("dynamic_update", |b| {
+        let mut tree = tree.clone();
+        let mut i = 0u32;
+        b.iter(|| {
+            let p = Point::new((i % 997) as f64 * 3.0, (i % 991) as f64 * 7.0);
+            tree.insert(p, 1_000_000 + i);
+            tree.remove(&p, &(1_000_000 + i));
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn grid_graph(side: usize) -> RouteGraph {
+    let mut g = RouteGraph::new();
+    let mut ids = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            ids.push(g.add_vertex(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+        }
+    }
+    for y in 0..side {
+        for x in 0..side {
+            let i = y * side + x;
+            if x + 1 < side {
+                g.add_edge_euclidean(ids[i], ids[i + 1]);
+            }
+            if y + 1 < side {
+                g.add_edge_euclidean(ids[i], ids[i + side]);
+            }
+        }
+    }
+    g
+}
+
+/// Graph machinery behind the planners: Dijkstra, all-pairs, Yen's kSP.
+fn graph_algorithms(c: &mut Criterion) {
+    let graph = grid_graph(20);
+    let s = rknnt_graph::VertexId(0);
+    let t = rknnt_graph::VertexId((graph.num_vertices() - 1) as u32);
+    let mut group = c.benchmark_group("graph_algorithms");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.bench_function("dijkstra", |b| b.iter(|| black_box(graph.dijkstra(s))));
+    group.bench_function("all_pairs_dijkstra", |b| {
+        b.iter(|| black_box(DistanceMatrix::from_dijkstra(&graph)))
+    });
+    group.bench_function("yen_k8", |b| {
+        b.iter(|| black_box(yen_k_shortest_paths(&graph, s, t, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rtree_build, rtree_queries, graph_algorithms);
+criterion_main!(benches);

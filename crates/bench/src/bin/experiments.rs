@@ -1,0 +1,132 @@
+//! Experiment driver: regenerates every table and figure of the paper's
+//! evaluation on the synthetic datasets.
+//!
+//! ```text
+//! experiments [--exp NAME] [--city-scale F] [--transitions N]
+//!             [--synthetic-transitions N] [--queries N] [--seed N]
+//!             [--out DIR]
+//! ```
+//!
+//! `--exp all` (the default) runs everything in paper order. Reports are
+//! printed to stdout and written to `<out>/<experiment>.txt`
+//! (default `results/`).
+
+use rknnt_bench::{experiments, ExperimentContext, ScaleConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    scale: ScaleConfig,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        scale: ScaleConfig::default(),
+        out_dir: PathBuf::from("results"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--exp" => args.experiment = value("--exp")?,
+            "--city-scale" => {
+                args.scale.city_scale = value("--city-scale")?
+                    .parse()
+                    .map_err(|e| format!("--city-scale: {e}"))?
+            }
+            "--transitions" => {
+                args.scale.transitions = value("--transitions")?
+                    .parse()
+                    .map_err(|e| format!("--transitions: {e}"))?
+            }
+            "--synthetic-transitions" => {
+                args.scale.synthetic_transitions = value("--synthetic-transitions")?
+                    .parse()
+                    .map_err(|e| format!("--synthetic-transitions: {e}"))?
+            }
+            "--queries" => {
+                args.scale.queries_per_point = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--seed" => {
+                args.scale.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--tiny" => args.scale = ScaleConfig::tiny(),
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: experiments [--exp NAME] [--city-scale F] [--transitions N] \
+                     [--synthetic-transitions N] [--queries N] [--seed N] [--out DIR] [--tiny]\n\
+                     experiments: {}",
+                    experiments::experiment_names().join(", ")
+                ))
+            }
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "Building datasets (city scale {}, {} transitions, seed {})...",
+        args.scale.city_scale, args.scale.transitions, args.scale.seed
+    );
+    let ctx = ExperimentContext::build(args.scale);
+    println!("{}", ctx.la.summary());
+    println!("{}", ctx.nyc.summary());
+
+    let Some(reports) = experiments::run(&ctx, &args.experiment) else {
+        eprintln!(
+            "unknown experiment {:?}; valid names: {}",
+            args.experiment,
+            experiments::experiment_names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("cannot create {}: {e}", args.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for report in &reports {
+        let file = args.out_dir.join(format!(
+            "{}.txt",
+            report
+                .title()
+                .split_whitespace()
+                .take(2)
+                .collect::<Vec<_>>()
+                .join("_")
+                .replace(['&', '—'], "")
+                .to_lowercase()
+        ));
+        if let Err(e) = std::fs::write(&file, report.to_text()) {
+            eprintln!("cannot write {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "\nWrote {} report(s) to {}",
+        reports.len(),
+        args.out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,709 @@
+//! One function per table / figure of the paper's evaluation (Section 7).
+//!
+//! Every function prints the rows/series the corresponding figure or table
+//! reports (methods compared, parameter sweeps, phase breakdowns) and
+//! returns them as a [`Report`] so the `experiments` binary can archive them
+//! under `results/`. Absolute numbers are machine- and scale-dependent; the
+//! *shape* (which method wins, how curves grow with k, |Q|, I, ψ(se),
+//! τ/ψ(se)) is what reproduces the paper and what `EXPERIMENTS.md` records.
+
+use crate::dataset::{Dataset, DatasetKind, ExperimentContext};
+use crate::report::Report;
+use rknnt_core::{
+    DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery, VoronoiEngine,
+};
+use rknnt_data::{stats, workload};
+use rknnt_geo::Point;
+use rknnt_index::RouteStore;
+use rknnt_routeplan::{
+    BruteForcePlanner, Objective, PlanQuery, PlannerConfig, Precomputation, PrePlanner,
+    PruningPlanner, RoutePlanner,
+};
+use std::time::Duration;
+
+/// Mean of a slice of durations (zero for an empty slice).
+fn mean(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        Duration::ZERO
+    } else {
+        durations.iter().sum::<Duration>() / durations.len() as u32
+    }
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}ms", d.as_secs_f64() * 1e3)
+}
+
+/// Aggregated timings of one engine over a query batch.
+struct SweepPoint {
+    total: Duration,
+    filtering: Duration,
+    verification: Duration,
+    results: usize,
+}
+
+/// Runs every engine over the same query batch and reports mean timings.
+fn run_engines(dataset: &Dataset, queries: &[Vec<Point>], k: usize) -> Vec<(&'static str, SweepPoint)> {
+    let fr = FilterRefineEngine::new(&dataset.routes, &dataset.transitions);
+    let vo = VoronoiEngine::new(&dataset.routes, &dataset.transitions);
+    let dc = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
+    let engines: Vec<(&'static str, &dyn RknnTEngine)> =
+        vec![("Filter-Refine", &fr), ("Voronoi", &vo), ("Divide-Conquer", &dc)];
+    engines
+        .into_iter()
+        .map(|(name, engine)| {
+            let mut filtering = Vec::new();
+            let mut verification = Vec::new();
+            let mut results = 0usize;
+            for q in queries {
+                let out = engine.execute(&RknntQuery::exists(q.clone(), k));
+                filtering.push(out.timings.filtering);
+                verification.push(out.timings.verification);
+                results += out.len();
+            }
+            let point = SweepPoint {
+                total: mean(&filtering) + mean(&verification),
+                filtering: mean(&filtering),
+                verification: mean(&verification),
+                results,
+            };
+            (name, point)
+        })
+        .collect()
+}
+
+fn default_queries(ctx: &ExperimentContext, dataset: &Dataset, len: usize, interval: f64) -> Vec<Vec<Point>> {
+    workload::rknnt_queries(
+        &dataset.city,
+        ctx.scale.queries_per_point,
+        len,
+        interval,
+        ctx.scale.seed,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Dataset characterisation: Tables 2 & 3, Figures 6, 8, 17
+// ---------------------------------------------------------------------------
+
+/// Tables 2 and 3: dataset statistics.
+pub fn datasets(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Tables 2 & 3 — dataset statistics");
+    report.line(ctx.la.summary());
+    report.line(ctx.nyc.summary());
+    let synthetic = Dataset::build(DatasetKind::NycSynthetic, &ctx.scale);
+    report.line(synthetic.summary());
+    report.line(format!(
+        "(paper: LA 1,208 routes / 109,036 transitions; NYC 2,022 routes / 195,833 transitions; synthetic 10M transitions)"
+    ));
+    report
+}
+
+/// Figure 6: histogram of the detour ratio τ/ψ over all generated routes.
+pub fn fig6(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 6 — detour ratio histogram (travel / straight-line)");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let s = stats::route_stats(&dataset.city);
+        let hist = stats::Histogram::build(&s.detour_ratios, 0.8, 0.2);
+        report.line(format!("{}:", dataset.kind.name()));
+        for (lower, count) in hist.rows() {
+            if count > 0 {
+                report.row(&[("ratio>=", format!("{lower:.1}")), ("#routes", count.to_string())]);
+            }
+        }
+    }
+    report
+}
+
+/// Figure 8: coarse density grids of route points and transition endpoints.
+pub fn fig8(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 8 — density grids (routes vs transitions)");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let area = dataset.city.config.area();
+        let route_points: Vec<Point> = dataset.city.routes.iter().flatten().copied().collect();
+        let transition_points: Vec<Point> = dataset
+            .transitions
+            .transitions()
+            .flat_map(|t| [t.origin, t.destination])
+            .collect();
+        for (label, points) in [("routes", &route_points), ("transitions", &transition_points)] {
+            let grid = stats::density_grid(points, &area, 10, 6);
+            report.line(format!("{} — {label}:", dataset.kind.name()));
+            for row in grid.iter().rev() {
+                let cells: Vec<String> = row.iter().map(|c| format!("{c:>6}")).collect();
+                report.line(cells.join(" "));
+            }
+        }
+    }
+    report
+}
+
+/// Figure 17: histograms of ψ(se), mean interval and #stops per route.
+pub fn fig17(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 17 — route span / interval / stop-count histograms");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let s = stats::route_stats(&dataset.city);
+        report.line(format!("{}:", dataset.kind.name()));
+        let spans = stats::Histogram::build(&s.spans, 0.0, 2_000.0);
+        for (lower, count) in spans.rows() {
+            if count > 0 {
+                report.row(&[("span>=m", format!("{lower:.0}")), ("#routes", count.to_string())]);
+            }
+        }
+        let intervals = stats::Histogram::build(&s.intervals, 0.0, 100.0);
+        for (lower, count) in intervals.rows() {
+            if count > 0 {
+                report.row(&[("interval>=m", format!("{lower:.0}")), ("#routes", count.to_string())]);
+            }
+        }
+        let stop_counts: Vec<f64> = s.stop_counts.iter().map(|c| *c as f64).collect();
+        let stops = stats::Histogram::build(&stop_counts, 0.0, 10.0);
+        for (lower, count) in stops.rows() {
+            if count > 0 {
+                report.row(&[("#stops>=", format!("{lower:.0}")), ("#routes", count.to_string())]);
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// RkNNT experiments: Figures 9–16
+// ---------------------------------------------------------------------------
+
+/// Figure 9: RkNNT running time vs k on the LA-like and NYC-like datasets.
+pub fn fig9(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 9 — RkNNT running time vs k");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let queries = default_queries(ctx, dataset, ctx.default_query_len(), ctx.default_interval());
+        for k in ctx.k_values() {
+            for (name, point) in run_engines(dataset, &queries, k) {
+                report.row(&[
+                    ("dataset", dataset.kind.name().to_string()),
+                    ("k", k.to_string()),
+                    ("method", name.to_string()),
+                    ("cpu", ms(point.total)),
+                    ("results", point.results.to_string()),
+                ]);
+            }
+        }
+    }
+    report
+}
+
+/// Figure 10: filtering vs verification breakdown vs k (LA-like).
+pub fn fig10(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 10 — phase breakdown vs k (LA-like)");
+    let queries = default_queries(ctx, &ctx.la, ctx.default_query_len(), ctx.default_interval());
+    for k in ctx.k_values() {
+        for (name, point) in run_engines(&ctx.la, &queries, k) {
+            report.row(&[
+                ("k", k.to_string()),
+                ("method", name.to_string()),
+                ("filtering", ms(point.filtering)),
+                ("verification", ms(point.verification)),
+            ]);
+        }
+    }
+    report
+}
+
+/// Figure 11: running time vs query length |Q|.
+pub fn fig11(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 11 — RkNNT running time vs |Q|");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        for len in ctx.query_len_values() {
+            let queries = default_queries(ctx, dataset, len, ctx.default_interval());
+            for (name, point) in run_engines(dataset, &queries, ctx.default_k()) {
+                report.row(&[
+                    ("dataset", dataset.kind.name().to_string()),
+                    ("|Q|", len.to_string()),
+                    ("method", name.to_string()),
+                    ("cpu", ms(point.total)),
+                ]);
+            }
+        }
+    }
+    report
+}
+
+/// Figure 12: phase breakdown vs |Q| (LA-like).
+pub fn fig12(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 12 — phase breakdown vs |Q| (LA-like)");
+    for len in ctx.query_len_values() {
+        let queries = default_queries(ctx, &ctx.la, len, ctx.default_interval());
+        for (name, point) in run_engines(&ctx.la, &queries, ctx.default_k()) {
+            report.row(&[
+                ("|Q|", len.to_string()),
+                ("method", name.to_string()),
+                ("filtering", ms(point.filtering)),
+                ("verification", ms(point.verification)),
+            ]);
+        }
+    }
+    report
+}
+
+/// Figure 13: effect of k and |Q| on the large synthetic transition set.
+pub fn fig13(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 13 — synthetic dataset, effect of k and |Q|");
+    let synthetic = Dataset::build(DatasetKind::NycSynthetic, &ctx.scale);
+    let queries = default_queries(ctx, &synthetic, ctx.default_query_len(), ctx.default_interval());
+    for k in ctx.k_values() {
+        for (name, point) in run_engines(&synthetic, &queries, k) {
+            report.row(&[
+                ("sweep", "k".to_string()),
+                ("k", k.to_string()),
+                ("method", name.to_string()),
+                ("cpu", ms(point.total)),
+            ]);
+        }
+    }
+    for len in ctx.query_len_values() {
+        let queries = default_queries(ctx, &synthetic, len, ctx.default_interval());
+        for (name, point) in run_engines(&synthetic, &queries, ctx.default_k()) {
+            report.row(&[
+                ("sweep", "|Q|".to_string()),
+                ("|Q|", len.to_string()),
+                ("method", name.to_string()),
+                ("cpu", ms(point.total)),
+            ]);
+        }
+    }
+    report
+}
+
+/// Figure 14: running time vs the interval I between adjacent query points.
+pub fn fig14(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 14 — RkNNT running time vs interval I");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        for interval in ctx.interval_values() {
+            let queries = default_queries(ctx, dataset, ctx.default_query_len(), interval);
+            for (name, point) in run_engines(dataset, &queries, ctx.default_k()) {
+                report.row(&[
+                    ("dataset", dataset.kind.name().to_string()),
+                    ("I_km", format!("{:.0}", interval / 1_000.0)),
+                    ("method", name.to_string()),
+                    ("cpu", ms(point.total)),
+                ]);
+            }
+        }
+    }
+    report
+}
+
+/// Figure 15: phase breakdown vs interval I (LA-like).
+pub fn fig15(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 15 — phase breakdown vs interval I (LA-like)");
+    for interval in ctx.interval_values() {
+        let queries = default_queries(ctx, &ctx.la, ctx.default_query_len(), interval);
+        for (name, point) in run_engines(&ctx.la, &queries, ctx.default_k()) {
+            report.row(&[
+                ("I_km", format!("{:.0}", interval / 1_000.0)),
+                ("method", name.to_string()),
+                ("filtering", ms(point.filtering)),
+                ("verification", ms(point.verification)),
+            ]);
+        }
+    }
+    report
+}
+
+/// Figure 16: per-query time distribution when every existing route is used
+/// as a query (Divide-Conquer, k = 10); the query route is removed from the
+/// RR-tree before being queried, as in the paper.
+pub fn fig16(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 16 — real-route queries (Divide-Conquer, k = 10)");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let max_queries = (ctx.scale.queries_per_point * 3).max(6);
+        let queries = workload::real_route_queries(&dataset.city, max_queries);
+        let mut times = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            // Rebuild the store without this route (the paper removes the
+            // route's points from the RR-tree before querying).
+            let remaining: Vec<Vec<Point>> = dataset
+                .city
+                .routes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, r)| r.clone())
+                .collect();
+            let (store, _) = RouteStore::bulk_build(Default::default(), remaining);
+            let engine = DivideConquerEngine::new(&store, &dataset.transitions);
+            let out = engine.execute(&RknntQuery::exists(q.clone(), ctx.default_k()));
+            times.push(out.timings.total());
+        }
+        let secs: Vec<f64> = times.iter().map(|d| d.as_secs_f64()).collect();
+        let hist = stats::Histogram::build(&secs, 0.0, 0.05);
+        report.line(format!(
+            "{} ({} queries, mean {}):",
+            dataset.kind.name(),
+            times.len(),
+            ms(mean(&times))
+        ));
+        for (lower, count) in hist.rows() {
+            if count > 0 {
+                report.row(&[("time>=s", format!("{lower:.2}")), ("#queries", count.to_string())]);
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Route planning experiments: Table 5, Figures 18–21
+// ---------------------------------------------------------------------------
+
+/// Table 5: pre-computation time (per-vertex RkNNT + all-pairs shortest
+/// distance) for k = 1, 5, 10.
+pub fn table5(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Table 5 — pre-computation time");
+    for dataset in [&ctx.la, &ctx.nyc] {
+        for k in [1usize, 5, 10] {
+            let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, k);
+            report.row(&[
+                ("dataset", dataset.kind.name().to_string()),
+                ("k", k.to_string()),
+                ("rknnt", format!("{:.2}s", pre.rknnt_time().as_secs_f64())),
+                ("shortest", format!("{:.2}s", pre.shortest_time().as_secs_f64())),
+            ]);
+        }
+    }
+    report
+}
+
+/// Runs the four planners on a batch of (start, end, τ) queries and reports
+/// mean search times plus the optimal passenger count.
+fn run_planners(
+    dataset: &Dataset,
+    pre: &Precomputation,
+    queries: &[(PlanQuery, ())],
+    config: PlannerConfig,
+    report: &mut Report,
+    label: &str,
+) {
+    let brute = BruteForcePlanner::new(&dataset.graph, &dataset.routes, &dataset.transitions, config);
+    let pre_planner = PrePlanner::new(&dataset.graph, pre, config);
+    let pruning = PruningPlanner::new(&dataset.graph, pre);
+    let mut rows: Vec<(&str, Vec<Duration>)> = vec![
+        ("Bruteforce", Vec::new()),
+        ("Pre", Vec::new()),
+        ("Pre-Max", Vec::new()),
+        ("Pre-Min", Vec::new()),
+    ];
+    for (query, _) in queries {
+        rows[0].1.push(brute.plan(query, Objective::Maximize).elapsed);
+        rows[1].1.push(pre_planner.plan(query, Objective::Maximize).elapsed);
+        rows[2].1.push(pruning.plan(query, Objective::Maximize).elapsed);
+        rows[3].1.push(pruning.plan(query, Objective::Minimize).elapsed);
+    }
+    for (name, times) in rows {
+        report.row(&[
+            ("point", label.to_string()),
+            ("method", name.to_string()),
+            ("cpu", ms(mean(&times))),
+        ]);
+    }
+}
+
+/// Figure 18: MaxRkNNT running time as the origin–destination span ψ(se)
+/// grows.
+pub fn fig18(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 18 — MaxRkNNT running time vs ψ(se)");
+    let config = PlannerConfig {
+        k: ctx.default_k(),
+        max_candidate_paths: 512,
+    };
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+        for span in ctx.span_values(dataset) {
+            let pairs = workload::plan_queries(
+                &dataset.graph,
+                (ctx.scale.queries_per_point / 3).max(2),
+                span,
+                span * 0.4,
+                ctx.scale.seed,
+            );
+            let queries: Vec<(PlanQuery, ())> = pairs
+                .into_iter()
+                .map(|(start, end)| {
+                    let shortest = pre.matrix().distance(start, end);
+                    (
+                        PlanQuery {
+                            start,
+                            end,
+                            tau: shortest * 1.4,
+                        },
+                        (),
+                    )
+                })
+                .filter(|(q, _)| q.tau.is_finite())
+                .collect();
+            let label = format!("{} span={:.0}m", dataset.kind.name(), span);
+            run_planners(dataset, &pre, &queries, config, &mut report, &label);
+        }
+    }
+    report
+}
+
+/// Figure 19: running time as the threshold ratio τ/ψ(se) grows.
+pub fn fig19(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 19 — MaxRkNNT running time vs τ/ψ(se)");
+    let config = PlannerConfig {
+        k: ctx.default_k(),
+        max_candidate_paths: 512,
+    };
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+        let span = ctx.span_values(dataset)[1];
+        let pairs = workload::plan_queries(
+            &dataset.graph,
+            (ctx.scale.queries_per_point / 3).max(2),
+            span,
+            span * 0.4,
+            ctx.scale.seed ^ 7,
+        );
+        for ratio in ctx.tau_ratio_values() {
+            let queries: Vec<(PlanQuery, ())> = pairs
+                .iter()
+                .map(|(start, end)| {
+                    let shortest = pre.matrix().distance(*start, *end);
+                    (
+                        PlanQuery {
+                            start: *start,
+                            end: *end,
+                            tau: shortest * ratio,
+                        },
+                        (),
+                    )
+                })
+                .filter(|(q, _)| q.tau.is_finite())
+                .collect();
+            let label = format!("{} tau/psi={ratio:.1}", dataset.kind.name());
+            run_planners(dataset, &pre, &queries, config, &mut report, &label);
+        }
+    }
+    report
+}
+
+/// Figure 20: distribution of MaxRkNNT running time over "real" route
+/// queries (each existing route's endpoints and travel distance as the
+/// query).
+pub fn fig20(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 20 — MaxRkNNT on real route queries");
+    let config = PlannerConfig {
+        k: ctx.default_k(),
+        max_candidate_paths: 512,
+    };
+    for dataset in [&ctx.la, &ctx.nyc] {
+        let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+        let pruning = PruningPlanner::new(&dataset.graph, &pre);
+        let max_queries = (ctx.scale.queries_per_point * 2).max(6);
+        let mut times = Vec::new();
+        for route in dataset.city.routes.iter().take(max_queries) {
+            let start = dataset.graph.nearest_vertex(route.first().expect("route")).expect("vertex");
+            let end = dataset.graph.nearest_vertex(route.last().expect("route")).expect("vertex");
+            if start == end {
+                continue;
+            }
+            let tau = rknnt_geo::travel_distance(route).max(pre.matrix().distance(start, end));
+            if !tau.is_finite() {
+                continue;
+            }
+            let out = pruning.plan(&PlanQuery { start, end, tau }, Objective::Maximize);
+            times.push(out.elapsed);
+        }
+        let secs: Vec<f64> = times.iter().map(|d| d.as_secs_f64()).collect();
+        let hist = stats::Histogram::build(&secs, 0.0, 0.05);
+        report.line(format!(
+            "{} ({} queries, mean {}):",
+            dataset.kind.name(),
+            times.len(),
+            ms(mean(&times))
+        ));
+        for (lower, count) in hist.rows() {
+            if count > 0 {
+                report.row(&[("time>=s", format!("{lower:.2}")), ("#queries", count.to_string())]);
+            }
+        }
+    }
+    report
+}
+
+/// Figure 21: case study comparing the original route, the shortest route,
+/// the MaxRkNNT route and the MinRkNNT route for one origin/destination
+/// pair.
+pub fn fig21(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new("Figure 21 — case study: original vs shortest vs Max/MinRkNNT");
+    let dataset = &ctx.nyc;
+    let config = PlannerConfig {
+        k: ctx.default_k(),
+        max_candidate_paths: 512,
+    };
+    let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+    // Pick the generated route with the most stops as the "original" line.
+    let original = dataset
+        .city
+        .routes
+        .iter()
+        .max_by_key(|r| r.len())
+        .expect("at least one route")
+        .clone();
+    let start = dataset.graph.nearest_vertex(original.first().expect("route")).expect("vertex");
+    let end = dataset.graph.nearest_vertex(original.last().expect("route")).expect("vertex");
+    let original_tau = rknnt_geo::travel_distance(&original);
+    let engine = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
+    let original_passengers = engine
+        .execute(&RknntQuery::exists(original.clone(), config.k))
+        .len();
+    report.row(&[
+        ("route", "Original".to_string()),
+        ("search", "n/a".to_string()),
+        ("passengers", original_passengers.to_string()),
+        ("distance_m", format!("{original_tau:.0}")),
+        ("stops", original.len().to_string()),
+    ]);
+
+    let shortest = dataset.graph.shortest_path(start, end);
+    if let Some(path) = &shortest {
+        let positions: Vec<Point> = path.vertices.iter().map(|v| dataset.graph.position(*v)).collect();
+        let started = std::time::Instant::now();
+        let passengers = engine
+            .execute(&RknntQuery::exists(positions, config.k))
+            .len();
+        report.row(&[
+            ("route", "Shortest".to_string()),
+            ("search", ms(started.elapsed())),
+            ("passengers", passengers.to_string()),
+            ("distance_m", format!("{:.0}", path.length)),
+            ("stops", path.len().to_string()),
+        ]);
+    }
+
+    let pruning = PruningPlanner::new(&dataset.graph, &pre);
+    let tau = original_tau.max(pre.matrix().distance(start, end));
+    for (label, objective) in [("MaxRkNNT", Objective::Maximize), ("MinRkNNT", Objective::Minimize)] {
+        let out = pruning.plan(&PlanQuery { start, end, tau }, objective);
+        report.row(&[
+            ("route", label.to_string()),
+            ("search", ms(out.elapsed)),
+            ("passengers", out.passenger_count().to_string()),
+            ("distance_m", format!("{:.0}", out.travel_distance())),
+            (
+                "stops",
+                out.route.as_ref().map(|r| r.len()).unwrap_or(0).to_string(),
+            ),
+        ]);
+    }
+    report
+}
+
+/// Every experiment in paper order, used by `--exp all`.
+pub fn all(ctx: &ExperimentContext) -> Vec<Report> {
+    vec![
+        datasets(ctx),
+        fig6(ctx),
+        fig8(ctx),
+        fig9(ctx),
+        fig10(ctx),
+        fig11(ctx),
+        fig12(ctx),
+        fig13(ctx),
+        fig14(ctx),
+        fig15(ctx),
+        fig16(ctx),
+        fig17(ctx),
+        table5(ctx),
+        fig18(ctx),
+        fig19(ctx),
+        fig20(ctx),
+        fig21(ctx),
+    ]
+}
+
+/// Dispatches one experiment by name; `None` for an unknown name.
+pub fn run(ctx: &ExperimentContext, name: &str) -> Option<Vec<Report>> {
+    let single = |r: Report| Some(vec![r]);
+    match name {
+        "datasets" | "table2" | "table3" => single(datasets(ctx)),
+        "fig6" => single(fig6(ctx)),
+        "fig8" => single(fig8(ctx)),
+        "fig9" => single(fig9(ctx)),
+        "fig10" => single(fig10(ctx)),
+        "fig11" => single(fig11(ctx)),
+        "fig12" => single(fig12(ctx)),
+        "fig13" => single(fig13(ctx)),
+        "fig14" => single(fig14(ctx)),
+        "fig15" => single(fig15(ctx)),
+        "fig16" => single(fig16(ctx)),
+        "fig17" => single(fig17(ctx)),
+        "table5" => single(table5(ctx)),
+        "fig18" => single(fig18(ctx)),
+        "fig19" => single(fig19(ctx)),
+        "fig20" => single(fig20(ctx)),
+        "fig21" => single(fig21(ctx)),
+        "all" => Some(all(ctx)),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`run`], for `--help` output.
+pub fn experiment_names() -> &'static [&'static str] {
+    &[
+        "datasets", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "table5", "fig18", "fig19", "fig20", "fig21", "all",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ScaleConfig;
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext::build(ScaleConfig::tiny())
+    }
+
+    #[test]
+    fn dataset_and_shape_experiments_produce_rows() {
+        let ctx = tiny_ctx();
+        assert!(!datasets(&ctx).is_empty());
+        assert!(!fig6(&ctx).is_empty());
+        assert!(!fig17(&ctx).is_empty());
+        assert!(!fig8(&ctx).is_empty());
+    }
+
+    #[test]
+    fn rknnt_sweep_experiments_produce_rows() {
+        let mut ctx = tiny_ctx();
+        // Shrink the sweeps further for the unit test by reducing queries.
+        ctx.scale.queries_per_point = 2;
+        let r = fig9(&ctx);
+        // 2 datasets × 6 k values × 3 methods rows.
+        assert_eq!(r.len(), 2 * 6 * 3);
+        let r10 = fig10(&ctx);
+        assert_eq!(r10.len(), 6 * 3);
+    }
+
+    #[test]
+    fn planning_experiments_produce_rows() {
+        // Table 5 is exercised implicitly through fig21's pre-computation;
+        // running the full k = {1, 5, 10} sweep here would dominate the
+        // test-suite's runtime for no extra coverage.
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let report = fig21(&ctx);
+        assert!(!report.is_empty());
+        // Four rows: original, shortest, MaxRkNNT, MinRkNNT.
+        assert_eq!(report.len(), 4);
+    }
+
+    #[test]
+    fn run_dispatches_and_rejects_unknown() {
+        let ctx = tiny_ctx();
+        assert!(run(&ctx, "datasets").is_some());
+        assert!(run(&ctx, "not-an-experiment").is_none());
+        assert!(experiment_names().contains(&"fig9"));
+    }
+}

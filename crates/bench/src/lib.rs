@@ -1,0 +1,21 @@
+//! Benchmark harness reproducing every table and figure of the RkNNT
+//! evaluation (Section 7).
+//!
+//! The harness has two halves:
+//!
+//! * this library — dataset construction ([`Dataset`], [`ExperimentContext`])
+//!   and one function per experiment (`experiments::*`), each of which prints
+//!   the same rows/series the paper reports and returns them as structured
+//!   values;
+//! * the `experiments` binary — a small CLI that builds the datasets at a
+//!   chosen scale and dispatches to the experiment functions (see
+//!   `experiments --help`).
+//!
+//! Criterion micro-benchmarks for the same sweeps live under `benches/`.
+
+pub mod dataset;
+pub mod experiments;
+pub mod report;
+
+pub use dataset::{Dataset, DatasetKind, ExperimentContext, ScaleConfig};
+pub use report::Report;

@@ -1,0 +1,83 @@
+//! Plain-text experiment reports: printed to stdout and collected so the
+//! `experiments` binary can also write them under `results/`.
+
+use std::fmt::Write as _;
+
+/// A named experiment report built up line by line.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report with the given title (e.g. "Figure 9 — RkNNT vs k").
+    pub fn new(title: impl Into<String>) -> Self {
+        let title = title.into();
+        println!("\n=== {title} ===");
+        Report {
+            title,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Title of the report.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends (and echoes) one line.
+    pub fn line(&mut self, line: impl Into<String>) {
+        let line = line.into();
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    /// Appends a formatted row of `(label, value)` columns.
+    pub fn row(&mut self, columns: &[(&str, String)]) {
+        let mut line = String::new();
+        for (label, value) in columns {
+            let _ = write!(line, "{label}={value}  ");
+        }
+        self.line(line.trim_end().to_string());
+    }
+
+    /// All lines, prefixed by the title, ready to be written to a file.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("=== {} ===\n", self.title);
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the report has no data lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_collects_lines() {
+        let mut r = Report::new("Test");
+        r.line("hello");
+        r.row(&[("k", "5".to_string()), ("time", "1.2ms".to_string())]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.title(), "Test");
+        let text = r.to_text();
+        assert!(text.contains("=== Test ==="));
+        assert!(text.contains("hello"));
+        assert!(text.contains("k=5"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The brute-force engine: a kNN check per transition, with no index support.
+//!
+//! Section 1 of the paper describes the straightforward method — "conduct a
+//! kNN search for every transition, and then check the resulting ranked lists
+//! to see whether the query is a kNN" — and argues it is intractable at
+//! scale. We implement it both as the naïve comparator for the benchmarks and
+//! as the *correctness oracle* for the test-suite: it scans every route for
+//! every transition endpoint and therefore shares no code with the
+//! filter-and-refine machinery it validates.
+
+use crate::engine::RknnTEngine;
+use crate::query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
+use rknnt_geo::{point_route_distance, Point};
+use rknnt_index::{RouteStore, TransitionStore};
+use std::time::Instant;
+
+/// Brute-force RkNNT: for every transition endpoint, scan every route and
+/// count how many are strictly closer than the query.
+pub struct BruteForceEngine<'a> {
+    routes: &'a RouteStore,
+    transitions: &'a TransitionStore,
+}
+
+impl<'a> BruteForceEngine<'a> {
+    /// Creates a brute-force engine over the given stores.
+    pub fn new(routes: &'a RouteStore, transitions: &'a TransitionStore) -> Self {
+        BruteForceEngine {
+            routes,
+            transitions,
+        }
+    }
+
+    /// Does `t` take the query route as one of its k nearest routes?
+    fn endpoint_qualifies(&self, t: &Point, query: &[Point], k: usize) -> bool {
+        let d_query = point_route_distance(t, query);
+        let mut closer = 0usize;
+        for route in self.routes.routes() {
+            if point_route_distance(t, &route.points) < d_query {
+                closer += 1;
+                if closer >= k {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl RknnTEngine for BruteForceEngine<'_> {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn execute(&self, query: &RknntQuery) -> RknntResult {
+        let started = Instant::now();
+        let mut result = RknntResult::default();
+        if query.is_degenerate() {
+            return result;
+        }
+        let mut verified_endpoints = 0usize;
+        for transition in self.transitions.transitions() {
+            let origin_ok = self.endpoint_qualifies(&transition.origin, &query.route, query.k);
+            let dest_ok = self.endpoint_qualifies(&transition.destination, &query.route, query.k);
+            verified_endpoints += usize::from(origin_ok) + usize::from(dest_ok);
+            let qualifies = match query.semantics {
+                Semantics::Exists => origin_ok || dest_ok,
+                Semantics::ForAll => origin_ok && dest_ok,
+            };
+            if qualifies {
+                result.transitions.push(transition.id);
+            }
+        }
+        result.transitions.sort_unstable();
+        result.stats = QueryStats {
+            candidate_endpoints: self.transitions.len() * 2,
+            verified_endpoints,
+            result_transitions: result.transitions.len(),
+            ..QueryStats::default()
+        };
+        result.timings = PhaseTimings {
+            filtering: std::time::Duration::ZERO,
+            verification: started.elapsed(),
+        };
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// The running example of Figure 3, reduced to two horizontal routes and
+    /// a vertical query between them, with transitions placed so the answers
+    /// are unambiguous.
+    fn small_world() -> (RouteStore, TransitionStore) {
+        let (routes, _) = RouteStore::bulk_build(
+            RTreeConfig::new(8, 3),
+            vec![
+                // R0: along y = 0
+                vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(30.0, 0.0)],
+                // R1: along y = 100
+                vec![p(0.0, 100.0), p(10.0, 100.0), p(20.0, 100.0), p(30.0, 100.0)],
+            ],
+        );
+        let mut transitions = TransitionStore::default();
+        // T0: both endpoints near the middle (y = 50) — closest to the query.
+        transitions.insert(p(5.0, 48.0), p(25.0, 52.0));
+        // T1: both endpoints near R0.
+        transitions.insert(p(5.0, 2.0), p(25.0, 1.0));
+        // T2: origin near the middle, destination near R1.
+        transitions.insert(p(15.0, 47.0), p(15.0, 98.0));
+        (routes, transitions)
+    }
+
+    /// The query route runs along y = 50, right through the middle.
+    fn mid_query(k: usize, semantics: Semantics) -> RknntQuery {
+        RknntQuery {
+            route: vec![p(0.0, 50.0), p(15.0, 50.0), p(30.0, 50.0)],
+            k,
+            semantics,
+        }
+    }
+
+    #[test]
+    fn exists_semantics_small_world() {
+        let (routes, transitions) = small_world();
+        let engine = BruteForceEngine::new(&routes, &transitions);
+        let result = engine.execute(&mid_query(1, Semantics::Exists));
+        // T0: both endpoints take the query as nearest (distance ~2 vs ~48).
+        // T1: both endpoints are far closer to R0 -> excluded.
+        // T2: origin (y=47) prefers the query; destination (y=98) prefers R1,
+        //     but ∃ semantics only needs one endpoint.
+        let ids: Vec<u32> = result.transitions.iter().map(|t| t.raw()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(result.stats.result_transitions, 2);
+    }
+
+    #[test]
+    fn forall_semantics_is_subset() {
+        let (routes, transitions) = small_world();
+        let engine = BruteForceEngine::new(&routes, &transitions);
+        let exists = engine.execute(&mid_query(1, Semantics::Exists));
+        let forall = engine.execute(&mid_query(1, Semantics::ForAll));
+        // Lemma 1: ∀RkNNT ⊆ ∃RkNNT.
+        for id in &forall.transitions {
+            assert!(exists.contains(*id));
+        }
+        let ids: Vec<u32> = forall.transitions.iter().map(|t| t.raw()).collect();
+        assert_eq!(ids, vec![0], "only T0 has both endpoints qualifying");
+    }
+
+    #[test]
+    fn larger_k_admits_more_transitions() {
+        let (routes, transitions) = small_world();
+        let engine = BruteForceEngine::new(&routes, &transitions);
+        let k1 = engine.execute(&mid_query(1, Semantics::Exists));
+        let k3 = engine.execute(&mid_query(3, Semantics::Exists));
+        // With k = 3 (>= number of routes) every transition qualifies.
+        assert!(k3.len() >= k1.len());
+        assert_eq!(k3.len(), transitions.len());
+    }
+
+    #[test]
+    fn degenerate_queries_return_empty() {
+        let (routes, transitions) = small_world();
+        let engine = BruteForceEngine::new(&routes, &transitions);
+        assert!(engine
+            .execute(&RknntQuery::exists(vec![], 3))
+            .is_empty());
+        assert!(engine
+            .execute(&RknntQuery::exists(vec![p(0.0, 50.0)], 0))
+            .is_empty());
+        assert_eq!(engine.name(), "BruteForce");
+    }
+}

@@ -1,0 +1,225 @@
+//! The divide & conquer engine (Section 5.2).
+//!
+//! Lemma 3 states that the RkNNT of a multi-point query is the union of the
+//! RkNNTs of its individual points. The engine therefore runs one
+//! *single-point* filter/prune pass per query point — single-point filtering
+//! spaces are the largest possible (Definition 6 degenerates to a single
+//! half-plane per filter point), so each pass prunes aggressively — and
+//! verifies the union of the surviving endpoints once against the full query.
+//!
+//! The same endpoint can survive several per-point passes; it is verified
+//! only once. Verification against the full query is correct because an
+//! endpoint qualifies for `Q` exactly when it qualifies for its nearest
+//! query point, and pruning per point is sound, so every truly qualifying
+//! endpoint survives at least the pass of its nearest query point.
+
+use crate::engine::RknnTEngine;
+use crate::filter::build_filter_set;
+use crate::prune::prune_transitions;
+use crate::query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
+use crate::verify::qualifies;
+use rknnt_geo::{point_route_distance_sq, Point};
+use rknnt_index::{EndpointKind, NList, RouteStore, TransitionId, TransitionStore};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The divide & conquer RkNNT engine.
+pub struct DivideConquerEngine<'a> {
+    routes: &'a RouteStore,
+    transitions: &'a TransitionStore,
+    nlist: NList,
+    use_voronoi: bool,
+}
+
+impl<'a> DivideConquerEngine<'a> {
+    /// Creates the divide & conquer engine. Per-point passes use the plain
+    /// half-space filter (the single-point filtering space is already the
+    /// largest possible, so the Voronoi enlargement adds little).
+    pub fn new(routes: &'a RouteStore, transitions: &'a TransitionStore) -> Self {
+        DivideConquerEngine {
+            routes,
+            transitions,
+            nlist: NList::build(routes),
+            use_voronoi: false,
+        }
+    }
+
+    /// Enables the Voronoi step inside each per-point pass (exposed for the
+    /// ablation benchmarks).
+    pub fn with_voronoi(routes: &'a RouteStore, transitions: &'a TransitionStore) -> Self {
+        DivideConquerEngine {
+            use_voronoi: true,
+            ..Self::new(routes, transitions)
+        }
+    }
+}
+
+impl RknnTEngine for DivideConquerEngine<'_> {
+    fn name(&self) -> &'static str {
+        "Divide-Conquer"
+    }
+
+    fn execute(&self, query: &RknntQuery) -> RknntResult {
+        let mut result = RknntResult::default();
+        if query.is_degenerate() {
+            return result;
+        }
+
+        // Per-query-point filter + prune passes; union of surviving endpoints.
+        let filter_started = Instant::now();
+        let mut union: HashMap<(TransitionId, EndpointKind), Point> = HashMap::new();
+        let mut stats = QueryStats::default();
+        for q in &query.route {
+            let sub_query: Vec<Point> = vec![*q];
+            let filter_outcome = build_filter_set(self.routes, &sub_query, query.k);
+            let prune_outcome = prune_transitions(
+                self.transitions,
+                &filter_outcome.filter_set,
+                query.k,
+                self.use_voronoi,
+            );
+            stats.filter_points += filter_outcome.filter_set.num_points();
+            stats.filter_routes += filter_outcome.filter_set.num_routes();
+            stats.refine_nodes += filter_outcome.refine_nodes.len();
+            stats.pruned_tr_nodes += prune_outcome.pruned_nodes;
+            for cand in prune_outcome.candidates {
+                union.insert((cand.transition, cand.kind), cand.point);
+            }
+        }
+        stats.candidate_endpoints = union.len();
+        let filtering = filter_started.elapsed();
+
+        // Single verification pass over the union, against the full query.
+        let verify_started = Instant::now();
+        let mut per_transition: HashMap<TransitionId, (bool, bool)> = HashMap::new();
+        for ((transition, kind), point) in &union {
+            let threshold_sq = point_route_distance_sq(point, &query.route);
+            let ok = qualifies(self.routes, &self.nlist, point, threshold_sq, query.k);
+            if ok {
+                stats.verified_endpoints += 1;
+            }
+            let entry = per_transition.entry(*transition).or_insert((false, false));
+            match kind {
+                EndpointKind::Origin => entry.0 |= ok,
+                EndpointKind::Destination => entry.1 |= ok,
+            }
+        }
+        for (id, (origin_ok, dest_ok)) in per_transition {
+            let include = match query.semantics {
+                Semantics::Exists => origin_ok || dest_ok,
+                Semantics::ForAll => origin_ok && dest_ok,
+            };
+            if include {
+                result.transitions.push(id);
+            }
+        }
+        result.transitions.sort_unstable();
+        let verification = verify_started.elapsed();
+
+        stats.result_transitions = result.transitions.len();
+        result.stats = stats;
+        result.timings = PhaseTimings {
+            filtering,
+            verification,
+        };
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceEngine;
+    use crate::filter_refine::FilterRefineEngine;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn world() -> (RouteStore, TransitionStore) {
+        let routes: Vec<Vec<Point>> = (0..10)
+            .map(|i| {
+                let y = i as f64 * 12.0;
+                (0..6).map(|j| p(j as f64 * 12.0, y + (j % 2) as f64)).collect()
+            })
+            .collect();
+        let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
+        let mut transition_store = TransitionStore::default();
+        for i in 0..120u32 {
+            let ox = (i as f64 * 5.77) % 60.0;
+            let oy = (i as f64 * 11.31) % 108.0;
+            let dx = (i as f64 * 2.71 + 13.0) % 60.0;
+            let dy = (i as f64 * 19.1 + 7.0) % 108.0;
+            transition_store.insert(p(ox, oy), p(dx, dy));
+        }
+        (route_store, transition_store)
+    }
+
+    #[test]
+    fn matches_brute_force_and_filter_refine() {
+        let (routes, transitions) = world();
+        let oracle = BruteForceEngine::new(&routes, &transitions);
+        let fr = FilterRefineEngine::new(&routes, &transitions);
+        let dc = DivideConquerEngine::new(&routes, &transitions);
+        let dc_v = DivideConquerEngine::with_voronoi(&routes, &transitions);
+        for k in [1usize, 3, 7] {
+            for semantics in [Semantics::Exists, Semantics::ForAll] {
+                let query = RknntQuery {
+                    route: vec![p(3.0, 31.0), p(23.0, 31.0), p(43.0, 33.0), p(58.0, 31.0)],
+                    k,
+                    semantics,
+                };
+                let expected = oracle.execute(&query).transitions;
+                assert_eq!(fr.execute(&query).transitions, expected, "fr k={k}");
+                assert_eq!(dc.execute(&query).transitions, expected, "dc k={k}");
+                assert_eq!(dc_v.execute(&query).transitions, expected, "dc+v k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_query_equivalence() {
+        // For |Q| = 1 the divide & conquer engine degenerates to one pass and
+        // must agree with the others exactly.
+        let (routes, transitions) = world();
+        let oracle = BruteForceEngine::new(&routes, &transitions);
+        let dc = DivideConquerEngine::new(&routes, &transitions);
+        let query = RknntQuery::exists(vec![p(30.0, 55.0)], 2);
+        assert_eq!(
+            dc.execute(&query).transitions,
+            oracle.execute(&query).transitions
+        );
+    }
+
+    #[test]
+    fn union_lemma_holds() {
+        // Lemma 3: RkNNT(Q) = ∪ RkNNT(q_i) under ∃ semantics.
+        let (routes, transitions) = world();
+        let oracle = BruteForceEngine::new(&routes, &transitions);
+        let points = vec![p(3.0, 31.0), p(23.0, 31.0), p(43.0, 33.0)];
+        let k = 2;
+        let whole = oracle
+            .execute(&RknntQuery::exists(points.clone(), k))
+            .transitions;
+        let mut union: Vec<_> = points
+            .iter()
+            .flat_map(|q| {
+                oracle
+                    .execute(&RknntQuery::exists(vec![*q], k))
+                    .transitions
+            })
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        assert_eq!(whole, union);
+    }
+
+    #[test]
+    fn name_and_degenerate_handling() {
+        let (routes, transitions) = world();
+        let dc = DivideConquerEngine::new(&routes, &transitions);
+        assert_eq!(dc.name(), "Divide-Conquer");
+        assert!(dc.execute(&RknntQuery::exists(vec![], 4)).is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! The engine trait shared by all RkNNT query processors.
+
+use crate::query::{RknntQuery, RknntResult};
+
+/// A query processor able to answer RkNNT queries over a fixed pair of
+/// route / transition stores.
+///
+/// All engines must return exactly the same set of transitions for the same
+/// query (they differ only in how much work they do); this is asserted by the
+/// cross-engine equivalence tests in `tests/` and by the property tests
+/// against the brute-force oracle.
+pub trait RknnTEngine {
+    /// Human-readable engine name used in benchmark output
+    /// ("Filter-Refine", "Voronoi", "Divide-Conquer", "BruteForce").
+    fn name(&self) -> &'static str;
+
+    /// Executes the query and returns the qualifying transitions together
+    /// with phase timings and work counters.
+    fn execute(&self, query: &RknntQuery) -> RknntResult;
+}

@@ -1,0 +1,419 @@
+//! Filter-set construction (Algorithm 2) and the `IsFiltered` predicate
+//! (Algorithm 3).
+//!
+//! The filter set `S_filter` is a small subset of route points chosen by a
+//! best-first traversal of the RR-tree in increasing `MinDist` to the query:
+//! a route point that cannot itself be pruned by the points already chosen is
+//! added to the set (its half-space will help prune everything that comes
+//! later). RR-tree nodes that *can* be pruned during this traversal form the
+//! refinement node set `S_refine`.
+//!
+//! `IsFiltered` decides whether an entry (an R-tree node MBR or a single
+//! point) is covered by the filtering spaces of at least `k` distinct routes:
+//! first using the individual filter points (whose crossover sets may count
+//! several routes at once — Definition 7), then, when enabled, using the
+//! per-route Voronoi filtering spaces of Section 5.1.
+
+use rknnt_geo::{min_dist_query_rect, point_route_distance, FilteringSpace, Point, Rect, VoronoiFilter};
+use rknnt_index::{RouteId, RouteStore, StopId};
+use rknnt_rtree::NodeId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One filtering point: a stop, its location, the routes crossing it and the
+/// pre-computed filtering space against the query.
+#[derive(Debug, Clone)]
+pub struct FilterPoint {
+    /// Stop identifier in the route store.
+    pub stop: StopId,
+    /// Location of the stop.
+    pub point: Point,
+    /// Crossover route set `C(r)` of the stop.
+    pub crossover: Vec<RouteId>,
+    /// Filtering space `H_{r:Q}` of the stop against the query.
+    pub space: FilteringSpace,
+}
+
+/// The filter set `S_filter`: filtering points (`S_filter.P`) plus the
+/// per-route grouping (`S_filter.R`) and, after [`FilterSet::finalize`], the
+/// per-route Voronoi filtering spaces.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSet {
+    points: Vec<FilterPoint>,
+    by_route: HashMap<RouteId, Vec<Point>>,
+    voronoi: Vec<(RouteId, VoronoiFilter)>,
+}
+
+impl FilterSet {
+    /// Number of filtering points (|S_filter.P|).
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of distinct routes represented (|S_filter.R|).
+    pub fn num_routes(&self) -> usize {
+        self.by_route.len()
+    }
+
+    /// The filtering points, sorted by decreasing crossover-set size once
+    /// the set has been finalized.
+    pub fn points(&self) -> &[FilterPoint] {
+        &self.points
+    }
+
+    /// Whether the set holds no filtering points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds a filtering point discovered by the RR-tree traversal.
+    fn add(&mut self, stop: StopId, point: Point, crossover: Vec<RouteId>, query: &[Point]) {
+        for r in &crossover {
+            self.by_route.entry(*r).or_default().push(point);
+        }
+        self.points.push(FilterPoint {
+            stop,
+            point,
+            crossover,
+            space: FilteringSpace::new(point, query),
+        });
+    }
+
+    /// Sorts the point list by decreasing crossover size (Algorithm 3
+    /// accesses points in that order so points shared by many routes are
+    /// tried first) and builds the per-route Voronoi filtering spaces.
+    fn finalize(&mut self, query: &[Point]) {
+        self.points
+            .sort_by(|a, b| b.crossover.len().cmp(&a.crossover.len()));
+        self.voronoi = self
+            .by_route
+            .iter()
+            .map(|(route, pts)| (*route, VoronoiFilter::new(pts.clone(), query.to_vec())))
+            .collect();
+        // Deterministic order helps reproducibility of the stats.
+        self.voronoi.sort_by_key(|(r, _)| *r);
+    }
+
+    /// `IsFiltered` for an R-tree node MBR: is the rectangle covered by the
+    /// filtering spaces of at least `k` distinct routes?
+    ///
+    /// The *strict* geometric predicates are used: a route only counts as a
+    /// pruning witness when it is strictly closer than the query. Exact ties
+    /// (common when a query point coincides with a bus stop, e.g. in the
+    /// per-vertex pre-computation of the route planner) are therefore left to
+    /// the exact verification phase, matching the result definition "fewer
+    /// than k routes strictly closer".
+    pub fn filters_rect(&self, rect: &Rect, k: usize, use_voronoi: bool) -> bool {
+        self.filters_impl(
+            k,
+            use_voronoi,
+            |space| space.strictly_contains_rect(rect),
+            |vf| vf.strictly_contains_rect(rect),
+        )
+    }
+
+    /// `IsFiltered` for a single point (strict, like
+    /// [`FilterSet::filters_rect`]).
+    pub fn filters_point(&self, p: &Point, k: usize, use_voronoi: bool) -> bool {
+        self.filters_impl(
+            k,
+            use_voronoi,
+            |space| space.strictly_contains_point(p),
+            |vf| vf.strictly_contains_point(p),
+        )
+    }
+
+    fn filters_impl<F, G>(&self, k: usize, use_voronoi: bool, inside_space: F, inside_voronoi: G) -> bool
+    where
+        F: Fn(&FilteringSpace) -> bool,
+        G: Fn(&VoronoiFilter) -> bool,
+    {
+        if k == 0 {
+            return true;
+        }
+        let mut covering: HashSet<RouteId> = HashSet::new();
+        // Step 1: individual filter points, in decreasing crossover order.
+        for fp in &self.points {
+            if inside_space(&fp.space) {
+                covering.extend(fp.crossover.iter().copied());
+                if covering.len() >= k {
+                    return true;
+                }
+            }
+        }
+        if !use_voronoi {
+            return covering.len() >= k;
+        }
+        // Step 2: per-route Voronoi filtering spaces for routes not yet
+        // counted (Section 5.1).
+        for (route, vf) in &self.voronoi {
+            if covering.contains(route) {
+                continue;
+            }
+            if inside_voronoi(vf) {
+                covering.insert(*route);
+                if covering.len() >= k {
+                    return true;
+                }
+            }
+        }
+        covering.len() >= k
+    }
+}
+
+/// Output of the filter-route phase: the filter set and the RR-tree nodes
+/// pruned during its construction (`S_refine`).
+#[derive(Debug, Clone)]
+pub struct FilterOutcome {
+    /// The filter set `S_filter`.
+    pub filter_set: FilterSet,
+    /// Ids of the RR-tree nodes pruned during filter construction.
+    pub refine_nodes: Vec<NodeId>,
+}
+
+/// Heap entry for the best-first traversal of Algorithm 2.
+enum HeapEntry {
+    Node(NodeId),
+    Stop(StopId, Point),
+}
+
+struct HeapItem {
+    dist: f64,
+    entry: HeapEntry,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the closest entry first.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// `FilterRoute` (Algorithm 2): chooses the filter set by a best-first
+/// traversal of the RR-tree, and records the pruned nodes for refinement.
+///
+/// The per-point half-space test (step 1 of `IsFiltered`) is always used
+/// here; the Voronoi enlargement only participates in transition pruning,
+/// after the filter set is complete and its per-route Voronoi diagrams have
+/// been built.
+pub fn build_filter_set(routes: &RouteStore, query: &[Point], k: usize) -> FilterOutcome {
+    let mut filter_set = FilterSet::default();
+    let mut refine_nodes = Vec::new();
+    let tree = routes.rtree();
+    let Some(root) = tree.root() else {
+        return FilterOutcome {
+            filter_set,
+            refine_nodes,
+        };
+    };
+    if query.is_empty() {
+        return FilterOutcome {
+            filter_set,
+            refine_nodes,
+        };
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: min_dist_query_rect(query, &root.mbr()),
+        entry: HeapEntry::Node(root.id()),
+    });
+
+    while let Some(item) = heap.pop() {
+        match item.entry {
+            HeapEntry::Node(id) => {
+                let Some(node) = tree.node_ref(id) else { continue };
+                if filter_set.filters_rect(&node.mbr(), k, false) {
+                    refine_nodes.push(id);
+                    continue;
+                }
+                if node.is_leaf() {
+                    for entry in node.entries() {
+                        heap.push(HeapItem {
+                            dist: point_route_distance(&entry.point, query),
+                            entry: HeapEntry::Stop(entry.data, entry.point),
+                        });
+                    }
+                } else {
+                    for child in node.children() {
+                        heap.push(HeapItem {
+                            dist: min_dist_query_rect(query, &child.mbr()),
+                            entry: HeapEntry::Node(child.id()),
+                        });
+                    }
+                }
+            }
+            HeapEntry::Stop(stop, point) => {
+                if filter_set.filters_point(&point, k, false) {
+                    continue;
+                }
+                filter_set.add(stop, point, routes.crossover(stop).to_vec(), query);
+            }
+        }
+    }
+
+    filter_set.finalize(query);
+    FilterOutcome {
+        filter_set,
+        refine_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// A ladder of horizontal routes; the query runs along the middle.
+    fn ladder(n_routes: usize) -> RouteStore {
+        let routes: Vec<Vec<Point>> = (0..n_routes)
+            .map(|i| {
+                let y = i as f64 * 10.0;
+                (0..8).map(|j| p(j as f64 * 10.0, y)).collect()
+            })
+            .collect();
+        let (store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
+        store
+    }
+
+    fn mid_query() -> Vec<Point> {
+        vec![p(0.0, 45.0), p(30.0, 45.0), p(70.0, 45.0)]
+    }
+
+    #[test]
+    fn filter_set_is_much_smaller_than_the_route_set() {
+        let store = ladder(20);
+        let query = mid_query();
+        let outcome = build_filter_set(&store, &query, 2);
+        assert!(!outcome.filter_set.is_empty());
+        assert!(
+            outcome.filter_set.num_points() < store.num_stops() / 2,
+            "filter set ({}) should be far smaller than the stop set ({})",
+            outcome.filter_set.num_points(),
+            store.num_stops()
+        );
+        assert!(outcome.filter_set.num_routes() >= 2);
+        // Some far-away RR-tree nodes must have been pruned.
+        assert!(!outcome.refine_nodes.is_empty());
+    }
+
+    #[test]
+    fn filters_rect_is_sound_for_points_inside() {
+        let store = ladder(12);
+        let query = mid_query();
+        let outcome = build_filter_set(&store, &query, 1);
+        let fs = &outcome.filter_set;
+        // A rectangle hugging the route at y = 0, far from the query at y = 45.
+        let rect = Rect::new(p(10.0, -2.0), p(30.0, 2.0));
+        for use_voronoi in [false, true] {
+            if fs.filters_rect(&rect, 1, use_voronoi) {
+                // Soundness: every sampled point of the rect must itself be filtered,
+                // i.e. closer to some filter point than to the query.
+                for sx in 0..=4 {
+                    for sy in 0..=4 {
+                        let pt = p(
+                            rect.min.x + rect.width() * sx as f64 / 4.0,
+                            rect.min.y + rect.height() * sy as f64 / 4.0,
+                        );
+                        let d_query = point_route_distance(&pt, &query);
+                        let closer_exists = store
+                            .routes()
+                            .any(|r| point_route_distance(&pt, &r.points) <= d_query);
+                        assert!(closer_exists);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_near_query_is_never_filtered() {
+        let store = ladder(12);
+        let query = mid_query();
+        let outcome = build_filter_set(&store, &query, 1);
+        // Points hugging the query route are closer to it than to any route
+        // (routes are at y = 40 and y = 50, the query at y = 45).
+        let near = p(35.0, 45.0);
+        assert!(!outcome.filter_set.filters_point(&near, 1, false));
+        assert!(!outcome.filter_set.filters_point(&near, 1, true));
+        let near_rect = Rect::new(p(34.0, 44.5), p(36.0, 45.5));
+        assert!(!outcome.filter_set.filters_rect(&near_rect, 1, true));
+    }
+
+    #[test]
+    fn voronoi_filters_at_least_as_much_as_points_alone() {
+        let store = ladder(16);
+        let query = mid_query();
+        let outcome = build_filter_set(&store, &query, 3);
+        let fs = &outcome.filter_set;
+        for i in 0..20 {
+            for j in 0..20 {
+                let rect = Rect::new(
+                    p(i as f64 * 5.0 - 10.0, j as f64 * 8.0 - 10.0),
+                    p(i as f64 * 5.0 - 6.0, j as f64 * 8.0 - 4.0),
+                );
+                if fs.filters_rect(&rect, 3, false) {
+                    assert!(
+                        fs.filters_rect(&rect, 3, true),
+                        "voronoi step must not lose pruning power for {rect:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_k_needs_more_filter_routes() {
+        let store = ladder(20);
+        let query = mid_query();
+        let k1 = build_filter_set(&store, &query, 1);
+        let k10 = build_filter_set(&store, &query, 10);
+        assert!(k10.filter_set.num_points() >= k1.filter_set.num_points());
+        assert!(k10.filter_set.num_routes() >= k1.filter_set.num_routes());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let store = RouteStore::default();
+        let outcome = build_filter_set(&store, &mid_query(), 2);
+        assert!(outcome.filter_set.is_empty());
+        assert!(outcome.refine_nodes.is_empty());
+        let store = ladder(3);
+        let outcome = build_filter_set(&store, &[], 2);
+        assert!(outcome.filter_set.is_empty());
+        // k = 0 means everything is trivially filtered.
+        let outcome = build_filter_set(&store, &mid_query(), 1);
+        assert!(outcome.filter_set.filters_point(&p(0.0, 0.0), 0, false));
+    }
+
+    #[test]
+    fn filter_points_sorted_by_crossover_size() {
+        // Two routes crossing at one stop: that stop's crossover has size 2
+        // and must come first after finalize.
+        let mut store = RouteStore::default();
+        store.insert_route(vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)]);
+        store.insert_route(vec![p(10.0, -10.0), p(10.0, 0.0), p(10.0, 10.0)]);
+        store.insert_route(vec![p(0.0, 30.0), p(20.0, 30.0)]);
+        let query = vec![p(0.0, 100.0), p(20.0, 100.0)];
+        let outcome = build_filter_set(&store, &query, 3);
+        let pts = outcome.filter_set.points();
+        for w in pts.windows(2) {
+            assert!(w[0].crossover.len() >= w[1].crossover.len());
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The Filter–Refine engine (Section 4) and its Voronoi-enhanced variant
+//! (Section 5.1).
+
+use crate::engine::RknnTEngine;
+use crate::filter::build_filter_set;
+use crate::prune::prune_transitions;
+use crate::query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
+use crate::verify::qualifies;
+use rknnt_geo::point_route_distance_sq;
+use rknnt_index::{EndpointKind, NList, RouteStore, TransitionId, TransitionStore};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The three-step processing framework of Algorithm 1:
+/// `FilterRoute` → `PruneTransition` → `RefineCandidates`.
+pub struct FilterRefineEngine<'a> {
+    routes: &'a RouteStore,
+    transitions: &'a TransitionStore,
+    nlist: NList,
+    use_voronoi: bool,
+}
+
+impl<'a> FilterRefineEngine<'a> {
+    /// Creates the basic Filter–Refine engine (no Voronoi enlargement).
+    ///
+    /// The NList is built once at construction; recreate the engine after
+    /// mutating the route store so the NList stays consistent.
+    pub fn new(routes: &'a RouteStore, transitions: &'a TransitionStore) -> Self {
+        FilterRefineEngine {
+            routes,
+            transitions,
+            nlist: NList::build(routes),
+            use_voronoi: false,
+        }
+    }
+
+    /// Creates the engine with the Voronoi filtering optimisation enabled.
+    pub fn with_voronoi(routes: &'a RouteStore, transitions: &'a TransitionStore) -> Self {
+        FilterRefineEngine {
+            use_voronoi: true,
+            ..Self::new(routes, transitions)
+        }
+    }
+
+    /// Whether the Voronoi-based filtering step is enabled.
+    pub fn uses_voronoi(&self) -> bool {
+        self.use_voronoi
+    }
+
+    /// Shared access to the stores (used by the divide & conquer engine and
+    /// by the benchmark harness).
+    pub fn stores(&self) -> (&'a RouteStore, &'a TransitionStore) {
+        (self.routes, self.transitions)
+    }
+}
+
+impl RknnTEngine for FilterRefineEngine<'_> {
+    fn name(&self) -> &'static str {
+        if self.use_voronoi {
+            "Voronoi"
+        } else {
+            "Filter-Refine"
+        }
+    }
+
+    fn execute(&self, query: &RknntQuery) -> RknntResult {
+        let mut result = RknntResult::default();
+        if query.is_degenerate() {
+            return result;
+        }
+
+        // Phase 1+2: filter-set construction and transition pruning.
+        let filter_started = Instant::now();
+        let filter_outcome = build_filter_set(self.routes, &query.route, query.k);
+        let prune_outcome = prune_transitions(
+            self.transitions,
+            &filter_outcome.filter_set,
+            query.k,
+            self.use_voronoi,
+        );
+        let filtering = filter_started.elapsed();
+
+        // Phase 3: exact verification of the surviving endpoints.
+        let verify_started = Instant::now();
+        let mut per_transition: HashMap<TransitionId, (bool, bool)> = HashMap::new();
+        let mut verified_endpoints = 0usize;
+        for cand in &prune_outcome.candidates {
+            let threshold_sq = point_route_distance_sq(&cand.point, &query.route);
+            let ok = qualifies(self.routes, &self.nlist, &cand.point, threshold_sq, query.k);
+            if ok {
+                verified_endpoints += 1;
+            }
+            let entry = per_transition.entry(cand.transition).or_insert((false, false));
+            match cand.kind {
+                EndpointKind::Origin => entry.0 |= ok,
+                EndpointKind::Destination => entry.1 |= ok,
+            }
+        }
+        for (id, (origin_ok, dest_ok)) in per_transition {
+            let include = match query.semantics {
+                Semantics::Exists => origin_ok || dest_ok,
+                Semantics::ForAll => origin_ok && dest_ok,
+            };
+            if include {
+                result.transitions.push(id);
+            }
+        }
+        result.transitions.sort_unstable();
+        let verification = verify_started.elapsed();
+
+        result.timings = PhaseTimings {
+            filtering,
+            verification,
+        };
+        result.stats = QueryStats {
+            filter_points: filter_outcome.filter_set.num_points(),
+            filter_routes: filter_outcome.filter_set.num_routes(),
+            refine_nodes: filter_outcome.refine_nodes.len(),
+            pruned_tr_nodes: prune_outcome.pruned_nodes,
+            candidate_endpoints: prune_outcome.candidates.len(),
+            verified_endpoints,
+            result_transitions: result.transitions.len(),
+        };
+        result
+    }
+}
+
+/// The Voronoi engine of Section 5.1: identical pipeline, but `IsFiltered`
+/// additionally uses the per-route Voronoi filtering spaces, enlarging the
+/// pruned region and reducing the number of candidates to verify.
+pub struct VoronoiEngine<'a>(FilterRefineEngine<'a>);
+
+impl<'a> VoronoiEngine<'a> {
+    /// Creates the Voronoi-optimised engine.
+    pub fn new(routes: &'a RouteStore, transitions: &'a TransitionStore) -> Self {
+        VoronoiEngine(FilterRefineEngine::with_voronoi(routes, transitions))
+    }
+
+    /// Access to the underlying Filter–Refine pipeline.
+    pub fn inner(&self) -> &FilterRefineEngine<'a> {
+        &self.0
+    }
+}
+
+impl RknnTEngine for VoronoiEngine<'_> {
+    fn name(&self) -> &'static str {
+        "Voronoi"
+    }
+
+    fn execute(&self, query: &RknntQuery) -> RknntResult {
+        self.0.execute(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceEngine;
+    use rknnt_geo::Point;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn ladder_world() -> (RouteStore, TransitionStore) {
+        let routes: Vec<Vec<Point>> = (0..12)
+            .map(|i| {
+                let y = i as f64 * 10.0;
+                (0..8).map(|j| p(j as f64 * 10.0, y)).collect()
+            })
+            .collect();
+        let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
+        let mut transition_store = TransitionStore::default();
+        // A deterministic scatter of origin/destination pairs.
+        for i in 0..150u32 {
+            let ox = (i as f64 * 7.3) % 70.0;
+            let oy = (i as f64 * 13.7) % 110.0;
+            let dx = (i as f64 * 3.1 + 11.0) % 70.0;
+            let dy = (i as f64 * 17.9 + 23.0) % 110.0;
+            transition_store.insert(p(ox, oy), p(dx, dy));
+        }
+        (route_store, transition_store)
+    }
+
+    #[test]
+    fn matches_brute_force_on_exists_and_forall() {
+        let (routes, transitions) = ladder_world();
+        let oracle = BruteForceEngine::new(&routes, &transitions);
+        let fr = FilterRefineEngine::new(&routes, &transitions);
+        let vo = VoronoiEngine::new(&routes, &transitions);
+        for k in [1usize, 2, 5] {
+            for semantics in [Semantics::Exists, Semantics::ForAll] {
+                let query = RknntQuery {
+                    route: vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)],
+                    k,
+                    semantics,
+                };
+                let expected = oracle.execute(&query);
+                let got_fr = fr.execute(&query);
+                let got_vo = vo.execute(&query);
+                assert_eq!(
+                    got_fr.transitions, expected.transitions,
+                    "filter-refine k={k} {semantics:?}"
+                );
+                assert_eq!(
+                    got_vo.transitions, expected.transitions,
+                    "voronoi k={k} {semantics:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated_and_consistent() {
+        let (routes, transitions) = ladder_world();
+        let fr = FilterRefineEngine::new(&routes, &transitions);
+        let query = RknntQuery::exists(vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)], 3);
+        let result = fr.execute(&query);
+        assert!(result.stats.filter_points > 0);
+        assert!(result.stats.filter_routes > 0);
+        assert!(result.stats.candidate_endpoints >= result.stats.verified_endpoints);
+        assert_eq!(result.stats.result_transitions, result.transitions.len());
+        assert!(result.stats.candidate_endpoints <= transitions.len() * 2);
+        assert_eq!(fr.name(), "Filter-Refine");
+    }
+
+    #[test]
+    fn voronoi_reduces_or_equals_candidates() {
+        let (routes, transitions) = ladder_world();
+        let fr = FilterRefineEngine::new(&routes, &transitions);
+        let vo = VoronoiEngine::new(&routes, &transitions);
+        let query = RknntQuery::exists(vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)], 5);
+        let r1 = fr.execute(&query);
+        let r2 = vo.execute(&query);
+        assert!(r2.stats.candidate_endpoints <= r1.stats.candidate_endpoints);
+        assert_eq!(r1.transitions, r2.transitions);
+        assert!(vo.inner().uses_voronoi());
+        assert_eq!(vo.name(), "Voronoi");
+    }
+
+    #[test]
+    fn dynamic_updates_are_visible_to_new_engines() {
+        let (routes, mut transitions) = ladder_world();
+        let query = RknntQuery::exists(vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)], 2);
+        let before = FilterRefineEngine::new(&routes, &transitions)
+            .execute(&query)
+            .transitions;
+        // A transition hugging two of the query's points (distance to the
+        // query is point-to-point, Definition 3) must appear after insertion.
+        let id = transitions.insert(p(34.8, 37.2), p(64.5, 36.8));
+        let after = FilterRefineEngine::new(&routes, &transitions).execute(&query);
+        assert!(after.contains(id));
+        assert!(after.len() >= before.len());
+        // And disappear again after removal.
+        transitions.remove(id);
+        let removed = FilterRefineEngine::new(&routes, &transitions).execute(&query);
+        assert!(!removed.contains(id));
+    }
+
+    #[test]
+    fn degenerate_query_returns_empty() {
+        let (routes, transitions) = ladder_world();
+        let fr = FilterRefineEngine::new(&routes, &transitions);
+        assert!(fr.execute(&RknntQuery::exists(vec![], 2)).is_empty());
+        assert!(fr
+            .execute(&RknntQuery::exists(vec![p(0.0, 0.0)], 0))
+            .is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Transition pruning (`PruneTransition`, Algorithm 4).
+//!
+//! With the filter set fixed, the TR-tree is traversed and every node that is
+//! covered by the filtering spaces of at least `k` distinct routes is pruned
+//! wholesale; surviving endpoints become candidates for exact verification.
+
+use crate::filter::FilterSet;
+use rknnt_geo::Point;
+use rknnt_index::{EndpointKind, TransitionId, TransitionStore};
+use serde::{Deserialize, Serialize};
+
+/// A transition endpoint that survived pruning and awaits verification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEndpoint {
+    /// The transition this endpoint belongs to.
+    pub transition: TransitionId,
+    /// Origin or destination.
+    pub kind: EndpointKind,
+    /// Location of the endpoint.
+    pub point: Point,
+}
+
+/// Result of the pruning phase: the surviving candidate endpoints and the
+/// number of TR-tree nodes pruned without being opened.
+#[derive(Debug, Clone, Default)]
+pub struct PruneOutcome {
+    /// Candidate endpoints (`S_cnd`).
+    pub candidates: Vec<CandidateEndpoint>,
+    /// Number of TR-tree nodes pruned wholesale.
+    pub pruned_nodes: usize,
+}
+
+/// `PruneTransition` (Algorithm 4): walks the TR-tree, prunes nodes and
+/// points covered by at least `k` filtering routes, and returns the
+/// surviving endpoints.
+///
+/// The traversal order does not affect the outcome because the filter set is
+/// fixed, so a depth-first walk is used instead of the paper's distance
+/// ordered heap; the pruning tests performed per node are identical.
+pub fn prune_transitions(
+    transitions: &TransitionStore,
+    filter_set: &FilterSet,
+    k: usize,
+    use_voronoi: bool,
+) -> PruneOutcome {
+    let mut outcome = PruneOutcome::default();
+    let Some(root) = transitions.rtree().root() else {
+        return outcome;
+    };
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if filter_set.filters_rect(&node.mbr(), k, use_voronoi) {
+            outcome.pruned_nodes += 1;
+            continue;
+        }
+        if node.is_leaf() {
+            for entry in node.entries() {
+                if filter_set.filters_point(&entry.point, k, use_voronoi) {
+                    continue;
+                }
+                outcome.candidates.push(CandidateEndpoint {
+                    transition: entry.data.transition,
+                    kind: entry.data.kind,
+                    point: entry.point,
+                });
+            }
+        } else {
+            stack.extend(node.children());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::build_filter_set;
+    use rknnt_geo::point_route_distance;
+    use rknnt_index::RouteStore;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn ladder(n_routes: usize) -> RouteStore {
+        let routes: Vec<Vec<Point>> = (0..n_routes)
+            .map(|i| {
+                let y = i as f64 * 10.0;
+                (0..8).map(|j| p(j as f64 * 10.0, y)).collect()
+            })
+            .collect();
+        let (store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
+        store
+    }
+
+    fn transitions_grid() -> TransitionStore {
+        let mut store = TransitionStore::default();
+        for i in 0..20 {
+            for j in 0..12 {
+                let o = p(i as f64 * 4.0, j as f64 * 9.0);
+                let d = p(i as f64 * 4.0 + 2.0, j as f64 * 9.0 + 3.0);
+                store.insert(o, d);
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn pruning_is_sound() {
+        // Every endpoint NOT in the candidate set must genuinely fail the
+        // kNN test (have >= k routes closer than the query).
+        let routes = ladder(10);
+        let transitions = transitions_grid();
+        let query = vec![p(0.0, 45.0), p(35.0, 45.0), p(70.0, 45.0)];
+        let k = 2;
+        let outcome = build_filter_set(&routes, &query, k);
+        for use_voronoi in [false, true] {
+            let pruned = prune_transitions(&transitions, &outcome.filter_set, k, use_voronoi);
+            let surviving: std::collections::HashSet<(u32, EndpointKind)> = pruned
+                .candidates
+                .iter()
+                .map(|c| (c.transition.raw(), c.kind))
+                .collect();
+            for t in transitions.transitions() {
+                for (kind, point) in [
+                    (EndpointKind::Origin, t.origin),
+                    (EndpointKind::Destination, t.destination),
+                ] {
+                    if surviving.contains(&(t.id.raw(), kind)) {
+                        continue;
+                    }
+                    // Pruned: verify it really has >= k closer routes.
+                    let d_query = point_route_distance(&point, &query);
+                    let closer = routes
+                        .routes()
+                        .filter(|r| point_route_distance(&point, &r.points) <= d_query)
+                        .count();
+                    assert!(
+                        closer >= k,
+                        "endpoint {point} of T{} was pruned but only {closer} routes are closer (voronoi={use_voronoi})",
+                        t.id.raw()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_prunes_at_least_as_many_nodes() {
+        let routes = ladder(12);
+        let transitions = transitions_grid();
+        let query = vec![p(0.0, 45.0), p(35.0, 45.0), p(70.0, 45.0)];
+        let k = 3;
+        let outcome = build_filter_set(&routes, &query, k);
+        let plain = prune_transitions(&transitions, &outcome.filter_set, k, false);
+        let voronoi = prune_transitions(&transitions, &outcome.filter_set, k, true);
+        assert!(voronoi.candidates.len() <= plain.candidates.len());
+    }
+
+    #[test]
+    fn empty_transition_store_yields_no_candidates() {
+        let routes = ladder(5);
+        let transitions = TransitionStore::default();
+        let query = vec![p(0.0, 25.0), p(70.0, 25.0)];
+        let outcome = build_filter_set(&routes, &query, 1);
+        let pruned = prune_transitions(&transitions, &outcome.filter_set, 1, false);
+        assert!(pruned.candidates.is_empty());
+        assert_eq!(pruned.pruned_nodes, 0);
+    }
+
+    #[test]
+    fn without_filter_points_everything_survives() {
+        // An empty route store produces an empty filter set, so nothing can
+        // be pruned and every endpoint is a candidate.
+        let routes = RouteStore::default();
+        let transitions = transitions_grid();
+        let query = vec![p(0.0, 45.0), p(70.0, 45.0)];
+        let outcome = build_filter_set(&routes, &query, 2);
+        let pruned = prune_transitions(&transitions, &outcome.filter_set, 2, true);
+        assert_eq!(pruned.candidates.len(), transitions.len() * 2);
+    }
+}

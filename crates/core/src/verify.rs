@@ -1,0 +1,199 @@
+//! Exact verification: counting the distinct routes closer to a candidate
+//! point than the query.
+//!
+//! A transition endpoint `t` takes the query route `Q` as one of its k
+//! nearest routes iff fewer than `k` distinct routes of `D_R` are strictly
+//! closer to `t` than `Q` is. The verification phase therefore needs, per
+//! candidate, the count of distinct closer routes — capped at `k`, because
+//! once `k` closer routes are known the candidate is disqualified.
+//!
+//! The traversal mirrors the paper's use of the `NList` (Section 4.2.3):
+//! when a whole RR-tree node is known to be closer than the threshold (its
+//! maximum distance to the candidate is below the threshold), all routes
+//! listed for that node in the NList are accounted for at once without
+//! descending further.
+
+use rknnt_geo::Point;
+use rknnt_index::{NList, RouteId, RouteStore};
+use std::collections::HashSet;
+
+/// Counts distinct routes whose distance to `t` is strictly below
+/// `threshold`, stopping early once `limit` distinct routes have been found
+/// (the returned value is then exactly `limit`).
+///
+/// `nlist` must have been built from the current state of `routes`.
+pub fn count_closer_routes(
+    routes: &RouteStore,
+    nlist: &NList,
+    t: &Point,
+    threshold: f64,
+    limit: usize,
+) -> usize {
+    count_closer_routes_sq(routes, nlist, t, threshold * threshold, limit)
+}
+
+/// Variant of [`count_closer_routes`] taking the *squared* threshold.
+///
+/// The query engines use this form with the squared point-route distance to
+/// the query, so that exact ties (a stop at the same distance as the query,
+/// e.g. when a query point coincides with a stop) are compared without a
+/// `sqrt`/re-square round-trip that could turn a tie into "strictly closer".
+pub fn count_closer_routes_sq(
+    routes: &RouteStore,
+    nlist: &NList,
+    t: &Point,
+    threshold_sq: f64,
+    limit: usize,
+) -> usize {
+    if limit == 0 {
+        return 0;
+    }
+    let tree = routes.rtree();
+    let Some(root) = tree.root() else { return 0 };
+
+    let mut closer: HashSet<RouteId> = HashSet::new();
+    let mut stack = vec![root];
+
+    while let Some(node) = stack.pop() {
+        if closer.len() >= limit {
+            break;
+        }
+        let mbr = node.mbr();
+        // Nothing under this node can be closer than the threshold.
+        if mbr.min_dist_sq(t) >= threshold_sq {
+            continue;
+        }
+        // Everything under this node is closer: account for all its routes
+        // via the NList without descending (the paper's node-level shortcut).
+        if mbr.max_dist_sq(t) < threshold_sq {
+            for r in nlist.routes_under(node.id()) {
+                closer.insert(*r);
+                if closer.len() >= limit {
+                    return limit;
+                }
+            }
+            continue;
+        }
+        if node.is_leaf() {
+            for entry in node.entries() {
+                if entry.point.distance_sq(t) < threshold_sq {
+                    for r in routes.crossover(entry.data) {
+                        closer.insert(*r);
+                        if closer.len() >= limit {
+                            return limit;
+                        }
+                    }
+                }
+            }
+        } else {
+            stack.extend(node.children());
+        }
+    }
+    closer.len().min(limit)
+}
+
+/// Convenience predicate: does the point `t` take the query as one of its k
+/// nearest routes, given the *squared* threshold `dist²(t, Q)`?
+pub(crate) fn qualifies(
+    routes: &RouteStore,
+    nlist: &NList,
+    t: &Point,
+    dist_sq_to_query: f64,
+    k: usize,
+) -> bool {
+    count_closer_routes_sq(routes, nlist, t, dist_sq_to_query, k) < k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::point_route_distance;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// Parallel horizontal routes at y = 0, 10, 20, ..., 90.
+    fn parallel_routes() -> RouteStore {
+        let routes: Vec<Vec<Point>> = (0..10)
+            .map(|i| {
+                let y = i as f64 * 10.0;
+                (0..6).map(|j| p(j as f64 * 10.0, y)).collect()
+            })
+            .collect();
+        let (store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
+        store
+    }
+
+    /// Brute-force reference: scan every route.
+    fn brute_count(store: &RouteStore, t: &Point, threshold: f64) -> usize {
+        store
+            .routes()
+            .filter(|r| point_route_distance(t, &r.points) < threshold)
+            .count()
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let store = parallel_routes();
+        let nlist = NList::build(&store);
+        let probes = [
+            p(25.0, 5.0),
+            p(25.0, 12.0),
+            p(-10.0, 50.0),
+            p(100.0, 100.0),
+            p(25.0, 45.0),
+        ];
+        for t in probes {
+            for threshold in [1.0, 6.0, 11.0, 26.0, 200.0] {
+                let expected = brute_count(&store, &t, threshold);
+                let got = count_closer_routes(&store, &nlist, &t, threshold, usize::MAX);
+                assert_eq!(got, expected, "t = {t}, threshold = {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn limit_caps_the_count() {
+        let store = parallel_routes();
+        let nlist = NList::build(&store);
+        let t = p(25.0, 45.0);
+        // With a huge threshold every route is closer; limit caps the answer.
+        assert_eq!(count_closer_routes(&store, &nlist, &t, 1e6, 3), 3);
+        assert_eq!(count_closer_routes(&store, &nlist, &t, 1e6, 0), 0);
+        assert_eq!(
+            count_closer_routes(&store, &nlist, &t, 1e6, usize::MAX),
+            store.num_routes()
+        );
+    }
+
+    #[test]
+    fn qualifies_matches_definition() {
+        let store = parallel_routes();
+        let nlist = NList::build(&store);
+        // A query route along y = 45 (between routes at 40 and 50).
+        let query = vec![p(0.0, 45.0), p(20.0, 45.0), p(50.0, 45.0)];
+        // A point at y = 44: the query is 1 away, routes at y=40 are 4 away.
+        let close = p(25.0, 44.0);
+        let d = point_route_distance(&close, &query);
+        assert!(qualifies(&store, &nlist, &close, d * d, 1));
+        // A point at y = 10 sits on a route; many routes are closer than the
+        // query (which is 35 away), so it does not qualify even for k = 3.
+        let far = p(25.0, 10.0);
+        let d_far = point_route_distance(&far, &query);
+        assert!(!qualifies(&store, &nlist, &far, d_far * d_far, 3));
+        // ...but with a large enough k it does.
+        assert!(qualifies(&store, &nlist, &far, d_far * d_far, store.num_routes() + 1));
+    }
+
+    #[test]
+    fn empty_store_counts_zero() {
+        let store = RouteStore::default();
+        let nlist = NList::build(&store);
+        assert_eq!(
+            count_closer_routes(&store, &nlist, &p(0.0, 0.0), 10.0, 5),
+            0
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based equivalence tests: every index-based engine must return
+//! exactly the transitions the brute-force oracle returns, for random route
+//! networks, random transition sets and random queries, under both
+//! semantics — the central correctness claim of the reproduction.
+
+use proptest::prelude::*;
+use rknnt_core::{
+    BruteForceEngine, DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery, Semantics,
+    VoronoiEngine,
+};
+use rknnt_geo::Point;
+use rknnt_index::{RouteStore, TransitionStore};
+use rknnt_rtree::RTreeConfig;
+
+/// Points on a continuous square so exact distance ties have probability ~0.
+fn pt() -> impl Strategy<Value = Point> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn route() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(pt(), 2..7)
+}
+
+fn routes() -> impl Strategy<Value = Vec<Vec<Point>>> {
+    prop::collection::vec(route(), 2..12)
+}
+
+fn transitions() -> impl Strategy<Value = Vec<(Point, Point)>> {
+    prop::collection::vec((pt(), pt()), 1..60)
+}
+
+fn query_route() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(pt(), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_agree_with_oracle(
+        rs in routes(),
+        ts in transitions(),
+        q in query_route(),
+        k in 1usize..6,
+        forall in any::<bool>(),
+    ) {
+        let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), rs);
+        let transition_store = TransitionStore::bulk_build(RTreeConfig::new(8, 3), ts);
+        let semantics = if forall { Semantics::ForAll } else { Semantics::Exists };
+        let query = RknntQuery { route: q, k, semantics };
+
+        let oracle = BruteForceEngine::new(&route_store, &transition_store).execute(&query);
+        let fr = FilterRefineEngine::new(&route_store, &transition_store).execute(&query);
+        let vo = VoronoiEngine::new(&route_store, &transition_store).execute(&query);
+        let dc = DivideConquerEngine::new(&route_store, &transition_store).execute(&query);
+
+        prop_assert_eq!(&fr.transitions, &oracle.transitions, "filter-refine");
+        prop_assert_eq!(&vo.transitions, &oracle.transitions, "voronoi");
+        prop_assert_eq!(&dc.transitions, &oracle.transitions, "divide-conquer");
+    }
+
+    /// Lemma 1: the ∀ result is always a subset of the ∃ result.
+    #[test]
+    fn forall_subset_of_exists(
+        rs in routes(),
+        ts in transitions(),
+        q in query_route(),
+        k in 1usize..5,
+    ) {
+        let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), rs);
+        let transition_store = TransitionStore::bulk_build(RTreeConfig::new(8, 3), ts);
+        let engine = FilterRefineEngine::new(&route_store, &transition_store);
+        let exists = engine.execute(&RknntQuery { route: q.clone(), k, semantics: Semantics::Exists });
+        let forall = engine.execute(&RknntQuery { route: q, k, semantics: Semantics::ForAll });
+        for id in &forall.transitions {
+            prop_assert!(exists.contains(*id));
+        }
+    }
+
+    /// Monotonicity in k: a larger k can only admit more transitions.
+    #[test]
+    fn results_monotone_in_k(
+        rs in routes(),
+        ts in transitions(),
+        q in query_route(),
+    ) {
+        let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), rs);
+        let transition_store = TransitionStore::bulk_build(RTreeConfig::new(8, 3), ts);
+        let engine = VoronoiEngine::new(&route_store, &transition_store);
+        let mut previous: Vec<_> = Vec::new();
+        for k in [1usize, 2, 4, 8] {
+            let result = engine.execute(&RknntQuery::exists(q.clone(), k)).transitions;
+            for id in &previous {
+                prop_assert!(result.binary_search(id).is_ok(), "k-monotonicity violated");
+            }
+            previous = result;
+        }
+    }
+
+    /// Dynamic updates: after removing every transition returned by a query,
+    /// re-running the query on a freshly built engine returns nothing from
+    /// the removed set, and inserting them back restores the result.
+    #[test]
+    fn updates_roundtrip(
+        rs in routes(),
+        ts in transitions(),
+        q in query_route(),
+        k in 1usize..4,
+    ) {
+        let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), rs);
+        let mut transition_store = TransitionStore::bulk_build(RTreeConfig::new(8, 3), ts);
+        let query = RknntQuery::exists(q, k);
+        let before = FilterRefineEngine::new(&route_store, &transition_store).execute(&query);
+        let removed: Vec<_> = before
+            .transitions
+            .iter()
+            .map(|id| *transition_store.get(*id).unwrap())
+            .collect();
+        for t in &removed {
+            prop_assert!(transition_store.remove(t.id));
+        }
+        let after = FilterRefineEngine::new(&route_store, &transition_store).execute(&query);
+        for t in &removed {
+            prop_assert!(!after.contains(t.id));
+        }
+        // Re-insert (new ids) and check the result count is restored.
+        for t in &removed {
+            transition_store.insert(t.origin, t.destination);
+        }
+        let restored = FilterRefineEngine::new(&route_store, &transition_store).execute(&query);
+        prop_assert_eq!(restored.len(), before.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic city and bus-network generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rknnt_geo::{Point, Rect};
+use rknnt_graph::RouteGraph;
+use rknnt_index::RouteStore;
+use rknnt_rtree::RTreeConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic city.
+///
+/// Defaults are laptop-sized; [`CityConfig::la_like`] and
+/// [`CityConfig::nyc_like`] scale the route counts towards the paper's
+/// Table 2 (1,208 and 2,022 routes) while keeping stop spacing around
+/// 300–500 m, which reproduces the interval distribution of Figure 17.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Display name used in experiment output ("LA-like", "NYC-like", ...).
+    pub name: String,
+    /// Width of the city bounding box in metres.
+    pub width: f64,
+    /// Height of the city bounding box in metres.
+    pub height: f64,
+    /// Number of bus routes to generate.
+    pub num_routes: usize,
+    /// Inclusive range of stops per route.
+    pub stops_per_route: (usize, usize),
+    /// Spacing of the underlying stop lattice in metres (also the typical
+    /// distance between consecutive stops of a route).
+    pub stop_spacing: f64,
+    /// RNG seed: the same configuration always generates the same city.
+    pub seed: u64,
+}
+
+impl CityConfig {
+    /// A small city for tests and examples (fast to index and query).
+    pub fn small(seed: u64) -> Self {
+        CityConfig {
+            name: "Smallville".to_string(),
+            width: 12_000.0,
+            height: 12_000.0,
+            num_routes: 60,
+            stops_per_route: (8, 25),
+            stop_spacing: 400.0,
+            seed,
+        }
+    }
+
+    /// A city with the shape of the paper's LA dataset, scaled by `scale`
+    /// in (0, 1]; `scale = 1.0` approaches Table 2's 1,208 routes.
+    pub fn la_like(scale: f64, seed: u64) -> Self {
+        let scale = scale.clamp(0.01, 1.0);
+        CityConfig {
+            name: "LA-like".to_string(),
+            width: 60_000.0,
+            height: 50_000.0,
+            num_routes: (1_208.0 * scale).round().max(4.0) as usize,
+            stops_per_route: (15, 90),
+            stop_spacing: 450.0,
+            seed,
+        }
+    }
+
+    /// A city with the shape of the paper's NYC dataset, scaled by `scale`.
+    pub fn nyc_like(scale: f64, seed: u64) -> Self {
+        let scale = scale.clamp(0.01, 1.0);
+        CityConfig {
+            name: "NYC-like".to_string(),
+            width: 45_000.0,
+            height: 55_000.0,
+            num_routes: (2_022.0 * scale).round().max(4.0) as usize,
+            stops_per_route: (12, 70),
+            stop_spacing: 350.0,
+            seed,
+        }
+    }
+
+    /// Bounding rectangle of the city.
+    pub fn area(&self) -> Rect {
+        Rect::new(Point::ORIGIN, Point::new(self.width, self.height))
+    }
+}
+
+/// A generated city: its configuration and the bus routes (point sequences).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    /// The configuration the city was generated from.
+    pub config: CityConfig,
+    /// Bus routes as ordered stop sequences.
+    pub routes: Vec<Vec<Point>>,
+}
+
+impl City {
+    /// Number of routes.
+    pub fn num_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Total number of stop references across routes (with repetition).
+    pub fn total_stops(&self) -> usize {
+        self.routes.iter().map(Vec::len).sum()
+    }
+
+    /// Builds the RR-tree-backed route store for this city.
+    pub fn route_store(&self) -> RouteStore {
+        let (store, _) = RouteStore::bulk_build(RTreeConfig::default(), self.routes.clone());
+        store
+    }
+
+    /// Builds the bus-network graph (Definition 9) for this city.
+    pub fn graph(&self) -> RouteGraph {
+        RouteGraph::from_routes(self.routes.iter().map(|r| r.as_slice()))
+    }
+}
+
+/// Generates synthetic cities from a [`CityConfig`].
+#[derive(Debug, Clone)]
+pub struct CityGenerator {
+    config: CityConfig,
+}
+
+impl CityGenerator {
+    /// Creates a generator for the given configuration.
+    pub fn new(config: CityConfig) -> Self {
+        CityGenerator { config }
+    }
+
+    /// Generates the city deterministically from the configured seed.
+    ///
+    /// Routes are walks over a jittered stop lattice: from a random start
+    /// node the walk keeps a heading and turns by at most ±90° per step (the
+    /// same "no zigzag" rule the paper uses to generate query routes), so
+    /// generated routes look like real bus lines — mostly straight with
+    /// occasional turns — and share lattice stops with other routes, giving
+    /// non-trivial crossover sets.
+    pub fn generate(&self) -> City {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let cols = (cfg.width / cfg.stop_spacing).floor().max(2.0) as i64;
+        let rows = (cfg.height / cfg.stop_spacing).floor().max(2.0) as i64;
+
+        let mut routes = Vec::with_capacity(cfg.num_routes);
+        while routes.len() < cfg.num_routes {
+            let target_len = rng.gen_range(cfg.stops_per_route.0..=cfg.stops_per_route.1);
+            // Start anywhere on the lattice, with a random cardinal heading.
+            let mut ci = rng.gen_range(0..cols);
+            let mut cj = rng.gen_range(0..rows);
+            let mut heading: (i64, i64) = *[(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .nth(rng.gen_range(0..4))
+                .expect("four headings");
+            let mut stops = vec![self.lattice_point(ci, cj)];
+            while stops.len() < target_len {
+                // Turn left/right with small probability, never reverse.
+                let roll: f64 = rng.gen();
+                if roll < 0.15 {
+                    heading = (-heading.1, heading.0); // left turn
+                } else if roll < 0.30 {
+                    heading = (heading.1, -heading.0); // right turn
+                }
+                let ni = ci + heading.0;
+                let nj = cj + heading.1;
+                if ni < 0 || nj < 0 || ni >= cols || nj >= rows {
+                    // Hit the border: turn back into the city instead.
+                    heading = (-heading.0, -heading.1);
+                    continue;
+                }
+                ci = ni;
+                cj = nj;
+                stops.push(self.lattice_point(ci, cj));
+            }
+            if stops.len() >= 2 {
+                routes.push(stops);
+            }
+        }
+        City {
+            config: cfg.clone(),
+            routes,
+        }
+    }
+
+    /// The jittered position of lattice node `(i, j)`.
+    ///
+    /// The jitter is a deterministic hash of the node index (not of the RNG
+    /// stream), so every route that visits the node gets the exact same
+    /// coordinates — this is what makes stops shared between routes.
+    fn lattice_point(&self, i: i64, j: i64) -> Point {
+        let cfg = &self.config;
+        let h = Self::hash(cfg.seed, i, j);
+        let jx = ((h & 0xffff) as f64 / 65_535.0 - 0.5) * 0.3 * cfg.stop_spacing;
+        let jy = (((h >> 16) & 0xffff) as f64 / 65_535.0 - 0.5) * 0.3 * cfg.stop_spacing;
+        Point::new(
+            (i as f64 + 0.5) * cfg.stop_spacing + jx,
+            (j as f64 + 0.5) * cfg.stop_spacing + jy,
+        )
+    }
+
+    fn hash(seed: u64, i: i64, j: i64) -> u64 {
+        let mut x = seed
+            ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^= x >> 33;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CityGenerator::new(CityConfig::small(7)).generate();
+        let b = CityGenerator::new(CityConfig::small(7)).generate();
+        let c = CityGenerator::new(CityConfig::small(8)).generate();
+        assert_eq!(a.routes, b.routes);
+        assert_ne!(a.routes, c.routes);
+    }
+
+    #[test]
+    fn routes_respect_configuration() {
+        let cfg = CityConfig::small(3);
+        let city = CityGenerator::new(cfg.clone()).generate();
+        assert_eq!(city.num_routes(), cfg.num_routes);
+        let area = cfg.area();
+        for route in &city.routes {
+            assert!(route.len() >= cfg.stops_per_route.0);
+            assert!(route.len() <= cfg.stops_per_route.1);
+            for p in route {
+                assert!(
+                    area.contains_point(p) || area.min_dist(p) < cfg.stop_spacing,
+                    "stop {p} escapes the city area"
+                );
+            }
+            // Consecutive stops are roughly one lattice cell apart.
+            for w in route.windows(2) {
+                let d = w[0].distance(&w[1]);
+                assert!(d > 0.0 && d < cfg.stop_spacing * 2.5, "spacing {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_share_stops() {
+        // Shared lattice nodes give shared stops, hence crossover sets > 1.
+        let city = CityGenerator::new(CityConfig::small(11)).generate();
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        for route in &city.routes {
+            for p in route {
+                *seen.entry((p.x.to_bits(), p.y.to_bits())).or_default() += 1;
+            }
+        }
+        let shared = seen.values().filter(|c| **c > 1).count();
+        assert!(shared > 0, "expected at least one stop shared between routes");
+        // And the route store must observe the same sharing through its PList.
+        let store = city.route_store();
+        assert!(store.num_stops() < city.total_stops());
+    }
+
+    #[test]
+    fn la_and_nyc_scale_with_factor() {
+        let small = CityConfig::la_like(0.05, 1);
+        let large = CityConfig::la_like(0.2, 1);
+        assert!(large.num_routes > small.num_routes);
+        let nyc = CityConfig::nyc_like(0.05, 1);
+        assert!(nyc.num_routes > 0);
+        assert_eq!(CityConfig::la_like(5.0, 1).num_routes, 1208);
+    }
+
+    #[test]
+    fn derived_structures_are_consistent() {
+        let city = CityGenerator::new(CityConfig::small(5)).generate();
+        let store = city.route_store();
+        let graph = city.graph();
+        assert_eq!(store.num_routes(), city.num_routes());
+        // Graph vertices = distinct stops in the store.
+        assert_eq!(graph.num_vertices(), store.num_stops());
+        assert!(graph.num_edges() > 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! CSV import/export for routes and transitions.
+//!
+//! The format is deliberately simple so that real GTFS-derived data (what the
+//! paper uses) can be converted with a few lines of scripting and dropped
+//! into the benchmark harness:
+//!
+//! * Routes: one line per route, `route_id,x1,y1,x2,y2,...`
+//! * Transitions: one line per transition, `ox,oy,dx,dy`
+
+use rknnt_geo::Point;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes routes in the one-line-per-route CSV format.
+pub fn write_routes<W: Write>(writer: W, routes: &[Vec<Point>]) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    for (id, route) in routes.iter().enumerate() {
+        write!(out, "{id}")?;
+        for p in route {
+            write!(out, ",{},{}", p.x, p.y)?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads routes written by [`write_routes`]. Lines that are empty or start
+/// with `#` are skipped; malformed lines produce an error naming the line.
+pub fn read_routes<R: Read>(reader: R) -> io::Result<Vec<Vec<Point>>> {
+    let mut routes = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 5 || (fields.len() - 1) % 2 != 0 {
+            return Err(malformed(lineno, "expected route_id followed by x,y pairs"));
+        }
+        let mut points = Vec::with_capacity((fields.len() - 1) / 2);
+        for chunk in fields[1..].chunks(2) {
+            points.push(Point::new(
+                parse(lineno, chunk[0])?,
+                parse(lineno, chunk[1])?,
+            ));
+        }
+        routes.push(points);
+    }
+    Ok(routes)
+}
+
+/// Writes transitions in the `ox,oy,dx,dy` CSV format.
+pub fn write_transitions<W: Write>(writer: W, pairs: &[(Point, Point)]) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    for (o, d) in pairs {
+        writeln!(out, "{},{},{},{}", o.x, o.y, d.x, d.y)?;
+    }
+    out.flush()
+}
+
+/// Reads transitions written by [`write_transitions`].
+pub fn read_transitions<R: Read>(reader: R) -> io::Result<Vec<(Point, Point)>> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 4 {
+            return Err(malformed(lineno, "expected ox,oy,dx,dy"));
+        }
+        pairs.push((
+            Point::new(parse(lineno, fields[0])?, parse(lineno, fields[1])?),
+            Point::new(parse(lineno, fields[2])?, parse(lineno, fields[3])?),
+        ));
+    }
+    Ok(pairs)
+}
+
+fn parse(lineno: usize, field: &str) -> io::Result<f64> {
+    field
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| malformed(lineno, &format!("bad number {field:?}: {e}")))
+}
+
+fn malformed(lineno: usize, message: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: {message}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn routes_roundtrip() {
+        let routes = vec![
+            vec![p(0.0, 0.0), p(10.5, -3.25), p(20.0, 0.0)],
+            vec![p(1.0, 1.0), p(2.0, 2.0)],
+        ];
+        let mut buffer = Vec::new();
+        write_routes(&mut buffer, &routes).unwrap();
+        let back = read_routes(buffer.as_slice()).unwrap();
+        assert_eq!(back, routes);
+    }
+
+    #[test]
+    fn transitions_roundtrip_with_comments() {
+        let pairs = vec![(p(1.0, 2.0), p(3.0, 4.0)), (p(-1.0, 0.5), p(0.0, 0.0))];
+        let mut buffer = Vec::new();
+        write_transitions(&mut buffer, &pairs).unwrap();
+        let mut text = String::from_utf8(buffer).unwrap();
+        text.insert_str(0, "# comment line\n\n");
+        let back = read_transitions(text.as_bytes()).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let err = read_transitions("1,2,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_routes("0,1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_transitions("a,b,c,d\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad number"));
+    }
+}

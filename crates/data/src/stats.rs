@@ -1,0 +1,161 @@
+//! Dataset summaries reported by the paper's figures.
+//!
+//! * Figure 6 / 17: frequency histograms of the detour ratio, of the
+//!   straight-line span ψ(se), of the mean stop interval and of the number
+//!   of stops per route.
+//! * Figure 8: heatmaps of routes and transitions, reported here as a coarse
+//!   density grid.
+
+use crate::city::City;
+use rknnt_geo::{detour_ratio, mean_interval, straight_line_distance, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A simple frequency histogram over equally wide buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Width of each bucket.
+    pub bucket_width: f64,
+    /// Lower bound of the first bucket.
+    pub origin: f64,
+    /// Bucket counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` using buckets of width `bucket_width`
+    /// starting at `origin`. Values below the origin are clamped into the
+    /// first bucket.
+    pub fn build(values: &[f64], origin: f64, bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        let mut counts = Vec::new();
+        for v in values {
+            let idx = (((v - origin) / bucket_width).floor().max(0.0)) as usize;
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        Histogram {
+            bucket_width,
+            origin,
+            counts,
+        }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// `(bucket_lower_bound, count)` rows for printing.
+    pub fn rows(&self) -> Vec<(f64, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.origin + i as f64 * self.bucket_width, *c))
+            .collect()
+    }
+}
+
+/// Per-route summary statistics (the three histograms of Figure 17 plus the
+/// detour ratio of Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RouteStats {
+    /// Detour ratios ψ(R) / straight-line(R) per route (Figure 6).
+    pub detour_ratios: Vec<f64>,
+    /// Straight-line distance between first and last stop per route, ψ(se).
+    pub spans: Vec<f64>,
+    /// Mean stop interval ψ(R)/|R| per route.
+    pub intervals: Vec<f64>,
+    /// Number of stops per route.
+    pub stop_counts: Vec<usize>,
+}
+
+/// Computes the per-route statistics of a city.
+pub fn route_stats(city: &City) -> RouteStats {
+    let mut stats = RouteStats::default();
+    for route in &city.routes {
+        if let Some(r) = detour_ratio(route) {
+            stats.detour_ratios.push(r);
+        }
+        stats.spans.push(straight_line_distance(route));
+        stats.intervals.push(mean_interval(route));
+        stats.stop_counts.push(route.len());
+    }
+    stats
+}
+
+/// A coarse `nx × ny` density grid over `area` counting how many of `points`
+/// fall into each cell — the textual stand-in for the heatmaps of Figure 8.
+pub fn density_grid(points: &[Point], area: &Rect, nx: usize, ny: usize) -> Vec<Vec<usize>> {
+    assert!(nx > 0 && ny > 0);
+    let mut grid = vec![vec![0usize; nx]; ny];
+    let w = area.width().max(f64::EPSILON);
+    let h = area.height().max(f64::EPSILON);
+    for p in points {
+        if !area.contains_point(p) {
+            continue;
+        }
+        let cx = (((p.x - area.min.x) / w) * nx as f64).min(nx as f64 - 1.0) as usize;
+        let cy = (((p.y - area.min.y) / h) * ny as f64).min(ny as f64 - 1.0) as usize;
+        grid[cy][cx] += 1;
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, CityGenerator};
+
+    #[test]
+    fn histogram_buckets_and_totals() {
+        let h = Histogram::build(&[0.5, 1.4, 1.6, 2.9, 3.0], 0.0, 1.0);
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+        let rows = h.rows();
+        assert_eq!(rows[1], (1.0, 2));
+        // Values below the origin are clamped.
+        let h2 = Histogram::build(&[-3.0, 0.2], 0.0, 1.0);
+        assert_eq!(h2.counts[0], 2);
+    }
+
+    #[test]
+    fn route_stats_match_paper_shape() {
+        // Figure 6: the detour ratio of real bus routes rarely exceeds ~3;
+        // our generator must land in the same regime.
+        let city = CityGenerator::new(CityConfig::small(4)).generate();
+        let stats = route_stats(&city);
+        assert_eq!(stats.stop_counts.len(), city.num_routes());
+        assert!(!stats.detour_ratios.is_empty());
+        for r in &stats.detour_ratios {
+            assert!(*r >= 1.0 - 1e-9);
+        }
+        let median = {
+            let mut v = stats.detour_ratios.clone();
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        assert!(median < 5.0, "median detour ratio {median} is implausible");
+        // Intervals hover around the configured stop spacing.
+        let mean_interval: f64 =
+            stats.intervals.iter().sum::<f64>() / stats.intervals.len() as f64;
+        assert!((mean_interval - city.config.stop_spacing).abs() < city.config.stop_spacing);
+    }
+
+    #[test]
+    fn density_grid_counts_points_once() {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let points = vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.5, 9.5),
+            Point::new(5.0, 5.0),
+            Point::new(50.0, 50.0), // outside
+        ];
+        let grid = density_grid(&points, &area, 2, 2);
+        let total: usize = grid.iter().flatten().sum();
+        assert_eq!(total, 3);
+        assert_eq!(grid[0][0], 1);
+        assert_eq!(grid[1][1], 2);
+    }
+}

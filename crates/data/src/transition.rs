@@ -1,0 +1,178 @@
+//! Synthetic passenger transitions (the Foursquare check-in substitute).
+
+use crate::city::City;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rknnt_geo::Point;
+use rknnt_index::TransitionStore;
+use rknnt_rtree::RTreeConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic transition set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionConfig {
+    /// Number of transitions to generate.
+    pub count: usize,
+    /// Number of Gaussian hot-spots (popular venues / transit hubs).
+    pub hotspots: usize,
+    /// Standard deviation of each hot-spot cloud, in metres.
+    pub hotspot_std: f64,
+    /// Fraction of endpoints drawn uniformly over the whole city instead of
+    /// from a hot-spot (0.0 – 1.0).
+    pub background_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TransitionConfig {
+    /// A transition set shaped like the paper's check-in data: strongly
+    /// clustered around hubs with a thin uniform background (Figure 8).
+    pub fn checkin_like(count: usize, seed: u64) -> Self {
+        TransitionConfig {
+            count,
+            hotspots: 40,
+            hotspot_std: 600.0,
+            background_fraction: 0.15,
+            seed,
+        }
+    }
+
+    /// A fully uniform transition set (useful as an ablation).
+    pub fn uniform(count: usize, seed: u64) -> Self {
+        TransitionConfig {
+            count,
+            hotspots: 0,
+            hotspot_std: 1.0,
+            background_fraction: 1.0,
+            seed,
+        }
+    }
+}
+
+/// Generates origin/destination transition pairs over a [`City`].
+#[derive(Debug, Clone)]
+pub struct TransitionGenerator {
+    config: TransitionConfig,
+}
+
+impl TransitionGenerator {
+    /// Creates a generator.
+    pub fn new(config: TransitionConfig) -> Self {
+        TransitionGenerator { config }
+    }
+
+    /// Generates the `(origin, destination)` pairs for `city`.
+    ///
+    /// Hot-spot centres are sampled from the city's bus stops (people travel
+    /// between places that are served by transit); each endpoint is either a
+    /// Gaussian sample around a hot-spot or a uniform background point.
+    /// Origins and destinations use different hot-spots, mimicking home→work
+    /// style movement between areas of the city.
+    pub fn generate(&self, city: &City) -> Vec<(Point, Point)> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let area = city.config.area();
+
+        // Hot-spot centres: random stops of random routes.
+        let mut hubs: Vec<Point> = Vec::with_capacity(cfg.hotspots);
+        if cfg.hotspots > 0 && !city.routes.is_empty() {
+            for _ in 0..cfg.hotspots {
+                let route = &city.routes[rng.gen_range(0..city.routes.len())];
+                hubs.push(route[rng.gen_range(0..route.len())]);
+            }
+        }
+
+        let sample_endpoint = |rng: &mut StdRng| -> Point {
+            let background = hubs.is_empty() || rng.gen::<f64>() < cfg.background_fraction;
+            if background {
+                Point::new(
+                    rng.gen_range(area.min.x..=area.max.x),
+                    rng.gen_range(area.min.y..=area.max.y),
+                )
+            } else {
+                let hub = hubs[rng.gen_range(0..hubs.len())];
+                // Box–Muller gaussian around the hub.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt() * cfg.hotspot_std;
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                Point::new(hub.x + r * theta.cos(), hub.y + r * theta.sin())
+            }
+        };
+
+        (0..cfg.count)
+            .map(|_| {
+                let origin = sample_endpoint(&mut rng);
+                let destination = sample_endpoint(&mut rng);
+                (origin, destination)
+            })
+            .collect()
+    }
+
+    /// Convenience: generates the pairs and bulk-loads a TR-tree store.
+    pub fn generate_store(&self, city: &City) -> TransitionStore {
+        TransitionStore::bulk_build(RTreeConfig::default(), self.generate(city))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, CityGenerator};
+
+    fn city() -> City {
+        CityGenerator::new(CityConfig::small(1)).generate()
+    }
+
+    #[test]
+    fn deterministic_and_correct_count() {
+        let city = city();
+        let cfg = TransitionConfig::checkin_like(500, 9);
+        let a = TransitionGenerator::new(cfg.clone()).generate(&city);
+        let b = TransitionGenerator::new(cfg).generate(&city);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        let store = TransitionGenerator::new(TransitionConfig::checkin_like(200, 2))
+            .generate_store(&city);
+        assert_eq!(store.len(), 200);
+        assert_eq!(store.rtree().len(), 400);
+    }
+
+    #[test]
+    fn clustered_data_is_denser_than_uniform_near_hubs() {
+        // The check-in-like generator should concentrate mass: the average
+        // nearest-stop distance of its endpoints is smaller than for the
+        // uniform generator.
+        let city = city();
+        let clustered = TransitionGenerator::new(TransitionConfig::checkin_like(400, 3))
+            .generate(&city);
+        let uniform =
+            TransitionGenerator::new(TransitionConfig::uniform(400, 3)).generate(&city);
+        let store = city.route_store();
+        let mean_stop_dist = |pairs: &[(Point, Point)]| {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for (o, d) in pairs {
+                for p in [o, d] {
+                    if let Some(hit) = store.rtree().nearest(p) {
+                        total += hit.distance;
+                        n += 1;
+                    }
+                }
+            }
+            total / n as f64
+        };
+        assert!(mean_stop_dist(&clustered) < mean_stop_dist(&uniform));
+    }
+
+    #[test]
+    fn uniform_endpoints_stay_in_area() {
+        let city = city();
+        let pairs = TransitionGenerator::new(TransitionConfig::uniform(300, 5)).generate(&city);
+        let area = city.config.area();
+        for (o, d) in pairs {
+            assert!(area.contains_point(&o));
+            assert!(area.contains_point(&d));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Query workload generators matching Section 7's experimental setup.
+
+use crate::city::City;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rknnt_geo::Point;
+use rknnt_graph::{RouteGraph, VertexId};
+
+/// Generates `count` synthetic RkNNT query routes with `len` points and a
+/// mean interval of `interval` metres between consecutive points.
+///
+/// Each query starts at a random route point of the city and grows by
+/// appending points one at a time; the heading may rotate by at most ±90°
+/// per extension so the query route does not zigzag — exactly the procedure
+/// described for the paper's synthetic query set.
+pub fn rknnt_queries(
+    city: &City,
+    count: usize,
+    len: usize,
+    interval: f64,
+    seed: u64,
+) -> Vec<Vec<Point>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    if city.routes.is_empty() || len == 0 {
+        return queries;
+    }
+    for _ in 0..count {
+        let route = &city.routes[rng.gen_range(0..city.routes.len())];
+        let start = route[rng.gen_range(0..route.len())];
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut points = vec![start];
+        while points.len() < len {
+            // Rotate by at most ±90° (π/2) per extension.
+            heading += rng.gen_range(-std::f64::consts::FRAC_PI_2..std::f64::consts::FRAC_PI_2);
+            let last = *points.last().expect("non-empty");
+            let next = Point::new(
+                last.x + interval * heading.cos(),
+                last.y + interval * heading.sin(),
+            );
+            points.push(next);
+        }
+        queries.push(points);
+    }
+    queries
+}
+
+/// Picks `count` (start, end) vertex pairs whose straight-line distance is
+/// approximately `span` metres (within ±`tolerance`), for the MaxRkNNT
+/// experiments parameterised by ψ(se).
+///
+/// Falls back to the vertex whose distance is closest to the requested span
+/// when no vertex lands inside the tolerance band, so the workload never
+/// comes back empty on small graphs.
+pub fn plan_queries(
+    graph: &RouteGraph,
+    count: usize,
+    span: f64,
+    tolerance: f64,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.num_vertices();
+    let mut out = Vec::with_capacity(count);
+    if n < 2 {
+        return out;
+    }
+    for _ in 0..count {
+        let start = VertexId(rng.gen_range(0..n as u32));
+        let sp = graph.position(start);
+        let mut best: Option<(VertexId, f64)> = None;
+        for end in graph.vertices() {
+            if end == start {
+                continue;
+            }
+            let gap = (graph.position(end).distance(&sp) - span).abs();
+            match best {
+                Some((_, b)) if b <= gap => {}
+                _ => best = Some((end, gap)),
+            }
+        }
+        if let Some((end, gap)) = best {
+            if gap <= tolerance || tolerance <= 0.0 {
+                out.push((start, end));
+            } else {
+                out.push((start, end)); // best effort on sparse graphs
+            }
+        }
+    }
+    out
+}
+
+/// Takes every existing route of the city as a query (the "real route
+/// queries" of Figures 16 and 20), optionally truncated to at most
+/// `max_queries` routes for time-boxed runs.
+pub fn real_route_queries(city: &City, max_queries: usize) -> Vec<Vec<Point>> {
+    city.routes.iter().take(max_queries).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, CityGenerator};
+    use rknnt_geo::travel_distance;
+
+    fn city() -> City {
+        CityGenerator::new(CityConfig::small(2)).generate()
+    }
+
+    #[test]
+    fn rknnt_queries_have_requested_shape() {
+        let city = city();
+        let queries = rknnt_queries(&city, 50, 5, 1_000.0, 4);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            assert_eq!(q.len(), 5);
+            // Interval is exact by construction: ψ(Q)/(|Q|-1) == interval.
+            let psi = travel_distance(q);
+            assert!((psi / 4.0 - 1_000.0).abs() < 1e-6);
+        }
+        // Determinism.
+        assert_eq!(queries, rknnt_queries(&city, 50, 5, 1_000.0, 4));
+        assert_ne!(queries, rknnt_queries(&city, 50, 5, 1_000.0, 5));
+    }
+
+    #[test]
+    fn plan_queries_hit_the_requested_span() {
+        let city = city();
+        let graph = city.graph();
+        let span = 6_000.0;
+        let pairs = plan_queries(&graph, 20, span, 1_500.0, 7);
+        assert_eq!(pairs.len(), 20);
+        for (s, e) in pairs {
+            assert_ne!(s, e);
+            let d = graph.position(s).distance(&graph.position(e));
+            assert!(
+                (d - span).abs() < 2_000.0,
+                "span {d} too far from requested {span}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_route_queries_truncate() {
+        let city = city();
+        let all = real_route_queries(&city, usize::MAX);
+        assert_eq!(all.len(), city.num_routes());
+        let some = real_route_queries(&city, 10);
+        assert_eq!(some.len(), 10);
+        assert_eq!(some[3], city.routes[3]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let city = city();
+        assert!(rknnt_queries(&city, 5, 0, 100.0, 1)
+            .iter()
+            .all(|q| q.is_empty()));
+        let empty_graph = RouteGraph::new();
+        assert!(plan_queries(&empty_graph, 5, 100.0, 10.0, 1).is_empty());
+    }
+}

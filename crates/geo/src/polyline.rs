@@ -1,0 +1,88 @@
+//! Polyline measures: travel distance `ψ(R)` and straight-line span.
+
+use crate::point::Point;
+
+/// Travel distance `ψ(R)` of Equation 6: the sum of consecutive-point
+/// distances along the route. Zero for routes with fewer than two points.
+pub fn travel_distance(route: &[Point]) -> f64 {
+    route.windows(2).map(|w| w[0].distance(&w[1])).sum()
+}
+
+/// Straight-line distance between the first and last points of a route
+/// (the paper's `ψ(se)` when applied to a query's endpoints).
+/// Zero for routes with fewer than two points.
+pub fn straight_line_distance(route: &[Point]) -> f64 {
+    match (route.first(), route.last()) {
+        (Some(a), Some(b)) if route.len() >= 2 => a.distance(b),
+        _ => 0.0,
+    }
+}
+
+/// Ratio of travel distance to straight-line distance (the quantity whose
+/// distribution Figure 6 reports). Returns `None` when the straight-line
+/// distance is zero (loops or degenerate routes).
+pub fn detour_ratio(route: &[Point]) -> Option<f64> {
+    let sl = straight_line_distance(route);
+    if sl <= f64::EPSILON {
+        None
+    } else {
+        Some(travel_distance(route) / sl)
+    }
+}
+
+/// Mean interval length `I = ψ(Q) / |Q|` used by the experiment section to
+/// characterise query granularity (Table 4). Returns 0 for empty routes.
+pub fn mean_interval(route: &[Point]) -> f64 {
+    if route.is_empty() {
+        0.0
+    } else {
+        travel_distance(route) / route.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn travel_distance_sums_segments() {
+        let r = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 10.0),
+        ];
+        assert!((travel_distance(&r) - 11.0).abs() < 1e-12);
+        assert_eq!(travel_distance(&[Point::new(1.0, 1.0)]), 0.0);
+        assert_eq!(travel_distance(&[]), 0.0);
+    }
+
+    #[test]
+    fn straight_line_and_detour() {
+        let r = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 5.0),
+            Point::new(5.0, 5.0),
+        ];
+        assert!((straight_line_distance(&r) - 50f64.sqrt()).abs() < 1e-12);
+        let ratio = detour_ratio(&r).unwrap();
+        assert!((ratio - 10.0 / 50f64.sqrt()).abs() < 1e-12);
+        assert!(ratio >= 1.0);
+    }
+
+    #[test]
+    fn detour_ratio_none_for_loop() {
+        let r = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+        ];
+        assert!(detour_ratio(&r).is_none());
+    }
+
+    #[test]
+    fn mean_interval_matches_definition() {
+        let r = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(8.0, 0.0)];
+        assert!((mean_interval(&r) - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_interval(&[]), 0.0);
+    }
+}

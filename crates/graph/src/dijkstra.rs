@@ -1,0 +1,228 @@
+//! Single-source shortest paths (Dijkstra) and path extraction.
+
+use crate::graph::{Path, RouteGraph, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The result of a single-source Dijkstra run: distances and predecessor
+/// links for every vertex reachable from the source.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: VertexId,
+    dist: Vec<f64>,
+    prev: Vec<Option<VertexId>>,
+}
+
+impl ShortestPathTree {
+    /// Source vertex of the tree.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Shortest distance from the source to `v`; `f64::INFINITY` when
+    /// unreachable.
+    pub fn distance(&self, v: VertexId) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// Whether `v` is reachable from the source.
+    pub fn reachable(&self, v: VertexId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// Reconstructs the shortest path from the source to `target`, or `None`
+    /// when the target is unreachable.
+    pub fn path_to(&self, target: VertexId) -> Option<Path> {
+        if !self.reachable(target) {
+            return None;
+        }
+        let mut vertices = vec![target];
+        let mut cur = target;
+        while let Some(prev) = self.prev[cur.index()] {
+            vertices.push(prev);
+            cur = prev;
+        }
+        vertices.reverse();
+        debug_assert_eq!(vertices[0], self.source);
+        Some(Path {
+            vertices,
+            length: self.distance(target),
+        })
+    }
+
+    /// All distances, indexed by vertex id (infinite for unreachable).
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
+struct QueueItem {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl RouteGraph {
+    /// Runs Dijkstra from `source` over the whole graph.
+    pub fn dijkstra(&self, source: VertexId) -> ShortestPathTree {
+        self.dijkstra_filtered(source, |_, _| true)
+    }
+
+    /// Dijkstra that only relaxes edges for which `allow(from, to)` returns
+    /// true. Yen's algorithm uses this to exclude edges and vertices removed
+    /// by the spur-path construction.
+    pub fn dijkstra_filtered<F>(&self, source: VertexId, allow: F) -> ShortestPathTree
+    where
+        F: Fn(VertexId, VertexId) -> bool,
+    {
+        let n = self.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<VertexId>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[source.index()] = 0.0;
+        heap.push(QueueItem {
+            dist: 0.0,
+            vertex: source,
+        });
+        while let Some(QueueItem { dist: d, vertex }) = heap.pop() {
+            if done[vertex.index()] {
+                continue;
+            }
+            done[vertex.index()] = true;
+            for (next, weight) in self.neighbors(vertex) {
+                if !allow(vertex, *next) {
+                    continue;
+                }
+                let candidate = d + weight;
+                if candidate < dist[next.index()] {
+                    dist[next.index()] = candidate;
+                    prev[next.index()] = Some(vertex);
+                    heap.push(QueueItem {
+                        dist: candidate,
+                        vertex: *next,
+                    });
+                }
+            }
+        }
+        ShortestPathTree { source, dist, prev }
+    }
+
+    /// Shortest path between two vertices, or `None` when disconnected.
+    pub fn shortest_path(&self, source: VertexId, target: VertexId) -> Option<Path> {
+        self.dijkstra(source).path_to(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// A 3x3 grid graph with unit spacing.
+    fn grid() -> (RouteGraph, Vec<VertexId>) {
+        let mut g = RouteGraph::new();
+        let mut ids = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                ids.push(g.add_vertex(p(x as f64, y as f64)));
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                if x + 1 < 3 {
+                    g.add_edge_euclidean(ids[i], ids[i + 1]);
+                }
+                if y + 1 < 3 {
+                    g.add_edge_euclidean(ids[i], ids[i + 3]);
+                }
+            }
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let (g, ids) = grid();
+        let tree = g.dijkstra(ids[0]);
+        assert_eq!(tree.distance(ids[0]), 0.0);
+        assert_eq!(tree.distance(ids[2]), 2.0);
+        assert_eq!(tree.distance(ids[8]), 4.0);
+        assert_eq!(tree.source(), ids[0]);
+        assert!(tree.reachable(ids[8]));
+    }
+
+    #[test]
+    fn path_reconstruction_is_consistent() {
+        let (g, ids) = grid();
+        let path = g.shortest_path(ids[0], ids[8]).unwrap();
+        assert_eq!(path.vertices.first(), Some(&ids[0]));
+        assert_eq!(path.vertices.last(), Some(&ids[8]));
+        assert_eq!(path.len(), 5);
+        assert!((path.length - 4.0).abs() < 1e-12);
+        assert_eq!(g.path_length(&path.vertices), Some(path.length));
+    }
+
+    #[test]
+    fn unreachable_vertices_report_infinity() {
+        let mut g = RouteGraph::new();
+        let a = g.add_vertex(p(0.0, 0.0));
+        let b = g.add_vertex(p(1.0, 0.0));
+        let c = g.add_vertex(p(100.0, 100.0)); // isolated
+        g.add_edge_euclidean(a, b);
+        let tree = g.dijkstra(a);
+        assert!(!tree.reachable(c));
+        assert!(tree.path_to(c).is_none());
+        assert!(tree.distance(c).is_infinite());
+        assert_eq!(tree.distances().len(), 3);
+    }
+
+    #[test]
+    fn filtered_dijkstra_respects_exclusions() {
+        let (g, ids) = grid();
+        // Block the direct corridor along the bottom row.
+        let tree = g.dijkstra_filtered(ids[0], |from, to| {
+            !(from == ids[0] && to == ids[1]) && !(from == ids[1] && to == ids[0])
+        });
+        // Still reachable, but the path must detour (same length on a grid).
+        assert!(tree.reachable(ids[2]));
+        let path = tree.path_to(ids[2]).unwrap();
+        assert!(!path.vertices.windows(2).any(|w| w == [ids[0], ids[1]]));
+    }
+
+    #[test]
+    fn shortest_path_prefers_light_edges() {
+        let mut g = RouteGraph::new();
+        let a = g.add_vertex(p(0.0, 0.0));
+        let b = g.add_vertex(p(1.0, 0.0));
+        let c = g.add_vertex(p(2.0, 0.0));
+        // Direct heavy edge vs a lighter two-hop detour.
+        g.add_edge(a, c, 10.0);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        let path = g.shortest_path(a, c).unwrap();
+        assert_eq!(path.vertices, vec![a, b, c]);
+        assert_eq!(path.length, 2.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The weighted bus-network graph (Definition 9).
+
+use rknnt_geo::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a vertex (bus stop) in a [`RouteGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Raw index into the graph's dense vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A route through the graph: an ordered vertex sequence and its travel
+/// distance ψ(R) (Equation 6, evaluated over edge weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Vertices visited in order, starting at the source and ending at the
+    /// destination.
+    pub vertices: Vec<VertexId>,
+    /// Total travel distance along the edges.
+    pub length: f64,
+}
+
+impl Path {
+    /// Number of vertices on the path.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the path has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// An undirected weighted graph of bus stops.
+///
+/// The bus network is modelled as undirected (a street segment can be
+/// traversed in either direction), matching the paper's examples where routes
+/// are planned between arbitrary origin/destination stops.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RouteGraph {
+    positions: Vec<Point>,
+    adjacency: Vec<Vec<(VertexId, f64)>>,
+    edge_count: usize,
+}
+
+impl RouteGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the graph induced by a collection of routes: each distinct
+    /// point becomes a vertex, and consecutive points on any route become an
+    /// edge weighted by their Euclidean distance.
+    ///
+    /// Points are deduplicated by exact coordinates, so a stop shared by
+    /// several routes becomes a single vertex — this is what makes transfers
+    /// between lines possible in the planning graph.
+    pub fn from_routes<'a, I>(routes: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [Point]>,
+    {
+        let mut graph = RouteGraph::new();
+        let mut lookup: HashMap<(u64, u64), VertexId> = HashMap::new();
+        for route in routes {
+            let mut previous: Option<VertexId> = None;
+            for p in route {
+                let key = (p.x.to_bits(), p.y.to_bits());
+                let v = *lookup.entry(key).or_insert_with(|| graph.add_vertex(*p));
+                if let Some(prev) = previous {
+                    if prev != v {
+                        graph.add_edge_euclidean(prev, v);
+                    }
+                }
+                previous = Some(v);
+            }
+        }
+        graph
+    }
+
+    /// Adds an isolated vertex at `position` and returns its id.
+    pub fn add_vertex(&mut self, position: Point) -> VertexId {
+        let id = VertexId(self.positions.len() as u32);
+        self.positions.push(position);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge with an explicit weight. Parallel edges are
+    /// coalesced, keeping the smaller weight.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId, weight: f64) {
+        assert!(a.index() < self.positions.len(), "unknown vertex {a}");
+        assert!(b.index() < self.positions.len(), "unknown vertex {b}");
+        assert!(weight >= 0.0, "edge weights must be non-negative");
+        if a == b {
+            return;
+        }
+        let updated = Self::upsert(&mut self.adjacency[a.index()], b, weight);
+        Self::upsert(&mut self.adjacency[b.index()], a, weight);
+        if !updated {
+            self.edge_count += 1;
+        }
+    }
+
+    /// Returns true when the neighbour already existed (weight possibly
+    /// lowered), false when a new adjacency entry was created.
+    fn upsert(list: &mut Vec<(VertexId, f64)>, to: VertexId, weight: f64) -> bool {
+        if let Some(entry) = list.iter_mut().find(|(v, _)| *v == to) {
+            entry.1 = entry.1.min(weight);
+            true
+        } else {
+            list.push((to, weight));
+            false
+        }
+    }
+
+    /// Adds an undirected edge weighted by the Euclidean distance between the
+    /// two vertex positions.
+    pub fn add_edge_euclidean(&mut self, a: VertexId, b: VertexId) {
+        let w = self.positions[a.index()].distance(&self.positions[b.index()]);
+        self.add_edge(a, b, w);
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of a vertex.
+    pub fn position(&self, v: VertexId) -> Point {
+        self.positions[v.index()]
+    }
+
+    /// Neighbours of a vertex with their edge weights.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, f64)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.positions.len() as u32).map(VertexId)
+    }
+
+    /// The vertex closest (Euclidean) to an arbitrary point, if the graph is
+    /// non-empty. Used to snap query origins/destinations onto the network.
+    pub fn nearest_vertex(&self, p: &Point) -> Option<VertexId> {
+        self.positions
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.distance_sq(p).total_cmp(&b.1.distance_sq(p)))
+            .map(|(i, _)| VertexId(i as u32))
+    }
+
+    /// Weight of the edge between two vertices, if present.
+    pub fn edge_weight(&self, a: VertexId, b: VertexId) -> Option<f64> {
+        self.adjacency[a.index()]
+            .iter()
+            .find(|(v, _)| *v == b)
+            .map(|(_, w)| *w)
+    }
+
+    /// Travel distance ψ of a vertex sequence along existing edges; `None`
+    /// when some consecutive pair is not connected.
+    pub fn path_length(&self, vertices: &[VertexId]) -> Option<f64> {
+        let mut total = 0.0;
+        for w in vertices.windows(2) {
+            total += self.edge_weight(w[0], w[1])?;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn build_from_routes_dedups_shared_stops() {
+        let r1 = vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)];
+        let r2 = vec![p(10.0, 0.0), p(10.0, 10.0)];
+        let g = RouteGraph::from_routes([r1.as_slice(), r2.as_slice()]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        let shared = g.nearest_vertex(&p(10.0, 0.0)).unwrap();
+        assert_eq!(g.neighbors(shared).len(), 3);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum_weight() {
+        let mut g = RouteGraph::new();
+        let a = g.add_vertex(p(0.0, 0.0));
+        let b = g.add_vertex(p(3.0, 4.0));
+        g.add_edge(a, b, 9.0);
+        g.add_edge(a, b, 5.0);
+        g.add_edge(a, b, 7.0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(a, b), Some(5.0));
+        assert_eq!(g.edge_weight(b, a), Some(5.0));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = RouteGraph::new();
+        let a = g.add_vertex(p(0.0, 0.0));
+        g.add_edge(a, a, 1.0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(a).is_empty());
+    }
+
+    #[test]
+    fn path_length_follows_edges() {
+        let r = vec![p(0.0, 0.0), p(3.0, 4.0), p(3.0, 10.0)];
+        let g = RouteGraph::from_routes([r.as_slice()]);
+        let vs: Vec<VertexId> = g.vertices().collect();
+        assert_eq!(g.path_length(&vs), Some(11.0));
+        // Non-adjacent pair yields None.
+        assert_eq!(g.path_length(&[vs[0], vs[2]]), None);
+        assert_eq!(g.path_length(&[vs[0]]), Some(0.0));
+    }
+
+    #[test]
+    fn nearest_vertex_and_positions() {
+        let r = vec![p(0.0, 0.0), p(10.0, 0.0)];
+        let g = RouteGraph::from_routes([r.as_slice()]);
+        let v = g.nearest_vertex(&p(8.0, 1.0)).unwrap();
+        assert_eq!(g.position(v), p(10.0, 0.0));
+        assert!(RouteGraph::new().nearest_vertex(&p(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_consecutive_points_do_not_create_self_loops() {
+        let r = vec![p(0.0, 0.0), p(0.0, 0.0), p(5.0, 0.0)];
+        let g = RouteGraph::from_routes([r.as_slice()]);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

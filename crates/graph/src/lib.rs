@@ -1,0 +1,30 @@
+//! Bus-network graph substrate.
+//!
+//! Section 6 of the paper casts the bus network as a weighted graph
+//! (Definition 9): vertices are bus stops, edges connect stops that are
+//! adjacent on some route, and edge weights are Euclidean distances. The
+//! route-planning queries need three pieces of machinery on top of the graph,
+//! all implemented here from scratch:
+//!
+//! * [`RouteGraph::dijkstra`] / [`RouteGraph::shortest_path`] — single-source
+//!   shortest distances and path extraction.
+//! * [`DistanceMatrix`] — all-pairs shortest distances, computable either
+//!   with the Floyd–Warshall algorithm the paper cites or with repeated
+//!   Dijkstra (identical results, better asymptotics on sparse networks).
+//!   This is the lower-bound matrix `Mψ` used by the reachability check.
+//! * [`yen_k_shortest_paths`] / [`paths_within`] — Yen's loopless k-shortest
+//!   path enumeration, used by the `BruteForce` and `Pre` route planners to
+//!   enumerate all candidate routes under the travel-distance threshold τ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dijkstra;
+mod graph;
+mod matrix;
+mod yen;
+
+pub use dijkstra::ShortestPathTree;
+pub use graph::{Path, RouteGraph, VertexId};
+pub use matrix::DistanceMatrix;
+pub use yen::{paths_within, yen_k_shortest_paths};

@@ -1,0 +1,158 @@
+//! All-pairs shortest distances: the lower-bound matrix `Mψ` of Algorithm 5.
+
+use crate::graph::{RouteGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A dense all-pairs shortest-distance matrix.
+///
+/// `Mψ[i][j]` is the length of the shortest route from vertex `i` to vertex
+/// `j` in the bus network; the `checkReachability` pruning rule of
+/// Algorithm 6 compares it against the remaining distance budget
+/// `τ − ψ(R*)`. Two constructions are provided: the Floyd–Warshall dynamic
+/// program the paper cites (O(V³), fine for small graphs and used as a
+/// cross-check) and repeated Dijkstra (O(V·(E+V log V)), preferable on the
+/// sparse street networks the evaluation uses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix with the Floyd–Warshall algorithm.
+    pub fn floyd_warshall(graph: &RouteGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            dist[i * n + i] = 0.0;
+        }
+        for v in graph.vertices() {
+            for (u, w) in graph.neighbors(v) {
+                let idx = v.index() * n + u.index();
+                if *w < dist[idx] {
+                    dist[idx] = *w;
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if dik.is_infinite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dik + dist[k * n + j];
+                    if through < dist[i * n + j] {
+                        dist[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Builds the matrix by running Dijkstra from every vertex.
+    pub fn from_dijkstra(graph: &RouteGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for v in graph.vertices() {
+            let tree = graph.dijkstra(v);
+            let row = &mut dist[v.index() * n..(v.index() + 1) * n];
+            row.copy_from_slice(tree.distances());
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of vertices covered by the matrix.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest distance from `a` to `b` (`f64::INFINITY` when disconnected).
+    #[inline]
+    pub fn distance(&self, a: VertexId, b: VertexId) -> f64 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// Whether `b` is reachable from `a`.
+    pub fn reachable(&self, a: VertexId, b: VertexId) -> bool {
+        self.distance(a, b).is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn sample_graph() -> RouteGraph {
+        // Two routes sharing a transfer stop plus one isolated vertex.
+        let r1 = vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(30.0, 0.0)];
+        let r2 = vec![p(10.0, 0.0), p(10.0, 10.0), p(10.0, 20.0)];
+        let mut g = RouteGraph::from_routes([r1.as_slice(), r2.as_slice()]);
+        g.add_vertex(p(500.0, 500.0));
+        g
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra() {
+        let g = sample_graph();
+        let fw = DistanceMatrix::floyd_warshall(&g);
+        let dj = DistanceMatrix::from_dijkstra(&g);
+        assert_eq!(fw.num_vertices(), dj.num_vertices());
+        for a in g.vertices() {
+            for b in g.vertices() {
+                let x = fw.distance(a, b);
+                let y = dj.distance(a, b);
+                if x.is_infinite() || y.is_infinite() {
+                    assert_eq!(x.is_infinite(), y.is_infinite(), "{a} -> {b}");
+                } else {
+                    assert!((x - y).abs() < 1e-9, "{a} -> {b}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_matrix_symmetric() {
+        let g = sample_graph();
+        let m = DistanceMatrix::from_dijkstra(&g);
+        for v in g.vertices() {
+            assert_eq!(m.distance(v, v), 0.0);
+        }
+        for a in g.vertices() {
+            for b in g.vertices() {
+                let x = m.distance(a, b);
+                let y = m.distance(b, a);
+                if x.is_finite() {
+                    assert!((x - y).abs() < 1e-9, "undirected graph must be symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_distance_through_shared_stop() {
+        let g = sample_graph();
+        let m = DistanceMatrix::from_dijkstra(&g);
+        let start = g.nearest_vertex(&p(30.0, 0.0)).unwrap();
+        let end = g.nearest_vertex(&p(10.0, 20.0)).unwrap();
+        // 30,0 -> 10,0 (20) -> 10,20 (20) = 40.
+        assert!((m.distance(start, end) - 40.0).abs() < 1e-9);
+        assert!(m.reachable(start, end));
+    }
+
+    #[test]
+    fn isolated_vertex_is_unreachable() {
+        let g = sample_graph();
+        let m = DistanceMatrix::floyd_warshall(&g);
+        let isolated = g.nearest_vertex(&p(500.0, 500.0)).unwrap();
+        let origin = g.nearest_vertex(&p(0.0, 0.0)).unwrap();
+        assert!(!m.reachable(origin, isolated));
+        assert!(m.reachable(isolated, isolated));
+    }
+}

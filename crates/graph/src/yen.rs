@@ -1,0 +1,244 @@
+//! Yen's loopless k-shortest-paths algorithm and the τ-bounded candidate
+//! enumeration used by the baseline route planners.
+//!
+//! The `BruteForce` planner of Section 6.1 "extends the k shortest path
+//! method with a loop to find the sub-optimal route until the distance
+//! threshold τ is met": [`paths_within`] implements exactly that loop on top
+//! of [`yen_k_shortest_paths`].
+
+use crate::graph::{Path, RouteGraph, VertexId};
+use std::collections::HashSet;
+
+/// Computes up to `k` loopless shortest paths from `source` to `target`,
+/// ordered by non-decreasing length (Yen's algorithm).
+pub fn yen_k_shortest_paths(
+    graph: &RouteGraph,
+    source: VertexId,
+    target: VertexId,
+    k: usize,
+) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    if k == 0 || graph.is_empty() {
+        return result;
+    }
+    let Some(first) = graph.shortest_path(source, target) else {
+        return result;
+    };
+    result.push(first);
+
+    // Candidate paths not yet promoted into the result, kept sorted by
+    // length so the best is popped first.
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while result.len() < k {
+        let previous = result.last().expect("at least the first path").clone();
+        // Each vertex of the previous path except the last is a spur node.
+        for spur_idx in 0..previous.vertices.len() - 1 {
+            let spur_node = previous.vertices[spur_idx];
+            let root: Vec<VertexId> = previous.vertices[..=spur_idx].to_vec();
+
+            // Edges to remove: for every already-accepted path sharing the
+            // same root, the edge it takes out of the spur node.
+            let mut removed_edges: HashSet<(VertexId, VertexId)> = HashSet::new();
+            for p in result.iter().chain(candidates.iter()) {
+                if p.vertices.len() > spur_idx && p.vertices[..=spur_idx] == root[..] {
+                    if let Some(next) = p.vertices.get(spur_idx + 1) {
+                        removed_edges.insert((spur_node, *next));
+                        removed_edges.insert((*next, spur_node));
+                    }
+                }
+            }
+            // Vertices of the root (except the spur node) are excluded to
+            // keep paths loopless.
+            let removed_vertices: HashSet<VertexId> =
+                root[..spur_idx].iter().copied().collect();
+
+            let tree = graph.dijkstra_filtered(spur_node, |from, to| {
+                !removed_edges.contains(&(from, to))
+                    && !removed_vertices.contains(&from)
+                    && !removed_vertices.contains(&to)
+            });
+            let Some(spur_path) = tree.path_to(target) else {
+                continue;
+            };
+
+            // Total path = root (up to spur) + spur path (starts at spur).
+            let mut vertices = root.clone();
+            vertices.pop(); // spur node is the first vertex of the spur path
+            vertices.extend(spur_path.vertices.iter().copied());
+            let Some(length) = graph.path_length(&vertices) else {
+                continue;
+            };
+            // Loopless check: Dijkstra guarantees no repeats within each
+            // part, but root and spur segments could still overlap.
+            let mut seen = HashSet::new();
+            if !vertices.iter().all(|v| seen.insert(*v)) {
+                continue;
+            }
+            let candidate = Path { vertices, length };
+            if !result.contains(&candidate) && !candidates.contains(&candidate) {
+                candidates.push(candidate);
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| a.length.total_cmp(&b.length));
+        result.push(candidates.remove(0));
+    }
+    result
+}
+
+/// Enumerates every loopless path from `source` to `target` whose travel
+/// distance does not exceed `tau`, in non-decreasing length order.
+///
+/// Internally calls Yen's algorithm with a growing `k` until the next path
+/// exceeds the threshold (or no further path exists). `max_paths` caps the
+/// enumeration so a generous τ on a dense network cannot explode; the cap is
+/// reported to callers via the boolean in the return value (`true` when the
+/// enumeration was truncated).
+pub fn paths_within(
+    graph: &RouteGraph,
+    source: VertexId,
+    target: VertexId,
+    tau: f64,
+    max_paths: usize,
+) -> (Vec<Path>, bool) {
+    let mut k = 8usize;
+    loop {
+        let paths = yen_k_shortest_paths(graph, source, target, k.min(max_paths));
+        let within: Vec<Path> = paths
+            .iter()
+            .filter(|p| p.length <= tau)
+            .cloned()
+            .collect();
+        let exhausted = paths.len() < k.min(max_paths);
+        let beyond_tau = paths.last().map(|p| p.length > tau).unwrap_or(true);
+        if exhausted || beyond_tau {
+            return (within, false);
+        }
+        if k >= max_paths {
+            return (within, true);
+        }
+        k *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// The classic Yen example shape: a small graph with several alternative
+    /// routes of increasing length.
+    fn diamond() -> (RouteGraph, VertexId, VertexId) {
+        let mut g = RouteGraph::new();
+        let a = g.add_vertex(p(0.0, 0.0));
+        let b = g.add_vertex(p(1.0, 1.0));
+        let c = g.add_vertex(p(1.0, -1.0));
+        let d = g.add_vertex(p(2.0, 0.0));
+        let e = g.add_vertex(p(3.0, 0.0));
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, c, 2.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(c, d, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(d, e, 1.0);
+        g.add_edge(c, e, 4.0);
+        (g, a, e)
+    }
+
+    #[test]
+    fn shortest_path_comes_first_and_lengths_are_monotone() {
+        let (g, s, t) = diamond();
+        let paths = yen_k_shortest_paths(&g, s, t, 5);
+        assert!(!paths.is_empty());
+        assert_eq!(paths[0].length, 3.0, "a-b-d-e");
+        for w in paths.windows(2) {
+            assert!(w[0].length <= w[1].length + 1e-12);
+        }
+        // All paths are loopless and genuinely distinct.
+        for path in &paths {
+            let mut seen = HashSet::new();
+            assert!(path.vertices.iter().all(|v| seen.insert(*v)));
+            assert_eq!(path.vertices.first(), Some(&s));
+            assert_eq!(path.vertices.last(), Some(&t));
+            assert_eq!(g.path_length(&path.vertices).unwrap(), path.length);
+        }
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert_ne!(paths[i].vertices, paths[j].vertices);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count_returns_all() {
+        let (g, s, t) = diamond();
+        let few = yen_k_shortest_paths(&g, s, t, 3);
+        let many = yen_k_shortest_paths(&g, s, t, 100);
+        assert!(many.len() >= few.len());
+        // Requesting zero paths yields nothing.
+        assert!(yen_k_shortest_paths(&g, s, t, 0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pair_has_no_paths() {
+        let mut g = RouteGraph::new();
+        let a = g.add_vertex(p(0.0, 0.0));
+        let b = g.add_vertex(p(100.0, 0.0));
+        assert!(yen_k_shortest_paths(&g, a, b, 4).is_empty());
+        let (within, truncated) = paths_within(&g, a, b, 1e9, 100);
+        assert!(within.is_empty());
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn paths_within_respects_threshold() {
+        let (g, s, t) = diamond();
+        let (within, truncated) = paths_within(&g, s, t, 4.0, 100);
+        assert!(!truncated);
+        assert!(!within.is_empty());
+        assert!(within.iter().all(|p| p.length <= 4.0));
+        // A tighter threshold returns fewer (or equal) paths.
+        let (tight, _) = paths_within(&g, s, t, 3.0, 100);
+        assert!(tight.len() <= within.len());
+        // An enormous threshold returns every loopless path; the count must
+        // match unrestricted Yen with a large k.
+        let (all, _) = paths_within(&g, s, t, 1e9, 1000);
+        let yen_all = yen_k_shortest_paths(&g, s, t, 1000);
+        assert_eq!(all.len(), yen_all.len());
+    }
+
+    #[test]
+    fn grid_alternative_paths_share_length() {
+        // On a uniform grid many shortest paths tie; Yen must enumerate
+        // distinct vertex sequences.
+        let mut g = RouteGraph::new();
+        let mut ids = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                ids.push(g.add_vertex(p(x as f64, y as f64)));
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                if x + 1 < 3 {
+                    g.add_edge_euclidean(ids[i], ids[i + 1]);
+                }
+                if y + 1 < 3 {
+                    g.add_edge_euclidean(ids[i], ids[i + 3]);
+                }
+            }
+        }
+        let paths = yen_k_shortest_paths(&g, ids[0], ids[8], 6);
+        assert_eq!(paths.len(), 6);
+        assert!((paths[0].length - 4.0).abs() < 1e-12);
+        assert!((paths[5].length - 4.0).abs() < 1e-12 || paths[5].length > 4.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed identifiers used across the index layer.
+//!
+//! All identifiers are thin `u32` newtypes: they index into dense arenas, so
+//! `u32` keeps hot structures small (see the type-size guidance followed
+//! throughout the workspace) while still addressing far more objects than the
+//! paper's largest dataset (10M transitions).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw numeric value of the identifier.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Value as a usize, for indexing into dense arenas.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a route (a bus line) in a [`crate::RouteStore`].
+    RouteId,
+    "R"
+);
+define_id!(
+    /// Identifier of a distinct route point (bus stop) in a
+    /// [`crate::RouteStore`]. Several routes may share one stop.
+    StopId,
+    "S"
+);
+define_id!(
+    /// Identifier of a passenger transition (origin/destination pair) in a
+    /// [`crate::TransitionStore`].
+    TransitionId,
+    "T"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_convert() {
+        assert_eq!(RouteId(7).to_string(), "R7");
+        assert_eq!(StopId(3).to_string(), "S3");
+        assert_eq!(TransitionId(11).to_string(), "T11");
+        assert_eq!(RouteId::from(5u32).raw(), 5);
+        assert_eq!(TransitionId(9).index(), 9usize);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(RouteId(1));
+        s.insert(RouteId(1));
+        s.insert(RouteId(2));
+        assert_eq!(s.len(), 2);
+        assert!(RouteId(1) < RouteId(2));
+    }
+}

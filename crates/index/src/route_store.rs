@@ -1,0 +1,336 @@
+//! The route store: RR-tree over route points plus the PList inverted index.
+
+use crate::ids::{RouteId, StopId};
+use crate::types::Route;
+use rknnt_geo::Point;
+use rknnt_rtree::{RTree, RTreeConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The PList of Section 4.1.2: for every route point (stop), the list of
+/// routes that pass through it — the crossover route set `C(r)` of
+/// Definition 7.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PList {
+    lists: Vec<Vec<RouteId>>,
+}
+
+impl PList {
+    /// Crossover route set of a stop. Empty for unknown stops.
+    pub fn crossover(&self, stop: StopId) -> &[RouteId] {
+        self.lists
+            .get(stop.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of stops tracked.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether the PList tracks no stops at all.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    fn ensure(&mut self, stop: StopId) -> &mut Vec<RouteId> {
+        if stop.index() >= self.lists.len() {
+            self.lists.resize_with(stop.index() + 1, Vec::new);
+        }
+        &mut self.lists[stop.index()]
+    }
+
+    fn add(&mut self, stop: StopId, route: RouteId) {
+        let list = self.ensure(stop);
+        if !list.contains(&route) {
+            list.push(route);
+        }
+    }
+
+    fn remove(&mut self, stop: StopId, route: RouteId) {
+        if let Some(list) = self.lists.get_mut(stop.index()) {
+            list.retain(|r| *r != route);
+        }
+    }
+}
+
+/// Key used to deduplicate stops that share the exact same coordinates, so a
+/// bus stop served by many routes appears once in the RR-tree and its
+/// crossover set carries all serving routes.
+fn coord_key(p: &Point) -> (u64, u64) {
+    (p.x.to_bits(), p.y.to_bits())
+}
+
+/// The route store: owns the routes, the distinct stops, the RR-tree over
+/// stops and the PList.
+///
+/// Routes can be added and removed dynamically; the RR-tree and PList are
+/// maintained incrementally (the paper's index "supports dynamic updating").
+#[derive(Debug, Clone)]
+pub struct RouteStore {
+    routes: Vec<Option<Route>>,
+    stops: Vec<Point>,
+    stop_lookup: HashMap<(u64, u64), StopId>,
+    plist: PList,
+    rtree: RTree<StopId>,
+    live_routes: usize,
+}
+
+impl Default for RouteStore {
+    fn default() -> Self {
+        Self::new(RTreeConfig::default())
+    }
+}
+
+impl RouteStore {
+    /// Creates an empty store whose RR-tree uses the given fan-out.
+    pub fn new(config: RTreeConfig) -> Self {
+        RouteStore {
+            routes: Vec::new(),
+            stops: Vec::new(),
+            stop_lookup: HashMap::new(),
+            plist: PList::default(),
+            rtree: RTree::new(config),
+            live_routes: 0,
+        }
+    }
+
+    /// Builds a store from a collection of point sequences, bulk-loading the
+    /// RR-tree. Sequences with fewer than two points are skipped and the
+    /// number of skipped sequences is returned alongside the store.
+    pub fn bulk_build(config: RTreeConfig, routes: Vec<Vec<Point>>) -> (Self, usize) {
+        let mut store = RouteStore::new(config);
+        let mut skipped = 0;
+        // First register routes and stops without touching the R-tree...
+        for points in routes {
+            if points.len() < 2 {
+                skipped += 1;
+                continue;
+            }
+            let id = RouteId(store.routes.len() as u32);
+            for p in &points {
+                let stop = store.intern_stop(*p);
+                store.plist.add(stop, id);
+            }
+            store.routes.push(Some(Route { id, points }));
+            store.live_routes += 1;
+        }
+        // ...then bulk-load the RR-tree over the distinct stops.
+        let items: Vec<(Point, StopId)> = store
+            .stops
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, StopId(i as u32)))
+            .collect();
+        store.rtree = RTree::bulk_load(config, items);
+        (store, skipped)
+    }
+
+    fn intern_stop(&mut self, p: Point) -> StopId {
+        if let Some(id) = self.stop_lookup.get(&coord_key(&p)) {
+            return *id;
+        }
+        let id = StopId(self.stops.len() as u32);
+        self.stops.push(p);
+        self.stop_lookup.insert(coord_key(&p), id);
+        id
+    }
+
+    /// Adds a route, returning its id, or `None` when fewer than two points
+    /// are supplied.
+    pub fn insert_route(&mut self, points: Vec<Point>) -> Option<RouteId> {
+        if points.len() < 2 {
+            return None;
+        }
+        let id = RouteId(self.routes.len() as u32);
+        for p in &points {
+            let is_new = !self.stop_lookup.contains_key(&coord_key(p));
+            let stop = self.intern_stop(*p);
+            if is_new {
+                self.rtree.insert(*p, stop);
+            }
+            self.plist.add(stop, id);
+        }
+        self.routes.push(Some(Route { id, points }));
+        self.live_routes += 1;
+        Some(id)
+    }
+
+    /// Removes a route. Stops that no longer belong to any route are removed
+    /// from the RR-tree. Returns `false` when the id is unknown or already
+    /// removed.
+    pub fn remove_route(&mut self, id: RouteId) -> bool {
+        let Some(slot) = self.routes.get_mut(id.index()) else {
+            return false;
+        };
+        let Some(route) = slot.take() else {
+            return false;
+        };
+        self.live_routes -= 1;
+        for p in &route.points {
+            let Some(stop) = self.stop_lookup.get(&coord_key(p)).copied() else {
+                continue;
+            };
+            self.plist.remove(stop, id);
+            if self.plist.crossover(stop).is_empty() {
+                self.rtree.remove(p, &stop);
+                self.stop_lookup.remove(&coord_key(p));
+            }
+        }
+        true
+    }
+
+    /// The route with the given id, if it exists and has not been removed.
+    pub fn route(&self, id: RouteId) -> Option<&Route> {
+        self.routes.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Points of a route (convenience accessor used by the query engines).
+    pub fn route_points(&self, id: RouteId) -> &[Point] {
+        self.route(id).map(|r| r.points.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterates over all live routes.
+    pub fn routes(&self) -> impl Iterator<Item = &Route> {
+        self.routes.iter().filter_map(Option::as_ref)
+    }
+
+    /// Ids of all live routes.
+    pub fn route_ids(&self) -> Vec<RouteId> {
+        self.routes().map(|r| r.id).collect()
+    }
+
+    /// Number of live routes.
+    pub fn num_routes(&self) -> usize {
+        self.live_routes
+    }
+
+    /// Whether the store holds no live routes.
+    pub fn is_empty(&self) -> bool {
+        self.live_routes == 0
+    }
+
+    /// Number of distinct stops ever interned (including stops of removed
+    /// routes, whose slots remain allocated).
+    pub fn num_stops(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Location of a stop.
+    pub fn stop_point(&self, stop: StopId) -> Point {
+        self.stops[stop.index()]
+    }
+
+    /// Crossover route set `C(r)` of a stop (Definition 7).
+    pub fn crossover(&self, stop: StopId) -> &[RouteId] {
+        self.plist.crossover(stop)
+    }
+
+    /// The PList itself.
+    pub fn plist(&self) -> &PList {
+        &self.plist
+    }
+
+    /// The RR-tree over distinct stops. Leaf payloads are [`StopId`]s.
+    pub fn rtree(&self) -> &RTree<StopId> {
+        &self.rtree
+    }
+
+    /// Looks up the stop at exactly the given coordinates, if any.
+    pub fn stop_at(&self, p: &Point) -> Option<StopId> {
+        self.stop_lookup.get(&coord_key(p)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn insert_and_lookup_routes() {
+        let mut store = RouteStore::default();
+        let r1 = store.insert_route(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]).unwrap();
+        let r2 = store.insert_route(vec![p(1.0, 0.0), p(1.0, 1.0)]).unwrap();
+        assert!(store.insert_route(vec![p(5.0, 5.0)]).is_none());
+        assert_eq!(store.num_routes(), 2);
+        assert_eq!(store.route(r1).unwrap().points.len(), 3);
+        // Stop (1,0) is shared: 4 distinct stops, and its crossover has both routes.
+        assert_eq!(store.num_stops(), 4);
+        let shared = store.stop_at(&p(1.0, 0.0)).unwrap();
+        let mut cross: Vec<RouteId> = store.crossover(shared).to_vec();
+        cross.sort();
+        assert_eq!(cross, vec![r1, r2]);
+        assert_eq!(store.rtree().len(), 4);
+    }
+
+    #[test]
+    fn remove_route_cleans_up_exclusive_stops() {
+        let mut store = RouteStore::default();
+        let r1 = store.insert_route(vec![p(0.0, 0.0), p(1.0, 0.0)]).unwrap();
+        let r2 = store.insert_route(vec![p(1.0, 0.0), p(2.0, 0.0)]).unwrap();
+        assert_eq!(store.rtree().len(), 3);
+        assert!(store.remove_route(r1));
+        assert!(!store.remove_route(r1), "double removal must fail");
+        assert_eq!(store.num_routes(), 1);
+        // Stop (0,0) was exclusive to r1 and is gone from the RR-tree; the
+        // shared stop (1,0) remains, now referencing only r2.
+        assert_eq!(store.rtree().len(), 2);
+        assert!(store.stop_at(&p(0.0, 0.0)).is_none());
+        let shared = store.stop_at(&p(1.0, 0.0)).unwrap();
+        assert_eq!(store.crossover(shared), &[r2]);
+        assert!(store.route(r1).is_none());
+        assert_eq!(store.route_ids(), vec![r2]);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let routes = vec![
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)],
+            vec![p(10.0, 0.0), p(10.0, 10.0)],
+            vec![p(50.0, 50.0)], // skipped: too short
+            vec![p(0.0, 5.0), p(10.0, 5.0), p(20.0, 5.0), p(30.0, 5.0)],
+        ];
+        let (bulk, skipped) = RouteStore::bulk_build(RTreeConfig::default(), routes.clone());
+        assert_eq!(skipped, 1);
+        assert_eq!(bulk.num_routes(), 3);
+        let mut incr = RouteStore::default();
+        for r in routes {
+            incr.insert_route(r);
+        }
+        assert_eq!(bulk.num_stops(), incr.num_stops());
+        assert_eq!(bulk.rtree().len(), incr.rtree().len());
+        // Shared stop present once with two crossover routes in both builds.
+        for store in [&bulk, &incr] {
+            let shared = store.stop_at(&p(10.0, 0.0)).unwrap();
+            assert_eq!(store.crossover(shared).len(), 2);
+        }
+    }
+
+    #[test]
+    fn plist_is_duplicate_free() {
+        let mut store = RouteStore::default();
+        // A route that visits the same stop twice (a small loop).
+        let r = store
+            .insert_route(vec![p(0.0, 0.0), p(1.0, 1.0), p(0.0, 0.0), p(2.0, 2.0)])
+            .unwrap();
+        let s = store.stop_at(&p(0.0, 0.0)).unwrap();
+        assert_eq!(store.crossover(s), &[r]);
+        assert_eq!(store.num_stops(), 3);
+    }
+
+    #[test]
+    fn empty_store_accessors() {
+        let store = RouteStore::default();
+        assert!(store.is_empty());
+        assert_eq!(store.num_routes(), 0);
+        assert!(store.route(RouteId(0)).is_none());
+        assert!(store.route_points(RouteId(0)).is_empty());
+        assert!(store.plist().is_empty());
+        assert!(store.rtree().is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Core data types: routes and transitions (Definitions 1 and 2).
+
+use crate::ids::{RouteId, TransitionId};
+use rknnt_geo::{travel_distance, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A route: an ordered sequence of at least two points (Definition 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Identifier of the route within its store.
+    pub id: RouteId,
+    /// Ordered points of the route (bus stops along the line).
+    pub points: Vec<Point>,
+}
+
+impl Route {
+    /// Creates a route, validating that it has at least two points.
+    ///
+    /// Returns `None` when fewer than two points are supplied, matching
+    /// Definition 1's `n >= 2` requirement.
+    pub fn new(id: RouteId, points: Vec<Point>) -> Option<Self> {
+        (points.len() >= 2).then_some(Route { id, points })
+    }
+
+    /// Number of points (stops) on the route.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Routes always have at least two points, so they are never empty;
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Travel distance ψ(R): sum of consecutive stop distances (Equation 6).
+    pub fn travel_distance(&self) -> f64 {
+        travel_distance(&self.points)
+    }
+
+    /// Minimum bounding rectangle of the route's points.
+    pub fn mbr(&self) -> Rect {
+        Rect::from_points(&self.points).unwrap_or_else(Rect::empty)
+    }
+}
+
+/// A passenger transition: an origin point and a destination point
+/// (Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Identifier of the transition within its store.
+    pub id: TransitionId,
+    /// Origin point `t_o` (e.g. home).
+    pub origin: Point,
+    /// Destination point `t_d` (e.g. office).
+    pub destination: Point,
+}
+
+impl Transition {
+    /// Creates a transition.
+    pub fn new(id: TransitionId, origin: Point, destination: Point) -> Self {
+        Transition {
+            id,
+            origin,
+            destination,
+        }
+    }
+
+    /// The two endpoints in `[origin, destination]` order.
+    pub fn endpoints(&self) -> [Point; 2] {
+        [self.origin, self.destination]
+    }
+
+    /// The endpoint of the requested kind.
+    pub fn endpoint(&self, kind: EndpointKind) -> Point {
+        match kind {
+            EndpointKind::Origin => self.origin,
+            EndpointKind::Destination => self.destination,
+        }
+    }
+
+    /// MBR covering both endpoints (the "maximum bounded box" of Sec. 4.1.1).
+    pub fn mbr(&self) -> Rect {
+        Rect::new(self.origin, self.destination)
+    }
+}
+
+/// Which endpoint of a transition a TR-tree entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EndpointKind {
+    /// The origin point `t_o`.
+    Origin,
+    /// The destination point `t_d`.
+    Destination,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_requires_two_points() {
+        assert!(Route::new(RouteId(0), vec![Point::new(0.0, 0.0)]).is_none());
+        let r = Route::new(
+            RouteId(0),
+            vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(3.0, 8.0)],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!((r.travel_distance() - 9.0).abs() < 1e-12);
+        assert!(r.mbr().contains_point(&Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn transition_endpoints_and_mbr() {
+        let t = Transition::new(TransitionId(1), Point::new(1.0, 2.0), Point::new(-3.0, 5.0));
+        assert_eq!(t.endpoints(), [Point::new(1.0, 2.0), Point::new(-3.0, 5.0)]);
+        assert_eq!(t.endpoint(EndpointKind::Origin), t.origin);
+        assert_eq!(t.endpoint(EndpointKind::Destination), t.destination);
+        let mbr = t.mbr();
+        assert!(mbr.contains_point(&t.origin));
+        assert!(mbr.contains_point(&t.destination));
+    }
+}

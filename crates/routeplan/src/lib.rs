@@ -1,0 +1,31 @@
+//! Optimal route planning with RkNNT: MaxRkNNT and MinRkNNT (Section 6).
+//!
+//! Given a bus network graph, a start vertex, an end vertex and a travel
+//! distance threshold τ, MaxRkNNT returns the route between the two vertices
+//! whose RkNNT set (its "passengers") is largest among all routes with travel
+//! distance at most τ; MinRkNNT returns the smallest (Definition 10). Four
+//! planners are provided behind the [`RoutePlanner`] trait:
+//!
+//! | Planner | Paper name | Idea |
+//! |---|---|---|
+//! | [`BruteForcePlanner`] | BruteForce | enumerate all candidate paths within τ (Yen's kSP), run an on-the-fly RkNNT query for each, pick the best |
+//! | [`PrePlanner`] | Pre | same enumeration, but the RkNNT set of each candidate is the union of pre-computed per-vertex RkNNT sets (Lemma 3) |
+//! | [`PruningPlanner`] with [`Objective::Maximize`] | Pre-Max | Algorithm 6: best-first expansion of partial routes with reachability and dominance pruning |
+//! | [`PruningPlanner`] with [`Objective::Minimize`] | Pre-Min | same search with the Min objective and its extra bound check |
+//!
+//! All planners return the same optimal passenger count (asserted by the
+//! test-suite); they differ only in running time, which is what Figures 18–20
+//! of the evaluation measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod planners;
+mod precompute;
+mod pruning;
+mod types;
+
+pub use planners::{BruteForcePlanner, PrePlanner};
+pub use precompute::Precomputation;
+pub use pruning::PruningPlanner;
+pub use types::{Objective, PlanQuery, PlanResult, PlannerConfig, RoutePlanner};

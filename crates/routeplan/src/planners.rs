@@ -1,0 +1,312 @@
+//! Enumeration-based planners: `BruteForce` (on-the-fly RkNNT per candidate)
+//! and `Pre` (pre-computed vertex RkNNT sets).
+
+use crate::precompute::Precomputation;
+use crate::types::{Objective, PlanQuery, PlanResult, PlannerConfig, RoutePlanner};
+use rknnt_core::{DivideConquerEngine, RknnTEngine, RknntQuery};
+use rknnt_graph::{paths_within, Path, RouteGraph};
+use rknnt_index::{RouteStore, TransitionId, TransitionStore};
+use std::time::Instant;
+
+/// Picks the better of two candidate (path, passenger-set) pairs under the
+/// objective; ties are broken towards the shorter path so all planners agree
+/// on a canonical optimum.
+fn better(
+    objective: Objective,
+    current: &Option<(Path, Vec<TransitionId>)>,
+    candidate: (Path, Vec<TransitionId>),
+) -> bool {
+    let Some((cur_path, cur_pass)) = current else {
+        return true;
+    };
+    let (cand_path, cand_pass) = &candidate;
+    let cmp = cand_pass.len().cmp(&cur_pass.len());
+    let improves = match objective {
+        Objective::Maximize => cmp.is_gt(),
+        Objective::Minimize => cmp.is_lt(),
+    };
+    improves || (cmp.is_eq() && cand_path.length < cur_path.length - 1e-12)
+}
+
+/// The `BruteForce` planner of Section 6.1: enumerate every path within τ
+/// with Yen's k-shortest-paths loop, then run a full RkNNT query for each
+/// candidate and keep the best.
+pub struct BruteForcePlanner<'a> {
+    graph: &'a RouteGraph,
+    routes: &'a RouteStore,
+    transitions: &'a TransitionStore,
+    config: PlannerConfig,
+}
+
+impl<'a> BruteForcePlanner<'a> {
+    /// Creates the brute-force planner.
+    pub fn new(
+        graph: &'a RouteGraph,
+        routes: &'a RouteStore,
+        transitions: &'a TransitionStore,
+        config: PlannerConfig,
+    ) -> Self {
+        BruteForcePlanner {
+            graph,
+            routes,
+            transitions,
+            config,
+        }
+    }
+}
+
+impl RoutePlanner for BruteForcePlanner<'_> {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn plan(&self, query: &PlanQuery, objective: Objective) -> PlanResult {
+        let started = Instant::now();
+        let engine = DivideConquerEngine::new(self.routes, self.transitions);
+        let (candidates, _truncated) = paths_within(
+            self.graph,
+            query.start,
+            query.end,
+            query.tau,
+            self.config.max_candidate_paths,
+        );
+        let mut best: Option<(Path, Vec<TransitionId>)> = None;
+        let examined = candidates.len();
+        for path in candidates {
+            let positions = path
+                .vertices
+                .iter()
+                .map(|v| self.graph.position(*v))
+                .collect();
+            let passengers = engine
+                .execute(&RknntQuery::exists(positions, self.config.k))
+                .transitions;
+            if better(objective, &best, (path.clone(), passengers.clone())) {
+                best = Some((path, passengers));
+            }
+        }
+        let (route, passengers) = match best {
+            Some((p, t)) => (Some(p), t),
+            None => (None, Vec::new()),
+        };
+        PlanResult {
+            route,
+            passengers,
+            elapsed: started.elapsed(),
+            candidates_examined: examined,
+        }
+    }
+}
+
+/// The `Pre` planner: the same candidate enumeration as `BruteForce`, but the
+/// passenger set of each candidate is the union of the pre-computed
+/// per-vertex RkNNT sets (Lemma 3), avoiding any on-the-fly RkNNT query.
+pub struct PrePlanner<'a> {
+    graph: &'a RouteGraph,
+    precomputation: &'a Precomputation,
+    config: PlannerConfig,
+}
+
+impl<'a> PrePlanner<'a> {
+    /// Creates the pre-computation based enumeration planner.
+    pub fn new(
+        graph: &'a RouteGraph,
+        precomputation: &'a Precomputation,
+        config: PlannerConfig,
+    ) -> Self {
+        PrePlanner {
+            graph,
+            precomputation,
+            config,
+        }
+    }
+}
+
+impl RoutePlanner for PrePlanner<'_> {
+    fn name(&self) -> &'static str {
+        "Pre"
+    }
+
+    fn plan(&self, query: &PlanQuery, objective: Objective) -> PlanResult {
+        let started = Instant::now();
+        let (candidates, _truncated) = paths_within(
+            self.graph,
+            query.start,
+            query.end,
+            query.tau,
+            self.config.max_candidate_paths,
+        );
+        let mut best: Option<(Path, Vec<TransitionId>)> = None;
+        let examined = candidates.len();
+        for path in candidates {
+            let passengers = self.precomputation.union_along(&path.vertices);
+            if better(objective, &best, (path.clone(), passengers.clone())) {
+                best = Some((path, passengers));
+            }
+        }
+        let (route, passengers) = match best {
+            Some((p, t)) => (Some(p), t),
+            None => (None, Vec::new()),
+        };
+        PlanResult {
+            route,
+            passengers,
+            elapsed: started.elapsed(),
+            candidates_examined: examined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+    use rknnt_graph::VertexId;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    pub(crate) fn grid_world() -> (RouteGraph, RouteStore, TransitionStore) {
+        // A 4x4 grid of stops with horizontal and vertical routes, plus
+        // transitions clustered near the top rows so Max and Min differ.
+        let mut route_points: Vec<Vec<Point>> = Vec::new();
+        for y in 0..4 {
+            route_points.push((0..4).map(|x| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+        }
+        for x in 0..4 {
+            route_points.push((0..4).map(|y| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+        }
+        let graph = RouteGraph::from_routes(route_points.iter().map(|r| r.as_slice()));
+        let (routes, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
+        let mut transitions = TransitionStore::default();
+        // Passengers concentrated along the y = 30 corridor.
+        for i in 0..25u32 {
+            let x = (i as f64 * 1.3) % 30.0;
+            transitions.insert(p(x, 28.0 + (i % 5) as f64), p(30.0 - x, 29.0 + (i % 3) as f64));
+        }
+        // A few scattered near the bottom.
+        for i in 0..5u32 {
+            transitions.insert(p(i as f64 * 6.0, 1.0), p(30.0 - i as f64 * 6.0, 2.0));
+        }
+        (graph, routes, transitions)
+    }
+
+    fn corners(graph: &RouteGraph) -> (VertexId, VertexId) {
+        (
+            graph.nearest_vertex(&p(0.0, 0.0)).unwrap(),
+            graph.nearest_vertex(&p(30.0, 30.0)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn brute_force_and_pre_agree() {
+        let (graph, routes, transitions) = grid_world();
+        let config = PlannerConfig {
+            k: 2,
+            max_candidate_paths: 2000,
+        };
+        let pre = Precomputation::build(&graph, &routes, &transitions, config.k);
+        let bf = BruteForcePlanner::new(&graph, &routes, &transitions, config);
+        let pp = PrePlanner::new(&graph, &pre, config);
+        let (start, end) = corners(&graph);
+        let query = PlanQuery {
+            start,
+            end,
+            tau: 80.0,
+        };
+        for objective in [Objective::Maximize, Objective::Minimize] {
+            let a = bf.plan(&query, objective);
+            let b = pp.plan(&query, objective);
+            assert_eq!(
+                a.passenger_count(),
+                b.passenger_count(),
+                "{objective:?}: {} vs {}",
+                a.passenger_count(),
+                b.passenger_count()
+            );
+            assert!(a.route.is_some() && b.route.is_some());
+            assert!(a.travel_distance() <= query.tau + 1e-9);
+            assert!(b.travel_distance() <= query.tau + 1e-9);
+        }
+        assert_eq!(bf.name(), "BruteForce");
+        assert_eq!(pp.name(), "Pre");
+    }
+
+    #[test]
+    fn max_attracts_at_least_as_many_as_min() {
+        let (graph, routes, transitions) = grid_world();
+        let config = PlannerConfig {
+            k: 2,
+            max_candidate_paths: 2000,
+        };
+        let pre = Precomputation::build(&graph, &routes, &transitions, config.k);
+        let pp = PrePlanner::new(&graph, &pre, config);
+        let (start, end) = corners(&graph);
+        let query = PlanQuery {
+            start,
+            end,
+            tau: 90.0,
+        };
+        let max = pp.plan(&query, Objective::Maximize);
+        let min = pp.plan(&query, Objective::Minimize);
+        assert!(max.passenger_count() >= min.passenger_count());
+        // With passengers clustered near y = 30, the max route should pass
+        // through that corridor and strictly beat the min route.
+        assert!(max.passenger_count() > min.passenger_count());
+    }
+
+    #[test]
+    fn no_route_within_tau_returns_none() {
+        let (graph, routes, transitions) = grid_world();
+        let config = PlannerConfig {
+            k: 1,
+            max_candidate_paths: 100,
+        };
+        let bf = BruteForcePlanner::new(&graph, &routes, &transitions, config);
+        let (start, end) = corners(&graph);
+        // Shortest possible distance between opposite corners is 60; τ = 10
+        // admits nothing.
+        let result = bf.plan(
+            &PlanQuery {
+                start,
+                end,
+                tau: 10.0,
+            },
+            Objective::Maximize,
+        );
+        assert!(result.route.is_none());
+        assert_eq!(result.passenger_count(), 0);
+        assert_eq!(result.candidates_examined, 0);
+    }
+
+    #[test]
+    fn tighter_tau_never_increases_max_passengers() {
+        let (graph, routes, transitions) = grid_world();
+        let config = PlannerConfig {
+            k: 2,
+            max_candidate_paths: 2000,
+        };
+        let pre = Precomputation::build(&graph, &routes, &transitions, config.k);
+        let pp = PrePlanner::new(&graph, &pre, config);
+        let (start, end) = corners(&graph);
+        let loose = pp.plan(
+            &PlanQuery {
+                start,
+                end,
+                tau: 100.0,
+            },
+            Objective::Maximize,
+        );
+        let tight = pp.plan(
+            &PlanQuery {
+                start,
+                end,
+                tau: 60.0,
+            },
+            Objective::Maximize,
+        );
+        assert!(loose.passenger_count() >= tight.passenger_count());
+    }
+}

@@ -1,0 +1,162 @@
+//! Pre-computation (Algorithm 5): the RkNNT set of every graph vertex and
+//! the all-pairs shortest-distance matrix `Mψ`.
+
+use rknnt_core::{FilterRefineEngine, RknnTEngine, RknntQuery};
+use rknnt_graph::{DistanceMatrix, RouteGraph, VertexId};
+use rknnt_index::{RouteStore, TransitionId, TransitionStore};
+use std::time::{Duration, Instant};
+
+/// The pre-computed state the `Pre`, `Pre-Max` and `Pre-Min` planners share.
+///
+/// `k` is fixed at build time, exactly as in the paper ("multiple datasets of
+/// representative k can be generated in advance to meet different
+/// requirements").
+#[derive(Debug, Clone)]
+pub struct Precomputation {
+    k: usize,
+    vertex_rknnt: Vec<Vec<TransitionId>>,
+    matrix: DistanceMatrix,
+    rknnt_time: Duration,
+    shortest_time: Duration,
+}
+
+impl Precomputation {
+    /// Runs Algorithm 5: one single-point RkNNT query per graph vertex plus
+    /// the all-pairs shortest-distance computation.
+    pub fn build(
+        graph: &RouteGraph,
+        routes: &RouteStore,
+        transitions: &TransitionStore,
+        k: usize,
+    ) -> Self {
+        let engine = FilterRefineEngine::with_voronoi(routes, transitions);
+
+        let rknnt_started = Instant::now();
+        let vertex_rknnt: Vec<Vec<TransitionId>> = graph
+            .vertices()
+            .map(|v| {
+                let query = RknntQuery::exists(vec![graph.position(v)], k);
+                engine.execute(&query).transitions
+            })
+            .collect();
+        let rknnt_time = rknnt_started.elapsed();
+
+        let shortest_started = Instant::now();
+        let matrix = DistanceMatrix::from_dijkstra(graph);
+        let shortest_time = shortest_started.elapsed();
+
+        Precomputation {
+            k,
+            vertex_rknnt,
+            matrix,
+            rknnt_time,
+            shortest_time,
+        }
+    }
+
+    /// The k the vertex RkNNT sets were computed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pre-computed RkNNT set of a vertex (sorted by transition id).
+    pub fn rknnt_of(&self, v: VertexId) -> &[TransitionId] {
+        &self.vertex_rknnt[v.index()]
+    }
+
+    /// The all-pairs shortest-distance matrix `Mψ`.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// ω(R) of a vertex sequence: the union of the per-vertex RkNNT sets
+    /// (Lemma 3), sorted and de-duplicated.
+    pub fn union_along(&self, vertices: &[VertexId]) -> Vec<TransitionId> {
+        let mut out: Vec<TransitionId> = vertices
+            .iter()
+            .flat_map(|v| self.rknnt_of(*v).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Time spent on the per-vertex RkNNT queries (first row of Table 5).
+    pub fn rknnt_time(&self) -> Duration {
+        self.rknnt_time
+    }
+
+    /// Time spent on all-pairs shortest distances (second row of Table 5).
+    pub fn shortest_time(&self) -> Duration {
+        self.shortest_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_core::BruteForceEngine;
+    use rknnt_geo::Point;
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn small_world() -> (RouteGraph, RouteStore, TransitionStore) {
+        let route_points: Vec<Vec<Point>> = vec![
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)],
+            vec![p(0.0, 20.0), p(10.0, 20.0), p(20.0, 20.0)],
+            vec![p(10.0, 0.0), p(10.0, 20.0)],
+        ];
+        let graph = RouteGraph::from_routes(route_points.iter().map(|r| r.as_slice()));
+        let (routes, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
+        let mut transitions = TransitionStore::default();
+        for i in 0..40u32 {
+            let ox = (i as f64 * 3.7) % 20.0;
+            let oy = (i as f64 * 7.1) % 20.0;
+            transitions.insert(p(ox, oy), p(20.0 - ox, 20.0 - oy));
+        }
+        (graph, routes, transitions)
+    }
+
+    #[test]
+    fn vertex_sets_match_single_point_queries() {
+        let (graph, routes, transitions) = small_world();
+        let pre = Precomputation::build(&graph, &routes, &transitions, 2);
+        let oracle = BruteForceEngine::new(&routes, &transitions);
+        for v in graph.vertices() {
+            let expected = oracle
+                .execute(&RknntQuery::exists(vec![graph.position(v)], 2))
+                .transitions;
+            assert_eq!(pre.rknnt_of(v), expected.as_slice(), "vertex {v}");
+        }
+        assert_eq!(pre.k(), 2);
+        assert!(pre.rknnt_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn union_along_equals_multi_point_query() {
+        // Lemma 3 in action: the union of vertex sets along a path equals the
+        // RkNNT of the path taken as a multi-point query.
+        let (graph, routes, transitions) = small_world();
+        let pre = Precomputation::build(&graph, &routes, &transitions, 2);
+        let oracle = BruteForceEngine::new(&routes, &transitions);
+        let path: Vec<VertexId> = graph.vertices().take(4).collect();
+        let positions: Vec<Point> = path.iter().map(|v| graph.position(*v)).collect();
+        let expected = oracle
+            .execute(&RknntQuery::exists(positions, 2))
+            .transitions;
+        assert_eq!(pre.union_along(&path), expected);
+    }
+
+    #[test]
+    fn matrix_is_consistent_with_graph_dijkstra() {
+        let (graph, routes, transitions) = small_world();
+        let pre = Precomputation::build(&graph, &routes, &transitions, 1);
+        let a = graph.nearest_vertex(&p(0.0, 0.0)).unwrap();
+        let b = graph.nearest_vertex(&p(20.0, 20.0)).unwrap();
+        let direct = graph.shortest_path(a, b).unwrap();
+        assert!((pre.matrix().distance(a, b) - direct.length).abs() < 1e-9);
+    }
+}

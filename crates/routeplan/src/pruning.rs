@@ -1,0 +1,414 @@
+//! The pruning planners `Pre-Max` / `Pre-Min` (Algorithm 6).
+//!
+//! Partial routes are expanded best-first (shortest travel distance first)
+//! from the start vertex. Two pruning rules bound the search:
+//!
+//! * **Reachability** (`checkReachability`): a neighbour `v_j` is only
+//!   considered when the pre-computed shortest distance `Mψ[v_j][end]` fits
+//!   into the remaining budget `τ − ψ(R*)`.
+//! * **Dominance** (`checkDominance`, Lemma 4): a partial route ending at a
+//!   vertex is discarded when another partial route ending at the same vertex
+//!   is no longer *and* already attracts a superset (Max) / subset (Min) of
+//!   its passengers. The paper compares cardinalities of the ∀ and ∃ sets; we
+//!   use the set-inclusion form, which is likewise sound (any completion of
+//!   the dominating route is feasible whenever the dominated one's is, and is
+//!   at least as good) and keeps the search exact — see DESIGN.md §5.
+//!
+//! `Pre-Min` additionally applies the `checkBounds` rule: once a complete
+//! route with `c` passengers is known, a partial route already attracting
+//! more than `c` passengers can never improve the minimum (ω only grows along
+//! extensions) and is discarded.
+
+use crate::precompute::Precomputation;
+use crate::types::{Objective, PlanQuery, PlanResult, RoutePlanner};
+use rknnt_graph::{Path, RouteGraph, VertexId};
+use rknnt_index::TransitionId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// Best-first MaxRkNNT / MinRkNNT search with reachability and dominance
+/// pruning over pre-computed per-vertex RkNNT sets.
+pub struct PruningPlanner<'a> {
+    graph: &'a RouteGraph,
+    precomputation: &'a Precomputation,
+}
+
+/// A partial route in the search frontier.
+#[derive(Debug, Clone)]
+struct Partial {
+    vertices: Vec<VertexId>,
+    psi: f64,
+    omega: Vec<TransitionId>,
+}
+
+impl PartialEq for Partial {
+    fn eq(&self, other: &Self) -> bool {
+        self.psi == other.psi
+    }
+}
+impl Eq for Partial {}
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on travel distance.
+        other.psi.total_cmp(&self.psi)
+    }
+}
+
+/// `a ⊆ b` for sorted, de-duplicated id vectors.
+fn is_subset(a: &[TransitionId], b: &[TransitionId]) -> bool {
+    let mut bi = 0;
+    for x in a {
+        loop {
+            if bi >= b.len() {
+                return false;
+            }
+            match b[bi].cmp(x) {
+                Ordering::Less => bi += 1,
+                Ordering::Equal => {
+                    bi += 1;
+                    break;
+                }
+                Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Sorted union of two sorted, de-duplicated id vectors.
+fn union_sorted(a: &[TransitionId], b: &[TransitionId]) -> Vec<TransitionId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl<'a> PruningPlanner<'a> {
+    /// Creates the pruning planner over a pre-computation.
+    pub fn new(graph: &'a RouteGraph, precomputation: &'a Precomputation) -> Self {
+        PruningPlanner {
+            graph,
+            precomputation,
+        }
+    }
+
+    /// Does `(psi_a, omega_a)` dominate `(psi_b, omega_b)` at the same end
+    /// vertex under the given objective?
+    fn dominates(
+        objective: Objective,
+        psi_a: f64,
+        omega_a: &[TransitionId],
+        psi_b: f64,
+        omega_b: &[TransitionId],
+    ) -> bool {
+        if psi_a > psi_b + 1e-12 {
+            return false;
+        }
+        match objective {
+            Objective::Maximize => is_subset(omega_b, omega_a),
+            Objective::Minimize => is_subset(omega_a, omega_b),
+        }
+    }
+}
+
+impl RoutePlanner for PruningPlanner<'_> {
+    fn name(&self) -> &'static str {
+        // The objective is chosen per call; benchmarks label the two usages
+        // "Pre-Max" and "Pre-Min" themselves.
+        "Pruning"
+    }
+
+    fn plan(&self, query: &PlanQuery, objective: Objective) -> PlanResult {
+        let started = Instant::now();
+        let matrix = self.precomputation.matrix();
+        let mut result = PlanResult::default();
+
+        // Global reachability check (line 1 of Algorithm 6).
+        if !matrix.reachable(query.start, query.end)
+            || matrix.distance(query.start, query.end) > query.tau + 1e-9
+        {
+            result.elapsed = started.elapsed();
+            return result;
+        }
+
+        let mut best: Option<(Path, Vec<TransitionId>)> = None;
+        let mut dominance: HashMap<VertexId, Vec<(f64, Vec<TransitionId>)>> = HashMap::new();
+        let mut heap: BinaryHeap<Partial> = BinaryHeap::new();
+        let initial = Partial {
+            vertices: vec![query.start],
+            psi: 0.0,
+            omega: self.precomputation.rknnt_of(query.start).to_vec(),
+        };
+        dominance
+            .entry(query.start)
+            .or_default()
+            .push((0.0, initial.omega.clone()));
+        heap.push(initial);
+        let mut expanded = 0usize;
+
+        while let Some(partial) = heap.pop() {
+            expanded += 1;
+            let last = *partial.vertices.last().expect("partials are non-empty");
+
+            if last == query.end {
+                // Complete route: update the incumbent. Extensions past the
+                // destination can never end at it again (routes are
+                // loopless), so the partial is not expanded further.
+                let candidate_better = match &best {
+                    None => true,
+                    Some((best_path, best_omega)) => {
+                        let cmp = partial.omega.len().cmp(&best_omega.len());
+                        let improves = match objective {
+                            Objective::Maximize => cmp.is_gt(),
+                            Objective::Minimize => cmp.is_lt(),
+                        };
+                        improves || (cmp.is_eq() && partial.psi < best_path.length - 1e-12)
+                    }
+                };
+                if candidate_better {
+                    best = Some((
+                        Path {
+                            vertices: partial.vertices.clone(),
+                            length: partial.psi,
+                        },
+                        partial.omega.clone(),
+                    ));
+                }
+                continue;
+            }
+
+            for (next, weight) in self.graph.neighbors(last) {
+                if partial.vertices.contains(next) {
+                    continue; // loopless routes only
+                }
+                let psi = partial.psi + weight;
+                // checkReachability: the remaining budget must cover the
+                // shortest way from `next` to the destination.
+                if psi + matrix.distance(*next, query.end) > query.tau + 1e-9 {
+                    continue;
+                }
+                let omega = union_sorted(&partial.omega, self.precomputation.rknnt_of(*next));
+                // checkBounds (MinRkNNT only): a partial already attracting
+                // strictly more passengers than the incumbent can never
+                // improve the minimum.
+                if objective == Objective::Minimize {
+                    if let Some((_, best_omega)) = &best {
+                        if omega.len() > best_omega.len() {
+                            continue;
+                        }
+                    }
+                }
+                // checkDominance against the table entries for `next`.
+                let entries = dominance.entry(*next).or_default();
+                if entries
+                    .iter()
+                    .any(|(e_psi, e_omega)| Self::dominates(objective, *e_psi, e_omega, psi, &omega))
+                {
+                    continue;
+                }
+                // The new partial survives: evict entries it dominates and
+                // register it.
+                entries.retain(|(e_psi, e_omega)| {
+                    !Self::dominates(objective, psi, &omega, *e_psi, e_omega)
+                });
+                entries.push((psi, omega.clone()));
+
+                let mut vertices = partial.vertices.clone();
+                vertices.push(*next);
+                heap.push(Partial {
+                    vertices,
+                    psi,
+                    omega,
+                });
+            }
+        }
+
+        if let Some((path, passengers)) = best {
+            result.route = Some(path);
+            result.passengers = passengers;
+        }
+        result.candidates_examined = expanded;
+        result.elapsed = started.elapsed();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planners::{BruteForcePlanner, PrePlanner};
+    use crate::types::PlannerConfig;
+    use rknnt_geo::Point;
+    use rknnt_index::{RouteStore, TransitionStore};
+    use rknnt_rtree::RTreeConfig;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn grid_world() -> (RouteGraph, RouteStore, TransitionStore) {
+        let mut route_points: Vec<Vec<Point>> = Vec::new();
+        for y in 0..4 {
+            route_points.push((0..4).map(|x| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+        }
+        for x in 0..4 {
+            route_points.push((0..4).map(|y| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+        }
+        let graph = RouteGraph::from_routes(route_points.iter().map(|r| r.as_slice()));
+        let (routes, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
+        let mut transitions = TransitionStore::default();
+        for i in 0..25u32 {
+            let x = (i as f64 * 1.3) % 30.0;
+            transitions.insert(p(x, 28.0 + (i % 5) as f64), p(30.0 - x, 29.0 + (i % 3) as f64));
+        }
+        for i in 0..5u32 {
+            transitions.insert(p(i as f64 * 6.0, 1.0), p(30.0 - i as f64 * 6.0, 2.0));
+        }
+        (graph, routes, transitions)
+    }
+
+    #[test]
+    fn pruning_matches_enumeration_planners() {
+        let (graph, routes, transitions) = grid_world();
+        let config = PlannerConfig {
+            k: 2,
+            max_candidate_paths: 4000,
+        };
+        let pre = Precomputation::build(&graph, &routes, &transitions, config.k);
+        let bf = BruteForcePlanner::new(&graph, &routes, &transitions, config);
+        let pp = PrePlanner::new(&graph, &pre, config);
+        let pruning = PruningPlanner::new(&graph, &pre);
+        let start = graph.nearest_vertex(&p(0.0, 0.0)).unwrap();
+        let end = graph.nearest_vertex(&p(30.0, 30.0)).unwrap();
+        for tau in [60.0, 70.0, 90.0] {
+            let query = PlanQuery { start, end, tau };
+            for objective in [Objective::Maximize, Objective::Minimize] {
+                let a = bf.plan(&query, objective);
+                let b = pp.plan(&query, objective);
+                let c = pruning.plan(&query, objective);
+                assert_eq!(
+                    a.passenger_count(),
+                    c.passenger_count(),
+                    "bruteforce vs pruning, tau={tau}, {objective:?}"
+                );
+                assert_eq!(
+                    b.passenger_count(),
+                    c.passenger_count(),
+                    "pre vs pruning, tau={tau}, {objective:?}"
+                );
+                assert!(c.travel_distance() <= tau + 1e-9);
+                assert!(c.route.is_some());
+                // The returned route must really start and end where asked.
+                let route = c.route.as_ref().unwrap();
+                assert_eq!(route.vertices.first(), Some(&start));
+                assert_eq!(route.vertices.last(), Some(&end));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_or_over_budget_returns_empty() {
+        let (graph, routes, transitions) = grid_world();
+        let pre = Precomputation::build(&graph, &routes, &transitions, 2);
+        let planner = PruningPlanner::new(&graph, &pre);
+        let start = graph.nearest_vertex(&p(0.0, 0.0)).unwrap();
+        let end = graph.nearest_vertex(&p(30.0, 30.0)).unwrap();
+        let result = planner.plan(
+            &PlanQuery {
+                start,
+                end,
+                tau: 10.0,
+            },
+            Objective::Maximize,
+        );
+        assert!(result.route.is_none());
+        assert_eq!(result.candidates_examined, 0);
+    }
+
+    #[test]
+    fn dominance_and_subset_helpers() {
+        let a = vec![TransitionId(1), TransitionId(3)];
+        let b = vec![TransitionId(1), TransitionId(2), TransitionId(3)];
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&[], &a));
+        assert_eq!(union_sorted(&a, &b), b);
+        assert_eq!(
+            union_sorted(&[TransitionId(5)], &[TransitionId(2)]),
+            vec![TransitionId(2), TransitionId(5)]
+        );
+        // Max: the bigger set dominates when not longer.
+        assert!(PruningPlanner::dominates(
+            Objective::Maximize,
+            5.0,
+            &b,
+            6.0,
+            &a
+        ));
+        assert!(!PruningPlanner::dominates(
+            Objective::Maximize,
+            7.0,
+            &b,
+            6.0,
+            &a
+        ));
+        // Min: the smaller set dominates when not longer.
+        assert!(PruningPlanner::dominates(
+            Objective::Minimize,
+            5.0,
+            &a,
+            6.0,
+            &b
+        ));
+    }
+
+    #[test]
+    fn pruning_examines_fewer_partials_with_tighter_tau() {
+        let (graph, routes, transitions) = grid_world();
+        let pre = Precomputation::build(&graph, &routes, &transitions, 2);
+        let planner = PruningPlanner::new(&graph, &pre);
+        let start = graph.nearest_vertex(&p(0.0, 0.0)).unwrap();
+        let end = graph.nearest_vertex(&p(30.0, 30.0)).unwrap();
+        let tight = planner.plan(
+            &PlanQuery {
+                start,
+                end,
+                tau: 60.0,
+            },
+            Objective::Maximize,
+        );
+        let loose = planner.plan(
+            &PlanQuery {
+                start,
+                end,
+                tau: 120.0,
+            },
+            Objective::Maximize,
+        );
+        assert!(tight.candidates_examined <= loose.candidates_examined);
+    }
+}

@@ -1,0 +1,118 @@
+//! Query, configuration and result types shared by the planners.
+
+use rknnt_graph::{Path, VertexId};
+use rknnt_index::TransitionId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Whether to maximise or minimise the number of attracted passengers
+/// (MaxRkNNT vs MinRkNNT, Definition 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// MaxRkNNT: the route attracting the most passengers.
+    #[default]
+    Maximize,
+    /// MinRkNNT: the route attracting the fewest passengers.
+    Minimize,
+}
+
+/// Configuration shared by the planners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// The k of the underlying RkNNT queries (fixed at pre-computation time,
+    /// as in Algorithm 5).
+    pub k: usize,
+    /// Safety cap on the number of candidate paths the enumeration-based
+    /// planners may generate; prevents a pathological τ from exploding the
+    /// baseline. The pruning planner does not need it.
+    pub max_candidate_paths: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            k: 10,
+            max_candidate_paths: 4096,
+        }
+    }
+}
+
+/// A route-planning query: start and end vertices plus the travel-distance
+/// threshold τ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanQuery {
+    /// Start vertex (the paper's `v_s` / origin O).
+    pub start: VertexId,
+    /// End vertex (the paper's `v_e` / destination D).
+    pub end: VertexId,
+    /// Travel distance threshold τ; only routes with ψ(R) ≤ τ qualify.
+    pub tau: f64,
+}
+
+/// Result of a planning query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlanResult {
+    /// The optimal route, or `None` when no route within τ exists.
+    pub route: Option<Path>,
+    /// The passengers (RkNNT set) of the optimal route, sorted.
+    pub passengers: Vec<TransitionId>,
+    /// Wall-clock search time (excludes pre-computation).
+    pub elapsed: Duration,
+    /// Number of candidate routes evaluated (full candidates for the
+    /// enumeration planners, expanded partial routes for the pruning
+    /// planner).
+    pub candidates_examined: usize,
+}
+
+impl PlanResult {
+    /// Number of passengers attracted by the returned route.
+    pub fn passenger_count(&self) -> usize {
+        self.passengers.len()
+    }
+
+    /// Travel distance of the returned route (0 when no route was found).
+    pub fn travel_distance(&self) -> f64 {
+        self.route.as_ref().map(|r| r.length).unwrap_or(0.0)
+    }
+}
+
+/// A MaxRkNNT / MinRkNNT planner.
+pub trait RoutePlanner {
+    /// Planner name used in benchmark output ("BruteForce", "Pre",
+    /// "Pre-Max", "Pre-Min").
+    fn name(&self) -> &'static str;
+
+    /// Answers a planning query under the given objective.
+    fn plan(&self, query: &PlanQuery, objective: Objective) -> PlanResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = PlannerConfig::default();
+        assert_eq!(c.k, 10);
+        assert!(c.max_candidate_paths > 0);
+        assert_eq!(Objective::default(), Objective::Maximize);
+    }
+
+    #[test]
+    fn plan_result_accessors() {
+        let r = PlanResult {
+            route: Some(Path {
+                vertices: vec![VertexId(0), VertexId(1)],
+                length: 12.5,
+            }),
+            passengers: vec![TransitionId(3), TransitionId(7)],
+            elapsed: Duration::from_millis(1),
+            candidates_examined: 4,
+        };
+        assert_eq!(r.passenger_count(), 2);
+        assert_eq!(r.travel_distance(), 12.5);
+        let empty = PlanResult::default();
+        assert_eq!(empty.passenger_count(), 0);
+        assert_eq!(empty.travel_distance(), 0.0);
+    }
+}

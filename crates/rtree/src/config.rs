@@ -1,0 +1,78 @@
+//! Tree fan-out configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Fan-out parameters of an [`crate::RTree`].
+///
+/// The defaults (max 32 / min 12) keep nodes cache-friendly for the point
+/// data sizes of the paper's datasets (tens of thousands of route points,
+/// hundreds of thousands of transition points); both bounds can be tuned for
+/// ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RTreeConfig {
+    /// Maximum number of entries (or children) per node. Exceeding it
+    /// triggers a split.
+    pub max_entries: usize,
+    /// Minimum number of entries per node (except the root). Falling below
+    /// it during deletion triggers condensation and re-insertion.
+    pub min_entries: usize,
+}
+
+impl RTreeConfig {
+    /// Creates a configuration, panicking on invalid bounds.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= min_entries <= max_entries / 2` and
+    /// `max_entries >= 4`, the classic R-tree validity conditions.
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        assert!(
+            min_entries >= 2 && min_entries <= max_entries / 2,
+            "min_entries must be in [2, max_entries/2]"
+        );
+        RTreeConfig {
+            max_entries,
+            min_entries,
+        }
+    }
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 32,
+            min_entries: 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = RTreeConfig::default();
+        assert!(c.min_entries >= 2);
+        assert!(c.min_entries <= c.max_entries / 2);
+    }
+
+    #[test]
+    fn new_accepts_valid_bounds() {
+        let c = RTreeConfig::new(8, 3);
+        assert_eq!(c.max_entries, 8);
+        assert_eq!(c.min_entries, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_tiny_max() {
+        RTreeConfig::new(3, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_min_above_half() {
+        RTreeConfig::new(8, 5);
+    }
+}

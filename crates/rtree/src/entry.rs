@@ -1,0 +1,33 @@
+//! Leaf entries: a point plus its payload.
+
+use rknnt_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A leaf entry of the R-tree: a point location and the payload `D` attached
+/// to it (e.g. a route-point identifier or a transition endpoint identifier).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeafEntry<D> {
+    /// Location of the entry.
+    pub point: Point,
+    /// Payload carried with the entry.
+    pub data: D,
+}
+
+impl<D> LeafEntry<D> {
+    /// Creates a leaf entry.
+    pub fn new(point: Point, data: D) -> Self {
+        LeafEntry { point, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_preserves_fields() {
+        let e = LeafEntry::new(Point::new(1.0, 2.0), 42u32);
+        assert_eq!(e.point, Point::new(1.0, 2.0));
+        assert_eq!(e.data, 42);
+    }
+}

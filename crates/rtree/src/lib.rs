@@ -1,0 +1,37 @@
+//! A from-scratch dynamic R-tree over point data.
+//!
+//! The RkNNT paper builds two R-trees (the `RR-tree` over route points and
+//! the `TR-tree` over transition points) and requires three capabilities that
+//! drive the design of this crate:
+//!
+//! 1. **Dynamic updates** — new transitions arrive continuously and old ones
+//!    expire, so the tree supports [`RTree::insert`] and [`RTree::remove`]
+//!    with the classic condense-and-reinsert maintenance.
+//! 2. **Bulk loading** — the initial datasets are large, so
+//!    [`RTree::bulk_load`] implements Sort-Tile-Recursive (STR) packing.
+//! 3. **Node-level traversal** — Algorithms 2 and 4 of the paper run a
+//!    best-first traversal in which *the algorithm*, not the tree, decides
+//!    whether a node can be pruned (via the half-space / Voronoi filters).
+//!    The read-only [`NodeRef`] API exposes node MBRs and children so query
+//!    engines can drive their own heaps.
+//!
+//! Entries are points with an attached payload `D` (route id, transition
+//! endpoint id, …). The tree is an in-memory arena of nodes addressed by
+//! `u32` ids; no `unsafe` is used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod config;
+mod entry;
+mod node;
+mod query;
+mod split;
+mod tree;
+
+pub use config::RTreeConfig;
+pub use entry::LeafEntry;
+pub use node::NodeId;
+pub use query::KnnResult;
+pub use tree::{NodeRef, RTree};

@@ -1,0 +1,101 @@
+//! Arena nodes of the R-tree.
+
+use crate::entry::LeafEntry;
+use rknnt_geo::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the tree's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index into the arena (exposed for diagnostics and for the NList
+    /// structure in the index crate, which is keyed by node id).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a raw arena index. Only meaningful for ids that
+    /// were previously obtained from the same tree.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+/// Contents of a node: either leaf entries or child node ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum NodeKind<D> {
+    /// Leaf node holding data entries.
+    Leaf(Vec<LeafEntry<D>>),
+    /// Internal node holding children ids.
+    Internal(Vec<NodeId>),
+}
+
+/// A node of the R-tree arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Node<D> {
+    /// Minimum bounding rectangle of everything beneath this node.
+    pub mbr: Rect,
+    /// Parent node id; `None` for the root and for free-list slots.
+    pub parent: Option<NodeId>,
+    /// Leaf entries or children.
+    pub kind: NodeKind<D>,
+    /// Whether the slot is live (false once recycled into the free list).
+    pub live: bool,
+}
+
+impl<D> Node<D> {
+    pub(crate) fn new_leaf() -> Self {
+        Node {
+            mbr: Rect::empty(),
+            parent: None,
+            kind: NodeKind::Leaf(Vec::new()),
+            live: true,
+        }
+    }
+
+    pub(crate) fn new_internal() -> Self {
+        Node {
+            mbr: Rect::empty(),
+            parent: None,
+            kind: NodeKind::Internal(Vec::new()),
+            live: true,
+        }
+    }
+
+    pub(crate) fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf(_))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(entries) => entries.len(),
+            NodeKind::Internal(children) => children.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn fresh_nodes_are_empty_and_live() {
+        let leaf: Node<u32> = Node::new_leaf();
+        let internal: Node<u32> = Node::new_internal();
+        assert!(leaf.is_leaf());
+        assert!(!internal.is_leaf());
+        assert_eq!(leaf.len(), 0);
+        assert_eq!(internal.len(), 0);
+        assert!(leaf.live && internal.live);
+        assert!(leaf.mbr.is_empty());
+    }
+}

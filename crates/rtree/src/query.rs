@@ -1,0 +1,251 @@
+//! Spatial queries: range search, k-nearest-neighbour search and iteration.
+
+use crate::entry::LeafEntry;
+use crate::node::{NodeId, NodeKind};
+use crate::tree::RTree;
+use rknnt_geo::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One result of a k-nearest-neighbour query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnResult<D> {
+    /// Location of the matching entry.
+    pub point: Point,
+    /// Payload of the matching entry.
+    pub data: D,
+    /// Euclidean distance from the query point to the entry.
+    pub distance: f64,
+}
+
+/// Heap item used by the best-first kNN traversal. `BinaryHeap` is a
+/// max-heap, so the ordering is reversed to pop the smallest distance first.
+struct HeapItem {
+    dist: f64,
+    kind: HeapKind,
+}
+
+enum HeapKind {
+    Node(NodeId),
+    Entry(usize, NodeId),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl<D: Clone + PartialEq> RTree<D> {
+    /// Returns references to all entries whose point lies inside `rect`
+    /// (boundary inclusive).
+    pub fn range(&self, rect: &Rect) -> Vec<&LeafEntry<D>> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if !node.mbr.intersects(rect) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
+                }
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// Visits every entry in the tree in unspecified order.
+    pub fn for_each_entry<F: FnMut(&LeafEntry<D>)>(&self, mut f: F) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match &self.node(id).kind {
+                NodeKind::Leaf(entries) => entries.iter().for_each(&mut f),
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+    }
+
+    /// Collects all entries into a vector (mainly for tests and rebuilds).
+    pub fn entries(&self) -> Vec<LeafEntry<D>> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_entry(|e| out.push(e.clone()));
+        out
+    }
+
+    /// Best-first k-nearest-neighbour search from `query`.
+    ///
+    /// Results are sorted by increasing distance; ties are broken
+    /// arbitrarily. Fewer than `k` results are returned when the tree has
+    /// fewer entries.
+    pub fn knn(&self, query: &Point, k: usize) -> Vec<KnnResult<D>> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root else { return out };
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: self.node(root).mbr.min_dist(query),
+            kind: HeapKind::Node(root),
+        });
+        while let Some(item) = heap.pop() {
+            if out.len() >= k {
+                break;
+            }
+            match item.kind {
+                HeapKind::Node(id) => match &self.node(id).kind {
+                    NodeKind::Leaf(entries) => {
+                        for (i, e) in entries.iter().enumerate() {
+                            heap.push(HeapItem {
+                                dist: e.point.distance(query),
+                                kind: HeapKind::Entry(i, id),
+                            });
+                        }
+                    }
+                    NodeKind::Internal(children) => {
+                        for c in children {
+                            heap.push(HeapItem {
+                                dist: self.node(*c).mbr.min_dist(query),
+                                kind: HeapKind::Node(*c),
+                            });
+                        }
+                    }
+                },
+                HeapKind::Entry(i, leaf) => {
+                    if let NodeKind::Leaf(entries) = &self.node(leaf).kind {
+                        let e = &entries[i];
+                        out.push(KnnResult {
+                            point: e.point,
+                            data: e.data.clone(),
+                            distance: item.dist,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Nearest single entry to `query`, if the tree is non-empty.
+    pub fn nearest(&self, query: &Point) -> Option<KnnResult<D>> {
+        self.knn(query, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+
+    fn scatter(n: usize) -> Vec<(Point, u32)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 100_000) as f64 / 37.0;
+                let y = ((i * 40503 + 17) % 100_000) as f64 / 53.0;
+                (Point::new(x, y), i as u32)
+            })
+            .collect()
+    }
+
+    fn build(n: usize) -> (RTree<u32>, Vec<(Point, u32)>) {
+        let items = scatter(n);
+        let mut tree = RTree::new(RTreeConfig::new(8, 3));
+        for (p, d) in &items {
+            tree.insert(*p, *d);
+        }
+        (tree, items)
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let (tree, items) = build(600);
+        let rect = Rect::new(Point::new(200.0, 300.0), Point::new(1200.0, 900.0));
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(p, _)| rect.contains_point(p))
+            .map(|(_, d)| *d)
+            .collect();
+        let mut got: Vec<u32> = tree.range(&rect).iter().map(|e| e.data).collect();
+        expected.sort();
+        got.sort();
+        assert_eq!(expected, got);
+        assert!(!got.is_empty(), "test rectangle should not be trivial");
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let (tree, items) = build(400);
+        let q = Point::new(500.0, 500.0);
+        for k in [1usize, 5, 17, 50] {
+            let mut by_scan: Vec<(f64, u32)> =
+                items.iter().map(|(p, d)| (p.distance(&q), *d)).collect();
+            by_scan.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let got = tree.knn(&q, k);
+            assert_eq!(got.len(), k.min(items.len()));
+            for (i, r) in got.iter().enumerate() {
+                assert!(
+                    (r.distance - by_scan[i].0).abs() < 1e-9,
+                    "k={k} rank {i}: {} vs {}",
+                    r.distance,
+                    by_scan[i].0
+                );
+            }
+            // Distances must be non-decreasing.
+            for w in got.windows(2) {
+                assert!(w[0].distance <= w[1].distance + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let (tree, _) = build(10);
+        assert!(tree.knn(&Point::new(0.0, 0.0), 0).is_empty());
+        assert_eq!(tree.knn(&Point::new(0.0, 0.0), 100).len(), 10);
+        let empty: RTree<u32> = RTree::default();
+        assert!(empty.knn(&Point::new(0.0, 0.0), 3).is_empty());
+        assert!(empty.nearest(&Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_returns_closest() {
+        let (tree, items) = build(200);
+        let q = Point::new(123.0, 456.0);
+        let best = items
+            .iter()
+            .map(|(p, d)| (p.distance(&q), *d))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        let got = tree.nearest(&q).unwrap();
+        assert!((got.distance - best.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entries_and_for_each_cover_everything() {
+        let (tree, items) = build(150);
+        let mut ids: Vec<u32> = tree.entries().iter().map(|e| e.data).collect();
+        ids.sort();
+        let mut expected: Vec<u32> = items.iter().map(|(_, d)| *d).collect();
+        expected.sort();
+        assert_eq!(ids, expected);
+        let mut count = 0;
+        tree.for_each_entry(|_| count += 1);
+        assert_eq!(count, 150);
+    }
+}

@@ -1,0 +1,216 @@
+//! Quadratic split of an overflowing node (Guttman's original heuristic).
+//!
+//! Quadratic split picks as seeds the pair of items whose combined bounding
+//! rectangle wastes the most area, then assigns the remaining items one at a
+//! time to the group whose MBR needs the least enlargement, while making sure
+//! neither group can fall below the minimum fill factor.
+
+use crate::entry::LeafEntry;
+use crate::node::NodeId;
+use rknnt_geo::Rect;
+
+/// Splits leaf entries into two groups of at least `min_entries` each.
+pub(crate) fn quadratic_split_entries<D>(
+    entries: Vec<LeafEntry<D>>,
+    min_entries: usize,
+) -> (Vec<LeafEntry<D>>, Vec<LeafEntry<D>>) {
+    let rects: Vec<Rect> = entries.iter().map(|e| Rect::from_point(e.point)).collect();
+    let a_idx = split_indices(&rects, min_entries);
+    partition(entries, &a_idx)
+}
+
+/// Splits internal-node children into two groups of at least `min_entries`.
+pub(crate) fn quadratic_split_children(
+    children: Vec<NodeId>,
+    rects: Vec<Rect>,
+    min_entries: usize,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let a_idx = split_indices(&rects, min_entries);
+    partition(children, &a_idx)
+}
+
+/// Moves the items whose indices appear in `a_idx` into the first group and
+/// everything else into the second, preserving relative order.
+fn partition<T>(items: Vec<T>, a_idx: &[usize]) -> (Vec<T>, Vec<T>) {
+    let mut in_a = vec![false; items.len()];
+    for &i in a_idx {
+        in_a[i] = true;
+    }
+    let mut group_a = Vec::with_capacity(a_idx.len());
+    let mut group_b = Vec::with_capacity(items.len().saturating_sub(a_idx.len()));
+    for (i, item) in items.into_iter().enumerate() {
+        if in_a[i] {
+            group_a.push(item);
+        } else {
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Computes the indices assigned to group A by a quadratic split of `rects`;
+/// the remaining indices form group B.
+fn split_indices(rects: &[Rect], min_entries: usize) -> Vec<usize> {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+
+    // Pick seeds: the pair wasting the most area when grouped together.
+    let (mut seed_a, mut seed_b) = (0usize, 1usize.min(n - 1));
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a = vec![seed_a];
+    let mut group_b_len = 1usize; // seed_b
+    let mut mbr_a = rects[seed_a];
+    let mut mbr_b = rects[seed_b];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while !remaining.is_empty() {
+        // Forced assignment when one group must absorb everything left to
+        // reach the minimum fill.
+        let left = remaining.len();
+        if group_a.len() + left <= min_entries {
+            group_a.extend(remaining.drain(..));
+            break;
+        }
+        if group_b_len + left <= min_entries {
+            // Everything left goes to B, i.e. is simply not added to A.
+            remaining.clear();
+            break;
+        }
+
+        let next_pos = pick_next(&remaining, &mbr_a, &mbr_b, rects);
+        let idx = remaining.swap_remove(next_pos);
+        let enl_a = mbr_a.enlargement(&rects[idx]);
+        let enl_b = mbr_b.enlargement(&rects[idx]);
+        let to_a = match enl_a.partial_cmp(&enl_b) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => {
+                // Tie-break on resulting area, then on group size.
+                if mbr_a.area() != mbr_b.area() {
+                    mbr_a.area() < mbr_b.area()
+                } else {
+                    group_a.len() <= group_b_len
+                }
+            }
+        };
+        if to_a {
+            group_a.push(idx);
+            mbr_a.expand_to_rect(&rects[idx]);
+        } else {
+            group_b_len += 1;
+            mbr_b.expand_to_rect(&rects[idx]);
+        }
+    }
+
+    group_a
+}
+
+/// Picks the remaining item with the greatest preference difference between
+/// the two groups (Guttman's `PickNext`). Returns its position in
+/// `remaining`, which must be non-empty.
+fn pick_next(remaining: &[usize], mbr_a: &Rect, mbr_b: &Rect, rects: &[Rect]) -> usize {
+    let mut best_pos = 0;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (pos, &i) in remaining.iter().enumerate() {
+        let d = (mbr_a.enlargement(&rects[i]) - mbr_b.enlargement(&rects[i])).abs();
+        if d > best_diff {
+            best_diff = d;
+            best_pos = pos;
+        }
+    }
+    best_pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+
+    fn entries(points: &[(f64, f64)]) -> Vec<LeafEntry<u32>> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| LeafEntry::new(Point::new(*x, *y), i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn split_respects_minimum_fill() {
+        let e = entries(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (100.0, 100.0),
+            (101.0, 100.0),
+            (102.0, 100.0),
+            (0.0, 1.0),
+            (100.0, 101.0),
+            (50.0, 50.0),
+        ]);
+        let n = e.len();
+        let (a, b) = quadratic_split_entries(e, 3);
+        assert!(a.len() >= 3);
+        assert!(b.len() >= 3);
+        assert_eq!(a.len() + b.len(), n);
+    }
+
+    #[test]
+    fn split_separates_distant_clusters() {
+        let e = entries(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 0.5),
+            (3.0, 1.5),
+            (1000.0, 1000.0),
+            (1001.0, 1001.0),
+            (1002.0, 1000.5),
+            (1003.0, 1001.5),
+        ]);
+        let (a, b) = quadratic_split_entries(e, 2);
+        // Each group should be spatially homogeneous: all near origin or all far.
+        let near = |p: &Point| p.x < 100.0;
+        let a_near: Vec<bool> = a.iter().map(|e| near(&e.point)).collect();
+        let b_near: Vec<bool> = b.iter().map(|e| near(&e.point)).collect();
+        assert!(a_near.iter().all(|&x| x) || a_near.iter().all(|&x| !x));
+        assert!(b_near.iter().all(|&x| x) || b_near.iter().all(|&x| !x));
+        assert_ne!(a_near[0], b_near[0]);
+    }
+
+    #[test]
+    fn split_children_preserves_ids() {
+        let ids: Vec<NodeId> = (0..6).map(NodeId::from_index).collect();
+        let rects: Vec<Rect> = (0..6)
+            .map(|i| {
+                let base = if i < 3 { 0.0 } else { 500.0 };
+                Rect::new(
+                    Point::new(base + i as f64, base),
+                    Point::new(base + i as f64 + 1.0, base + 1.0),
+                )
+            })
+            .collect();
+        let (a, b) = quadratic_split_children(ids.clone(), rects, 2);
+        let mut all: Vec<NodeId> = a.iter().chain(b.iter()).copied().collect();
+        all.sort();
+        assert_eq!(all, ids);
+        assert!(a.len() >= 2 && b.len() >= 2);
+    }
+
+    #[test]
+    fn split_handles_identical_points() {
+        let e = entries(&[(5.0, 5.0); 10]);
+        let (a, b) = quadratic_split_entries(e, 3);
+        assert_eq!(a.len() + b.len(), 10);
+        assert!(a.len() >= 3 && b.len() >= 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Capacity estimation for an existing bus line (the paper's headline use
+//! case): how many passengers would take each existing route as one of their
+//! k nearest travel options, and how does the answer change as new passenger
+//! transitions stream in?
+//!
+//! Run with `cargo run --release --example capacity_estimation`.
+
+use rknnt::core::RknnTEngine;
+use rknnt::prelude::*;
+
+fn main() {
+    // A medium synthetic city and an initial batch of passenger transitions.
+    let city = CityGenerator::new(CityConfig::small(11)).generate();
+    let routes = city.route_store();
+    let mut transitions =
+        TransitionGenerator::new(TransitionConfig::checkin_like(8_000, 5)).generate_store(&city);
+
+    // Estimate the capacity (|RkNNT| with k = 5) of the five longest routes.
+    let mut by_len: Vec<usize> = (0..city.routes.len()).collect();
+    by_len.sort_by_key(|i| std::cmp::Reverse(city.routes[*i].len()));
+    let engine = VoronoiEngine::new(&routes, &transitions);
+    println!("-- initial capacity estimates (k = 5) --");
+    let mut watched = Vec::new();
+    for &i in by_len.iter().take(5) {
+        let query = RknntQuery::exists(city.routes[i].clone(), 5);
+        let result = engine.execute(&query);
+        println!(
+            "route #{i:<3} ({:>2} stops): {:>4} potential passengers",
+            city.routes[i].len(),
+            result.len()
+        );
+        watched.push(i);
+    }
+
+    // New passenger requests arrive near the first watched route: dynamic
+    // updates go straight into the TR-tree, no retraining needed (this is
+    // the advantage over the model-based planners discussed in Sec. 2.2).
+    let hot_route = &city.routes[watched[0]];
+    let mid = hot_route[hot_route.len() / 2];
+    for j in 0..200 {
+        let offset = 30.0 + (j % 17) as f64 * 10.0;
+        transitions.insert(
+            Point::new(mid.x + offset, mid.y + offset / 2.0),
+            Point::new(mid.x - offset, mid.y - offset),
+        );
+    }
+    println!("\n-- after 200 new transitions near route #{} --", watched[0]);
+    let engine = VoronoiEngine::new(&routes, &transitions);
+    for &i in &watched {
+        let query = RknntQuery::exists(city.routes[i].clone(), 5);
+        let result = engine.execute(&query);
+        println!(
+            "route #{i:<3} ({:>2} stops): {:>4} potential passengers",
+            city.routes[i].len(),
+            result.len()
+        );
+    }
+
+    // The strict ∀ semantics (both endpoints must prefer the route) gives a
+    // conservative capacity lower bound.
+    let strict = engine.execute(&RknntQuery::for_all(city.routes[watched[0]].clone(), 5));
+    println!(
+        "\nroute #{}: {} passengers under the strict (∀) semantics",
+        watched[0],
+        strict.len()
+    );
+}

@@ -1,0 +1,61 @@
+//! Dynamic transition updates: the stream of arriving and expiring passenger
+//! requests the paper's index is designed for (Uber-style demand).
+//!
+//! The example replays a sliding window over a day of synthetic passenger
+//! requests, keeping only the most recent ones in the TR-tree and re-running
+//! the same capacity query after each batch.
+//!
+//! Run with `cargo run --release --example dynamic_updates`.
+
+use rknnt::core::RknnTEngine;
+use rknnt::prelude::*;
+use std::collections::VecDeque;
+
+fn main() {
+    let city = CityGenerator::new(CityConfig::small(31)).generate();
+    let routes = city.route_store();
+
+    // The "day" of requests: 12 batches of 500 transitions each; the window
+    // keeps the 4 most recent batches (old requests expire).
+    let generator = TransitionGenerator::new(TransitionConfig::checkin_like(6_000, 17));
+    let all_pairs = generator.generate(&city);
+    let batches: Vec<_> = all_pairs.chunks(500).take(12).collect();
+    let window_batches = 4usize;
+
+    let mut store = TransitionStore::default();
+    let mut window: VecDeque<Vec<TransitionId>> = VecDeque::new();
+
+    // Watch the capacity of the longest route as the window slides.
+    let watched = city
+        .routes
+        .iter()
+        .max_by_key(|r| r.len())
+        .expect("city has routes")
+        .clone();
+    println!("watching a route with {} stops (k = 5)\n", watched.len());
+
+    for (hour, batch) in batches.iter().enumerate() {
+        // New requests arrive...
+        let ids: Vec<TransitionId> = batch
+            .iter()
+            .map(|(origin, destination)| store.insert(*origin, *destination))
+            .collect();
+        window.push_back(ids);
+        // ...and the oldest batch expires once the window is full.
+        if window.len() > window_batches {
+            for id in window.pop_front().expect("non-empty window") {
+                store.remove(id);
+            }
+        }
+
+        let engine = FilterRefineEngine::new(&routes, &store);
+        let result = engine.execute(&RknntQuery::exists(watched.clone(), 5));
+        println!(
+            "hour {hour:>2}: {:>5} live transitions -> {:>4} would take the watched route \
+             ({} candidate endpoints verified)",
+            store.len(),
+            result.len(),
+            result.stats.candidate_endpoints
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small synthetic city, index it, and answer one RkNNT
+//! query with each engine.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rknnt::prelude::*;
+use rknnt::core::RknnTEngine;
+use rknnt::data::workload;
+
+fn main() {
+    // 1. Generate a small synthetic city (60 bus routes) and a check-in-like
+    //    transition set (5,000 passenger origin/destination pairs).
+    let city = CityGenerator::new(CityConfig::small(42)).generate();
+    let transitions =
+        TransitionGenerator::new(TransitionConfig::checkin_like(5_000, 7)).generate_store(&city);
+    let routes = city.route_store();
+    println!(
+        "city: {} routes, {} distinct stops, {} transitions",
+        routes.num_routes(),
+        routes.num_stops(),
+        transitions.len()
+    );
+
+    // 2. Generate one query route: 5 points, ~1 km apart, following the
+    //    bounded-rotation procedure of the paper's experiments.
+    let query_route = workload::rknnt_queries(&city, 1, 5, 1_000.0, 3)
+        .pop()
+        .expect("one query");
+    let query = RknntQuery::exists(query_route, 10);
+
+    // 3. Answer it with the three index-based engines and the brute-force
+    //    oracle; all of them return the same transition set.
+    let filter_refine = FilterRefineEngine::new(&routes, &transitions);
+    let voronoi = VoronoiEngine::new(&routes, &transitions);
+    let divide_conquer = DivideConquerEngine::new(&routes, &transitions);
+    let brute = BruteForceEngine::new(&routes, &transitions);
+
+    for engine in [
+        &filter_refine as &dyn RknnTEngine,
+        &voronoi,
+        &divide_conquer,
+        &brute,
+    ] {
+        let result = engine.execute(&query);
+        println!(
+            "{:<15} -> {:>4} transitions take the query as a {}-NN route \
+             (filtering {:?}, verification {:?})",
+            engine.name(),
+            result.len(),
+            query.k,
+            result.timings.filtering,
+            result.timings.verification,
+        );
+    }
+}

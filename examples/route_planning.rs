@@ -1,0 +1,70 @@
+//! Optimal route planning (MaxRkNNT / MinRkNNT): find, between two stops of
+//! the bus network, the route that attracts the most (or the fewest)
+//! passengers without exceeding a travel-distance threshold — the Uber-driver
+//! and ambulance scenarios from the paper's introduction.
+//!
+//! Run with `cargo run --release --example route_planning`.
+
+use rknnt::prelude::*;
+use rknnt::routeplan::{BruteForcePlanner, PruningPlanner};
+
+fn main() {
+    // City, passengers, indexes and the bus-network graph.
+    let city = CityGenerator::new(CityConfig::small(23)).generate();
+    let routes = city.route_store();
+    let transitions =
+        TransitionGenerator::new(TransitionConfig::checkin_like(6_000, 9)).generate_store(&city);
+    let graph = city.graph();
+
+    // Pre-computation (Algorithm 5): one RkNNT per vertex + all-pairs
+    // shortest distances. k is fixed here, as in the paper.
+    let config = PlannerConfig {
+        k: 5,
+        max_candidate_paths: 512,
+    };
+    let pre = Precomputation::build(&graph, &routes, &transitions, config.k);
+    println!(
+        "pre-computation: {:?} for per-vertex RkNNT, {:?} for all-pairs shortest distances",
+        pre.rknnt_time(),
+        pre.shortest_time()
+    );
+
+    // Pick an origin and a destination on opposite sides of the city and
+    // allow a 40% detour over the shortest possible travel distance.
+    let area = city.config.area();
+    let start = graph.nearest_vertex(&area.min).expect("non-empty graph");
+    let end = graph.nearest_vertex(&area.max).expect("non-empty graph");
+    let shortest = pre.matrix().distance(start, end);
+    let query = rknnt::routeplan::PlanQuery {
+        start,
+        end,
+        tau: shortest * 1.4,
+    };
+    println!(
+        "planning from {start} to {end}: shortest possible {:.0} m, threshold τ = {:.0} m",
+        shortest, query.tau
+    );
+
+    // The efficient planner (Algorithm 6) for both objectives, plus the
+    // brute-force planner as a sanity check on the passenger counts.
+    let pruning = PruningPlanner::new(&graph, &pre);
+    let brute = BruteForcePlanner::new(&graph, &routes, &transitions, config);
+    for objective in [Objective::Maximize, Objective::Minimize] {
+        let fast = pruning.plan(&query, objective);
+        let slow = brute.plan(&query, objective);
+        let label = match objective {
+            Objective::Maximize => "MaxRkNNT",
+            Objective::Minimize => "MinRkNNT",
+        };
+        println!(
+            "{label}: {:>3} passengers over {:>7.0} m and {:>2} stops \
+             (pruning search {:?}, {} partial routes; brute force agrees: {})",
+            fast.passenger_count(),
+            fast.travel_distance(),
+            fast.route.as_ref().map(|r| r.len()).unwrap_or(0),
+            fast.elapsed,
+            fast.candidates_examined,
+            fast.passenger_count() == slow.passenger_count(),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # rknnt — Reverse k Nearest Neighbor search over trajectories
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`geo`] — geometry primitives (points, MBRs, half-space and Voronoi
+//!   filtering predicates).
+//! * [`rtree`] — the from-scratch dynamic R-tree substrate.
+//! * [`index`] — the paper's index layer: route store (RR-tree), transition
+//!   store (TR-tree), `PList` and `NList`.
+//! * [`core`] — the RkNNT query engines (filter–refine, Voronoi,
+//!   divide & conquer, brute force oracle).
+//! * [`graph`] — the bus-network graph substrate (Dijkstra, Floyd–Warshall,
+//!   Yen's k-shortest paths).
+//! * [`routeplan`] — MaxRkNNT / MinRkNNT optimal route planning.
+//! * [`data`] — synthetic city, route and transition generators plus
+//!   workload generators for the evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
+//! per-experiment index.
+
+pub use rknnt_core as core;
+pub use rknnt_data as data;
+pub use rknnt_geo as geo;
+pub use rknnt_graph as graph;
+pub use rknnt_index as index;
+pub use rknnt_routeplan as routeplan;
+pub use rknnt_rtree as rtree;
+
+/// Commonly used items, suitable for `use rknnt::prelude::*;`.
+pub mod prelude {
+    pub use rknnt_core::{
+        BruteForceEngine, DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery,
+        Semantics, VoronoiEngine,
+    };
+    pub use rknnt_data::{CityConfig, CityGenerator, TransitionConfig, TransitionGenerator};
+    pub use rknnt_geo::{Point, Rect};
+    pub use rknnt_graph::RouteGraph;
+    pub use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+    pub use rknnt_routeplan::{Objective, PlannerConfig, Precomputation, RoutePlanner};
+}

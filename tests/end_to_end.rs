@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: generated city → index layer → RkNNT
+//! engines → graph → route planners, exercised through the public API of the
+//! umbrella crate exactly the way the examples and the benchmark harness use
+//! it.
+
+use rknnt::core::RknnTEngine;
+use rknnt::data::workload;
+use rknnt::prelude::*;
+use rknnt::routeplan::{BruteForcePlanner, PlanQuery, PruningPlanner};
+
+fn build_world(seed: u64, transitions: usize) -> (rknnt::data::City, RouteStore, TransitionStore) {
+    let city = CityGenerator::new(CityConfig::small(seed)).generate();
+    let routes = city.route_store();
+    let store = TransitionGenerator::new(TransitionConfig::checkin_like(transitions, seed ^ 0xabc))
+        .generate_store(&city);
+    (city, routes, store)
+}
+
+#[test]
+fn capacity_estimation_pipeline_is_consistent_across_engines() {
+    let (city, routes, transitions) = build_world(3, 3_000);
+    let queries = workload::rknnt_queries(&city, 5, 5, 1_000.0, 9);
+    let brute = BruteForceEngine::new(&routes, &transitions);
+    let fr = FilterRefineEngine::new(&routes, &transitions);
+    let vo = VoronoiEngine::new(&routes, &transitions);
+    let dc = DivideConquerEngine::new(&routes, &transitions);
+    for (i, q) in queries.into_iter().enumerate() {
+        for semantics in [Semantics::Exists, Semantics::ForAll] {
+            let query = RknntQuery {
+                route: q.clone(),
+                k: 5,
+                semantics,
+            };
+            let expected = brute.execute(&query).transitions;
+            assert_eq!(fr.execute(&query).transitions, expected, "query {i} FR");
+            assert_eq!(vo.execute(&query).transitions, expected, "query {i} VO");
+            assert_eq!(dc.execute(&query).transitions, expected, "query {i} DC");
+        }
+    }
+}
+
+#[test]
+fn dynamic_stream_of_transitions_keeps_answers_fresh() {
+    let (city, routes, _) = build_world(5, 0);
+    let mut store = TransitionStore::default();
+    let watched = city.routes[0].clone();
+    let query = RknntQuery::exists(watched.clone(), 3);
+
+    // Empty store: no passengers.
+    let empty = FilterRefineEngine::new(&routes, &store).execute(&query);
+    assert!(empty.is_empty());
+
+    // Insert passengers right on top of the watched route's stops: they must
+    // all appear; then remove half and check the count drops accordingly.
+    let mut inserted = Vec::new();
+    for (i, stop) in watched.iter().enumerate().take(10) {
+        let origin = Point::new(stop.x + 5.0, stop.y + 5.0);
+        let destination = Point::new(
+            watched[(i + 1) % watched.len()].x - 5.0,
+            watched[(i + 1) % watched.len()].y - 5.0,
+        );
+        inserted.push(store.insert(origin, destination));
+    }
+    let full = FilterRefineEngine::new(&routes, &store).execute(&query);
+    assert_eq!(full.len(), inserted.len());
+    for id in inserted.iter().step_by(2) {
+        assert!(store.remove(*id));
+    }
+    let half = FilterRefineEngine::new(&routes, &store).execute(&query);
+    assert_eq!(half.len(), inserted.len() - inserted.len().div_ceil(2));
+}
+
+#[test]
+fn route_planning_pipeline_agrees_between_planners() {
+    let (city, routes, transitions) = build_world(7, 2_000);
+    let graph = city.graph();
+    let config = PlannerConfig {
+        k: 3,
+        max_candidate_paths: 1_000,
+    };
+    let pre = Precomputation::build(&graph, &routes, &transitions, config.k);
+    let brute = BruteForcePlanner::new(&graph, &routes, &transitions, config);
+    let pruning = PruningPlanner::new(&graph, &pre);
+    let pairs = workload::plan_queries(&graph, 3, 3_000.0, 2_000.0, 11);
+    assert!(!pairs.is_empty());
+    for (start, end) in pairs {
+        let shortest = pre.matrix().distance(start, end);
+        if !shortest.is_finite() {
+            continue;
+        }
+        let query = PlanQuery {
+            start,
+            end,
+            tau: shortest * 1.3,
+        };
+        for objective in [Objective::Maximize, Objective::Minimize] {
+            let a = brute.plan(&query, objective);
+            let b = pruning.plan(&query, objective);
+            assert_eq!(
+                a.passenger_count(),
+                b.passenger_count(),
+                "{start}->{end} {objective:?}"
+            );
+            if let Some(route) = &b.route {
+                assert!(route.length <= query.tau + 1e-9);
+                assert_eq!(route.vertices.first(), Some(&start));
+                assert_eq!(route.vertices.last(), Some(&end));
+            }
+        }
+    }
+}
+
+#[test]
+fn removing_the_query_route_changes_results_like_fig16_setup() {
+    // Figure 16 uses every existing route as a query after removing it from
+    // the RR-tree; check the removal path end to end.
+    let (city, _routes, transitions) = build_world(13, 2_000);
+    let mut store_with = RouteStore::default();
+    for r in &city.routes {
+        store_with.insert_route(r.clone());
+    }
+    let target = store_with.route_ids()[0];
+    let query_route = store_with.route(target).unwrap().points.clone();
+    let with = FilterRefineEngine::new(&store_with, &transitions)
+        .execute(&RknntQuery::exists(query_route.clone(), 1));
+    // Remove the route that is identical to the query: now the query no
+    // longer competes with itself, so the result can only grow.
+    let mut store_without = store_with.clone();
+    assert!(store_without.remove_route(target));
+    let without = FilterRefineEngine::new(&store_without, &transitions)
+        .execute(&RknntQuery::exists(query_route, 1));
+    assert!(without.len() >= with.len());
+}
+
+#[test]
+fn csv_roundtrip_preserves_query_answers() {
+    let (city, routes, transitions) = build_world(17, 1_500);
+    // Export and re-import both datasets, then compare one query's answer.
+    let mut route_csv = Vec::new();
+    rknnt::data::io::write_routes(&mut route_csv, &city.routes).unwrap();
+    let reread_routes = rknnt::data::io::read_routes(route_csv.as_slice()).unwrap();
+    let (routes2, skipped) =
+        RouteStore::bulk_build(rknnt::rtree::RTreeConfig::default(), reread_routes);
+    assert_eq!(skipped, 0);
+
+    let pairs: Vec<(Point, Point)> = transitions
+        .transitions()
+        .map(|t| (t.origin, t.destination))
+        .collect();
+    let mut transition_csv = Vec::new();
+    rknnt::data::io::write_transitions(&mut transition_csv, &pairs).unwrap();
+    let reread = rknnt::data::io::read_transitions(transition_csv.as_slice()).unwrap();
+    let transitions2 =
+        TransitionStore::bulk_build(rknnt::rtree::RTreeConfig::default(), reread);
+
+    let query = RknntQuery::exists(city.routes[1].clone(), 5);
+    let before = VoronoiEngine::new(&routes, &transitions).execute(&query);
+    let after = VoronoiEngine::new(&routes2, &transitions2).execute(&query);
+    assert_eq!(before.transitions, after.transitions);
+}
