@@ -3,13 +3,11 @@
 //! Figure 10/12 phase-relevant engine comparison at the defaults.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rknnt_bench::{Dataset, DatasetKind, ScaleConfig};
-use rknnt_core::{
-    DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery, VoronoiEngine,
-};
+use rknnt_core::{DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery, VoronoiEngine};
 use rknnt_data::workload;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_scale() -> ScaleConfig {
     ScaleConfig {
@@ -28,8 +26,11 @@ fn rknnt_vs_k(c: &mut Criterion) {
     let fr = FilterRefineEngine::new(&dataset.routes, &dataset.transitions);
     let vo = VoronoiEngine::new(&dataset.routes, &dataset.transitions);
     let dc = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
-    let engines: Vec<(&str, &dyn RknnTEngine)> =
-        vec![("filter-refine", &fr), ("voronoi", &vo), ("divide-conquer", &dc)];
+    let engines: Vec<(&str, &dyn RknnTEngine)> = vec![
+        ("filter-refine", &fr),
+        ("voronoi", &vo),
+        ("divide-conquer", &dc),
+    ];
     let mut group = c.benchmark_group("rknnt_vs_k");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
@@ -59,8 +60,10 @@ fn rknnt_vs_qlen(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     for len in [3usize, 5, 10] {
         let queries = workload::rknnt_queries(&dataset.city, 4, len, 3_000.0, 2);
-        for (name, engine) in [("filter-refine", &fr as &dyn RknnTEngine), ("divide-conquer", &dc)]
-        {
+        for (name, engine) in [
+            ("filter-refine", &fr as &dyn RknnTEngine),
+            ("divide-conquer", &dc),
+        ] {
             group.bench_with_input(BenchmarkId::new(name, len), &queries, |b, queries| {
                 b.iter(|| {
                     for q in queries {

@@ -3,14 +3,14 @@
 //! and the pre-computation cost of Table 5.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rknnt_bench::{Dataset, DatasetKind, ScaleConfig};
 use rknnt_data::workload;
 use rknnt_routeplan::{
-    BruteForcePlanner, Objective, PlanQuery, PlannerConfig, Precomputation, PrePlanner,
+    BruteForcePlanner, Objective, PlanQuery, PlannerConfig, PrePlanner, Precomputation,
     PruningPlanner, RoutePlanner,
 };
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_scale() -> ScaleConfig {
     ScaleConfig {
@@ -22,7 +22,12 @@ fn bench_scale() -> ScaleConfig {
     }
 }
 
-fn planner_queries(dataset: &Dataset, pre: &Precomputation, span: f64, ratio: f64) -> Vec<PlanQuery> {
+fn planner_queries(
+    dataset: &Dataset,
+    pre: &Precomputation,
+    span: f64,
+    ratio: f64,
+) -> Vec<PlanQuery> {
     workload::plan_queries(&dataset.graph, 3, span, span * 0.5, 11)
         .into_iter()
         .filter_map(|(start, end)| {
@@ -43,7 +48,12 @@ fn maxrknnt_planners(c: &mut Criterion) {
         k: 5,
         max_candidate_paths: 256,
     };
-    let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+    let pre = Precomputation::build(
+        &dataset.graph,
+        &dataset.routes,
+        &dataset.transitions,
+        config.k,
+    );
     let diag = dataset
         .city
         .config
@@ -51,7 +61,12 @@ fn maxrknnt_planners(c: &mut Criterion) {
         .min
         .distance(&dataset.city.config.area().max);
     let queries = planner_queries(&dataset, &pre, diag * 0.15, 1.4);
-    let brute = BruteForcePlanner::new(&dataset.graph, &dataset.routes, &dataset.transitions, config);
+    let brute = BruteForcePlanner::new(
+        &dataset.graph,
+        &dataset.routes,
+        &dataset.transitions,
+        config,
+    );
     let pre_planner = PrePlanner::new(&dataset.graph, &pre, config);
     let pruning = PruningPlanner::new(&dataset.graph, &pre);
 

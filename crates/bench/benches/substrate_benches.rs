@@ -4,11 +4,11 @@
 //! DESIGN.md calls out for the index-layer design choices.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rknnt_geo::{Point, Rect};
 use rknnt_graph::{yen_k_shortest_paths, DistanceMatrix, RouteGraph};
 use rknnt_rtree::{RTree, RTreeConfig};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn scatter(n: usize) -> Vec<(Point, u32)> {
     (0..n)

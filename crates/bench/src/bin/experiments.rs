@@ -19,6 +19,7 @@ struct Args {
     experiment: String,
     scale: ScaleConfig,
     out_dir: PathBuf,
+    options: experiments::RunOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
         experiment: "all".to_string(),
         scale: ScaleConfig::default(),
         out_dir: PathBuf::from("results"),
+        options: experiments::RunOptions::default(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -62,10 +64,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
             "--tiny" => args.scale = ScaleConfig::tiny(),
+            "--dataset" => {
+                args.options.service_dataset = value("--dataset")?
+                    .parse()
+                    .map_err(|e| format!("--dataset: {e}"))?
+            }
+            "--semantics" => {
+                args.options.semantics = value("--semantics")?
+                    .parse()
+                    .map_err(|e| format!("--semantics: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [--exp NAME] [--city-scale F] [--transitions N] \
-                     [--synthetic-transitions N] [--queries N] [--seed N] [--out DIR] [--tiny]\n\
+                     [--synthetic-transitions N] [--queries N] [--seed N] [--out DIR] [--tiny] \
+                     [--dataset small|la|nyc|nyc-synthetic] [--semantics exists|forall]\n\
                      experiments: {}",
                     experiments::experiment_names().join(", ")
                 ))
@@ -93,7 +106,7 @@ fn main() -> ExitCode {
     println!("{}", ctx.la.summary());
     println!("{}", ctx.nyc.summary());
 
-    let Some(reports) = experiments::run(&ctx, &args.experiment) else {
+    let Some(reports) = experiments::run(&ctx, &args.experiment, &args.options) else {
         eprintln!(
             "unknown experiment {:?}; valid names: {}",
             args.experiment,

@@ -4,9 +4,13 @@ use rknnt_data::{CityConfig, CityGenerator, TransitionConfig, TransitionGenerato
 use rknnt_graph::RouteGraph;
 use rknnt_index::{RouteStore, TransitionStore};
 
-/// Which of the paper's datasets to emulate.
+/// Which of the paper's datasets to emulate (plus the small synthetic city
+/// used by the examples and the service-throughput experiment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
+    /// The small synthetic city of `CityConfig::small` (tests, examples,
+    /// service throughput).
+    Small,
     /// The LA bus network + LA-Transit check-ins.
     LaLike,
     /// The NYC bus network + NYC-Transit check-ins.
@@ -20,9 +24,37 @@ impl DatasetKind {
     /// Display name used in experiment output.
     pub fn name(self) -> &'static str {
         match self {
+            DatasetKind::Small => "Small-synthetic",
             DatasetKind::LaLike => "LA-like",
             DatasetKind::NycLike => "NYC-like",
             DatasetKind::NycSynthetic => "NYC-Synthetic-like",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DatasetKind::Small => "small",
+            DatasetKind::LaLike => "la",
+            DatasetKind::NycLike => "nyc",
+            DatasetKind::NycSynthetic => "nyc-synthetic",
+        })
+    }
+}
+
+impl std::str::FromStr for DatasetKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" | "smallville" => Ok(DatasetKind::Small),
+            "la" | "la-like" => Ok(DatasetKind::LaLike),
+            "nyc" | "nyc-like" => Ok(DatasetKind::NycLike),
+            "nyc-synthetic" | "synthetic" => Ok(DatasetKind::NycSynthetic),
+            other => Err(format!(
+                "unknown dataset {other:?}; expected small, la, nyc or nyc-synthetic"
+            )),
         }
     }
 }
@@ -87,6 +119,7 @@ impl Dataset {
     /// Builds a dataset of the given kind at the given scale.
     pub fn build(kind: DatasetKind, scale: &ScaleConfig) -> Self {
         let city_config = match kind {
+            DatasetKind::Small => CityConfig::small(scale.seed),
             DatasetKind::LaLike => CityConfig::la_like(scale.city_scale, scale.seed),
             DatasetKind::NycLike | DatasetKind::NycSynthetic => {
                 CityConfig::nyc_like(scale.city_scale, scale.seed ^ 0x5a5a)
@@ -212,6 +245,30 @@ mod tests {
         assert!(la.summary().contains("LA-like"));
         let synthetic = Dataset::build(DatasetKind::NycSynthetic, &scale);
         assert_eq!(synthetic.transitions.len(), scale.synthetic_transitions);
+    }
+
+    #[test]
+    fn dataset_kind_roundtrips_display_fromstr() {
+        for kind in [
+            DatasetKind::Small,
+            DatasetKind::LaLike,
+            DatasetKind::NycLike,
+            DatasetKind::NycSynthetic,
+        ] {
+            let parsed: DatasetKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("LA".parse::<DatasetKind>().unwrap(), DatasetKind::LaLike);
+        assert!("chicago".parse::<DatasetKind>().is_err());
+    }
+
+    #[test]
+    fn small_dataset_builds_from_the_small_city() {
+        let scale = ScaleConfig::tiny();
+        let small = Dataset::build(DatasetKind::Small, &scale);
+        assert_eq!(small.city.config.name, "Smallville");
+        assert_eq!(small.transitions.len(), scale.transitions);
+        assert!(small.summary().contains("Small-synthetic"));
     }
 
     #[test]

@@ -10,15 +10,17 @@
 use crate::dataset::{Dataset, DatasetKind, ExperimentContext};
 use crate::report::Report;
 use rknnt_core::{
-    DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery, VoronoiEngine,
+    DivideConquerEngine, EngineKind, FilterRefineEngine, RknnTEngine, RknntQuery, Semantics,
+    VoronoiEngine,
 };
 use rknnt_data::{stats, workload};
 use rknnt_geo::Point;
 use rknnt_index::RouteStore;
 use rknnt_routeplan::{
-    BruteForcePlanner, Objective, PlanQuery, PlannerConfig, Precomputation, PrePlanner,
+    BruteForcePlanner, Objective, PlanQuery, PlannerConfig, PrePlanner, Precomputation,
     PruningPlanner, RoutePlanner,
 };
+use rknnt_service::{EnginePolicy, QueryService, ServiceConfig};
 use std::time::Duration;
 
 /// Mean of a slice of durations (zero for an empty slice).
@@ -43,12 +45,19 @@ struct SweepPoint {
 }
 
 /// Runs every engine over the same query batch and reports mean timings.
-fn run_engines(dataset: &Dataset, queries: &[Vec<Point>], k: usize) -> Vec<(&'static str, SweepPoint)> {
+fn run_engines(
+    dataset: &Dataset,
+    queries: &[Vec<Point>],
+    k: usize,
+) -> Vec<(&'static str, SweepPoint)> {
     let fr = FilterRefineEngine::new(&dataset.routes, &dataset.transitions);
     let vo = VoronoiEngine::new(&dataset.routes, &dataset.transitions);
     let dc = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
-    let engines: Vec<(&'static str, &dyn RknnTEngine)> =
-        vec![("Filter-Refine", &fr), ("Voronoi", &vo), ("Divide-Conquer", &dc)];
+    let engines: Vec<(&'static str, &dyn RknnTEngine)> = vec![
+        ("Filter-Refine", &fr),
+        ("Voronoi", &vo),
+        ("Divide-Conquer", &dc),
+    ];
     engines
         .into_iter()
         .map(|(name, engine)| {
@@ -72,7 +81,12 @@ fn run_engines(dataset: &Dataset, queries: &[Vec<Point>], k: usize) -> Vec<(&'st
         .collect()
 }
 
-fn default_queries(ctx: &ExperimentContext, dataset: &Dataset, len: usize, interval: f64) -> Vec<Vec<Point>> {
+fn default_queries(
+    ctx: &ExperimentContext,
+    dataset: &Dataset,
+    len: usize,
+    interval: f64,
+) -> Vec<Vec<Point>> {
     workload::rknnt_queries(
         &dataset.city,
         ctx.scale.queries_per_point,
@@ -93,9 +107,7 @@ pub fn datasets(ctx: &ExperimentContext) -> Report {
     report.line(ctx.nyc.summary());
     let synthetic = Dataset::build(DatasetKind::NycSynthetic, &ctx.scale);
     report.line(synthetic.summary());
-    report.line(format!(
-        "(paper: LA 1,208 routes / 109,036 transitions; NYC 2,022 routes / 195,833 transitions; synthetic 10M transitions)"
-    ));
+    report.line("(paper: LA 1,208 routes / 109,036 transitions; NYC 2,022 routes / 195,833 transitions; synthetic 10M transitions)".to_string());
     report
 }
 
@@ -108,7 +120,10 @@ pub fn fig6(ctx: &ExperimentContext) -> Report {
         report.line(format!("{}:", dataset.kind.name()));
         for (lower, count) in hist.rows() {
             if count > 0 {
-                report.row(&[("ratio>=", format!("{lower:.1}")), ("#routes", count.to_string())]);
+                report.row(&[
+                    ("ratio>=", format!("{lower:.1}")),
+                    ("#routes", count.to_string()),
+                ]);
             }
         }
     }
@@ -126,7 +141,10 @@ pub fn fig8(ctx: &ExperimentContext) -> Report {
             .transitions()
             .flat_map(|t| [t.origin, t.destination])
             .collect();
-        for (label, points) in [("routes", &route_points), ("transitions", &transition_points)] {
+        for (label, points) in [
+            ("routes", &route_points),
+            ("transitions", &transition_points),
+        ] {
             let grid = stats::density_grid(points, &area, 10, 6);
             report.line(format!("{} — {label}:", dataset.kind.name()));
             for row in grid.iter().rev() {
@@ -147,20 +165,29 @@ pub fn fig17(ctx: &ExperimentContext) -> Report {
         let spans = stats::Histogram::build(&s.spans, 0.0, 2_000.0);
         for (lower, count) in spans.rows() {
             if count > 0 {
-                report.row(&[("span>=m", format!("{lower:.0}")), ("#routes", count.to_string())]);
+                report.row(&[
+                    ("span>=m", format!("{lower:.0}")),
+                    ("#routes", count.to_string()),
+                ]);
             }
         }
         let intervals = stats::Histogram::build(&s.intervals, 0.0, 100.0);
         for (lower, count) in intervals.rows() {
             if count > 0 {
-                report.row(&[("interval>=m", format!("{lower:.0}")), ("#routes", count.to_string())]);
+                report.row(&[
+                    ("interval>=m", format!("{lower:.0}")),
+                    ("#routes", count.to_string()),
+                ]);
             }
         }
         let stop_counts: Vec<f64> = s.stop_counts.iter().map(|c| *c as f64).collect();
         let stops = stats::Histogram::build(&stop_counts, 0.0, 10.0);
         for (lower, count) in stops.rows() {
             if count > 0 {
-                report.row(&[("#stops>=", format!("{lower:.0}")), ("#routes", count.to_string())]);
+                report.row(&[
+                    ("#stops>=", format!("{lower:.0}")),
+                    ("#routes", count.to_string()),
+                ]);
             }
         }
     }
@@ -175,7 +202,12 @@ pub fn fig17(ctx: &ExperimentContext) -> Report {
 pub fn fig9(ctx: &ExperimentContext) -> Report {
     let mut report = Report::new("Figure 9 — RkNNT running time vs k");
     for dataset in [&ctx.la, &ctx.nyc] {
-        let queries = default_queries(ctx, dataset, ctx.default_query_len(), ctx.default_interval());
+        let queries = default_queries(
+            ctx,
+            dataset,
+            ctx.default_query_len(),
+            ctx.default_interval(),
+        );
         for k in ctx.k_values() {
             for (name, point) in run_engines(dataset, &queries, k) {
                 report.row(&[
@@ -194,7 +226,12 @@ pub fn fig9(ctx: &ExperimentContext) -> Report {
 /// Figure 10: filtering vs verification breakdown vs k (LA-like).
 pub fn fig10(ctx: &ExperimentContext) -> Report {
     let mut report = Report::new("Figure 10 — phase breakdown vs k (LA-like)");
-    let queries = default_queries(ctx, &ctx.la, ctx.default_query_len(), ctx.default_interval());
+    let queries = default_queries(
+        ctx,
+        &ctx.la,
+        ctx.default_query_len(),
+        ctx.default_interval(),
+    );
     for k in ctx.k_values() {
         for (name, point) in run_engines(&ctx.la, &queries, k) {
             report.row(&[
@@ -248,7 +285,12 @@ pub fn fig12(ctx: &ExperimentContext) -> Report {
 pub fn fig13(ctx: &ExperimentContext) -> Report {
     let mut report = Report::new("Figure 13 — synthetic dataset, effect of k and |Q|");
     let synthetic = Dataset::build(DatasetKind::NycSynthetic, &ctx.scale);
-    let queries = default_queries(ctx, &synthetic, ctx.default_query_len(), ctx.default_interval());
+    let queries = default_queries(
+        ctx,
+        &synthetic,
+        ctx.default_query_len(),
+        ctx.default_interval(),
+    );
     for k in ctx.k_values() {
         for (name, point) in run_engines(&synthetic, &queries, k) {
             report.row(&[
@@ -344,7 +386,10 @@ pub fn fig16(ctx: &ExperimentContext) -> Report {
         ));
         for (lower, count) in hist.rows() {
             if count > 0 {
-                report.row(&[("time>=s", format!("{lower:.2}")), ("#queries", count.to_string())]);
+                report.row(&[
+                    ("time>=s", format!("{lower:.2}")),
+                    ("#queries", count.to_string()),
+                ]);
             }
         }
     }
@@ -361,12 +406,16 @@ pub fn table5(ctx: &ExperimentContext) -> Report {
     let mut report = Report::new("Table 5 — pre-computation time");
     for dataset in [&ctx.la, &ctx.nyc] {
         for k in [1usize, 5, 10] {
-            let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, k);
+            let pre =
+                Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, k);
             report.row(&[
                 ("dataset", dataset.kind.name().to_string()),
                 ("k", k.to_string()),
                 ("rknnt", format!("{:.2}s", pre.rknnt_time().as_secs_f64())),
-                ("shortest", format!("{:.2}s", pre.shortest_time().as_secs_f64())),
+                (
+                    "shortest",
+                    format!("{:.2}s", pre.shortest_time().as_secs_f64()),
+                ),
             ]);
         }
     }
@@ -383,7 +432,12 @@ fn run_planners(
     report: &mut Report,
     label: &str,
 ) {
-    let brute = BruteForcePlanner::new(&dataset.graph, &dataset.routes, &dataset.transitions, config);
+    let brute = BruteForcePlanner::new(
+        &dataset.graph,
+        &dataset.routes,
+        &dataset.transitions,
+        config,
+    );
     let pre_planner = PrePlanner::new(&dataset.graph, pre, config);
     let pruning = PruningPlanner::new(&dataset.graph, pre);
     let mut rows: Vec<(&str, Vec<Duration>)> = vec![
@@ -393,10 +447,18 @@ fn run_planners(
         ("Pre-Min", Vec::new()),
     ];
     for (query, _) in queries {
-        rows[0].1.push(brute.plan(query, Objective::Maximize).elapsed);
-        rows[1].1.push(pre_planner.plan(query, Objective::Maximize).elapsed);
-        rows[2].1.push(pruning.plan(query, Objective::Maximize).elapsed);
-        rows[3].1.push(pruning.plan(query, Objective::Minimize).elapsed);
+        rows[0]
+            .1
+            .push(brute.plan(query, Objective::Maximize).elapsed);
+        rows[1]
+            .1
+            .push(pre_planner.plan(query, Objective::Maximize).elapsed);
+        rows[2]
+            .1
+            .push(pruning.plan(query, Objective::Maximize).elapsed);
+        rows[3]
+            .1
+            .push(pruning.plan(query, Objective::Minimize).elapsed);
     }
     for (name, times) in rows {
         report.row(&[
@@ -416,7 +478,12 @@ pub fn fig18(ctx: &ExperimentContext) -> Report {
         max_candidate_paths: 512,
     };
     for dataset in [&ctx.la, &ctx.nyc] {
-        let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+        let pre = Precomputation::build(
+            &dataset.graph,
+            &dataset.routes,
+            &dataset.transitions,
+            config.k,
+        );
         for span in ctx.span_values(dataset) {
             let pairs = workload::plan_queries(
                 &dataset.graph,
@@ -455,7 +522,12 @@ pub fn fig19(ctx: &ExperimentContext) -> Report {
         max_candidate_paths: 512,
     };
     for dataset in [&ctx.la, &ctx.nyc] {
-        let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+        let pre = Precomputation::build(
+            &dataset.graph,
+            &dataset.routes,
+            &dataset.transitions,
+            config.k,
+        );
         let span = ctx.span_values(dataset)[1];
         let pairs = workload::plan_queries(
             &dataset.graph,
@@ -497,13 +569,24 @@ pub fn fig20(ctx: &ExperimentContext) -> Report {
         max_candidate_paths: 512,
     };
     for dataset in [&ctx.la, &ctx.nyc] {
-        let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+        let pre = Precomputation::build(
+            &dataset.graph,
+            &dataset.routes,
+            &dataset.transitions,
+            config.k,
+        );
         let pruning = PruningPlanner::new(&dataset.graph, &pre);
         let max_queries = (ctx.scale.queries_per_point * 2).max(6);
         let mut times = Vec::new();
         for route in dataset.city.routes.iter().take(max_queries) {
-            let start = dataset.graph.nearest_vertex(route.first().expect("route")).expect("vertex");
-            let end = dataset.graph.nearest_vertex(route.last().expect("route")).expect("vertex");
+            let start = dataset
+                .graph
+                .nearest_vertex(route.first().expect("route"))
+                .expect("vertex");
+            let end = dataset
+                .graph
+                .nearest_vertex(route.last().expect("route"))
+                .expect("vertex");
             if start == end {
                 continue;
             }
@@ -524,7 +607,10 @@ pub fn fig20(ctx: &ExperimentContext) -> Report {
         ));
         for (lower, count) in hist.rows() {
             if count > 0 {
-                report.row(&[("time>=s", format!("{lower:.2}")), ("#queries", count.to_string())]);
+                report.row(&[
+                    ("time>=s", format!("{lower:.2}")),
+                    ("#queries", count.to_string()),
+                ]);
             }
         }
     }
@@ -541,7 +627,12 @@ pub fn fig21(ctx: &ExperimentContext) -> Report {
         k: ctx.default_k(),
         max_candidate_paths: 512,
     };
-    let pre = Precomputation::build(&dataset.graph, &dataset.routes, &dataset.transitions, config.k);
+    let pre = Precomputation::build(
+        &dataset.graph,
+        &dataset.routes,
+        &dataset.transitions,
+        config.k,
+    );
     // Pick the generated route with the most stops as the "original" line.
     let original = dataset
         .city
@@ -550,8 +641,14 @@ pub fn fig21(ctx: &ExperimentContext) -> Report {
         .max_by_key(|r| r.len())
         .expect("at least one route")
         .clone();
-    let start = dataset.graph.nearest_vertex(original.first().expect("route")).expect("vertex");
-    let end = dataset.graph.nearest_vertex(original.last().expect("route")).expect("vertex");
+    let start = dataset
+        .graph
+        .nearest_vertex(original.first().expect("route"))
+        .expect("vertex");
+    let end = dataset
+        .graph
+        .nearest_vertex(original.last().expect("route"))
+        .expect("vertex");
     let original_tau = rknnt_geo::travel_distance(&original);
     let engine = DivideConquerEngine::new(&dataset.routes, &dataset.transitions);
     let original_passengers = engine
@@ -567,7 +664,11 @@ pub fn fig21(ctx: &ExperimentContext) -> Report {
 
     let shortest = dataset.graph.shortest_path(start, end);
     if let Some(path) = &shortest {
-        let positions: Vec<Point> = path.vertices.iter().map(|v| dataset.graph.position(*v)).collect();
+        let positions: Vec<Point> = path
+            .vertices
+            .iter()
+            .map(|v| dataset.graph.position(*v))
+            .collect();
         let started = std::time::Instant::now();
         let passengers = engine
             .execute(&RknntQuery::exists(positions, config.k))
@@ -583,7 +684,10 @@ pub fn fig21(ctx: &ExperimentContext) -> Report {
 
     let pruning = PruningPlanner::new(&dataset.graph, &pre);
     let tau = original_tau.max(pre.matrix().distance(start, end));
-    for (label, objective) in [("MaxRkNNT", Objective::Maximize), ("MinRkNNT", Objective::Minimize)] {
+    for (label, objective) in [
+        ("MaxRkNNT", Objective::Maximize),
+        ("MinRkNNT", Objective::Minimize),
+    ] {
         let out = pruning.plan(&PlanQuery { start, end, tau }, objective);
         report.row(&[
             ("route", label.to_string()),
@@ -599,8 +703,144 @@ pub fn fig21(ctx: &ExperimentContext) -> Report {
     report
 }
 
-/// Every experiment in paper order, used by `--exp all`.
-pub fn all(ctx: &ExperimentContext) -> Vec<Report> {
+// ---------------------------------------------------------------------------
+// Serving-layer experiments (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// Workload for the service experiment: `total` queries cycling a pool of
+/// generated routes, so the stream contains the exact repetition (popular
+/// routes queried again and again) a production service sees.
+fn service_workload(
+    ctx: &ExperimentContext,
+    dataset: &Dataset,
+    semantics: Semantics,
+    total: usize,
+) -> Vec<RknntQuery> {
+    let pool = workload::rknnt_queries(
+        &dataset.city,
+        (ctx.scale.queries_per_point * 8).max(24),
+        ctx.default_query_len(),
+        1_000.0,
+        ctx.scale.seed ^ 0xbee,
+    );
+    (0..total)
+        .map(|i| RknntQuery {
+            route: pool[i % pool.len()].clone(),
+            k: ctx.default_k(),
+            semantics,
+        })
+        .collect()
+}
+
+/// Service throughput: sequential per-query execution vs batched execution
+/// vs batched execution with the result cache, at batch sizes 1/16/256 and
+/// worker counts 1/4/8 (QPS = queries / wall-clock).
+pub fn service_throughput(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    semantics: Semantics,
+) -> Report {
+    let mut report = Report::new("Service throughput — sequential vs batched vs batched+cache");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    let total = (ctx.scale.queries_per_point * 64).clamp(64, 1024);
+    let queries = service_workload(ctx, &dataset, semantics, total);
+    report.line(format!(
+        "{} — {} queries (pool cycling), k = {}, {} semantics",
+        dataset.kind.name(),
+        queries.len(),
+        ctx.default_k(),
+        semantics,
+    ));
+
+    let qps = |n: usize, elapsed: Duration| -> String {
+        if elapsed.is_zero() {
+            "inf".to_string()
+        } else {
+            format!("{:.0}", n as f64 / elapsed.as_secs_f64())
+        }
+    };
+
+    // Sequential baseline: the pre-service world, one engine, one thread.
+    let engine = EngineKind::Voronoi.build(&dataset.routes, &dataset.transitions);
+    let started = std::time::Instant::now();
+    let mut checksum = 0usize;
+    for q in &queries {
+        checksum += engine.execute(q).len();
+    }
+    let sequential = started.elapsed();
+    report.row(&[
+        ("mode", "sequential".to_string()),
+        ("batch", "1".to_string()),
+        ("workers", "1".to_string()),
+        ("qps", qps(queries.len(), sequential)),
+        ("results", checksum.to_string()),
+    ]);
+
+    for (mode, cache_capacity) in [("batched", 0usize), ("batched+cache", 4_096)] {
+        for workers in [1usize, 4, 8] {
+            for batch in [1usize, 16, 256] {
+                let service = QueryService::new(
+                    dataset.routes.clone(),
+                    dataset.transitions.clone(),
+                    ServiceConfig::default()
+                        .with_workers(workers)
+                        .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi))
+                        .with_cache_capacity(cache_capacity),
+                );
+                let started = std::time::Instant::now();
+                let mut results = 0usize;
+                let mut groups = 0usize;
+                let mut saved = 0usize;
+                let mut hits = 0usize;
+                for chunk in queries.chunks(batch) {
+                    let (outs, stats) = service.execute_batch(chunk);
+                    results += outs.iter().map(|r| r.len()).sum::<usize>();
+                    groups += stats.groups;
+                    saved += stats.filters_saved + stats.duplicates_coalesced;
+                    hits += stats.cache_hits;
+                }
+                let elapsed = started.elapsed();
+                assert_eq!(
+                    results, checksum,
+                    "batched answers diverged from sequential"
+                );
+                report.row(&[
+                    ("mode", mode.to_string()),
+                    ("batch", batch.to_string()),
+                    ("workers", workers.to_string()),
+                    ("qps", qps(queries.len(), elapsed)),
+                    ("groups", groups.to_string()),
+                    ("saved", saved.to_string()),
+                    ("cache_hits", hits.to_string()),
+                ]);
+            }
+        }
+    }
+    report
+}
+
+/// Options the CLI threads into experiments that take flags (today: the
+/// service-throughput experiment's dataset and semantics).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Dataset the service-throughput experiment runs on.
+    pub service_dataset: DatasetKind,
+    /// Query semantics for the service-throughput experiment.
+    pub semantics: Semantics,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            service_dataset: DatasetKind::Small,
+            semantics: Semantics::Exists,
+        }
+    }
+}
+
+/// Every experiment in paper order (plus the serving-layer experiments),
+/// used by `--exp all`.
+pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
     vec![
         datasets(ctx),
         fig6(ctx),
@@ -619,11 +859,12 @@ pub fn all(ctx: &ExperimentContext) -> Vec<Report> {
         fig19(ctx),
         fig20(ctx),
         fig21(ctx),
+        service_throughput(ctx, options.service_dataset, options.semantics),
     ]
 }
 
 /// Dispatches one experiment by name; `None` for an unknown name.
-pub fn run(ctx: &ExperimentContext, name: &str) -> Option<Vec<Report>> {
+pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<Vec<Report>> {
     let single = |r: Report| Some(vec![r]);
     match name {
         "datasets" | "table2" | "table3" => single(datasets(ctx)),
@@ -643,7 +884,12 @@ pub fn run(ctx: &ExperimentContext, name: &str) -> Option<Vec<Report>> {
         "fig19" => single(fig19(ctx)),
         "fig20" => single(fig20(ctx)),
         "fig21" => single(fig21(ctx)),
-        "all" => Some(all(ctx)),
+        "service_throughput" | "service" => single(service_throughput(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
+        "all" => Some(all(ctx, options)),
         _ => None,
     }
 }
@@ -651,8 +897,25 @@ pub fn run(ctx: &ExperimentContext, name: &str) -> Option<Vec<Report>> {
 /// Names accepted by [`run`], for `--help` output.
 pub fn experiment_names() -> &'static [&'static str] {
     &[
-        "datasets", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "table5", "fig18", "fig19", "fig20", "fig21", "all",
+        "datasets",
+        "fig6",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "table5",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "service_throughput",
+        "all",
     ]
 }
 
@@ -702,8 +965,25 @@ mod tests {
     #[test]
     fn run_dispatches_and_rejects_unknown() {
         let ctx = tiny_ctx();
-        assert!(run(&ctx, "datasets").is_some());
-        assert!(run(&ctx, "not-an-experiment").is_none());
+        let options = RunOptions::default();
+        assert!(run(&ctx, "datasets", &options).is_some());
+        assert!(run(&ctx, "not-an-experiment", &options).is_none());
         assert!(experiment_names().contains(&"fig9"));
+        assert!(experiment_names().contains(&"service_throughput"));
+    }
+
+    #[test]
+    fn service_throughput_reports_all_sweep_points() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 1;
+        let report = service_throughput(&ctx, DatasetKind::Small, Semantics::Exists);
+        // 1 header + 1 sequential row + 2 modes × 3 worker counts × 3 batch
+        // sizes.
+        assert_eq!(report.len(), 2 + 2 * 3 * 3);
+        let text = report.to_text();
+        assert!(text.contains("mode=sequential"));
+        assert!(text.contains("mode=batched"));
+        assert!(text.contains("mode=batched+cache"));
+        assert!(text.contains("Small-synthetic"));
     }
 }

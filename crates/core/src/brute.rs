@@ -104,7 +104,12 @@ mod tests {
                 // R0: along y = 0
                 vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(30.0, 0.0)],
                 // R1: along y = 100
-                vec![p(0.0, 100.0), p(10.0, 100.0), p(20.0, 100.0), p(30.0, 100.0)],
+                vec![
+                    p(0.0, 100.0),
+                    p(10.0, 100.0),
+                    p(20.0, 100.0),
+                    p(30.0, 100.0),
+                ],
             ],
         );
         let mut transitions = TransitionStore::default();
@@ -169,9 +174,7 @@ mod tests {
     fn degenerate_queries_return_empty() {
         let (routes, transitions) = small_world();
         let engine = BruteForceEngine::new(&routes, &transitions);
-        assert!(engine
-            .execute(&RknntQuery::exists(vec![], 3))
-            .is_empty());
+        assert!(engine.execute(&RknntQuery::exists(vec![], 3)).is_empty());
         assert!(engine
             .execute(&RknntQuery::exists(vec![p(0.0, 50.0)], 0))
             .is_empty());

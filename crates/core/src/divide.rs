@@ -141,7 +141,9 @@ mod tests {
         let routes: Vec<Vec<Point>> = (0..10)
             .map(|i| {
                 let y = i as f64 * 12.0;
-                (0..6).map(|j| p(j as f64 * 12.0, y + (j % 2) as f64)).collect()
+                (0..6)
+                    .map(|j| p(j as f64 * 12.0, y + (j % 2) as f64))
+                    .collect()
             })
             .collect();
         let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
@@ -204,11 +206,7 @@ mod tests {
             .transitions;
         let mut union: Vec<_> = points
             .iter()
-            .flat_map(|q| {
-                oracle
-                    .execute(&RknntQuery::exists(vec![*q], k))
-                    .transitions
-            })
+            .flat_map(|q| oracle.execute(&RknntQuery::exists(vec![*q], k)).transitions)
             .collect();
         union.sort_unstable();
         union.dedup();

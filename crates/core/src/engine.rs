@@ -9,7 +9,12 @@ use crate::query::{RknntQuery, RknntResult};
 /// query (they differ only in how much work they do); this is asserted by the
 /// cross-engine equivalence tests in `tests/` and by the property tests
 /// against the brute-force oracle.
-pub trait RknnTEngine {
+///
+/// Engines are `Send + Sync`: they hold only shared references into the
+/// stores plus immutable per-engine indexes (the NList), so the serving
+/// layer can execute queries against one engine from many worker threads,
+/// or build one engine per worker inside a [`std::thread::scope`].
+pub trait RknnTEngine: Send + Sync {
     /// Human-readable engine name used in benchmark output
     /// ("Filter-Refine", "Voronoi", "Divide-Conquer", "BruteForce").
     fn name(&self) -> &'static str;

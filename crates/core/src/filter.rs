@@ -14,7 +14,9 @@
 //! several routes at once — Definition 7), then, when enabled, using the
 //! per-route Voronoi filtering spaces of Section 5.1.
 
-use rknnt_geo::{min_dist_query_rect, point_route_distance, FilteringSpace, Point, Rect, VoronoiFilter};
+use rknnt_geo::{
+    min_dist_query_rect, point_route_distance, FilteringSpace, Point, Rect, VoronoiFilter,
+};
 use rknnt_index::{RouteId, RouteStore, StopId};
 use rknnt_rtree::NodeId;
 use std::cmp::Ordering;
@@ -84,7 +86,7 @@ impl FilterSet {
     /// tried first) and builds the per-route Voronoi filtering spaces.
     fn finalize(&mut self, query: &[Point]) {
         self.points
-            .sort_by(|a, b| b.crossover.len().cmp(&a.crossover.len()));
+            .sort_by_key(|fp| std::cmp::Reverse(fp.crossover.len()));
         self.voronoi = self
             .by_route
             .iter()
@@ -123,7 +125,13 @@ impl FilterSet {
         )
     }
 
-    fn filters_impl<F, G>(&self, k: usize, use_voronoi: bool, inside_space: F, inside_voronoi: G) -> bool
+    fn filters_impl<F, G>(
+        &self,
+        k: usize,
+        use_voronoi: bool,
+        inside_space: F,
+        inside_voronoi: G,
+    ) -> bool
     where
         F: Fn(&FilteringSpace) -> bool,
         G: Fn(&VoronoiFilter) -> bool,
@@ -233,7 +241,9 @@ pub fn build_filter_set(routes: &RouteStore, query: &[Point], k: usize) -> Filte
     while let Some(item) = heap.pop() {
         match item.entry {
             HeapEntry::Node(id) => {
-                let Some(node) = tree.node_ref(id) else { continue };
+                let Some(node) = tree.node_ref(id) else {
+                    continue;
+                };
                 if filter_set.filters_rect(&node.mbr(), k, false) {
                     refine_nodes.push(id);
                     continue;

@@ -2,7 +2,7 @@
 //! (Section 5.1).
 
 use crate::engine::RknnTEngine;
-use crate::filter::build_filter_set;
+use crate::filter::{build_filter_set, FilterOutcome};
 use crate::prune::prune_transitions;
 use crate::query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
 use crate::verify::qualifies;
@@ -52,33 +52,50 @@ impl<'a> FilterRefineEngine<'a> {
     pub fn stores(&self) -> (&'a RouteStore, &'a TransitionStore) {
         (self.routes, self.transitions)
     }
-}
 
-impl RknnTEngine for FilterRefineEngine<'_> {
-    fn name(&self) -> &'static str {
-        if self.use_voronoi {
-            "Voronoi"
-        } else {
-            "Filter-Refine"
-        }
+    /// Builds the filter set for a query (phase 1 of Algorithm 1) without
+    /// running the rest of the pipeline.
+    ///
+    /// The outcome depends only on `(query.route, query.k)` — not on the
+    /// semantics — so the serving layer builds it once per distinct
+    /// `(route, k)` in a batch and replays it through
+    /// [`FilterRefineEngine::execute_with_filter`] for every query sharing
+    /// the pair.
+    pub fn build_filter(&self, query: &RknntQuery) -> FilterOutcome {
+        build_filter_set(self.routes, &query.route, query.k)
     }
 
-    fn execute(&self, query: &RknntQuery) -> RknntResult {
+    /// Executes the prune + verify phases against a pre-built filter
+    /// outcome.
+    ///
+    /// `filter_outcome` **must** have been built for this query's
+    /// `(route, k)` pair (e.g. by [`FilterRefineEngine::build_filter`]);
+    /// reusing a filter set across different routes or k values is unsound.
+    /// Given that precondition, the returned transition set is byte-identical
+    /// to [`RknnTEngine::execute`]'s — the pipeline is deterministic — which
+    /// is what lets the batch service share filter construction across
+    /// queries without changing any answer. Reported filtering time covers
+    /// only the pruning done here; callers amortising one construction over
+    /// several queries account for the construction time themselves.
+    pub fn execute_with_filter(
+        &self,
+        query: &RknntQuery,
+        filter_outcome: &FilterOutcome,
+    ) -> RknntResult {
         let mut result = RknntResult::default();
         if query.is_degenerate() {
             return result;
         }
 
-        // Phase 1+2: filter-set construction and transition pruning.
-        let filter_started = Instant::now();
-        let filter_outcome = build_filter_set(self.routes, &query.route, query.k);
+        // Phase 2: transition pruning against the supplied filter set.
+        let prune_started = Instant::now();
         let prune_outcome = prune_transitions(
             self.transitions,
             &filter_outcome.filter_set,
             query.k,
             self.use_voronoi,
         );
-        let filtering = filter_started.elapsed();
+        let filtering = prune_started.elapsed();
 
         // Phase 3: exact verification of the surviving endpoints.
         let verify_started = Instant::now();
@@ -90,7 +107,9 @@ impl RknnTEngine for FilterRefineEngine<'_> {
             if ok {
                 verified_endpoints += 1;
             }
-            let entry = per_transition.entry(cand.transition).or_insert((false, false));
+            let entry = per_transition
+                .entry(cand.transition)
+                .or_insert((false, false));
             match cand.kind {
                 EndpointKind::Origin => entry.0 |= ok,
                 EndpointKind::Destination => entry.1 |= ok,
@@ -125,6 +144,32 @@ impl RknnTEngine for FilterRefineEngine<'_> {
     }
 }
 
+impl RknnTEngine for FilterRefineEngine<'_> {
+    fn name(&self) -> &'static str {
+        if self.use_voronoi {
+            "Voronoi"
+        } else {
+            "Filter-Refine"
+        }
+    }
+
+    fn execute(&self, query: &RknntQuery) -> RknntResult {
+        if query.is_degenerate() {
+            return RknntResult::default();
+        }
+
+        // Phase 1: filter-set construction, then the shared prune + verify
+        // pipeline. The construction time is folded into the filtering phase
+        // so the breakdown figures match the paper's definition.
+        let filter_started = Instant::now();
+        let filter_outcome = self.build_filter(query);
+        let construction = filter_started.elapsed();
+        let mut result = self.execute_with_filter(query, &filter_outcome);
+        result.timings.filtering += construction;
+        result
+    }
+}
+
 /// The Voronoi engine of Section 5.1: identical pipeline, but `IsFiltered`
 /// additionally uses the per-route Voronoi filtering spaces, enlarging the
 /// pruned region and reducing the number of candidates to verify.
@@ -139,6 +184,22 @@ impl<'a> VoronoiEngine<'a> {
     /// Access to the underlying Filter–Refine pipeline.
     pub fn inner(&self) -> &FilterRefineEngine<'a> {
         &self.0
+    }
+
+    /// Builds the filter set for a query; see
+    /// [`FilterRefineEngine::build_filter`].
+    pub fn build_filter(&self, query: &RknntQuery) -> FilterOutcome {
+        self.0.build_filter(query)
+    }
+
+    /// Executes against a pre-built filter outcome; see
+    /// [`FilterRefineEngine::execute_with_filter`].
+    pub fn execute_with_filter(
+        &self,
+        query: &RknntQuery,
+        filter_outcome: &FilterOutcome,
+    ) -> RknntResult {
+        self.0.execute_with_filter(query, filter_outcome)
     }
 }
 

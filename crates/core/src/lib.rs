@@ -26,6 +26,7 @@ mod divide;
 mod engine;
 mod filter;
 mod filter_refine;
+mod kind;
 mod prune;
 mod query;
 mod verify;
@@ -33,8 +34,9 @@ mod verify;
 pub use brute::BruteForceEngine;
 pub use divide::DivideConquerEngine;
 pub use engine::RknnTEngine;
-pub use filter::{FilterOutcome, FilterSet};
+pub use filter::{build_filter_set, FilterOutcome, FilterSet};
 pub use filter_refine::{FilterRefineEngine, VoronoiEngine};
+pub use kind::EngineKind;
 pub use prune::CandidateEndpoint;
 pub use query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
 pub use verify::{count_closer_routes, count_closer_routes_sq};

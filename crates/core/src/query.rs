@@ -20,6 +20,29 @@ pub enum Semantics {
     ForAll,
 }
 
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Semantics::Exists => "exists",
+            Semantics::ForAll => "forall",
+        })
+    }
+}
+
+impl std::str::FromStr for Semantics {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exists" | "exist" | "any" | "∃" => Ok(Semantics::Exists),
+            "forall" | "for-all" | "for_all" | "all" | "∀" => Ok(Semantics::ForAll),
+            other => Err(format!(
+                "unknown semantics {other:?}; expected exists or forall"
+            )),
+        }
+    }
+}
+
 /// An RkNNT query: a query route `Q`, the neighbourhood size `k`, and the
 /// desired semantics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,6 +160,17 @@ mod tests {
         assert_eq!(q1.semantics, Semantics::Exists);
         assert_eq!(q2.semantics, Semantics::ForAll);
         assert_eq!(Semantics::default(), Semantics::Exists);
+    }
+
+    #[test]
+    fn semantics_roundtrip_display_fromstr() {
+        for semantics in [Semantics::Exists, Semantics::ForAll] {
+            let parsed: Semantics = semantics.to_string().parse().unwrap();
+            assert_eq!(parsed, semantics);
+        }
+        assert_eq!("for_all".parse::<Semantics>().unwrap(), Semantics::ForAll);
+        assert_eq!("ANY".parse::<Semantics>().unwrap(), Semantics::Exists);
+        assert!("both".parse::<Semantics>().is_err());
     }
 
     #[test]

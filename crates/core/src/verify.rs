@@ -184,7 +184,13 @@ mod tests {
         let d_far = point_route_distance(&far, &query);
         assert!(!qualifies(&store, &nlist, &far, d_far * d_far, 3));
         // ...but with a large enough k it does.
-        assert!(qualifies(&store, &nlist, &far, d_far * d_far, store.num_routes() + 1));
+        assert!(qualifies(
+            &store,
+            &nlist,
+            &far,
+            d_far * d_far,
+            store.num_routes() + 1
+        ));
     }
 
     #[test]

@@ -146,10 +146,8 @@ impl CityGenerator {
             // Start anywhere on the lattice, with a random cardinal heading.
             let mut ci = rng.gen_range(0..cols);
             let mut cj = rng.gen_range(0..rows);
-            let mut heading: (i64, i64) = *[(1, 0), (-1, 0), (0, 1), (0, -1)]
-                .iter()
-                .nth(rng.gen_range(0..4))
-                .expect("four headings");
+            let mut heading: (i64, i64) =
+                [(1, 0), (-1, 0), (0, 1), (0, -1)][rng.gen_range(0..4usize)];
             let mut stops = vec![self.lattice_point(ci, cj)];
             while stops.len() < target_len {
                 // Turn left/right with small probability, never reverse.
@@ -257,7 +255,10 @@ mod tests {
             }
         }
         let shared = seen.values().filter(|c| **c > 1).count();
-        assert!(shared > 0, "expected at least one stop shared between routes");
+        assert!(
+            shared > 0,
+            "expected at least one stop shared between routes"
+        );
         // And the route store must observe the same sharing through its PList.
         let store = city.route_store();
         assert!(store.num_stops() < city.total_stops());

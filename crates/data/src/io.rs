@@ -34,7 +34,7 @@ pub fn read_routes<R: Read>(reader: R) -> io::Result<Vec<Vec<Point>>> {
             continue;
         }
         let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() < 5 || (fields.len() - 1) % 2 != 0 {
+        if fields.len() < 5 || !(fields.len() - 1).is_multiple_of(2) {
             return Err(malformed(lineno, "expected route_id followed by x,y pairs"));
         }
         let mut points = Vec::with_capacity((fields.len() - 1) / 2);

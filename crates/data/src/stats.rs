@@ -138,8 +138,7 @@ mod tests {
         };
         assert!(median < 5.0, "median detour ratio {median} is implausible");
         // Intervals hover around the configured stop spacing.
-        let mean_interval: f64 =
-            stats.intervals.iter().sum::<f64>() / stats.intervals.len() as f64;
+        let mean_interval: f64 = stats.intervals.iter().sum::<f64>() / stats.intervals.len() as f64;
         assert!((mean_interval - city.config.stop_spacing).abs() < city.config.stop_spacing);
     }
 

@@ -132,8 +132,8 @@ mod tests {
         let b = TransitionGenerator::new(cfg).generate(&city);
         assert_eq!(a.len(), 500);
         assert_eq!(a, b);
-        let store = TransitionGenerator::new(TransitionConfig::checkin_like(200, 2))
-            .generate_store(&city);
+        let store =
+            TransitionGenerator::new(TransitionConfig::checkin_like(200, 2)).generate_store(&city);
         assert_eq!(store.len(), 200);
         assert_eq!(store.rtree().len(), 400);
     }
@@ -144,10 +144,9 @@ mod tests {
         // nearest-stop distance of its endpoints is smaller than for the
         // uniform generator.
         let city = city();
-        let clustered = TransitionGenerator::new(TransitionConfig::checkin_like(400, 3))
-            .generate(&city);
-        let uniform =
-            TransitionGenerator::new(TransitionConfig::uniform(400, 3)).generate(&city);
+        let clustered =
+            TransitionGenerator::new(TransitionConfig::checkin_like(400, 3)).generate(&city);
+        let uniform = TransitionGenerator::new(TransitionConfig::uniform(400, 3)).generate(&city);
         let store = city.route_store();
         let mean_stop_dist = |pairs: &[(Point, Point)]| {
             let mut total = 0.0;

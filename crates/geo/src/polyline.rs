@@ -81,7 +81,11 @@ mod tests {
 
     #[test]
     fn mean_interval_matches_definition() {
-        let r = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(8.0, 0.0)];
+        let r = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(8.0, 0.0),
+        ];
         assert!((mean_interval(&r) - 8.0 / 3.0).abs() < 1e-12);
         assert_eq!(mean_interval(&[]), 0.0);
     }

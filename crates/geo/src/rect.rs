@@ -206,8 +206,12 @@ impl Rect {
 
     /// Minimum distance between two rectangles (0 when they intersect).
     pub fn min_dist_rect(&self, other: &Rect) -> f64 {
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
 }

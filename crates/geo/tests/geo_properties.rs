@@ -2,9 +2,7 @@
 //! soundness depends on.
 
 use proptest::prelude::*;
-use rknnt_geo::{
-    point_route_distance, FilteringSpace, HalfPlane, Point, Rect, VoronoiFilter,
-};
+use rknnt_geo::{point_route_distance, FilteringSpace, HalfPlane, Point, Rect, VoronoiFilter};
 
 fn pt() -> impl Strategy<Value = Point> {
     (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))

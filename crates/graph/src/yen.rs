@@ -50,8 +50,7 @@ pub fn yen_k_shortest_paths(
             }
             // Vertices of the root (except the spur node) are excluded to
             // keep paths loopless.
-            let removed_vertices: HashSet<VertexId> =
-                root[..spur_idx].iter().copied().collect();
+            let removed_vertices: HashSet<VertexId> = root[..spur_idx].iter().copied().collect();
 
             let tree = graph.dijkstra_filtered(spur_node, |from, to| {
                 !removed_edges.contains(&(from, to))
@@ -107,11 +106,7 @@ pub fn paths_within(
     let mut k = 8usize;
     loop {
         let paths = yen_k_shortest_paths(graph, source, target, k.min(max_paths));
-        let within: Vec<Path> = paths
-            .iter()
-            .filter(|p| p.length <= tau)
-            .cloned()
-            .collect();
+        let within: Vec<Path> = paths.iter().filter(|p| p.length <= tau).cloned().collect();
         let exhausted = paths.len() < k.min(max_paths);
         let beyond_tau = paths.last().map(|p| p.length > tau).unwrap_or(true);
         if exhausted || beyond_tau {

@@ -254,7 +254,9 @@ mod tests {
     #[test]
     fn insert_and_lookup_routes() {
         let mut store = RouteStore::default();
-        let r1 = store.insert_route(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]).unwrap();
+        let r1 = store
+            .insert_route(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)])
+            .unwrap();
         let r2 = store.insert_route(vec![p(1.0, 0.0), p(1.0, 1.0)]).unwrap();
         assert!(store.insert_route(vec![p(5.0, 5.0)]).is_none());
         assert_eq!(store.num_routes(), 2);

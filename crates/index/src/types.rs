@@ -103,7 +103,11 @@ mod tests {
         assert!(Route::new(RouteId(0), vec![Point::new(0.0, 0.0)]).is_none());
         let r = Route::new(
             RouteId(0),
-            vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(3.0, 8.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 4.0),
+                Point::new(3.0, 8.0),
+            ],
         )
         .unwrap();
         assert_eq!(r.len(), 3);

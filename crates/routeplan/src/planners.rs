@@ -173,10 +173,18 @@ mod tests {
         // transitions clustered near the top rows so Max and Min differ.
         let mut route_points: Vec<Vec<Point>> = Vec::new();
         for y in 0..4 {
-            route_points.push((0..4).map(|x| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+            route_points.push(
+                (0..4)
+                    .map(|x| p(x as f64 * 10.0, y as f64 * 10.0))
+                    .collect(),
+            );
         }
         for x in 0..4 {
-            route_points.push((0..4).map(|y| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+            route_points.push(
+                (0..4)
+                    .map(|y| p(x as f64 * 10.0, y as f64 * 10.0))
+                    .collect(),
+            );
         }
         let graph = RouteGraph::from_routes(route_points.iter().map(|r| r.as_slice()));
         let (routes, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
@@ -184,7 +192,10 @@ mod tests {
         // Passengers concentrated along the y = 30 corridor.
         for i in 0..25u32 {
             let x = (i as f64 * 1.3) % 30.0;
-            transitions.insert(p(x, 28.0 + (i % 5) as f64), p(30.0 - x, 29.0 + (i % 3) as f64));
+            transitions.insert(
+                p(x, 28.0 + (i % 5) as f64),
+                p(30.0 - x, 29.0 + (i % 3) as f64),
+            );
         }
         // A few scattered near the bottom.
         for i in 0..5u32 {

@@ -224,10 +224,9 @@ impl RoutePlanner for PruningPlanner<'_> {
                 }
                 // checkDominance against the table entries for `next`.
                 let entries = dominance.entry(*next).or_default();
-                if entries
-                    .iter()
-                    .any(|(e_psi, e_omega)| Self::dominates(objective, *e_psi, e_omega, psi, &omega))
-                {
+                if entries.iter().any(|(e_psi, e_omega)| {
+                    Self::dominates(objective, *e_psi, e_omega, psi, &omega)
+                }) {
                     continue;
                 }
                 // The new partial survives: evict entries it dominates and
@@ -273,17 +272,28 @@ mod tests {
     fn grid_world() -> (RouteGraph, RouteStore, TransitionStore) {
         let mut route_points: Vec<Vec<Point>> = Vec::new();
         for y in 0..4 {
-            route_points.push((0..4).map(|x| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+            route_points.push(
+                (0..4)
+                    .map(|x| p(x as f64 * 10.0, y as f64 * 10.0))
+                    .collect(),
+            );
         }
         for x in 0..4 {
-            route_points.push((0..4).map(|y| p(x as f64 * 10.0, y as f64 * 10.0)).collect());
+            route_points.push(
+                (0..4)
+                    .map(|y| p(x as f64 * 10.0, y as f64 * 10.0))
+                    .collect(),
+            );
         }
         let graph = RouteGraph::from_routes(route_points.iter().map(|r| r.as_slice()));
         let (routes, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
         let mut transitions = TransitionStore::default();
         for i in 0..25u32 {
             let x = (i as f64 * 1.3) % 30.0;
-            transitions.insert(p(x, 28.0 + (i % 5) as f64), p(30.0 - x, 29.0 + (i % 3) as f64));
+            transitions.insert(
+                p(x, 28.0 + (i % 5) as f64),
+                p(30.0 - x, 29.0 + (i % 3) as f64),
+            );
         }
         for i in 0..5u32 {
             transitions.insert(p(i as f64 * 6.0, 1.0), p(30.0 - i as f64 * 6.0, 2.0));

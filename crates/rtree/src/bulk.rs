@@ -88,22 +88,14 @@ fn pack_internal<D: Clone + PartialEq>(
     let slice_count = (node_count as f64).sqrt().ceil() as usize;
     let slice_size = n.div_ceil(slice_count.max(1)).max(1);
 
-    children.sort_by(|a, b| {
-        tree_center(tree, *a)
-            .x
-            .total_cmp(&tree_center(tree, *b).x)
-    });
+    children.sort_by(|a, b| tree_center(tree, *a).x.total_cmp(&tree_center(tree, *b).x));
 
     let mut ids = Vec::with_capacity(node_count);
     let mut start = 0;
     while start < children.len() {
         let end = (start + slice_size).min(children.len());
         let slice = &mut children[start..end];
-        slice.sort_by(|a, b| {
-            tree_center(tree, *a)
-                .y
-                .total_cmp(&tree_center(tree, *b).y)
-        });
+        slice.sort_by(|a, b| tree_center(tree, *a).y.total_cmp(&tree_center(tree, *b).y));
         let mut chunk_start = 0;
         while chunk_start < slice.len() {
             let chunk_end = (chunk_start + capacity).min(slice.len());
@@ -180,6 +172,10 @@ mod tests {
         let tree = RTree::bulk_load(RTreeConfig::new(32, 12), items);
         // STR packing should need close to n/capacity leaves; allow 40% slack.
         let min_possible = 3200usize.div_ceil(32);
-        assert!(tree.node_count() < min_possible * 2, "nodes = {}", tree.node_count());
+        assert!(
+            tree.node_count() < min_possible * 2,
+            "nodes = {}",
+            tree.node_count()
+        );
     }
 }

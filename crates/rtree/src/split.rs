@@ -79,7 +79,7 @@ fn split_indices(rects: &[Rect], min_entries: usize) -> Vec<usize> {
         // reach the minimum fill.
         let left = remaining.len();
         if group_a.len() + left <= min_entries {
-            group_a.extend(remaining.drain(..));
+            group_a.append(&mut remaining);
             break;
         }
         if group_b_len + left <= min_entries {

@@ -227,7 +227,8 @@ impl<D: Clone + PartialEq> RTree<D> {
                     NodeKind::Leaf(e) => std::mem::take(e),
                     NodeKind::Internal(_) => unreachable!(),
                 };
-                let (group_a, group_b) = split::quadratic_split_entries(entries, self.config.min_entries);
+                let (group_a, group_b) =
+                    split::quadratic_split_entries(entries, self.config.min_entries);
                 if let NodeKind::Leaf(e) = &mut self.node_mut(id).kind {
                     *e = group_a;
                 }
@@ -368,8 +369,7 @@ impl<D: Clone + PartialEq> RTree<D> {
         }
         // Shrink the root: an internal root with a single child is replaced
         // by that child; an empty root empties the tree.
-        loop {
-            let Some(root) = self.root else { break };
+        while let Some(root) = self.root {
             match &self.node(root).kind {
                 NodeKind::Leaf(entries) => {
                     if entries.is_empty() && orphans.is_empty() {
@@ -501,17 +501,18 @@ impl<D: Clone + PartialEq> RTree<D> {
                 *counted += entries.len();
                 for e in entries {
                     if !node.mbr.contains_point(&e.point) {
-                        return Err(format!("leaf {id:?} MBR does not contain entry {:?}", e.point));
+                        return Err(format!(
+                            "leaf {id:?} MBR does not contain entry {:?}",
+                            e.point
+                        ));
                     }
                 }
                 let mut exact = Rect::empty();
                 for e in entries {
                     exact.expand_to_point(&e.point);
                 }
-                if !is_root || !entries.is_empty() {
-                    if exact != node.mbr {
-                        return Err(format!("leaf {id:?} MBR is not tight"));
-                    }
+                if (!is_root || !entries.is_empty()) && exact != node.mbr {
+                    return Err(format!("leaf {id:?} MBR is not tight"));
                 }
             }
             NodeKind::Internal(children) => {

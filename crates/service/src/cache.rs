@@ -1,0 +1,367 @@
+//! The seeded-hash LRU result cache.
+//!
+//! Keyed on the *exact* query — route coordinates (bit-compared), `k` and
+//! semantics — so a hit returns precisely the result the engines would
+//! recompute. The hash function is FNV-1a seeded from the service
+//! configuration rather than `std`'s per-process `RandomState`: repeated runs
+//! of the same workload then touch the same buckets in the same order, which
+//! keeps the throughput experiments reproducible; the seed remains
+//! configurable so a deployment can still pick its own.
+//!
+//! Recency is tracked with an intrusive doubly-linked list over a slot
+//! arena, giving O(1) lookup, touch, insert and eviction.
+
+use rknnt_core::{RknntQuery, RknntResult, Semantics};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Sentinel for "no slot" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// A query route as coordinate bit patterns — the exact-identity form shared
+/// by the cache key, the coalescing key and the filter-sharing key. Bit
+/// comparison (rather than `f64` equality) keeps it `Eq + Hash` and treats
+/// `-0.0 != 0.0` / NaNs conservatively — a miss costs a recomputation, never
+/// a wrong answer.
+pub(crate) fn route_bits(route: &[rknnt_geo::Point]) -> Vec<(u64, u64)> {
+    route
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits()))
+        .collect()
+}
+
+/// Exact-match cache key: query route as coordinate bit patterns
+/// ([`route_bits`]), `k` and semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    route_bits: Vec<(u64, u64)>,
+    k: usize,
+    semantics: Semantics,
+}
+
+impl CacheKey {
+    /// Builds the key for a query.
+    pub fn of(query: &RknntQuery) -> Self {
+        CacheKey {
+            route_bits: route_bits(&query.route),
+            k: query.k,
+            semantics: query.semantics,
+        }
+    }
+}
+
+/// FNV-1a, with the service's seed folded into the initial state.
+pub struct SeededHasher(u64);
+
+impl Hasher for SeededHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// `BuildHasher` producing [`SeededHasher`]s from a fixed seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededState(u64);
+
+impl BuildHasher for SeededState {
+    type Hasher = SeededHasher;
+
+    fn build_hasher(&self) -> SeededHasher {
+        SeededHasher(0xcbf29ce484222325 ^ self.0)
+    }
+}
+
+/// Monotonic counters exposed for observability and asserted by the
+/// cache tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached result.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results stored.
+    pub insertions: u64,
+    /// Results evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Full invalidations (generation bumps).
+    pub invalidations: u64,
+}
+
+struct Slot {
+    key: CacheKey,
+    value: RknntResult,
+    prev: usize,
+    next: usize,
+}
+
+/// The LRU cache itself. Not internally synchronised — the service wraps it
+/// in a `Mutex` (lookups are microseconds against engine executions of
+/// milliseconds, so a single lock is not the bottleneck at this scale).
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize, SeededState>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results. Capacity 0 disables
+    /// storage (every lookup misses).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::with_hasher(SeededState(seed)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a query, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<RknntResult> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(self.slots[slot].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: RknntResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get(&key).copied() {
+            // Same query computed twice (e.g. two concurrent batches):
+            // refresh the value and recency.
+            self.slots[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        self.stats.insertions += 1;
+    }
+
+    /// Drops every entry (the generation-bump hook).
+    pub fn invalidate_all(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.stats.invalidations += 1;
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        if victim == NIL {
+            return;
+        }
+        self.unlink(victim);
+        self.map.remove(&self.slots[victim].key);
+        self.free.push(victim);
+        self.stats.evictions += 1;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+    use rknnt_index::TransitionId;
+
+    fn query(x: f64, k: usize) -> RknntQuery {
+        RknntQuery::exists(vec![Point::new(x, 0.0), Point::new(x, 10.0)], k)
+    }
+
+    fn result(id: u32) -> RknntResult {
+        RknntResult {
+            transitions: vec![TransitionId(id)],
+            ..RknntResult::default()
+        }
+    }
+
+    #[test]
+    fn get_after_insert_roundtrips() {
+        let mut cache = ResultCache::new(4, 7);
+        let key = CacheKey::of(&query(1.0, 5));
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), result(3));
+        assert_eq!(cache.get(&key).unwrap().transitions, vec![TransitionId(3)]);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_k_and_semantics_are_distinct_keys() {
+        let mut cache = ResultCache::new(8, 7);
+        let exists = query(1.0, 5);
+        let mut forall = exists.clone();
+        forall.semantics = Semantics::ForAll;
+        let k9 = query(1.0, 9);
+        cache.insert(CacheKey::of(&exists), result(1));
+        assert!(cache.get(&CacheKey::of(&forall)).is_none());
+        assert!(cache.get(&CacheKey::of(&k9)).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache = ResultCache::new(2, 7);
+        let (a, b, c) = (
+            CacheKey::of(&query(1.0, 1)),
+            CacheKey::of(&query(2.0, 1)),
+            CacheKey::of(&query(3.0, 1)),
+        );
+        cache.insert(a.clone(), result(1));
+        cache.insert(b.clone(), result(2));
+        // Touch `a` so `b` becomes the LRU entry.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&b).is_none(), "b was LRU and must be evicted");
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_all_empties_the_cache() {
+        let mut cache = ResultCache::new(4, 7);
+        for i in 0..4 {
+            cache.insert(CacheKey::of(&query(i as f64, 1)), result(i));
+        }
+        assert_eq!(cache.len(), 4);
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert!(cache.get(&CacheKey::of(&query(0.0, 1))).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        // Reusable after invalidation.
+        cache.insert(CacheKey::of(&query(9.0, 1)), result(9));
+        assert!(cache.get(&CacheKey::of(&query(9.0, 1))).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = ResultCache::new(0, 7);
+        let key = CacheKey::of(&query(1.0, 1));
+        cache.insert(key.clone(), result(1));
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_value_and_recency() {
+        let mut cache = ResultCache::new(2, 7);
+        let (a, b) = (CacheKey::of(&query(1.0, 1)), CacheKey::of(&query(2.0, 1)));
+        cache.insert(a.clone(), result(1));
+        cache.insert(b.clone(), result(2));
+        cache.insert(a.clone(), result(10));
+        // `a` is now most recent; inserting a third key evicts `b`.
+        cache.insert(CacheKey::of(&query(3.0, 1)), result(3));
+        assert_eq!(cache.get(&a).unwrap().transitions, vec![TransitionId(10)]);
+        assert!(cache.get(&b).is_none());
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_and_map_consistent() {
+        let mut cache = ResultCache::new(8, 42);
+        for round in 0..200u32 {
+            let key = CacheKey::of(&query((round % 23) as f64, 1));
+            if round % 3 == 0 {
+                let _ = cache.get(&key);
+            }
+            cache.insert(key, result(round));
+            assert!(cache.len() <= 8);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.insertions - stats.evictions, cache.len() as u64);
+    }
+}

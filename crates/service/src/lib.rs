@@ -1,0 +1,56 @@
+//! Concurrent batch RkNNT query serving — the layer that turns the paper's
+//! single-threaded engines into a server-shaped system.
+//!
+//! The engines in `rknnt-core` answer one query at a time on one thread. A
+//! deployment serving passenger-demand estimation for a live bus network
+//! sees *streams* of queries with heavy spatial and exact repetition, plus a
+//! store that mutates as transitions arrive and expire. This crate adds the
+//! three mechanisms that workload needs, with a hard invariant — every
+//! answer is byte-identical to sequential single-query execution:
+//!
+//! * **[`QueryService`]** — owns the [`rknnt_index::RouteStore`] /
+//!   [`rknnt_index::TransitionStore`] pair behind an [`EnginePolicy`]
+//!   (fixed engine, or a per-query heuristic on `k` and route length) and
+//!   executes batches across a scoped worker pool
+//!   ([`QueryService::execute_batch`]).
+//! * **Shared-filter batching** — batch queries are grouped by engine,
+//!   spatial cell and `k`; within a group, queries with the same
+//!   `(route, k)` share one filter-set construction and exact duplicates
+//!   are coalesced outright. [`BatchStats`] reports groups formed, filter
+//!   constructions saved and wall-clock per phase.
+//! * **Result caching** — a seeded-hash LRU cache keyed on
+//!   `(route, k, semantics)` with an explicit
+//!   [`QueryService::invalidate_all`] / generation-bump hook wired into
+//!   [`QueryService::update_stores`], so dynamic-update workloads keep
+//!   serving correct results.
+//!
+//! ```
+//! use rknnt_core::RknntQuery;
+//! use rknnt_geo::Point;
+//! use rknnt_index::{RouteStore, TransitionStore};
+//! use rknnt_service::{QueryService, ServiceConfig};
+//!
+//! let mut routes = RouteStore::default();
+//! routes.insert_route(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+//! let mut transitions = TransitionStore::default();
+//! transitions.insert(Point::new(10.0, 5.0), Point::new(90.0, 5.0));
+//!
+//! let service = QueryService::new(routes, transitions, ServiceConfig::default());
+//! let query = RknntQuery::exists(vec![Point::new(0.0, 10.0), Point::new(100.0, 10.0)], 1);
+//! let (results, stats) = service.execute_batch(std::slice::from_ref(&query));
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(stats.queries, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod policy;
+mod service;
+
+pub use batch::{BatchPhaseTimings, BatchStats};
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use policy::EnginePolicy;
+pub use service::{QueryService, ServiceConfig};

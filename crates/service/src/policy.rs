@@ -1,0 +1,107 @@
+//! Engine-selection policy: which engine answers which query.
+
+use rknnt_core::{EngineKind, RknntQuery};
+use std::fmt;
+use std::str::FromStr;
+
+/// Decides the [`EngineKind`] for each query in a batch.
+///
+/// All engines return identical transition sets (the workspace's central
+/// correctness invariant), so the policy affects latency only — never
+/// answers. That is what makes per-query selection safe in a serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePolicy {
+    /// Always use one engine (benchmarks, determinism tests).
+    Fixed(EngineKind),
+    /// Pick per query from `k` and the route length, following the shape of
+    /// the paper's evaluation (Figures 9–15):
+    ///
+    /// * single-point queries — Filter–Refine: the single-point filtering
+    ///   space is already maximal, so Divide & Conquer's per-point machinery
+    ///   buys nothing and the Voronoi step adds constant work;
+    /// * large `k` (> 10) — Voronoi: verification dominates as `k` grows and
+    ///   the enlarged pruned region cuts candidates the most;
+    /// * otherwise — Divide & Conquer, the paper's best general performer on
+    ///   multi-point queries.
+    #[default]
+    Auto,
+}
+
+impl EnginePolicy {
+    /// The engine kind this policy assigns to `query`.
+    pub fn choose(&self, query: &RknntQuery) -> EngineKind {
+        match self {
+            EnginePolicy::Fixed(kind) => *kind,
+            EnginePolicy::Auto => {
+                if query.route.len() <= 1 {
+                    EngineKind::FilterRefine
+                } else if query.k > 10 {
+                    EngineKind::Voronoi
+                } else {
+                    EngineKind::DivideConquer
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for EnginePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnginePolicy::Fixed(kind) => write!(f, "{kind}"),
+            EnginePolicy::Auto => f.write_str("auto"),
+        }
+    }
+}
+
+impl FromStr for EnginePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            Ok(EnginePolicy::Auto)
+        } else {
+            s.parse::<EngineKind>().map(EnginePolicy::Fixed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+
+    fn query(points: usize, k: usize) -> RknntQuery {
+        RknntQuery::exists((0..points).map(|i| Point::new(i as f64, 0.0)).collect(), k)
+    }
+
+    #[test]
+    fn fixed_policy_ignores_query_shape() {
+        let policy = EnginePolicy::Fixed(EngineKind::BruteForce);
+        assert_eq!(policy.choose(&query(1, 1)), EngineKind::BruteForce);
+        assert_eq!(policy.choose(&query(10, 25)), EngineKind::BruteForce);
+    }
+
+    #[test]
+    fn auto_policy_follows_the_heuristic() {
+        let auto = EnginePolicy::Auto;
+        assert_eq!(auto.choose(&query(1, 5)), EngineKind::FilterRefine);
+        assert_eq!(auto.choose(&query(5, 25)), EngineKind::Voronoi);
+        assert_eq!(auto.choose(&query(5, 5)), EngineKind::DivideConquer);
+    }
+
+    #[test]
+    fn policy_parses_from_flags() {
+        assert_eq!("auto".parse::<EnginePolicy>().unwrap(), EnginePolicy::Auto);
+        assert_eq!(
+            "voronoi".parse::<EnginePolicy>().unwrap(),
+            EnginePolicy::Fixed(EngineKind::Voronoi)
+        );
+        assert!("fastest".parse::<EnginePolicy>().is_err());
+        assert_eq!(EnginePolicy::Auto.to_string(), "auto");
+        assert_eq!(
+            EnginePolicy::Fixed(EngineKind::DivideConquer).to_string(),
+            "divide-conquer"
+        );
+    }
+}

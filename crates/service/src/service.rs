@@ -1,0 +1,333 @@
+//! The [`QueryService`]: owns the stores, executes batches across a worker
+//! pool and fronts them with the LRU result cache.
+
+use crate::batch::{form_groups, run_group, BatchStats, Group, GroupCounters, PreparedEngine};
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::policy::EnginePolicy;
+use rknnt_core::{RknntQuery, RknntResult};
+use rknnt_index::{RouteStore, TransitionStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Upper bound on worker threads per batch (at least 1 is always used;
+    /// a batch never uses more workers than it has groups).
+    pub workers: usize,
+    /// Engine-selection policy.
+    pub policy: EnginePolicy,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Seed for the cache's hash function (see [`crate::cache`]).
+    pub cache_seed: u64,
+    /// Spatial grouping cell size in the coordinate unit of the stores
+    /// (metres for the synthetic cities).
+    pub group_cell: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            policy: EnginePolicy::Auto,
+            cache_capacity: 4_096,
+            cache_seed: 0x5eed,
+            group_cell: 2_500.0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Fixes the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Fixes the engine policy.
+    pub fn with_policy(mut self, policy: EnginePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Fixes the cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// A concurrent batch RkNNT query service over one pair of stores.
+///
+/// The service owns the [`RouteStore`] and [`TransitionStore`] — queries
+/// execute against a consistent snapshot because store mutation requires
+/// `&mut self` ([`QueryService::update_stores`]), which the borrow checker
+/// serialises against every in-flight `&self` batch. A store update bumps
+/// the generation counter and drops the whole result cache, so the
+/// dynamic-updates workload keeps serving correct results.
+pub struct QueryService {
+    routes: RouteStore,
+    transitions: TransitionStore,
+    config: ServiceConfig,
+    cache: Mutex<ResultCache>,
+    generation: AtomicU64,
+}
+
+impl QueryService {
+    /// Creates a service over the given stores.
+    pub fn new(routes: RouteStore, transitions: TransitionStore, config: ServiceConfig) -> Self {
+        let cache = Mutex::new(ResultCache::new(config.cache_capacity, config.cache_seed));
+        QueryService {
+            routes,
+            transitions,
+            config,
+            cache,
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Read access to the route store.
+    pub fn routes(&self) -> &RouteStore {
+        &self.routes
+    }
+
+    /// Read access to the transition store.
+    pub fn transitions(&self) -> &TransitionStore {
+        &self.transitions
+    }
+
+    /// The store generation: starts at 0 and increments on every
+    /// [`QueryService::update_stores`] / [`QueryService::invalidate_all`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Result-cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Number of results currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops every cached result and bumps the generation. Safe to call
+    /// while other threads are executing batches: they may re-insert
+    /// results computed against the *current* stores (stores cannot have
+    /// changed — that requires `&mut self`), so nothing stale can appear.
+    pub fn invalidate_all(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.cache.lock().expect("cache lock").invalidate_all();
+    }
+
+    /// Mutates the stores through `f`, then invalidates the cache and bumps
+    /// the generation so subsequent queries see the new data.
+    ///
+    /// Taking `&mut self` is the concurrency-correctness lever: in-flight
+    /// batches hold `&self`, so an update waits for them and no batch ever
+    /// observes a half-applied mutation.
+    pub fn update_stores<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut RouteStore, &mut TransitionStore),
+    {
+        f(&mut self.routes, &mut self.transitions);
+        self.invalidate_all();
+    }
+
+    /// Replaces both stores wholesale (e.g. a rebuilt index snapshot).
+    pub fn replace_stores(&mut self, routes: RouteStore, transitions: TransitionStore) {
+        self.routes = routes;
+        self.transitions = transitions;
+        self.invalidate_all();
+    }
+
+    /// Answers one query (through the cache; see
+    /// [`QueryService::execute_batch`] for the batched path).
+    pub fn execute(&self, query: &RknntQuery) -> RknntResult {
+        let (mut results, _) = self.execute_batch(std::slice::from_ref(query));
+        results.pop().expect("one query in, one result out")
+    }
+
+    /// Executes a batch of queries and returns one result per query, in
+    /// input order, plus the batch counters.
+    ///
+    /// Pipeline: cache lookup → policy + spatial grouping of the misses →
+    /// group execution across up to `config.workers` scoped threads (groups
+    /// are round-robin sharded; workers build their own engines, share
+    /// filter constructions within a group and coalesce exact duplicates) →
+    /// deterministic merge + cache insertion.
+    ///
+    /// The returned transition sets are byte-identical to executing every
+    /// query sequentially with the policy-chosen engine's
+    /// [`rknnt_core::RknnTEngine::execute`]: grouping and sharding only
+    /// decide *where* and *how often* work runs, never *what* it computes.
+    pub fn execute_batch(&self, queries: &[RknntQuery]) -> (Vec<RknntResult>, BatchStats) {
+        let mut stats = BatchStats {
+            queries: queries.len(),
+            ..BatchStats::default()
+        };
+        let mut slots: Vec<Option<RknntResult>> = vec![None; queries.len()];
+        if queries.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let generation_at_start = self.generation();
+
+        // Phase 1: cache lookup.
+        let lookup_started = Instant::now();
+        let caching = self.config.cache_capacity > 0;
+        let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(queries.len());
+        let mut miss_indexes: Vec<usize> = Vec::new();
+        if caching {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, query) in queries.iter().enumerate() {
+                let key = CacheKey::of(query);
+                match cache.get(&key) {
+                    Some(result) => {
+                        stats.cache_hits += 1;
+                        slots[i] = Some(result);
+                        keys.push(Some(key));
+                    }
+                    None => {
+                        miss_indexes.push(i);
+                        keys.push(Some(key));
+                    }
+                }
+            }
+        } else {
+            keys.resize_with(queries.len(), || None);
+            miss_indexes.extend(0..queries.len());
+        }
+        stats.timings.lookup = lookup_started.elapsed();
+
+        // Phase 2: policy + spatial grouping of the misses.
+        let grouping_started = Instant::now();
+        let groups = form_groups(
+            queries,
+            &miss_indexes,
+            self.config.policy,
+            self.config.group_cell,
+        );
+        stats.groups = groups.len();
+        stats.timings.grouping = grouping_started.elapsed();
+
+        // Phase 3: execution over the worker pool.
+        let execution_started = Instant::now();
+        let workers = self.config.workers.max(1).min(groups.len().max(1));
+        stats.workers_used = if groups.is_empty() { 0 } else { workers };
+        let mut computed: Vec<(usize, RknntResult)> = Vec::with_capacity(miss_indexes.len());
+        let mut counters = GroupCounters::default();
+        if workers <= 1 {
+            // In-line fast path: no thread spawn for single-worker batches.
+            let mut engines = WorkerEngines::default();
+            for group in &groups {
+                let engine = engines.for_kind(group, &self.routes, &self.transitions);
+                run_group(engine, group, &mut computed, &mut counters);
+            }
+        } else {
+            // Round-robin shard the groups, spawn one scoped worker per
+            // shard, and join in shard order (determinism does not depend
+            // on it — results carry their batch index — but stable stats
+            // accumulation is nice to have).
+            let shards: Vec<Vec<&Group>> = (0..workers)
+                .map(|w| groups.iter().skip(w).step_by(workers).collect())
+                .collect();
+            let outputs = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| {
+                        let (routes, transitions) = (&self.routes, &self.transitions);
+                        scope.spawn(move || {
+                            let mut engines = WorkerEngines::default();
+                            let mut out = Vec::new();
+                            let mut counters = GroupCounters::default();
+                            for group in shard {
+                                let engine = engines.for_kind(group, routes, transitions);
+                                run_group(engine, group, &mut out, &mut counters);
+                            }
+                            (out, counters)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("service worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (out, worker_counters) in outputs {
+                computed.extend(out);
+                counters.filter_constructions += worker_counters.filter_constructions;
+                counters.filters_saved += worker_counters.filters_saved;
+                counters.duplicates_coalesced += worker_counters.duplicates_coalesced;
+            }
+        }
+        stats.filter_constructions = counters.filter_constructions;
+        stats.filters_saved = counters.filters_saved;
+        stats.duplicates_coalesced = counters.duplicates_coalesced;
+        stats.timings.execution = execution_started.elapsed();
+
+        // Phase 4: merge into input order and feed the cache.
+        let finalize_started = Instant::now();
+        if caching {
+            let mut cache = self.cache.lock().expect("cache lock");
+            // Only insert when no invalidation raced the batch: the stores
+            // cannot have changed (that needs `&mut self`), but whoever
+            // called invalidate_all expects a cold cache and re-populating
+            // it behind their back would be surprising.
+            let fresh = self.generation() == generation_at_start;
+            for (index, result) in computed {
+                if fresh {
+                    if let Some(key) = keys[index].take() {
+                        cache.insert(key, result.clone());
+                    }
+                }
+                slots[index] = Some(result);
+            }
+        } else {
+            for (index, result) in computed {
+                slots[index] = Some(result);
+            }
+        }
+        let results: Vec<RknntResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every query produced a result"))
+            .collect();
+        stats.timings.finalize = finalize_started.elapsed();
+        (results, stats)
+    }
+}
+
+/// Per-worker lazily-built engines, one per [`rknnt_core::EngineKind`] the
+/// worker's groups actually use (at most four entries, so a linear scan
+/// beats any map).
+#[derive(Default)]
+struct WorkerEngines<'a> {
+    built: Vec<(rknnt_core::EngineKind, PreparedEngine<'a>)>,
+}
+
+impl<'a> WorkerEngines<'a> {
+    fn for_kind(
+        &mut self,
+        group: &Group<'_>,
+        routes: &'a RouteStore,
+        transitions: &'a TransitionStore,
+    ) -> &PreparedEngine<'a> {
+        if let Some(pos) = self.built.iter().position(|(kind, _)| *kind == group.kind) {
+            return &self.built[pos].1;
+        }
+        self.built.push((
+            group.kind,
+            PreparedEngine::prepare(group.kind, routes, transitions),
+        ));
+        &self.built.last().expect("just pushed").1
+    }
+}

@@ -1,0 +1,262 @@
+//! The service's central contract: batched / parallel / cached execution
+//! returns byte-identical transition sets to sequential per-query
+//! [`RknnTEngine::execute`], for all four engines and both semantics — and
+//! the cache never serves results across a store mutation.
+
+use rknnt_core::{EngineKind, RknntQuery, Semantics};
+use rknnt_data::{workload, CityConfig, CityGenerator, TransitionConfig, TransitionGenerator};
+use rknnt_geo::Point;
+use rknnt_index::{RouteStore, TransitionStore};
+use rknnt_service::{EnginePolicy, QueryService, ServiceConfig};
+
+fn build_world(seed: u64, transitions: usize) -> (Vec<Vec<Point>>, RouteStore, TransitionStore) {
+    let city = CityGenerator::new(CityConfig::small(seed)).generate();
+    let routes = city.route_store();
+    let store = TransitionGenerator::new(TransitionConfig::checkin_like(transitions, seed ^ 0x77))
+        .generate_store(&city);
+    let queries = workload::rknnt_queries(&city, 6, 4, 1_200.0, seed ^ 0x3);
+    (queries, routes, store)
+}
+
+/// A mixed batch: spatially spread queries, exact duplicates, and the same
+/// route under both semantics and several k values — the shapes the
+/// shared-filter and coalescing paths must handle.
+fn mixed_batch(query_routes: &[Vec<Point>]) -> Vec<RknntQuery> {
+    let mut batch = Vec::new();
+    for (i, route) in query_routes.iter().enumerate() {
+        let k = 1 + (i % 3) * 4;
+        batch.push(RknntQuery::exists(route.clone(), k));
+        batch.push(RknntQuery::for_all(route.clone(), k));
+        // Same (route, k) twice -> filter reuse; identical query -> coalesce.
+        batch.push(RknntQuery::exists(route.clone(), k));
+    }
+    // A couple of degenerate queries must flow through unharmed.
+    batch.push(RknntQuery::exists(Vec::new(), 3));
+    batch.push(RknntQuery::exists(query_routes[0].clone(), 0));
+    batch
+}
+
+#[test]
+fn batched_parallel_results_match_sequential_for_all_engines() {
+    let (query_routes, routes, transitions) = build_world(23, 2_500);
+    let batch = mixed_batch(&query_routes);
+
+    for kind in EngineKind::ALL {
+        // Sequential ground truth with a fresh single-threaded engine.
+        let engine = kind.build(&routes, &transitions);
+        let expected: Vec<Vec<u32>> = batch
+            .iter()
+            .map(|q| {
+                engine
+                    .execute(q)
+                    .transitions
+                    .iter()
+                    .map(|t| t.raw())
+                    .collect()
+            })
+            .collect();
+
+        // Batched over 4 workers, with the cache enabled; run the batch
+        // twice so the second pass exercises the all-hits path too.
+        let service = QueryService::new(
+            routes.clone(),
+            transitions.clone(),
+            ServiceConfig::default()
+                .with_workers(4)
+                .with_policy(EnginePolicy::Fixed(kind)),
+        );
+        for pass in 0..2 {
+            let (results, stats) = service.execute_batch(&batch);
+            let got: Vec<Vec<u32>> = results
+                .iter()
+                .map(|r| r.transitions.iter().map(|t| t.raw()).collect())
+                .collect();
+            assert_eq!(got, expected, "engine {kind} pass {pass}");
+            assert_eq!(stats.queries, batch.len());
+            if pass == 1 {
+                assert_eq!(
+                    stats.cache_hits,
+                    batch.len(),
+                    "second pass must be answered entirely from the cache"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_filters_and_coalescing_actually_trigger() {
+    let (query_routes, routes, transitions) = build_world(31, 1_500);
+    let batch = mixed_batch(&query_routes);
+    let service = QueryService::new(
+        routes,
+        transitions,
+        ServiceConfig::default()
+            .with_workers(4)
+            .with_cache_capacity(0) // isolate the grouping counters
+            .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi)),
+    );
+    let (_, stats) = service.execute_batch(&batch);
+    assert!(stats.groups > 0);
+    assert!(stats.workers_used >= 2, "batch must actually fan out");
+    assert!(
+        stats.duplicates_coalesced > 0,
+        "identical queries in the batch must be coalesced"
+    );
+    assert!(
+        stats.filters_saved > 0,
+        "same (route, k) under both semantics must share a filter construction"
+    );
+    assert!(stats.filter_constructions > 0);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+#[test]
+fn auto_policy_matches_an_oracle() {
+    let (query_routes, routes, transitions) = build_world(47, 1_200);
+    let oracle = EngineKind::BruteForce.build(&routes, &transitions);
+    let mut batch = Vec::new();
+    for route in &query_routes {
+        batch.push(RknntQuery::exists(route.clone(), 2));
+        batch.push(RknntQuery::exists(route.clone(), 15)); // large-k branch
+        batch.push(RknntQuery::exists(vec![route[0]], 2)); // single-point branch
+    }
+    let expected: Vec<Vec<u32>> = batch
+        .iter()
+        .map(|q| {
+            oracle
+                .execute(q)
+                .transitions
+                .iter()
+                .map(|t| t.raw())
+                .collect()
+        })
+        .collect();
+    let service = QueryService::new(
+        routes.clone(),
+        transitions.clone(),
+        ServiceConfig::default().with_workers(4),
+    );
+    let (results, _) = service.execute_batch(&batch);
+    let got: Vec<Vec<u32>> = results
+        .iter()
+        .map(|r| r.transitions.iter().map(|t| t.raw()).collect())
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn cache_is_invalidated_by_store_updates() {
+    let (query_routes, routes, transitions) = build_world(59, 800);
+    let watched = query_routes[0].clone();
+    let query = RknntQuery::exists(watched.clone(), 2);
+    let mut service = QueryService::new(
+        routes,
+        transitions,
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_policy(EnginePolicy::Fixed(EngineKind::FilterRefine)),
+    );
+
+    let before = service.execute(&query);
+    assert_eq!(service.generation(), 0);
+    // Warm hit.
+    let hit = service.execute(&query);
+    assert_eq!(hit.transitions, before.transitions);
+    assert!(service.cache_stats().hits >= 1);
+
+    // Mutate the stores: drop a transition right on top of the watched
+    // route so the correct answer must change.
+    let origin = Point::new(watched[0].x + 2.0, watched[0].y + 2.0);
+    let destination = Point::new(watched[1].x - 2.0, watched[1].y - 2.0);
+    let mut inserted = None;
+    service.update_stores(|_, transitions| {
+        inserted = Some(transitions.insert(origin, destination));
+    });
+    let inserted = inserted.expect("update ran");
+    assert_eq!(service.generation(), 1);
+    assert_eq!(service.cache_len(), 0, "update must drop the cache");
+
+    let after = service.execute(&query);
+    assert!(
+        after.contains(inserted),
+        "post-update query must see the new transition, not the cached answer"
+    );
+
+    // Sequential ground truth against the mutated stores.
+    {
+        let engine = EngineKind::FilterRefine.build(service.routes(), service.transitions());
+        assert_eq!(after.transitions, engine.execute(&query).transitions);
+    }
+
+    // And a full store replacement behaves the same.
+    service.replace_stores(RouteStore::default(), TransitionStore::default());
+    assert_eq!(service.generation(), 2);
+    assert!(service.execute(&query).is_empty());
+}
+
+#[test]
+fn explicit_invalidate_all_keeps_answers_and_drops_entries() {
+    let (query_routes, routes, transitions) = build_world(71, 600);
+    let query = RknntQuery::exists(query_routes[1].clone(), 3);
+    let service = QueryService::new(routes, transitions, ServiceConfig::default());
+    let first = service.execute(&query);
+    assert!(service.cache_len() > 0);
+    service.invalidate_all();
+    assert_eq!(service.cache_len(), 0);
+    let second = service.execute(&query);
+    assert_eq!(first.transitions, second.transitions);
+    assert_eq!(service.cache_stats().invalidations, 1);
+}
+
+#[test]
+fn concurrent_batches_share_one_service() {
+    let (query_routes, routes, transitions) = build_world(83, 1_000);
+    let service = QueryService::new(
+        routes.clone(),
+        transitions.clone(),
+        ServiceConfig::default().with_workers(2),
+    );
+    let oracle = EngineKind::BruteForce.build(&routes, &transitions);
+    std::thread::scope(|scope| {
+        for chunk in query_routes.chunks(2) {
+            let service = &service;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                let batch: Vec<RknntQuery> = chunk
+                    .iter()
+                    .map(|r| RknntQuery::exists(r.clone(), 4))
+                    .collect();
+                let (results, _) = service.execute_batch(&batch);
+                for (query, result) in batch.iter().zip(&results) {
+                    assert_eq!(result.transitions, oracle.execute(query).transitions);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn both_semantics_agree_between_service_and_engines() {
+    let (query_routes, routes, transitions) = build_world(97, 900);
+    let service = QueryService::new(
+        routes.clone(),
+        transitions.clone(),
+        ServiceConfig::default().with_workers(3),
+    );
+    for semantics in [Semantics::Exists, Semantics::ForAll] {
+        for kind in EngineKind::ALL {
+            let engine = kind.build(&routes, &transitions);
+            let query = RknntQuery {
+                route: query_routes[2].clone(),
+                k: 3,
+                semantics,
+            };
+            assert_eq!(
+                service.execute(&query).transitions,
+                engine.execute(&query).transitions,
+                "{kind} {semantics}"
+            );
+        }
+    }
+}

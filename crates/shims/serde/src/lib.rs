@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `serde_derive`'s crate docs for why this exists. The trait names
+//! mirror the real crate so `use serde::{Deserialize, Serialize};` resolves
+//! for both the derive macros (macro namespace) and the traits (type
+//! namespace); the derives emit no impls and nothing in the workspace
+//! requires the trait bounds yet.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker mirroring `serde::Serialize`. No-op in the offline shim.
+pub trait Serialize {}
+
+/// Marker mirroring `serde::Deserialize`. No-op in the offline shim.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be vendored. Nothing in the
+//! workspace actually serialises data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes mark types as wire-ready for a future
+//! transport layer — so the derives here accept the attribute and emit
+//! nothing. Swapping the `serde` path dependencies for the real crates
+//! requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

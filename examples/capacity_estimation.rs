@@ -44,7 +44,10 @@ fn main() {
             Point::new(mid.x - offset, mid.y - offset),
         );
     }
-    println!("\n-- after 200 new transitions near route #{} --", watched[0]);
+    println!(
+        "\n-- after 200 new transitions near route #{} --",
+        watched[0]
+    );
     let engine = VoronoiEngine::new(&routes, &transitions);
     for &i in &watched {
         let query = RknntQuery::exists(city.routes[i].clone(), 5);

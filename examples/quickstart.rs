@@ -3,9 +3,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use rknnt::prelude::*;
 use rknnt::core::RknnTEngine;
 use rknnt::data::workload;
+use rknnt::prelude::*;
 
 fn main() {
     // 1. Generate a small synthetic city (60 bus routes) and a check-in-like

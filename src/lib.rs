@@ -14,6 +14,9 @@
 //! * [`routeplan`] — MaxRkNNT / MinRkNNT optimal route planning.
 //! * [`data`] — synthetic city, route and transition generators plus
 //!   workload generators for the evaluation.
+//! * [`service`] — the serving layer: concurrent batch query execution with
+//!   engine-selection policy, shared-filter batching and a seeded LRU
+//!   result cache.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! per-experiment index.
@@ -25,16 +28,18 @@ pub use rknnt_graph as graph;
 pub use rknnt_index as index;
 pub use rknnt_routeplan as routeplan;
 pub use rknnt_rtree as rtree;
+pub use rknnt_service as service;
 
 /// Commonly used items, suitable for `use rknnt::prelude::*;`.
 pub mod prelude {
     pub use rknnt_core::{
-        BruteForceEngine, DivideConquerEngine, FilterRefineEngine, RknnTEngine, RknntQuery,
-        Semantics, VoronoiEngine,
+        BruteForceEngine, DivideConquerEngine, EngineKind, FilterRefineEngine, RknnTEngine,
+        RknntQuery, Semantics, VoronoiEngine,
     };
     pub use rknnt_data::{CityConfig, CityGenerator, TransitionConfig, TransitionGenerator};
     pub use rknnt_geo::{Point, Rect};
     pub use rknnt_graph::RouteGraph;
     pub use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
     pub use rknnt_routeplan::{Objective, PlannerConfig, Precomputation, RoutePlanner};
+    pub use rknnt_service::{BatchStats, EnginePolicy, QueryService, ServiceConfig};
 }

@@ -150,8 +150,7 @@ fn csv_roundtrip_preserves_query_answers() {
     let mut transition_csv = Vec::new();
     rknnt::data::io::write_transitions(&mut transition_csv, &pairs).unwrap();
     let reread = rknnt::data::io::read_transitions(transition_csv.as_slice()).unwrap();
-    let transitions2 =
-        TransitionStore::bulk_build(rknnt::rtree::RTreeConfig::default(), reread);
+    let transitions2 = TransitionStore::bulk_build(rknnt::rtree::RTreeConfig::default(), reread);
 
     let query = RknntQuery::exists(city.routes[1].clone(), 5);
     let before = VoronoiEngine::new(&routes, &transitions).execute(&query);
