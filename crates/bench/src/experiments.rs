@@ -20,7 +20,7 @@ use rknnt_routeplan::{
     BruteForcePlanner, Objective, PlanQuery, PlannerConfig, PrePlanner, Precomputation,
     PruningPlanner, RoutePlanner,
 };
-use rknnt_service::{EnginePolicy, QueryService, ServiceConfig};
+use rknnt_service::{EnginePolicy, QueryService, ServiceConfig, StoreUpdate};
 use std::time::Duration;
 
 /// Mean of a slice of durations (zero for an empty slice).
@@ -819,6 +819,233 @@ pub fn service_throughput(
     report
 }
 
+/// One mode × update-ratio measurement of the churn experiment.
+struct ChurnPoint {
+    ratio: f64,
+    mode: &'static str,
+    queries: usize,
+    qps: f64,
+    hit_rate: f64,
+    evicted: usize,
+    checksum: usize,
+}
+
+/// Id a store assigned while applying an update (`NoId` for removals,
+/// which consume rather than create).
+enum AssignedId {
+    Transition(rknnt_index::TransitionId),
+    Route(rknnt_index::RouteId),
+    NoId,
+}
+
+/// Applies one concrete update to a raw store pair, returning the id the
+/// store assigned, or `None` when the store rejected the update. The event
+/// resolver and the full-drop baseline (which routes every update through
+/// `update_stores`) share this single mutation path, so the ids they see
+/// can never drift apart.
+fn apply_to_stores(
+    routes: &mut rknnt_index::RouteStore,
+    transitions: &mut rknnt_index::TransitionStore,
+    update: &StoreUpdate,
+) -> Option<AssignedId> {
+    match update {
+        StoreUpdate::InsertTransition {
+            origin,
+            destination,
+        } => transitions
+            .insert(*origin, *destination)
+            .map(AssignedId::Transition),
+        StoreUpdate::ExpireTransition(id) => transitions.remove(*id).then_some(AssignedId::NoId),
+        StoreUpdate::InsertRoute(points) => {
+            routes.insert_route(points.clone()).map(AssignedId::Route)
+        }
+        StoreUpdate::RemoveRoute(id) => routes.remove_route(*id).then_some(AssignedId::NoId),
+    }
+}
+
+/// Resolves a churn stream's random draws into concrete queries and
+/// [`StoreUpdate`]s by replaying the updates against a scratch store pair —
+/// every consumer then applies byte-identical operations and assigns the
+/// same ids.
+enum ChurnStep {
+    Query(RknntQuery),
+    Update(StoreUpdate),
+}
+
+fn resolve_churn(
+    dataset: &Dataset,
+    stream: Vec<workload::ChurnEvent>,
+    k: usize,
+    semantics: Semantics,
+) -> Vec<ChurnStep> {
+    let mut routes = dataset.routes.clone();
+    let mut transitions = dataset.transitions.clone();
+    let mut live_transitions = transitions.transition_ids();
+    let mut live_routes = routes.route_ids();
+    let mut steps = Vec::with_capacity(stream.len());
+    for event in stream {
+        let update = match event {
+            workload::ChurnEvent::Query(route) => {
+                steps.push(ChurnStep::Query(RknntQuery {
+                    route,
+                    k,
+                    semantics,
+                }));
+                continue;
+            }
+            workload::ChurnEvent::InsertTransition(origin, destination) => {
+                StoreUpdate::InsertTransition {
+                    origin,
+                    destination,
+                }
+            }
+            workload::ChurnEvent::ExpireTransition(draw) => {
+                if live_transitions.is_empty() {
+                    continue;
+                }
+                let victim = draw as usize % live_transitions.len();
+                StoreUpdate::ExpireTransition(live_transitions.swap_remove(victim))
+            }
+            workload::ChurnEvent::InsertRoute(points) => StoreUpdate::InsertRoute(points),
+            workload::ChurnEvent::RemoveRoute(draw) => {
+                if live_routes.len() <= 4 {
+                    continue;
+                }
+                let victim = draw as usize % live_routes.len();
+                StoreUpdate::RemoveRoute(live_routes.swap_remove(victim))
+            }
+        };
+        match apply_to_stores(&mut routes, &mut transitions, &update) {
+            None => continue, // rejected at the store boundary: not a step
+            Some(AssignedId::Transition(id)) => live_transitions.push(id),
+            Some(AssignedId::Route(id)) => live_routes.push(id),
+            Some(AssignedId::NoId) => {}
+        }
+        steps.push(ChurnStep::Update(update));
+    }
+    steps
+}
+
+/// Replays resolved churn steps through one service configuration.
+///
+/// `region_scoped` selects the incremental [`QueryService::apply_updates`]
+/// path; the baseline routes every update through
+/// [`QueryService::update_stores`], which drops the whole cache.
+fn run_churn_mode(
+    dataset: &Dataset,
+    steps: &[ChurnStep],
+    ratio: f64,
+    region_scoped: bool,
+) -> ChurnPoint {
+    let mut service = QueryService::new(
+        dataset.routes.clone(),
+        dataset.transitions.clone(),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi)),
+    );
+    let mut queries = 0usize;
+    let mut checksum = 0usize;
+    let mut evicted = 0usize;
+    let started = std::time::Instant::now();
+    for step in steps {
+        match step {
+            ChurnStep::Query(query) => {
+                queries += 1;
+                checksum += service.execute(query).len();
+            }
+            ChurnStep::Update(update) => {
+                if region_scoped {
+                    let stats = service.apply_updates(vec![update.clone()]);
+                    evicted += stats.evicted_entries;
+                } else {
+                    evicted += service.cache_len();
+                    service.update_stores(|routes, transitions| {
+                        let _ = apply_to_stores(routes, transitions, update);
+                    });
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = service.cache_stats();
+    ChurnPoint {
+        ratio,
+        mode: if region_scoped {
+            "region-scoped"
+        } else {
+            "full-drop"
+        },
+        queries,
+        qps: if elapsed.is_zero() {
+            f64::INFINITY
+        } else {
+            queries as f64 / elapsed.as_secs_f64()
+        },
+        hit_rate: if stats.hits + stats.misses == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / (stats.hits + stats.misses) as f64
+        },
+        evicted,
+        checksum,
+    }
+}
+
+fn churn_points(
+    ctx: &ExperimentContext,
+    dataset: &Dataset,
+    semantics: Semantics,
+    ratio: f64,
+) -> (ChurnPoint, ChurnPoint) {
+    let events = (ctx.scale.queries_per_point * 60).clamp(120, 1_200);
+    let mut config = rknnt_data::ChurnConfig::new(events, ratio, ctx.scale.seed ^ 0xc4a2);
+    config.query_pool = 8;
+    config.query_len = ctx.default_query_len();
+    let stream = workload::churn_stream(&dataset.city, &config);
+    let steps = resolve_churn(dataset, stream, ctx.default_k(), semantics);
+    let region = run_churn_mode(dataset, &steps, ratio, true);
+    let full = run_churn_mode(dataset, &steps, ratio, false);
+    assert_eq!(
+        region.checksum, full.checksum,
+        "region-scoped answers diverged from the full-drop baseline"
+    );
+    (region, full)
+}
+
+/// Churn throughput: interleaved query/update streams at 1/10/50% update
+/// ratios; region-scoped invalidation ([`QueryService::apply_updates`]) vs
+/// the full-drop baseline (`update_stores`), reporting retained hit-rate and
+/// QPS. Both modes must answer identically — asserted inline.
+pub fn churn_throughput(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    semantics: Semantics,
+) -> Report {
+    let mut report = Report::new("Churn throughput — region-scoped invalidation vs full drop");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    report.line(format!(
+        "{} — k = {}, {} semantics, Voronoi engine, 1 worker",
+        dataset.kind.name(),
+        ctx.default_k(),
+        semantics,
+    ));
+    for ratio in [0.01, 0.10, 0.50] {
+        let (region, full) = churn_points(ctx, &dataset, semantics, ratio);
+        for point in [region, full] {
+            report.row(&[
+                ("update_ratio", format!("{:.2}", point.ratio)),
+                ("mode", point.mode.to_string()),
+                ("queries", point.queries.to_string()),
+                ("qps", format!("{:.0}", point.qps)),
+                ("hit_rate", format!("{:.3}", point.hit_rate)),
+                ("evicted", point.evicted.to_string()),
+            ]);
+        }
+    }
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -860,6 +1087,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         fig20(ctx),
         fig21(ctx),
         service_throughput(ctx, options.service_dataset, options.semantics),
+        churn_throughput(ctx, options.service_dataset, options.semantics),
     ]
 }
 
@@ -885,6 +1113,11 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
         "fig20" => single(fig20(ctx)),
         "fig21" => single(fig21(ctx)),
         "service_throughput" | "service" => single(service_throughput(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
+        "churn_throughput" | "churn" => single(churn_throughput(
             ctx,
             options.service_dataset,
             options.semantics,
@@ -915,6 +1148,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "fig20",
         "fig21",
         "service_throughput",
+        "churn_throughput",
         "all",
     ]
 }
@@ -970,6 +1204,43 @@ mod tests {
         assert!(run(&ctx, "not-an-experiment", &options).is_none());
         assert!(experiment_names().contains(&"fig9"));
         assert!(experiment_names().contains(&"service_throughput"));
+        assert!(experiment_names().contains(&"churn_throughput"));
+    }
+
+    #[test]
+    fn churn_region_scoping_beats_full_drop_at_10_percent_updates() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let dataset = Dataset::build(DatasetKind::Small, &ctx.scale);
+        let (region, full) = churn_points(&ctx, &dataset, Semantics::Exists, 0.10);
+        // Identical answers is asserted inside churn_points; here the point
+        // of the whole PR: the retained hit-rate must be strictly better
+        // than dropping the cache on every update.
+        assert!(
+            region.hit_rate > full.hit_rate,
+            "region-scoped hit rate {:.3} must beat full-drop {:.3}",
+            region.hit_rate,
+            full.hit_rate
+        );
+        assert!(region.queries > 0 && region.queries == full.queries);
+        assert!(
+            region.evicted <= full.evicted,
+            "region scoping must evict no more entries than full drops"
+        );
+    }
+
+    #[test]
+    fn churn_throughput_reports_both_modes_at_all_ratios() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let report = churn_throughput(&ctx, DatasetKind::Small, Semantics::Exists);
+        // 1 header + 3 ratios × 2 modes.
+        assert_eq!(report.len(), 1 + 3 * 2);
+        let text = report.to_text();
+        assert!(text.contains("mode=region-scoped"));
+        assert!(text.contains("mode=full-drop"));
+        assert!(text.contains("update_ratio=0.10"));
+        assert!(text.contains("update_ratio=0.50"));
     }
 
     #[test]

@@ -114,11 +114,11 @@ mod tests {
         );
         let mut transitions = TransitionStore::default();
         // T0: both endpoints near the middle (y = 50) — closest to the query.
-        transitions.insert(p(5.0, 48.0), p(25.0, 52.0));
+        transitions.insert(p(5.0, 48.0), p(25.0, 52.0)).unwrap();
         // T1: both endpoints near R0.
-        transitions.insert(p(5.0, 2.0), p(25.0, 1.0));
+        transitions.insert(p(5.0, 2.0), p(25.0, 1.0)).unwrap();
         // T2: origin near the middle, destination near R1.
-        transitions.insert(p(15.0, 47.0), p(15.0, 98.0));
+        transitions.insert(p(15.0, 47.0), p(15.0, 98.0)).unwrap();
         (routes, transitions)
     }
 

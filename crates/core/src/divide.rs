@@ -153,7 +153,7 @@ mod tests {
             let oy = (i as f64 * 11.31) % 108.0;
             let dx = (i as f64 * 2.71 + 13.0) % 60.0;
             let dy = (i as f64 * 19.1 + 7.0) % 108.0;
-            transition_store.insert(p(ox, oy), p(dx, dy));
+            transition_store.insert(p(ox, oy), p(dx, dy)).unwrap();
         }
         (route_store, transition_store)
     }

@@ -65,6 +65,18 @@ impl<'a> FilterRefineEngine<'a> {
         build_filter_set(self.routes, &query.route, query.k)
     }
 
+    /// Reports the [`crate::FilterFootprint`] of a filter construction —
+    /// the region and pruning witnesses the filter step for this query
+    /// actually used. The serving layer records it next to cached results
+    /// so store updates can invalidate only the entries they can affect.
+    pub fn footprint_for(
+        &self,
+        query: &RknntQuery,
+        outcome: &crate::FilterOutcome,
+    ) -> crate::FilterFootprint {
+        crate::FilterFootprint::from_outcome(&query.route, outcome)
+    }
+
     /// Executes the prune + verify phases against a pre-built filter
     /// outcome.
     ///
@@ -239,7 +251,7 @@ mod tests {
             let oy = (i as f64 * 13.7) % 110.0;
             let dx = (i as f64 * 3.1 + 11.0) % 70.0;
             let dy = (i as f64 * 17.9 + 23.0) % 110.0;
-            transition_store.insert(p(ox, oy), p(dx, dy));
+            transition_store.insert(p(ox, oy), p(dx, dy)).unwrap();
         }
         (route_store, transition_store)
     }
@@ -309,7 +321,7 @@ mod tests {
             .transitions;
         // A transition hugging two of the query's points (distance to the
         // query is point-to-point, Definition 3) must appear after insertion.
-        let id = transitions.insert(p(34.8, 37.2), p(64.5, 36.8));
+        let id = transitions.insert(p(34.8, 37.2), p(64.5, 36.8)).unwrap();
         let after = FilterRefineEngine::new(&routes, &transitions).execute(&query);
         assert!(after.contains(id));
         assert!(after.len() >= before.len());

@@ -134,7 +134,9 @@ mod tests {
         let mut routes = RouteStore::default();
         routes.insert_route(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
         let mut transitions = TransitionStore::default();
-        transitions.insert(Point::new(1.0, 1.0), Point::new(9.0, 1.0));
+        transitions
+            .insert(Point::new(1.0, 1.0), Point::new(9.0, 1.0))
+            .unwrap();
         std::thread::scope(|scope| {
             for kind in EngineKind::ALL {
                 let (r, t) = (&routes, &transitions);

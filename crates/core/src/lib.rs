@@ -26,6 +26,7 @@ mod divide;
 mod engine;
 mod filter;
 mod filter_refine;
+mod footprint;
 mod kind;
 mod prune;
 mod query;
@@ -36,6 +37,7 @@ pub use divide::DivideConquerEngine;
 pub use engine::RknnTEngine;
 pub use filter::{build_filter_set, FilterOutcome, FilterSet};
 pub use filter_refine::{FilterRefineEngine, VoronoiEngine};
+pub use footprint::{FilterFootprint, FilterWitness};
 pub use kind::EngineKind;
 pub use prune::CandidateEndpoint;
 pub use query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};

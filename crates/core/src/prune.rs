@@ -100,7 +100,7 @@ mod tests {
             for j in 0..12 {
                 let o = p(i as f64 * 4.0, j as f64 * 9.0);
                 let d = p(i as f64 * 4.0 + 2.0, j as f64 * 9.0 + 3.0);
-                store.insert(o, d);
+                store.insert(o, d).unwrap();
             }
         }
         store

@@ -125,7 +125,7 @@ proptest! {
         }
         // Re-insert (new ids) and check the result count is restored.
         for t in &removed {
-            transition_store.insert(t.origin, t.destination);
+            transition_store.insert(t.origin, t.destination).unwrap();
         }
         let restored = FilterRefineEngine::new(&route_store, &transition_store).execute(&query);
         prop_assert_eq!(restored.len(), before.len());

@@ -204,6 +204,18 @@ impl Rect {
         self.max_dist_sq(p).sqrt()
     }
 
+    /// The rectangle grown by `margin` on every side (non-positive margins
+    /// return the rectangle unchanged; the empty rectangle stays empty).
+    pub fn expanded(&self, margin: f64) -> Rect {
+        if self.is_empty() || margin.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return *self;
+        }
+        Rect {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
     /// Minimum distance between two rectangles (0 when they intersect).
     pub fn min_dist_rect(&self, other: &Rect) -> f64 {
         let dx = (self.min.x - other.max.x)
@@ -319,6 +331,16 @@ mod tests {
         for c in a.corners() {
             assert!(a.contains_point(&c));
         }
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.expanded(3.0), r(-3.0, -3.0, 5.0, 5.0));
+        assert_eq!(a.expanded(0.0), a);
+        assert_eq!(a.expanded(-1.0), a, "negative margins are ignored");
+        assert_eq!(a.expanded(f64::NAN), a, "NaN margins are ignored");
+        assert!(Rect::empty().expanded(10.0).is_empty());
     }
 
     #[test]

@@ -97,14 +97,15 @@ impl RouteStore {
     }
 
     /// Builds a store from a collection of point sequences, bulk-loading the
-    /// RR-tree. Sequences with fewer than two points are skipped and the
-    /// number of skipped sequences is returned alongside the store.
+    /// RR-tree. Sequences with fewer than two points or with non-finite
+    /// coordinates are skipped and the number of skipped sequences is
+    /// returned alongside the store.
     pub fn bulk_build(config: RTreeConfig, routes: Vec<Vec<Point>>) -> (Self, usize) {
         let mut store = RouteStore::new(config);
         let mut skipped = 0;
         // First register routes and stops without touching the R-tree...
         for points in routes {
-            if points.len() < 2 {
+            if points.len() < 2 || points.iter().any(|p| !p.is_finite()) {
                 skipped += 1;
                 continue;
             }
@@ -138,9 +139,13 @@ impl RouteStore {
     }
 
     /// Adds a route, returning its id, or `None` when fewer than two points
-    /// are supplied.
+    /// are supplied or any coordinate is non-finite.
+    ///
+    /// Validation happens before any mutation: NaN/±inf points would poison
+    /// R-tree MBRs and the strict geometric predicates, so they are rejected
+    /// at the store boundary and a rejected route leaves the store untouched.
     pub fn insert_route(&mut self, points: Vec<Point>) -> Option<RouteId> {
-        if points.len() < 2 {
+        if points.len() < 2 || points.iter().any(|p| !p.is_finite()) {
             return None;
         }
         let id = RouteId(self.routes.len() as u32);
@@ -168,14 +173,24 @@ impl RouteStore {
             return false;
         };
         self.live_routes -= 1;
+        // Deduplicate per-route occurrences first: a self-intersecting route
+        // (figure-eight) visits the same stop twice, and the PList/RR-tree
+        // cleanup below must run exactly once per *distinct* stop.
+        let mut distinct: Vec<(u64, u64)> = Vec::with_capacity(route.points.len());
         for p in &route.points {
-            let Some(stop) = self.stop_lookup.get(&coord_key(p)).copied() else {
+            let key = coord_key(p);
+            if !distinct.contains(&key) {
+                distinct.push(key);
+            }
+        }
+        for key in distinct {
+            let Some(stop) = self.stop_lookup.get(&key).copied() else {
                 continue;
             };
             self.plist.remove(stop, id);
             if self.plist.crossover(stop).is_empty() {
-                self.rtree.remove(p, &stop);
-                self.stop_lookup.remove(&coord_key(p));
+                self.rtree.remove(&self.stops[stop.index()], &stop);
+                self.stop_lookup.remove(&key);
             }
         }
         true
@@ -323,6 +338,83 @@ mod tests {
         let s = store.stop_at(&p(0.0, 0.0)).unwrap();
         assert_eq!(store.crossover(s), &[r]);
         assert_eq!(store.num_stops(), 3);
+    }
+
+    #[test]
+    fn figure_eight_route_round_trips_cleanly() {
+        // A figure-eight visits its crossing point twice; insert → remove
+        // must leave the PList, RR-tree and stop lookup exactly as if the
+        // route had never existed, even with another route sharing the
+        // crossing.
+        let mut store = RouteStore::default();
+        let shared = store
+            .insert_route(vec![p(5.0, 5.0), p(50.0, 50.0)])
+            .unwrap();
+        let eight = store
+            .insert_route(vec![
+                p(0.0, 0.0),
+                p(5.0, 5.0), // crossing, first visit (shared with `shared`)
+                p(10.0, 0.0),
+                p(10.0, 10.0),
+                p(5.0, 5.0), // crossing, second visit
+                p(0.0, 10.0),
+            ])
+            .unwrap();
+        let crossing = store.stop_at(&p(5.0, 5.0)).unwrap();
+        // No duplicate PList entries despite the double visit.
+        let mut cross = store.crossover(crossing).to_vec();
+        cross.sort();
+        assert_eq!(cross, vec![shared, eight]);
+        // 5 distinct stops of the eight + the far end of `shared`.
+        assert_eq!(store.rtree().len(), 6);
+        store.rtree().check_invariants().unwrap();
+
+        assert!(store.remove_route(eight));
+        // The crossing stays (still used by `shared`) with exactly one
+        // crossover entry; the eight's exclusive stops are all gone.
+        assert_eq!(store.crossover(crossing), &[shared]);
+        assert_eq!(store.rtree().len(), 2);
+        store.rtree().check_invariants().unwrap();
+        for q in [p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)] {
+            assert!(store.stop_at(&q).is_none(), "stop {q} must be gone");
+        }
+        // A double removal fails and changes nothing.
+        assert!(!store.remove_route(eight));
+        assert_eq!(store.rtree().len(), 2);
+
+        // A pure self-loop with no sharing round-trips to empty.
+        let mut solo = RouteStore::default();
+        let r = solo
+            .insert_route(vec![p(0.0, 0.0), p(1.0, 1.0), p(0.0, 0.0), p(2.0, 2.0)])
+            .unwrap();
+        assert!(solo.remove_route(r));
+        assert_eq!(solo.rtree().len(), 0);
+        assert!(solo.is_empty());
+        solo.rtree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn non_finite_routes_are_rejected_at_the_boundary() {
+        let mut store = RouteStore::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(store.insert_route(vec![p(0.0, 0.0), p(bad, 1.0)]).is_none());
+            assert!(store.insert_route(vec![p(0.0, bad), p(1.0, 1.0)]).is_none());
+        }
+        // A rejected route leaves no partial state behind.
+        assert!(store.is_empty());
+        assert_eq!(store.num_stops(), 0);
+        assert!(store.rtree().is_empty());
+        assert!(store.stop_at(&p(0.0, 0.0)).is_none());
+        // bulk_build skips (and counts) non-finite sequences.
+        let (bulk, skipped) = RouteStore::bulk_build(
+            RTreeConfig::default(),
+            vec![
+                vec![p(0.0, 0.0), p(1.0, 0.0)],
+                vec![p(0.0, 0.0), p(f64::NAN, 0.0)],
+            ],
+        );
+        assert_eq!(skipped, 1);
+        assert_eq!(bulk.num_routes(), 1);
     }
 
     #[test]

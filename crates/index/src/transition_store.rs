@@ -47,11 +47,14 @@ impl TransitionStore {
     }
 
     /// Builds a store from `(origin, destination)` pairs, bulk-loading the
-    /// TR-tree.
+    /// TR-tree. Pairs with non-finite coordinates are skipped.
     pub fn bulk_build(config: RTreeConfig, pairs: Vec<(Point, Point)>) -> Self {
         let mut store = TransitionStore::new(config);
         let mut items = Vec::with_capacity(pairs.len() * 2);
         for (origin, destination) in pairs {
+            if !origin.is_finite() || !destination.is_finite() {
+                continue;
+            }
             let id = TransitionId(store.transitions.len() as u32);
             store
                 .transitions
@@ -76,8 +79,14 @@ impl TransitionStore {
         store
     }
 
-    /// Inserts a new transition and returns its id.
-    pub fn insert(&mut self, origin: Point, destination: Point) -> TransitionId {
+    /// Inserts a new transition and returns its id, or `None` when either
+    /// endpoint has a non-finite coordinate (NaN/±inf points would poison
+    /// TR-tree MBRs and the strict geometric predicates, so they are
+    /// rejected at the store boundary without mutating anything).
+    pub fn insert(&mut self, origin: Point, destination: Point) -> Option<TransitionId> {
+        if !origin.is_finite() || !destination.is_finite() {
+            return None;
+        }
         let id = TransitionId(self.transitions.len() as u32);
         self.transitions
             .push(Some(Transition::new(id, origin, destination)));
@@ -96,7 +105,7 @@ impl TransitionStore {
                 kind: EndpointKind::Destination,
             },
         );
-        id
+        Some(id)
     }
 
     /// Removes a transition (e.g. an expired passenger request). Returns
@@ -168,8 +177,8 @@ mod tests {
     #[test]
     fn insert_get_remove_roundtrip() {
         let mut store = TransitionStore::default();
-        let a = store.insert(p(0.0, 0.0), p(5.0, 5.0));
-        let b = store.insert(p(1.0, 1.0), p(6.0, 6.0));
+        let a = store.insert(p(0.0, 0.0), p(5.0, 5.0)).unwrap();
+        let b = store.insert(p(1.0, 1.0), p(6.0, 6.0)).unwrap();
         assert_eq!(store.len(), 2);
         assert_eq!(store.rtree().len(), 4, "two endpoints per transition");
         assert_eq!(store.get(a).unwrap().origin, p(0.0, 0.0));
@@ -195,7 +204,7 @@ mod tests {
         let bulk = TransitionStore::bulk_build(RTreeConfig::default(), pairs.clone());
         let mut incr = TransitionStore::default();
         for (o, d) in pairs {
-            incr.insert(o, d);
+            incr.insert(o, d).unwrap();
         }
         assert_eq!(bulk.len(), incr.len());
         assert_eq!(bulk.rtree().len(), incr.rtree().len());
@@ -208,9 +217,34 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_endpoints_are_rejected_at_the_boundary() {
+        let mut store = TransitionStore::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(store.insert(p(bad, 0.0), p(1.0, 1.0)).is_none());
+            assert!(store.insert(p(0.0, 0.0), p(1.0, bad)).is_none());
+        }
+        assert!(store.is_empty());
+        assert!(store.rtree().is_empty());
+        // Ids are only consumed by accepted inserts.
+        let id = store.insert(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        assert_eq!(id, TransitionId(0));
+        // bulk_build silently skips non-finite pairs.
+        let bulk = TransitionStore::bulk_build(
+            RTreeConfig::default(),
+            vec![
+                (p(0.0, 0.0), p(1.0, 1.0)),
+                (p(f64::NAN, 0.0), p(1.0, 1.0)),
+                (p(0.0, 0.0), p(f64::INFINITY, 1.0)),
+            ],
+        );
+        assert_eq!(bulk.len(), 1);
+        assert_eq!(bulk.rtree().len(), 2);
+    }
+
+    #[test]
     fn degenerate_transition_same_origin_destination() {
         let mut store = TransitionStore::default();
-        let id = store.insert(p(2.0, 2.0), p(2.0, 2.0));
+        let id = store.insert(p(2.0, 2.0), p(2.0, 2.0)).unwrap();
         assert_eq!(store.rtree().len(), 2);
         assert!(store.remove(id));
         assert!(store.rtree().is_empty());

@@ -115,7 +115,9 @@ mod tests {
         for i in 0..40u32 {
             let ox = (i as f64 * 3.7) % 20.0;
             let oy = (i as f64 * 7.1) % 20.0;
-            transitions.insert(p(ox, oy), p(20.0 - ox, 20.0 - oy));
+            transitions
+                .insert(p(ox, oy), p(20.0 - ox, 20.0 - oy))
+                .unwrap();
         }
         (graph, routes, transitions)
     }

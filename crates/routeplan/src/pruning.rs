@@ -290,13 +290,17 @@ mod tests {
         let mut transitions = TransitionStore::default();
         for i in 0..25u32 {
             let x = (i as f64 * 1.3) % 30.0;
-            transitions.insert(
-                p(x, 28.0 + (i % 5) as f64),
-                p(30.0 - x, 29.0 + (i % 3) as f64),
-            );
+            transitions
+                .insert(
+                    p(x, 28.0 + (i % 5) as f64),
+                    p(30.0 - x, 29.0 + (i % 3) as f64),
+                )
+                .unwrap();
         }
         for i in 0..5u32 {
-            transitions.insert(p(i as f64 * 6.0, 1.0), p(30.0 - i as f64 * 6.0, 2.0));
+            transitions
+                .insert(p(i as f64 * 6.0, 1.0), p(30.0 - i as f64 * 6.0, 2.0))
+                .unwrap();
         }
         (graph, routes, transitions)
     }

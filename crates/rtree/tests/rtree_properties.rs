@@ -106,6 +106,71 @@ proptest! {
         prop_assert_eq!(ids, expected);
     }
 
+    /// Random *interleavings* of insert and remove, checked step by step
+    /// against a linear-scan oracle for `range` and `nearest` — the churn
+    /// shape the dynamic stores drive, which exercises underflow handling,
+    /// orphan reinsertion and root collapse between queries rather than
+    /// only at the end.
+    #[test]
+    fn interleaved_insert_remove_agree_with_oracle(
+        ps in points(120),
+        ops in prop::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 1..240),
+        probe in pt(),
+        a in pt(),
+        b in pt(),
+    ) {
+        let mut tree: RTree<u32> = RTree::new(RTreeConfig::new(6, 2));
+        let mut oracle: Vec<(Point, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        let rect = Rect::new(a, b);
+        for (is_insert, which) in &ops {
+            if *is_insert || oracle.is_empty() {
+                let p = ps[which.index(ps.len())];
+                tree.insert(p, next_id);
+                oracle.push((p, next_id));
+                next_id += 1;
+            } else {
+                let victim = which.index(oracle.len());
+                let (p, id) = oracle.swap_remove(victim);
+                prop_assert!(tree.remove(&p, &id), "oracle entry {id} missing");
+                // A second removal of the same entry must fail.
+                prop_assert!(!tree.remove(&p, &id));
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+            tree.check_invariants().unwrap();
+
+            // range agrees with the oracle scan.
+            let mut got: Vec<u32> = tree.range(&rect).iter().map(|e| e.data).collect();
+            got.sort_unstable();
+            let mut expected: Vec<u32> = oracle
+                .iter()
+                .filter(|(p, _)| rect.contains_point(p))
+                .map(|(_, id)| *id)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+
+            // nearest agrees with the oracle minimum (distances compare
+            // exactly: both sides use the same Point::distance arithmetic).
+            let nearest = tree.nearest(&probe);
+            let oracle_min = oracle
+                .iter()
+                .map(|(p, _)| p.distance(&probe))
+                .fold(f64::INFINITY, f64::min);
+            match nearest {
+                Some(hit) => prop_assert_eq!(hit.distance, oracle_min),
+                None => prop_assert!(oracle.is_empty()),
+            }
+        }
+        // Drain everything: the tree must collapse back to empty.
+        for (p, id) in oracle.drain(..) {
+            prop_assert!(tree.remove(&p, &id));
+            tree.check_invariants().unwrap();
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert!(tree.nearest(&probe).is_none());
+    }
+
     /// Bulk loading and incremental insertion produce trees with identical
     /// contents and identical query answers.
     #[test]

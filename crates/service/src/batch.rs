@@ -3,11 +3,13 @@
 
 use crate::policy::EnginePolicy;
 use rknnt_core::{
-    EngineKind, FilterOutcome, FilterRefineEngine, RknnTEngine, RknntQuery, RknntResult, Semantics,
+    EngineKind, FilterFootprint, FilterOutcome, FilterRefineEngine, RknnTEngine, RknntQuery,
+    RknntResult, Semantics,
 };
 use rknnt_geo::Point;
 use rknnt_index::{RouteStore, TransitionStore};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wall-clock spent in each phase of [`execute_batch`].
@@ -166,7 +168,12 @@ impl<'a> PreparedEngine<'a> {
     }
 }
 
-/// Executes one group, appending `(batch index, result)` pairs to `out`.
+/// One executed query leaving a group: its batch index, its result, and the
+/// filter footprint the engine reported (shared per `(route, k)`; `None`
+/// for degenerate queries and for engines that build no filter set).
+pub(crate) type GroupOutput = (usize, RknntResult, Option<Arc<FilterFootprint>>);
+
+/// Executes one group, appending [`GroupOutput`]s to `out`.
 ///
 /// Results are byte-identical to running `engine.execute` per query: the
 /// shared filter outcome is exactly what `execute` would build for the same
@@ -175,47 +182,56 @@ impl<'a> PreparedEngine<'a> {
 pub(crate) fn run_group<'q>(
     engine: &PreparedEngine<'_>,
     group: &Group<'q>,
-    out: &mut Vec<(usize, RknntResult)>,
+    out: &mut Vec<GroupOutput>,
     counters: &mut GroupCounters,
 ) {
     // (route, k, semantics) -> position in `out` of the first identical
     // query's result, for exact-duplicate coalescing.
     let mut seen: HashMap<(RouteBits, usize, Semantics), usize> = HashMap::new();
-    // (route, k) -> shared filter outcome (Filter–Refine / Voronoi only).
-    let mut filters: HashMap<(RouteBits, usize), FilterOutcome> = HashMap::new();
+    // (route, k) -> shared filter outcome and its footprint (Filter–Refine /
+    // Voronoi only). One construction also serves as the invalidation
+    // footprint for every query sharing the pair.
+    let mut filters: HashMap<(RouteBits, usize), (FilterOutcome, Arc<FilterFootprint>)> =
+        HashMap::new();
 
     for job in &group.jobs {
         let bits = crate::cache::route_bits(&job.query.route);
         let full_key = (bits.clone(), job.query.k, job.query.semantics);
         if let Some(&first) = seen.get(&full_key) {
-            let result = out[first].1.clone();
-            out.push((job.index, result));
+            let (_, result, footprint) = &out[first];
+            let cloned = (job.index, result.clone(), footprint.clone());
+            out.push(cloned);
             counters.duplicates_coalesced += 1;
             continue;
         }
-        let result = match engine {
+        let (result, footprint) = match engine {
             PreparedEngine::Shared(fr) => {
                 if job.query.is_degenerate() {
-                    fr.execute(job.query)
+                    (fr.execute(job.query), None)
                 } else {
                     let filter_key = (bits, job.query.k);
-                    let outcome = match filters.entry(filter_key) {
+                    let (outcome, footprint) = match filters.entry(filter_key) {
                         std::collections::hash_map::Entry::Occupied(entry) => {
                             counters.filters_saved += 1;
                             entry.into_mut()
                         }
                         std::collections::hash_map::Entry::Vacant(entry) => {
                             counters.filter_constructions += 1;
-                            entry.insert(fr.build_filter(job.query))
+                            let outcome = fr.build_filter(job.query);
+                            let footprint = Arc::new(fr.footprint_for(job.query, &outcome));
+                            entry.insert((outcome, footprint))
                         }
                     };
-                    fr.execute_with_filter(job.query, outcome)
+                    (
+                        fr.execute_with_filter(job.query, outcome),
+                        Some(footprint.clone()),
+                    )
                 }
             }
-            PreparedEngine::Plain(engine) => engine.execute(job.query),
+            PreparedEngine::Plain(engine) => (engine.execute(job.query), None),
         };
         seen.insert(full_key, out.len());
-        out.push((job.index, result));
+        out.push((job.index, result, footprint));
     }
 }
 

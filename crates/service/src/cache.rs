@@ -11,6 +11,7 @@
 //! Recency is tracked with an intrusive doubly-linked list over a slot
 //! arena, giving O(1) lookup, touch, insert and eviction.
 
+use crate::region::EntryRegion;
 use rknnt_core::{RknntQuery, RknntResult, Semantics};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
@@ -92,11 +93,15 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Full invalidations (generation bumps).
     pub invalidations: u64,
+    /// Entries evicted by region-scoped invalidation
+    /// ([`ResultCache::evict_where`]).
+    pub targeted_evictions: u64,
 }
 
 struct Slot {
     key: CacheKey,
     value: RknntResult,
+    region: EntryRegion,
     prev: usize,
     next: usize,
 }
@@ -160,15 +165,17 @@ impl ResultCache {
         }
     }
 
-    /// Stores a result, evicting the least recently used entry when full.
-    pub fn insert(&mut self, key: CacheKey, value: RknntResult) {
+    /// Stores a result with its invalidation region, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: RknntResult, region: EntryRegion) {
         if self.capacity == 0 {
             return;
         }
         if let Some(slot) = self.map.get(&key).copied() {
             // Same query computed twice (e.g. two concurrent batches):
-            // refresh the value and recency.
+            // refresh the value, region and recency.
             self.slots[slot].value = value;
+            self.slots[slot].region = region;
             self.unlink(slot);
             self.push_front(slot);
             return;
@@ -181,6 +188,7 @@ impl ResultCache {
                 self.slots[slot] = Slot {
                     key: key.clone(),
                     value,
+                    region,
                     prev: NIL,
                     next: NIL,
                 };
@@ -190,6 +198,7 @@ impl ResultCache {
                 self.slots.push(Slot {
                     key: key.clone(),
                     value,
+                    region,
                     prev: NIL,
                     next: NIL,
                 });
@@ -199,6 +208,31 @@ impl ResultCache {
         self.map.insert(key, slot);
         self.push_front(slot);
         self.stats.insertions += 1;
+    }
+
+    /// Region-scoped invalidation: drops every entry for which `evict`
+    /// returns `true`, leaving the rest (and their recency order) untouched.
+    /// Returns the number of entries dropped.
+    pub fn evict_where<F>(&mut self, mut evict: F) -> usize
+    where
+        F: FnMut(&CacheKey, &RknntResult, &EntryRegion) -> bool,
+    {
+        let victims: Vec<usize> = self
+            .map
+            .values()
+            .copied()
+            .filter(|slot| {
+                let s = &self.slots[*slot];
+                evict(&s.key, &s.value, &s.region)
+            })
+            .collect();
+        for slot in &victims {
+            self.unlink(*slot);
+            self.map.remove(&self.slots[*slot].key);
+            self.free.push(*slot);
+        }
+        self.stats.targeted_evictions += victims.len() as u64;
+        victims.len()
     }
 
     /// Drops every entry (the generation-bump hook).
@@ -261,6 +295,10 @@ mod tests {
         RknntQuery::exists(vec![Point::new(x, 0.0), Point::new(x, 10.0)], k)
     }
 
+    fn region() -> EntryRegion {
+        EntryRegion::conservative(&query(0.0, 1))
+    }
+
     fn result(id: u32) -> RknntResult {
         RknntResult {
             transitions: vec![TransitionId(id)],
@@ -273,7 +311,7 @@ mod tests {
         let mut cache = ResultCache::new(4, 7);
         let key = CacheKey::of(&query(1.0, 5));
         assert!(cache.get(&key).is_none());
-        cache.insert(key.clone(), result(3));
+        cache.insert(key.clone(), result(3), region());
         assert_eq!(cache.get(&key).unwrap().transitions, vec![TransitionId(3)]);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
@@ -286,7 +324,7 @@ mod tests {
         let mut forall = exists.clone();
         forall.semantics = Semantics::ForAll;
         let k9 = query(1.0, 9);
-        cache.insert(CacheKey::of(&exists), result(1));
+        cache.insert(CacheKey::of(&exists), result(1), region());
         assert!(cache.get(&CacheKey::of(&forall)).is_none());
         assert!(cache.get(&CacheKey::of(&k9)).is_none());
     }
@@ -299,11 +337,11 @@ mod tests {
             CacheKey::of(&query(2.0, 1)),
             CacheKey::of(&query(3.0, 1)),
         );
-        cache.insert(a.clone(), result(1));
-        cache.insert(b.clone(), result(2));
+        cache.insert(a.clone(), result(1), region());
+        cache.insert(b.clone(), result(2), region());
         // Touch `a` so `b` becomes the LRU entry.
         assert!(cache.get(&a).is_some());
-        cache.insert(c.clone(), result(3));
+        cache.insert(c.clone(), result(3), region());
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&b).is_none(), "b was LRU and must be evicted");
         assert!(cache.get(&a).is_some());
@@ -315,7 +353,7 @@ mod tests {
     fn invalidate_all_empties_the_cache() {
         let mut cache = ResultCache::new(4, 7);
         for i in 0..4 {
-            cache.insert(CacheKey::of(&query(i as f64, 1)), result(i));
+            cache.insert(CacheKey::of(&query(i as f64, 1)), result(i), region());
         }
         assert_eq!(cache.len(), 4);
         cache.invalidate_all();
@@ -323,7 +361,7 @@ mod tests {
         assert!(cache.get(&CacheKey::of(&query(0.0, 1))).is_none());
         assert_eq!(cache.stats().invalidations, 1);
         // Reusable after invalidation.
-        cache.insert(CacheKey::of(&query(9.0, 1)), result(9));
+        cache.insert(CacheKey::of(&query(9.0, 1)), result(9), region());
         assert!(cache.get(&CacheKey::of(&query(9.0, 1))).is_some());
     }
 
@@ -331,7 +369,7 @@ mod tests {
     fn zero_capacity_disables_storage() {
         let mut cache = ResultCache::new(0, 7);
         let key = CacheKey::of(&query(1.0, 1));
-        cache.insert(key.clone(), result(1));
+        cache.insert(key.clone(), result(1), region());
         assert!(cache.get(&key).is_none());
         assert_eq!(cache.len(), 0);
     }
@@ -340,11 +378,11 @@ mod tests {
     fn reinserting_a_key_refreshes_value_and_recency() {
         let mut cache = ResultCache::new(2, 7);
         let (a, b) = (CacheKey::of(&query(1.0, 1)), CacheKey::of(&query(2.0, 1)));
-        cache.insert(a.clone(), result(1));
-        cache.insert(b.clone(), result(2));
-        cache.insert(a.clone(), result(10));
+        cache.insert(a.clone(), result(1), region());
+        cache.insert(b.clone(), result(2), region());
+        cache.insert(a.clone(), result(10), region());
         // `a` is now most recent; inserting a third key evicts `b`.
-        cache.insert(CacheKey::of(&query(3.0, 1)), result(3));
+        cache.insert(CacheKey::of(&query(3.0, 1)), result(3), region());
         assert_eq!(cache.get(&a).unwrap().transitions, vec![TransitionId(10)]);
         assert!(cache.get(&b).is_none());
     }
@@ -357,11 +395,92 @@ mod tests {
             if round % 3 == 0 {
                 let _ = cache.get(&key);
             }
-            cache.insert(key, result(round));
+            cache.insert(key, result(round), region());
             assert!(cache.len() <= 8);
         }
         let stats = cache.stats();
         assert!(stats.evictions > 0);
         assert_eq!(stats.insertions - stats.evictions, cache.len() as u64);
+    }
+
+    #[test]
+    fn capacity_one_insert_then_evict_keeps_list_consistent() {
+        // The intrusive list degenerates to head == tail at capacity 1;
+        // every insert-then-evict cycle must leave it usable.
+        let mut cache = ResultCache::new(1, 7);
+        let keys: Vec<CacheKey> = (0..5).map(|i| CacheKey::of(&query(i as f64, 1))).collect();
+        for (i, key) in keys.iter().enumerate() {
+            cache.insert(key.clone(), result(i as u32), region());
+            assert_eq!(cache.len(), 1, "capacity bound after insert {i}");
+            // Only the newest key is present, and a hit refreshes it.
+            assert_eq!(
+                cache.get(key).unwrap().transitions,
+                vec![TransitionId(i as u32)]
+            );
+            for older in &keys[..i] {
+                assert!(cache.get(older).is_none(), "older key survived at cap 1");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 5);
+        assert_eq!(stats.evictions, 4);
+        assert_eq!(stats.insertions - stats.evictions, cache.len() as u64);
+        // Re-inserting the live key refreshes rather than evicts.
+        cache.insert(keys[4].clone(), result(99), region());
+        assert_eq!(cache.stats().evictions, 4);
+        assert_eq!(
+            cache.get(&keys[4]).unwrap().transitions,
+            vec![TransitionId(99)]
+        );
+        // Invalidate and refill: the arena and free list stay coherent.
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        cache.insert(keys[0].clone(), result(1), region());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&keys[0]).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_never_stores_and_counters_stay_consistent() {
+        let mut cache = ResultCache::new(0, 7);
+        for i in 0..4u32 {
+            let key = CacheKey::of(&query(i as f64, 1));
+            assert!(cache.get(&key).is_none());
+            cache.insert(key.clone(), result(i), region());
+            assert!(cache.get(&key).is_none(), "capacity 0 must not store");
+            assert_eq!(cache.len(), 0);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 8);
+        // evict_where and invalidate_all are harmless no-ops.
+        assert_eq!(cache.evict_where(|_, _, _| true), 0);
+        cache.invalidate_all();
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn evict_where_drops_only_matching_entries() {
+        let mut cache = ResultCache::new(8, 7);
+        let keys: Vec<CacheKey> = (0..6).map(|i| CacheKey::of(&query(i as f64, 1))).collect();
+        for (i, key) in keys.iter().enumerate() {
+            cache.insert(key.clone(), result(i as u32), region());
+        }
+        // Drop entries holding an even transition id.
+        let dropped = cache.evict_where(|_, value, _| value.transitions[0].raw() % 2 == 0);
+        assert_eq!(dropped, 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().targeted_evictions, 3);
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(cache.get(key).is_some(), i % 2 == 1, "key {i}");
+        }
+        // Freed slots are reusable and the recency list still works.
+        for i in 10..16u32 {
+            cache.insert(CacheKey::of(&query(i as f64, 1)), result(i), region());
+        }
+        assert_eq!(cache.len(), 8);
+        assert!(cache.stats().evictions > 0, "LRU eviction still functions");
     }
 }

@@ -23,6 +23,12 @@
 //!   [`QueryService::invalidate_all`] / generation-bump hook wired into
 //!   [`QueryService::update_stores`], so dynamic-update workloads keep
 //!   serving correct results.
+//! * **Incremental updates** — [`QueryService::apply_updates`] mutates the
+//!   owned stores in place ([`StoreUpdate`]: transitions arrive and expire,
+//!   routes appear and are withdrawn) and evicts only the cached results an
+//!   update could change: each entry records the region its filter step
+//!   touched plus its result-endpoint MBR ([`region`]), so churn keeps the
+//!   cache warm instead of dropping it wholesale.
 //!
 //! ```
 //! use rknnt_core::RknntQuery;
@@ -33,7 +39,7 @@
 //! let mut routes = RouteStore::default();
 //! routes.insert_route(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
 //! let mut transitions = TransitionStore::default();
-//! transitions.insert(Point::new(10.0, 5.0), Point::new(90.0, 5.0));
+//! transitions.insert(Point::new(10.0, 5.0), Point::new(90.0, 5.0)).unwrap();
 //!
 //! let service = QueryService::new(routes, transitions, ServiceConfig::default());
 //! let query = RknntQuery::exists(vec![Point::new(0.0, 10.0), Point::new(100.0, 10.0)], 1);
@@ -48,9 +54,11 @@
 mod batch;
 mod cache;
 mod policy;
+pub mod region;
 mod service;
 
 pub use batch::{BatchPhaseTimings, BatchStats};
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use policy::EnginePolicy;
-pub use service::{QueryService, ServiceConfig};
+pub use region::EntryRegion;
+pub use service::{QueryService, ServiceConfig, StoreUpdate, UpdateStats};

@@ -1,0 +1,233 @@
+//! Per-entry invalidation regions for the result cache.
+//!
+//! Every cached result carries an [`EntryRegion`]: the spatial evidence
+//! needed to decide, for each incremental store update, whether the cached
+//! answer could possibly change. The decision rules are *sound* — an entry
+//! is only retained when the update provably cannot alter its result — and
+//! lean on two facts of this workspace:
+//!
+//! 1. All distances are the vertex distance of Definition 3, so the
+//!    [`FilterFootprint`] witness certificate exactly mirrors the strict
+//!    comparisons the verification phase performs (see
+//!    `rknnt_core::footprint`).
+//! 2. Route *insertion* only adds "strictly closer" witnesses, so results
+//!    can only shrink; route *removal* only removes witnesses, so results
+//!    can only grow. Transition updates touch exactly one transition.
+//!
+//! Per update kind:
+//!
+//! * **Transition insert `(o, d)`** — the result gains the new transition
+//!   only if an endpoint qualifies. Keep the entry when the footprint
+//!   certifies the endpoints covered by ≥ k still-live routes (`∃`: both
+//!   endpoints; `∀`: either endpoint suffices, since both must qualify).
+//! * **Transition expiry** — affects exactly the entries whose result
+//!   contains the expired id (qualification of other transitions depends
+//!   only on routes). Exact membership test, no geometry needed.
+//! * **Route insert** — can only evict transitions *from* results, which
+//!   requires the new route to come strictly closer than the query to some
+//!   recorded result endpoint. Keep the entry when the route's MBR stays at
+//!   least [`EntryRegion::result_reach`] away from the recorded
+//!   result-endpoint MBR.
+//! * **Route removal** — results can grow anywhere a removed witness was
+//!   load-bearing, which no bounded record can rule out in general (with
+//!   k = 1 and a single far-away route, its removal changes answers
+//!   arbitrarily far from the query). The service falls back to a full
+//!   cache drop for this — rare in the modelled workload, where transitions
+//!   churn and lines change seldom.
+
+use rknnt_core::{FilterFootprint, RknntQuery, RknntResult, Semantics};
+use rknnt_geo::{Point, Rect};
+use rknnt_index::RouteStore;
+use std::sync::Arc;
+
+/// The invalidation evidence recorded with one cached result; see the
+/// module documentation for the retention rules.
+#[derive(Debug, Clone)]
+pub struct EntryRegion {
+    /// The query route (vertex list) the entry answers.
+    pub query_points: Vec<Point>,
+    /// The query's `k`.
+    pub k: usize,
+    /// The query's semantics.
+    pub semantics: Semantics,
+    /// Filter footprint reported by the engine, when one was built
+    /// (Filter–Refine / Voronoi groups). `None` is handled conservatively:
+    /// transition inserts always evict the entry.
+    pub footprint: Option<Arc<FilterFootprint>>,
+    /// MBR over both endpoints of every transition in the cached result
+    /// ([`Rect::empty`] for an empty result).
+    pub result_rect: Rect,
+    /// Upper bound on the vertex distance from any point of
+    /// [`EntryRegion::result_rect`] to the query route (0 for an empty
+    /// result).
+    pub result_reach: f64,
+}
+
+impl EntryRegion {
+    /// A region with no footprint and no recorded result geometry: sound
+    /// for any query, maximally conservative for transition inserts.
+    pub fn conservative(query: &RknntQuery) -> Self {
+        EntryRegion {
+            query_points: query.route.clone(),
+            k: query.k,
+            semantics: query.semantics,
+            footprint: None,
+            result_rect: Rect::empty(),
+            result_reach: 0.0,
+        }
+    }
+
+    /// Builds the region for a freshly computed result, recording the
+    /// result-endpoint MBR and its reach bound from the live stores.
+    pub fn record(
+        query: &RknntQuery,
+        result: &RknntResult,
+        footprint: Option<Arc<FilterFootprint>>,
+        transitions: &rknnt_index::TransitionStore,
+    ) -> Self {
+        let mut result_rect = Rect::empty();
+        for id in &result.transitions {
+            if let Some(t) = transitions.get(*id) {
+                result_rect.expand_to_point(&t.origin);
+                result_rect.expand_to_point(&t.destination);
+            }
+        }
+        // Upper bound on dist(p, Q) over p in result_rect: for the query
+        // vertex q minimising it, every p is within max_dist(rect, q).
+        let result_reach = if result_rect.is_empty() {
+            0.0
+        } else {
+            query
+                .route
+                .iter()
+                .map(|q| result_rect.max_dist(q))
+                .fold(f64::INFINITY, f64::min)
+        };
+        EntryRegion {
+            query_points: query.route.clone(),
+            k: query.k,
+            semantics: query.semantics,
+            footprint,
+            result_rect,
+            result_reach,
+        }
+    }
+
+    /// Whether the entry's query is degenerate (its result is the constant
+    /// empty set, immune to store churn).
+    fn is_degenerate(&self) -> bool {
+        self.k == 0 || self.query_points.is_empty()
+    }
+
+    /// Whether the cached result provably survives inserting a transition
+    /// with the given endpoints.
+    pub fn survives_transition_insert(
+        &self,
+        routes: &RouteStore,
+        origin: &Point,
+        destination: &Point,
+    ) -> bool {
+        if self.is_degenerate() {
+            return true;
+        }
+        let Some(footprint) = &self.footprint else {
+            return false;
+        };
+        let live = |r| routes.route(r).is_some();
+        let covered = |u: &Point| footprint.covers_point(&self.query_points, u, self.k, live);
+        match self.semantics {
+            // ∃: the transition qualifies if either endpoint does, so both
+            // must be certified disqualified.
+            Semantics::Exists => covered(origin) && covered(destination),
+            // ∀: both endpoints must qualify, so one certificate suffices.
+            Semantics::ForAll => covered(origin) || covered(destination),
+        }
+    }
+
+    /// Whether the cached result provably survives removing the transition
+    /// `id` — it does iff the result does not contain it.
+    pub fn survives_transition_remove(
+        &self,
+        result: &RknntResult,
+        id: rknnt_index::TransitionId,
+    ) -> bool {
+        !result.contains(id)
+    }
+
+    /// Whether the cached result provably survives inserting a route whose
+    /// points have the given MBR: results only shrink on route insertion,
+    /// and they shrink only if the new route comes strictly closer than the
+    /// query to a recorded result endpoint — impossible when the route stays
+    /// `result_reach` away from the result-endpoint MBR.
+    pub fn survives_route_insert(&self, route_mbr: &Rect) -> bool {
+        if self.result_rect.is_empty() {
+            return true;
+        }
+        self.result_rect.min_dist_rect(route_mbr) >= self.result_reach
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_index::{TransitionId, TransitionStore};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn entry_with_result(result_ids: &[u32]) -> (EntryRegion, RknntResult) {
+        let query = RknntQuery::exists(vec![p(0.0, 0.0), p(10.0, 0.0)], 2);
+        let mut transitions = TransitionStore::default();
+        let a = transitions.insert(p(1.0, 1.0), p(9.0, 1.0)).unwrap();
+        let b = transitions.insert(p(2.0, 2.0), p(8.0, 2.0)).unwrap();
+        let mut result = RknntResult::default();
+        for id in result_ids {
+            assert!([a, b].contains(&TransitionId(*id)));
+            result.transitions.push(TransitionId(*id));
+        }
+        result.transitions.sort_unstable();
+        let region = EntryRegion::record(&query, &result, None, &transitions);
+        (region, result)
+    }
+
+    #[test]
+    fn expiry_is_an_exact_membership_test() {
+        let (region, result) = entry_with_result(&[0]);
+        assert!(!region.survives_transition_remove(&result, TransitionId(0)));
+        assert!(region.survives_transition_remove(&result, TransitionId(1)));
+        assert!(region.survives_transition_remove(&result, TransitionId(999)));
+    }
+
+    #[test]
+    fn route_insert_far_from_results_is_survived() {
+        let (region, _) = entry_with_result(&[0, 1]);
+        assert!(region.result_reach > 0.0);
+        // A route far away cannot be closer than the query to any result
+        // endpoint.
+        let far = Rect::new(p(1_000.0, 1_000.0), p(1_100.0, 1_100.0));
+        assert!(region.survives_route_insert(&far));
+        // A route on top of the result endpoints must evict.
+        let near = Rect::new(p(1.0, 1.0), p(9.0, 2.0));
+        assert!(!region.survives_route_insert(&near));
+        // Empty results survive any route insertion (results only shrink).
+        let (empty_region, _) = entry_with_result(&[]);
+        assert!(empty_region.survives_route_insert(&near));
+    }
+
+    #[test]
+    fn missing_footprint_is_conservative_for_transition_inserts() {
+        let (region, _) = entry_with_result(&[0]);
+        let routes = RouteStore::default();
+        assert!(!region.survives_transition_insert(&routes, &p(1e6, 1e6), &p(1e6, 1e6)));
+    }
+
+    #[test]
+    fn degenerate_entries_survive_everything() {
+        let degenerate = EntryRegion::conservative(&RknntQuery::exists(vec![], 3));
+        let routes = RouteStore::default();
+        assert!(degenerate.survives_transition_insert(&routes, &p(0.0, 0.0), &p(1.0, 1.0)));
+        let k0 = EntryRegion::conservative(&RknntQuery::exists(vec![p(0.0, 0.0)], 0));
+        assert!(k0.survives_transition_insert(&routes, &p(0.0, 0.0), &p(1.0, 1.0)));
+    }
+}

@@ -4,8 +4,10 @@
 use crate::batch::{form_groups, run_group, BatchStats, Group, GroupCounters, PreparedEngine};
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::policy::EnginePolicy;
+use crate::region::EntryRegion;
 use rknnt_core::{RknntQuery, RknntResult};
-use rknnt_index::{RouteStore, TransitionStore};
+use rknnt_geo::{Point, Rect};
+use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -61,14 +63,58 @@ impl ServiceConfig {
     }
 }
 
+/// One incremental store mutation for [`QueryService::apply_updates`] —
+/// the paper's dynamic workload, where "old transitions expire and new
+/// transitions arrive" and bus lines occasionally change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreUpdate {
+    /// A new passenger transition arrives.
+    InsertTransition {
+        /// Origin endpoint.
+        origin: Point,
+        /// Destination endpoint.
+        destination: Point,
+    },
+    /// An existing transition expires (e.g. the request was served).
+    ExpireTransition(TransitionId),
+    /// A new route (bus line) is added.
+    InsertRoute(Vec<Point>),
+    /// An existing route is withdrawn.
+    RemoveRoute(RouteId),
+}
+
+/// Counters reported by one [`QueryService::apply_updates`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Updates applied to the stores.
+    pub applied: usize,
+    /// Updates rejected at the store boundary (non-finite coordinates,
+    /// too-short routes, unknown or already-removed ids).
+    pub rejected: usize,
+    /// Ids assigned to the inserted transitions, in update order.
+    pub inserted_transitions: Vec<TransitionId>,
+    /// Ids assigned to the inserted routes, in update order.
+    pub inserted_routes: Vec<RouteId>,
+    /// Cached results evicted because an update could have changed them
+    /// (region-scoped evictions plus entries lost to full drops).
+    pub evicted_entries: usize,
+    /// Cached results still live when the call returned.
+    pub retained_entries: usize,
+    /// Route removals that forced a full cache drop.
+    pub full_drops: usize,
+}
+
 /// A concurrent batch RkNNT query service over one pair of stores.
 ///
 /// The service owns the [`RouteStore`] and [`TransitionStore`] — queries
 /// execute against a consistent snapshot because store mutation requires
-/// `&mut self` ([`QueryService::update_stores`]), which the borrow checker
-/// serialises against every in-flight `&self` batch. A store update bumps
-/// the generation counter and drops the whole result cache, so the
-/// dynamic-updates workload keeps serving correct results.
+/// `&mut self` ([`QueryService::update_stores`] /
+/// [`QueryService::apply_updates`]), which the borrow checker serialises
+/// against every in-flight `&self` batch. Wholesale updates bump the
+/// generation counter and drop the whole result cache; incremental updates
+/// go through [`QueryService::apply_updates`], which mutates the stores in
+/// place and evicts only the cached results the update could affect (see
+/// [`crate::region`]).
 pub struct QueryService {
     routes: RouteStore,
     transitions: TransitionStore,
@@ -151,6 +197,88 @@ impl QueryService {
         self.invalidate_all();
     }
 
+    /// Applies incremental store updates in order, evicting **only** the
+    /// cached results each update could change — the region-scoped
+    /// alternative to the wholesale [`QueryService::update_stores`] path.
+    ///
+    /// Every cached entry carries the [`EntryRegion`] recorded when it was
+    /// computed: the filter footprint its filter step touched (query-route
+    /// MBR expanded by the filter radius actually used, plus the pruning
+    /// witnesses) and the MBR of its result endpoints. An update evicts an
+    /// entry only when its dirty region reaches the entry's recorded region
+    /// (see [`crate::region`] for the per-update rules and their soundness
+    /// arguments); route removals fall back to a full cache drop, the one
+    /// update kind whose influence no bounded record can limit.
+    ///
+    /// Unlike `update_stores`, this path does **not** bump the generation:
+    /// `&mut self` already serialises it against in-flight batches, and
+    /// retained entries remain byte-identical to what a freshly built
+    /// service over the post-update stores would answer — asserted by the
+    /// churn determinism suite in `tests/service_churn.rs`.
+    pub fn apply_updates(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        for update in updates {
+            match update {
+                StoreUpdate::InsertTransition {
+                    origin,
+                    destination,
+                } => {
+                    let Some(id) = self.transitions.insert(origin, destination) else {
+                        stats.rejected += 1;
+                        continue;
+                    };
+                    stats.applied += 1;
+                    stats.inserted_transitions.push(id);
+                    let routes = &self.routes;
+                    stats.evicted_entries +=
+                        self.cache
+                            .get_mut()
+                            .expect("cache lock")
+                            .evict_where(|_, _, region| {
+                                !region.survives_transition_insert(routes, &origin, &destination)
+                            });
+                }
+                StoreUpdate::ExpireTransition(id) => {
+                    if !self.transitions.remove(id) {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    stats.applied += 1;
+                    stats.evicted_entries += self.cache.get_mut().expect("cache lock").evict_where(
+                        |_, value, region| !region.survives_transition_remove(value, id),
+                    );
+                }
+                StoreUpdate::InsertRoute(points) => {
+                    let dirty = Rect::from_points(&points).unwrap_or_else(Rect::empty);
+                    let Some(id) = self.routes.insert_route(points) else {
+                        stats.rejected += 1;
+                        continue;
+                    };
+                    stats.applied += 1;
+                    stats.inserted_routes.push(id);
+                    stats.evicted_entries += self
+                        .cache
+                        .get_mut()
+                        .expect("cache lock")
+                        .evict_where(|_, _, region| !region.survives_route_insert(&dirty));
+                }
+                StoreUpdate::RemoveRoute(id) => {
+                    if !self.routes.remove_route(id) {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    stats.applied += 1;
+                    stats.full_drops += 1;
+                    let cache = self.cache.get_mut().expect("cache lock");
+                    stats.evicted_entries += cache.len();
+                    cache.invalidate_all();
+                }
+            }
+        }
+        stats.retained_entries = self.cache.get_mut().expect("cache lock").len();
+        stats
+    }
+
     /// Answers one query (through the cache; see
     /// [`QueryService::execute_batch`] for the batched path).
     pub fn execute(&self, query: &RknntQuery) -> RknntResult {
@@ -224,7 +352,7 @@ impl QueryService {
         let execution_started = Instant::now();
         let workers = self.config.workers.max(1).min(groups.len().max(1));
         stats.workers_used = if groups.is_empty() { 0 } else { workers };
-        let mut computed: Vec<(usize, RknntResult)> = Vec::with_capacity(miss_indexes.len());
+        let mut computed: Vec<crate::batch::GroupOutput> = Vec::with_capacity(miss_indexes.len());
         let mut counters = GroupCounters::default();
         if workers <= 1 {
             // In-line fast path: no thread spawn for single-worker batches.
@@ -278,22 +406,56 @@ impl QueryService {
         // Phase 4: merge into input order and feed the cache.
         let finalize_started = Instant::now();
         if caching {
+            // Footprint fallback for engines that build no filter set
+            // (BruteForce / DivideConquer): run the filter construction
+            // here, once per distinct (route, k), so their cached entries
+            // are region-taggable too instead of evicting on every update.
+            // Done before taking the cache lock — construction is pure
+            // reads against the stores.
+            type FootprintByQuery =
+                std::collections::HashMap<(Vec<(u64, u64)>, usize), FallbackFootprint>;
+            type FallbackFootprint = std::sync::Arc<rknnt_core::FilterFootprint>;
+            let mut fallback: FootprintByQuery = std::collections::HashMap::new();
+            for (index, _, footprint) in &mut computed {
+                let query = &queries[*index];
+                if footprint.is_none() && !query.is_degenerate() {
+                    let key = (crate::cache::route_bits(&query.route), query.k);
+                    let entry = fallback.entry(key).or_insert_with(|| {
+                        std::sync::Arc::new(rknnt_core::FilterFootprint::compute(
+                            &self.routes,
+                            &query.route,
+                            query.k,
+                        ))
+                    });
+                    *footprint = Some(entry.clone());
+                }
+            }
             let mut cache = self.cache.lock().expect("cache lock");
             // Only insert when no invalidation raced the batch: the stores
             // cannot have changed (that needs `&mut self`), but whoever
             // called invalidate_all expects a cold cache and re-populating
             // it behind their back would be surprising.
             let fresh = self.generation() == generation_at_start;
-            for (index, result) in computed {
+            for (index, result, footprint) in computed {
                 if fresh {
                     if let Some(key) = keys[index].take() {
-                        cache.insert(key, result.clone());
+                        // Record the entry's invalidation region: the filter
+                        // footprint the engine reported plus the MBR of the
+                        // result's endpoints, both against the current
+                        // stores (which cannot have changed under `&self`).
+                        let region = EntryRegion::record(
+                            &queries[index],
+                            &result,
+                            footprint,
+                            &self.transitions,
+                        );
+                        cache.insert(key, result.clone(), region);
                     }
                 }
                 slots[index] = Some(result);
             }
         } else {
-            for (index, result) in computed {
+            for (index, result, _) in computed {
                 slots[index] = Some(result);
             }
         }

@@ -171,7 +171,7 @@ fn cache_is_invalidated_by_store_updates() {
     let destination = Point::new(watched[1].x - 2.0, watched[1].y - 2.0);
     let mut inserted = None;
     service.update_stores(|_, transitions| {
-        inserted = Some(transitions.insert(origin, destination));
+        inserted = transitions.insert(origin, destination);
     });
     let inserted = inserted.expect("update ran");
     assert_eq!(service.generation(), 1);

@@ -39,10 +39,12 @@ fn main() {
     let mid = hot_route[hot_route.len() / 2];
     for j in 0..200 {
         let offset = 30.0 + (j % 17) as f64 * 10.0;
-        transitions.insert(
-            Point::new(mid.x + offset, mid.y + offset / 2.0),
-            Point::new(mid.x - offset, mid.y - offset),
-        );
+        transitions
+            .insert(
+                Point::new(mid.x + offset, mid.y + offset / 2.0),
+                Point::new(mid.x - offset, mid.y - offset),
+            )
+            .expect("finite endpoints");
     }
     println!(
         "\n-- after 200 new transitions near route #{} --",

@@ -59,7 +59,7 @@ fn dynamic_stream_of_transitions_keeps_answers_fresh() {
             watched[(i + 1) % watched.len()].x - 5.0,
             watched[(i + 1) % watched.len()].y - 5.0,
         );
-        inserted.push(store.insert(origin, destination));
+        inserted.push(store.insert(origin, destination).expect("finite endpoints"));
     }
     let full = FilterRefineEngine::new(&routes, &store).execute(&query);
     assert_eq!(full.len(), inserted.len());
