@@ -1,0 +1,69 @@
+//! CI perf-regression gate: checks the machine-independent ratios of the
+//! serving-layer experiments against the thresholds checked in at
+//! `results/ci_gates.toml`, and exits non-zero on any regression.
+//!
+//! ```text
+//! bench_gate [--results DIR] [--gates FILE]
+//! ```
+//!
+//! Run the experiments first, e.g.:
+//!
+//! ```text
+//! experiments --exp churn_throughput --out results-ci ...
+//! experiments --exp continuous_monitoring --out results-ci ...
+//! bench_gate --results results-ci --gates results/ci_gates.toml
+//! ```
+
+use rknnt_bench::gate;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut results = PathBuf::from("results-ci");
+    let mut gates = PathBuf::from("results/ci_gates.toml");
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--results" => match value("--results") {
+                Ok(v) => results = PathBuf::from(v),
+                Err(e) => return fail(&e),
+            },
+            "--gates" => match value("--gates") {
+                Ok(v) => gates = PathBuf::from(v),
+                Err(e) => return fail(&e),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_gate [--results DIR] [--gates FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown flag {other}; try --help")),
+        }
+    }
+
+    match gate::run_gates(&results, &gates) {
+        Err(message) => fail(&message),
+        Ok(outcomes) => {
+            let mut failed = false;
+            for outcome in &outcomes {
+                println!("{outcome}");
+                failed |= !outcome.passed;
+            }
+            if failed {
+                eprintln!("bench gate FAILED: a serving-layer ratio regressed");
+                ExitCode::FAILURE
+            } else {
+                println!("bench gate passed ({} checks)", outcomes.len());
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("{message}");
+    ExitCode::FAILURE
+}

@@ -1046,6 +1046,185 @@ pub fn churn_throughput(
     report
 }
 
+/// One mode × update-ratio measurement of the continuous-monitoring
+/// experiment.
+struct MonitorPoint {
+    ratio: f64,
+    mode: &'static str,
+    subs: usize,
+    updates: usize,
+    /// Subscription re-executions per (update × live subscription) — the
+    /// naive re-run-all baseline is exactly 1.0 by construction.
+    reexec_rate: f64,
+    /// Mean wall-clock to bring every standing result current after one
+    /// update (includes delta emission for the monitored mode, re-running
+    /// every query for the naive mode).
+    mean_update: Duration,
+    deltas: usize,
+    /// Final standing results, for the cross-mode identity assertion.
+    final_results: Vec<Vec<rknnt_index::TransitionId>>,
+}
+
+/// Replays resolved churn steps against `subs` standing queries.
+///
+/// `monitored` keeps them current through the subscription subsystem
+/// ([`QueryService::subscribe`] + [`QueryService::apply_updates`] deltas);
+/// the baseline re-executes every standing query after every update — the
+/// re-poll strategy the monitor replaces. The baseline runs with the result
+/// cache *disabled*: with it on, most "re-runs" would be LRU hits and the
+/// reported cost and re-execution rate would be bookkeeping, not
+/// measurement. The monitored mode keeps the default cache for its one-shot
+/// steps — its standing results never touch the LRU anyway (subscription
+/// re-execution bypasses it) — and one-shot query time is not part of any
+/// reported metric in either mode.
+fn run_monitor_mode(
+    dataset: &Dataset,
+    steps: &[ChurnStep],
+    standing: &[RknntQuery],
+    ratio: f64,
+    monitored: bool,
+) -> MonitorPoint {
+    let mut service = QueryService::new(
+        dataset.routes.clone(),
+        dataset.transitions.clone(),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi))
+            .with_cache_capacity(if monitored { 4_096 } else { 0 }),
+    );
+    let mut naive_results: Vec<Vec<rknnt_index::TransitionId>> = Vec::new();
+    let mut sub_ids = Vec::new();
+    if monitored {
+        for query in standing {
+            sub_ids.push(service.subscribe(query.clone()));
+        }
+    } else {
+        let (results, _) = service.execute_batch(standing);
+        naive_results = results.into_iter().map(|r| r.transitions).collect();
+    }
+    let mut updates = 0usize;
+    let mut reexecutions = 0usize;
+    let mut deltas = 0usize;
+    let mut update_time = Duration::ZERO;
+    for step in steps {
+        match step {
+            ChurnStep::Query(query) => {
+                let _ = service.execute(query);
+            }
+            ChurnStep::Update(update) => {
+                updates += 1;
+                let started = std::time::Instant::now();
+                let stats = service.apply_updates(vec![update.clone()]);
+                if monitored {
+                    reexecutions += stats.subs_reexecuted;
+                    deltas += stats.deltas.len();
+                } else {
+                    let (results, _) = service.execute_batch(standing);
+                    naive_results = results.into_iter().map(|r| r.transitions).collect();
+                    reexecutions += standing.len();
+                }
+                update_time += started.elapsed();
+            }
+        }
+    }
+    let final_results = if monitored {
+        sub_ids
+            .iter()
+            .map(|id| service.subscription_result(*id).unwrap().to_vec())
+            .collect()
+    } else {
+        naive_results
+    };
+    let denominator = (updates * standing.len()).max(1);
+    MonitorPoint {
+        ratio,
+        mode: if monitored { "monitored" } else { "naive" },
+        subs: standing.len(),
+        updates,
+        reexec_rate: reexecutions as f64 / denominator as f64,
+        mean_update: if updates == 0 {
+            Duration::ZERO
+        } else {
+            update_time / updates as u32
+        },
+        deltas,
+        final_results,
+    }
+}
+
+fn monitor_points(
+    ctx: &ExperimentContext,
+    dataset: &Dataset,
+    semantics: Semantics,
+    ratio: f64,
+) -> (MonitorPoint, MonitorPoint) {
+    let events = (ctx.scale.queries_per_point * 60).clamp(120, 1_200);
+    let mut config = rknnt_data::ChurnConfig::new(events, ratio, ctx.scale.seed ^ 0x90a1);
+    config.query_pool = 8;
+    config.query_len = ctx.default_query_len();
+    let stream = workload::churn_stream(&dataset.city, &config);
+    let steps = resolve_churn(dataset, stream, ctx.default_k(), semantics);
+    // Standing queries cycle a pool so some subscriptions share a
+    // (route, k) pair — dirty re-execution then shares filter work too.
+    let subs = (ctx.scale.queries_per_point * 4).clamp(8, 64);
+    let pool = workload::rknnt_queries(
+        &dataset.city,
+        (subs / 2).max(1),
+        ctx.default_query_len(),
+        1_000.0,
+        ctx.scale.seed ^ 0x5e1,
+    );
+    let standing: Vec<RknntQuery> = (0..subs)
+        .map(|i| RknntQuery {
+            route: pool[i % pool.len()].clone(),
+            k: ctx.default_k(),
+            semantics,
+        })
+        .collect();
+    let monitored = run_monitor_mode(dataset, &steps, &standing, ratio, true);
+    let naive = run_monitor_mode(dataset, &steps, &standing, ratio, false);
+    assert_eq!(
+        monitored.final_results, naive.final_results,
+        "monitored standing results diverged from naive re-run-all"
+    );
+    (monitored, naive)
+}
+
+/// Continuous monitoring: N standing queries kept current under interleaved
+/// query/update churn at 1/10/50 % update ratios. The subscription monitor
+/// (classify + selective re-execution, per-batch deltas) vs the naive
+/// baseline that re-runs every standing query after every update. Both must
+/// hold identical standing results at the end — asserted inline.
+pub fn continuous_monitoring(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    semantics: Semantics,
+) -> Report {
+    let mut report = Report::new("Continuous monitoring — subscriptions vs naive re-run-all");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    report.line(format!(
+        "{} — k = {}, {} semantics, Voronoi engine, 1 worker",
+        dataset.kind.name(),
+        ctx.default_k(),
+        semantics,
+    ));
+    for ratio in [0.01, 0.10, 0.50] {
+        let (monitored, naive) = monitor_points(ctx, &dataset, semantics, ratio);
+        for point in [monitored, naive] {
+            report.row(&[
+                ("update_ratio", format!("{:.2}", point.ratio)),
+                ("mode", point.mode.to_string()),
+                ("subs", point.subs.to_string()),
+                ("updates", point.updates.to_string()),
+                ("reexec_rate", format!("{:.3}", point.reexec_rate)),
+                ("mean_update_ms", ms(point.mean_update)),
+                ("deltas", point.deltas.to_string()),
+            ]);
+        }
+    }
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -1088,6 +1267,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         fig21(ctx),
         service_throughput(ctx, options.service_dataset, options.semantics),
         churn_throughput(ctx, options.service_dataset, options.semantics),
+        continuous_monitoring(ctx, options.service_dataset, options.semantics),
     ]
 }
 
@@ -1122,6 +1302,11 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
             options.service_dataset,
             options.semantics,
         )),
+        "continuous_monitoring" | "monitor" => single(continuous_monitoring(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
         "all" => Some(all(ctx, options)),
         _ => None,
     }
@@ -1149,6 +1334,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "fig21",
         "service_throughput",
         "churn_throughput",
+        "continuous_monitoring",
         "all",
     ]
 }
@@ -1227,6 +1413,43 @@ mod tests {
             region.evicted <= full.evicted,
             "region scoping must evict no more entries than full drops"
         );
+    }
+
+    #[test]
+    fn monitor_beats_naive_rerun_all_at_10_percent_updates() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let dataset = Dataset::build(DatasetKind::Small, &ctx.scale);
+        let (monitored, naive) = monitor_points(&ctx, &dataset, Semantics::Exists, 0.10);
+        // Identical standing results are asserted inside monitor_points;
+        // here the point of the subsystem: most (update × subscription)
+        // pairs must be classified away instead of re-executed.
+        assert!(monitored.updates > 0);
+        assert!(
+            monitored.reexec_rate < 1.0,
+            "monitored re-execution rate {:.3} must beat re-run-all",
+            monitored.reexec_rate
+        );
+        assert!(
+            (naive.reexec_rate - 1.0).abs() < 1e-9,
+            "naive baseline re-executes everything by construction"
+        );
+        assert_eq!(monitored.subs, naive.subs);
+        assert_eq!(monitored.updates, naive.updates);
+    }
+
+    #[test]
+    fn continuous_monitoring_reports_both_modes_at_all_ratios() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let report = continuous_monitoring(&ctx, DatasetKind::Small, Semantics::Exists);
+        // 1 header + 3 ratios × 2 modes.
+        assert_eq!(report.len(), 1 + 3 * 2);
+        let text = report.to_text();
+        assert!(text.contains("mode=monitored"));
+        assert!(text.contains("mode=naive"));
+        assert!(text.contains("update_ratio=0.10"));
+        assert!(text.contains("reexec_rate="));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! The CI performance-regression gate.
+//!
+//! Absolute throughput numbers are machine-dependent and useless as CI
+//! assertions; the *ratios* the serving layer is built around are not. This
+//! module parses the plain-text reports the `experiments` binary writes
+//! (`key=value` rows) plus a checked-in `results/ci_gates.toml`, derives the
+//! machine-independent ratios and fails when any falls past its threshold:
+//!
+//! * `churn_throughput` — the region-scoped cache hit-rate must beat the
+//!   full-drop hit-rate by at least `min_hit_rate_advantage` at the 10 %
+//!   update ratio (the whole point of region-scoped invalidation);
+//! * `continuous_monitoring` — the monitored re-execution rate must stay
+//!   below `max_reexecution_rate` at the 10 % update ratio, while the naive
+//!   baseline stays at ≥ `min_naive_reexecution_rate` ≈ 1.0 (proving the
+//!   comparison is honest).
+//!
+//! Missing files, rows or thresholds are gate *failures*, never silent
+//! passes. The `bench_gate` binary is the CLI front-end.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed gate thresholds: `section -> key -> value`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateConfig {
+    sections: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl GateConfig {
+    /// Parses the minimal TOML subset the gate file uses: `[section]`
+    /// headers, `key = <float>` assignments, `#` comments and blank lines.
+    /// Anything else is an error — the file is checked in and small, so
+    /// strictness beats leniency.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = GateConfig::default();
+        let mut current: Option<String> = None;
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                config.sections.entry(name.clone()).or_default();
+                current = Some(name);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected `key = value`: {raw:?}",
+                    number + 1
+                ));
+            };
+            let Some(section) = &current else {
+                return Err(format!(
+                    "line {}: assignment before any [section]",
+                    number + 1
+                ));
+            };
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad number: {e}", number + 1))?;
+            config
+                .sections
+                .get_mut(section)
+                .expect("section was inserted")
+                .insert(key.trim().to_string(), value);
+        }
+        Ok(config)
+    }
+
+    /// The threshold `section.key`, or an error naming what is missing.
+    pub fn threshold(&self, section: &str, key: &str) -> Result<f64, String> {
+        self.sections
+            .get(section)
+            .ok_or_else(|| format!("gate file has no [{section}] section"))?
+            .get(key)
+            .copied()
+            .ok_or_else(|| format!("gate file has no {section}.{key} threshold"))
+    }
+}
+
+/// One `key=value` report row, as written by `Report::row`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportRow {
+    fields: BTreeMap<String, String>,
+}
+
+impl ReportRow {
+    /// A field's raw value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// A field parsed as `f64`, or an error naming the field.
+    pub fn number(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .ok_or_else(|| format!("row has no field {key:?}"))?
+            .parse()
+            .map_err(|e| format!("field {key:?}: {e}"))
+    }
+}
+
+/// Parses every `key=value` row of a report file (non-row lines — titles,
+/// prose headers — are skipped).
+pub fn parse_report_rows(text: &str) -> Vec<ReportRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let mut fields = BTreeMap::new();
+        for token in line.split_whitespace() {
+            if let Some((key, value)) = token.split_once('=') {
+                if !key.is_empty() {
+                    fields.insert(key.to_string(), value.to_string());
+                }
+            }
+        }
+        // A row has at least two fields; prose with a stray '=' does not.
+        if fields.len() >= 2 {
+            rows.push(ReportRow { fields });
+        }
+    }
+    rows
+}
+
+/// Finds the row matching all `(key, value)` selectors.
+pub fn find_row<'a>(
+    rows: &'a [ReportRow],
+    selectors: &[(&str, &str)],
+) -> Result<&'a ReportRow, String> {
+    rows.iter()
+        .find(|row| selectors.iter().all(|(k, v)| row.get(k) == Some(v)))
+        .ok_or_else(|| format!("no report row matching {selectors:?}"))
+}
+
+/// Outcome of one gate check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Which gate.
+    pub name: String,
+    /// The measured ratio.
+    pub measured: f64,
+    /// The threshold it was held against.
+    pub threshold: f64,
+    /// Whether the gate passed.
+    pub passed: bool,
+}
+
+impl std::fmt::Display for GateOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: measured {:.3} vs threshold {:.3}",
+            if self.passed { "PASS" } else { "FAIL" },
+            self.name,
+            self.measured,
+            self.threshold
+        )
+    }
+}
+
+/// Checks the churn-throughput gate against the report text: region-scoped
+/// hit-rate minus full-drop hit-rate at the 10 % update ratio must be at
+/// least `churn_throughput.min_hit_rate_advantage`.
+pub fn check_churn_gate(report: &str, config: &GateConfig) -> Result<GateOutcome, String> {
+    let threshold = config.threshold("churn_throughput", "min_hit_rate_advantage")?;
+    let rows = parse_report_rows(report);
+    let region = find_row(
+        &rows,
+        &[("update_ratio", "0.10"), ("mode", "region-scoped")],
+    )?;
+    let full = find_row(&rows, &[("update_ratio", "0.10"), ("mode", "full-drop")])?;
+    let measured = region.number("hit_rate")? - full.number("hit_rate")?;
+    Ok(GateOutcome {
+        name: "churn_throughput.hit_rate_advantage@0.10".to_string(),
+        measured,
+        threshold,
+        passed: measured >= threshold,
+    })
+}
+
+/// Checks the continuous-monitoring gates against the report text: the
+/// monitored re-execution rate at the 10 % update ratio must stay below
+/// `max_reexecution_rate`, and the naive baseline at or above
+/// `min_naive_reexecution_rate`.
+pub fn check_monitor_gates(report: &str, config: &GateConfig) -> Result<Vec<GateOutcome>, String> {
+    let max_reexec = config.threshold("continuous_monitoring", "max_reexecution_rate")?;
+    let min_naive = config.threshold("continuous_monitoring", "min_naive_reexecution_rate")?;
+    let rows = parse_report_rows(report);
+    let monitored = find_row(&rows, &[("update_ratio", "0.10"), ("mode", "monitored")])?;
+    let naive = find_row(&rows, &[("update_ratio", "0.10"), ("mode", "naive")])?;
+    let monitored_rate = monitored.number("reexec_rate")?;
+    let naive_rate = naive.number("reexec_rate")?;
+    Ok(vec![
+        GateOutcome {
+            name: "continuous_monitoring.reexec_rate@0.10".to_string(),
+            measured: monitored_rate,
+            threshold: max_reexec,
+            passed: monitored_rate <= max_reexec,
+        },
+        GateOutcome {
+            name: "continuous_monitoring.naive_reexec_rate@0.10".to_string(),
+            measured: naive_rate,
+            threshold: min_naive,
+            passed: naive_rate >= min_naive,
+        },
+    ])
+}
+
+/// Runs every gate against a results directory, returning the outcomes.
+/// Missing files or rows are errors, not passes.
+pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcome>, String> {
+    let config = GateConfig::parse(
+        &std::fs::read_to_string(gates_file)
+            .map_err(|e| format!("cannot read {}: {e}", gates_file.display()))?,
+    )?;
+    let read = |name: &str| -> Result<String, String> {
+        let path = results_dir.join(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let mut outcomes = vec![check_churn_gate(&read("churn_throughput.txt")?, &config)?];
+    outcomes.extend(check_monitor_gates(
+        &read("continuous_monitoring.txt")?,
+        &config,
+    )?);
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GATES: &str = "\
+# comment\n\
+[churn_throughput]\n\
+min_hit_rate_advantage = 0.05  # inline comment\n\
+\n\
+[continuous_monitoring]\n\
+max_reexecution_rate = 0.95\n\
+min_naive_reexecution_rate = 0.99\n";
+
+    #[test]
+    fn parses_the_gate_file_subset() {
+        let config = GateConfig::parse(GATES).unwrap();
+        assert_eq!(
+            config
+                .threshold("churn_throughput", "min_hit_rate_advantage")
+                .unwrap(),
+            0.05
+        );
+        assert_eq!(
+            config
+                .threshold("continuous_monitoring", "max_reexecution_rate")
+                .unwrap(),
+            0.95
+        );
+        assert!(config.threshold("churn_throughput", "missing").is_err());
+        assert!(config.threshold("missing", "x").is_err());
+        // Strictness: junk lines and headerless assignments are errors.
+        assert!(GateConfig::parse("key = 1.0").is_err());
+        assert!(GateConfig::parse("[s]\nnot an assignment").is_err());
+        assert!(GateConfig::parse("[s]\nkey = abc").is_err());
+    }
+
+    #[test]
+    fn report_rows_round_trip_through_the_parser() {
+        let report = "=== Churn throughput ===\n\
+                      Small — k = 10\n\
+                      update_ratio=0.10  mode=region-scoped  hit_rate=0.630\n\
+                      update_ratio=0.10  mode=full-drop  hit_rate=0.240\n";
+        let rows = parse_report_rows(report);
+        assert_eq!(rows.len(), 2);
+        let region = find_row(&rows, &[("mode", "region-scoped")]).unwrap();
+        assert_eq!(region.number("hit_rate").unwrap(), 0.630);
+        assert!(find_row(&rows, &[("mode", "nonexistent")]).is_err());
+        assert!(region.number("missing").is_err());
+    }
+
+    #[test]
+    fn churn_gate_passes_and_fails_on_the_advantage() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "update_ratio=0.10  mode=region-scoped  hit_rate=0.630\n\
+                    update_ratio=0.10  mode=full-drop  hit_rate=0.240\n";
+        let outcome = check_churn_gate(good, &config).unwrap();
+        assert!(outcome.passed);
+        assert!((outcome.measured - 0.39).abs() < 1e-9);
+        let regressed = "update_ratio=0.10  mode=region-scoped  hit_rate=0.250\n\
+                         update_ratio=0.10  mode=full-drop  hit_rate=0.240\n";
+        assert!(!check_churn_gate(regressed, &config).unwrap().passed);
+        // A missing row is an error, never a silent pass.
+        assert!(
+            check_churn_gate("update_ratio=0.50  mode=full-drop  hit_rate=0.1", &config).is_err()
+        );
+    }
+
+    #[test]
+    fn monitor_gates_check_both_modes() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "update_ratio=0.10  mode=monitored  reexec_rate=0.120\n\
+                    update_ratio=0.10  mode=naive  reexec_rate=1.000\n";
+        let outcomes = check_monitor_gates(good, &config).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.passed));
+        let regressed = "update_ratio=0.10  mode=monitored  reexec_rate=0.990\n\
+                         update_ratio=0.10  mode=naive  reexec_rate=1.000\n";
+        let outcomes = check_monitor_gates(regressed, &config).unwrap();
+        assert!(!outcomes[0].passed);
+        assert!(outcomes[1].passed);
+        let display = format!("{}", outcomes[0]);
+        assert!(display.starts_with("FAIL"));
+        assert!(display.contains("reexec_rate@0.10"));
+    }
+}

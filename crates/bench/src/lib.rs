@@ -15,6 +15,7 @@
 
 pub mod dataset;
 pub mod experiments;
+pub mod gate;
 pub mod report;
 
 pub use dataset::{Dataset, DatasetKind, ExperimentContext, ScaleConfig};

@@ -1,5 +1,6 @@
 //! The engine trait shared by all RkNNT query processors.
 
+use crate::footprint::FilterFootprint;
 use crate::query::{RknntQuery, RknntResult};
 
 /// A query processor able to answer RkNNT queries over a fixed pair of
@@ -22,4 +23,18 @@ pub trait RknnTEngine: Send + Sync {
     /// Executes the query and returns the qualifying transitions together
     /// with phase timings and work counters.
     fn execute(&self, query: &RknntQuery) -> RknntResult;
+
+    /// Executes the query and also reports the [`FilterFootprint`] of the
+    /// filter construction the execution used, when the engine builds one.
+    ///
+    /// Serving layers that keep *standing* queries current under store churn
+    /// (result caches, continuous-query monitors) need the footprint next to
+    /// every freshly computed result so later updates can be classified as
+    /// affecting it or not. Engines without a filter phase (brute force,
+    /// divide & conquer) return `None` and the caller falls back to
+    /// [`FilterFootprint::compute`]; the result is byte-identical to
+    /// [`RknnTEngine::execute`] either way.
+    fn execute_with_footprint(&self, query: &RknntQuery) -> (RknntResult, Option<FilterFootprint>) {
+        (self.execute(query), None)
+    }
 }

@@ -180,6 +180,22 @@ impl RknnTEngine for FilterRefineEngine<'_> {
         result.timings.filtering += construction;
         result
     }
+
+    fn execute_with_footprint(
+        &self,
+        query: &RknntQuery,
+    ) -> (RknntResult, Option<crate::FilterFootprint>) {
+        if query.is_degenerate() {
+            return (RknntResult::default(), None);
+        }
+        let filter_started = Instant::now();
+        let filter_outcome = self.build_filter(query);
+        let construction = filter_started.elapsed();
+        let footprint = self.footprint_for(query, &filter_outcome);
+        let mut result = self.execute_with_filter(query, &filter_outcome);
+        result.timings.filtering += construction;
+        (result, Some(footprint))
+    }
 }
 
 /// The Voronoi engine of Section 5.1: identical pipeline, but `IsFiltered`
@@ -222,6 +238,13 @@ impl RknnTEngine for VoronoiEngine<'_> {
 
     fn execute(&self, query: &RknntQuery) -> RknntResult {
         self.0.execute(query)
+    }
+
+    fn execute_with_footprint(
+        &self,
+        query: &RknntQuery,
+    ) -> (RknntResult, Option<crate::FilterFootprint>) {
+        self.0.execute_with_footprint(query)
     }
 }
 
@@ -329,6 +352,33 @@ mod tests {
         transitions.remove(id);
         let removed = FilterRefineEngine::new(&routes, &transitions).execute(&query);
         assert!(!removed.contains(id));
+    }
+
+    #[test]
+    fn execute_with_footprint_matches_execute_and_reports_the_filter() {
+        let (routes, transitions) = ladder_world();
+        let fr = FilterRefineEngine::new(&routes, &transitions);
+        let vo = VoronoiEngine::new(&routes, &transitions);
+        let query = RknntQuery::exists(vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)], 3);
+        for engine in [&fr as &dyn RknnTEngine, &vo] {
+            let (result, footprint) = engine.execute_with_footprint(&query);
+            assert_eq!(result.transitions, engine.execute(&query).transitions);
+            let footprint = footprint.expect("filter engines must report a footprint");
+            assert_eq!(
+                footprint,
+                fr.footprint_for(&query, &fr.build_filter(&query)),
+                "reported footprint must be the one the execution built"
+            );
+        }
+        // Degenerate queries build no filter and report no footprint.
+        let (result, footprint) = fr.execute_with_footprint(&RknntQuery::exists(vec![], 2));
+        assert!(result.is_empty());
+        assert!(footprint.is_none());
+        // Engines without a filter phase fall back to the default (`None`).
+        let brute = BruteForceEngine::new(&routes, &transitions);
+        let (result, footprint) = brute.execute_with_footprint(&query);
+        assert_eq!(result.transitions, fr.execute(&query).transitions);
+        assert!(footprint.is_none());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod workload;
 
 pub use city::{City, CityConfig, CityGenerator};
 pub use transition::{TransitionConfig, TransitionGenerator};
-pub use workload::{ChurnConfig, ChurnEvent};
+pub use workload::{ChurnConfig, ChurnEvent, SubscriptionEvent, SubscriptionStreamConfig};

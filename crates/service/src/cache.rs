@@ -210,6 +210,16 @@ impl ResultCache {
         self.stats.insertions += 1;
     }
 
+    /// Read-only iteration over the live entries, in no particular order —
+    /// used by the update path to *plan* a targeted eviction (and detect
+    /// that its work budget ran out) before mutating anything.
+    pub fn entries(&self) -> impl Iterator<Item = (&CacheKey, &RknntResult, &EntryRegion)> {
+        self.map.values().map(|slot| {
+            let s = &self.slots[*slot];
+            (&s.key, &s.value, &s.region)
+        })
+    }
+
     /// Region-scoped invalidation: drops every entry for which `evict`
     /// returns `true`, leaving the rest (and their recency order) untouched.
     /// Returns the number of entries dropped.

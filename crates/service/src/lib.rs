@@ -29,6 +29,13 @@
 //!   update could change: each entry records the region its filter step
 //!   touched plus its result-endpoint MBR ([`region`]), so churn keeps the
 //!   cache warm instead of dropping it wholesale.
+//! * **Continuous queries** — [`QueryService::subscribe`] registers a
+//!   standing query whose result the service keeps current across
+//!   `apply_updates`: each update classifies every subscription as
+//!   unaffected, certified stable or dirty (re-executed through the shared
+//!   batch path), and result changes come back as per-batch
+//!   [`SubscriptionDelta`]s instead of forcing clients to re-poll
+//!   ([`monitor`]).
 //!
 //! ```
 //! use rknnt_core::RknntQuery;
@@ -53,12 +60,14 @@
 
 mod batch;
 mod cache;
+pub mod monitor;
 mod policy;
 pub mod region;
 mod service;
 
 pub use batch::{BatchPhaseTimings, BatchStats};
 pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use monitor::{DeltaReason, SubscriptionDelta, SubscriptionId};
 pub use policy::EnginePolicy;
 pub use region::EntryRegion;
 pub use service::{QueryService, ServiceConfig, StoreUpdate, UpdateStats};

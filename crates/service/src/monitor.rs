@@ -1,0 +1,406 @@
+//! Continuous RkNNT subscriptions: standing queries kept current across
+//! [`QueryService::apply_updates`], with per-batch result deltas.
+//!
+//! A subscription is a registered [`RknntQuery`] whose result the service
+//! maintains as the stores churn, instead of the client re-polling. Each
+//! subscription carries the same [`EntryRegion`] evidence a cached result
+//! does, and every applied [`StoreUpdate`] classifies each live subscription
+//! three ways:
+//!
+//! * **Unaffected (skip)** — an exact, constant-time test shows the update
+//!   cannot touch the result: the query is degenerate, or an expired
+//!   transition is not a member. No geometry runs.
+//! * **Certified stable (keep)** — the region's `survives_*` certificate
+//!   proves the result unchanged (transition/route insert far from the
+//!   footprint, route removal outside every endpoint's dominance region), or
+//!   the change is *exactly* computable in place: expiring a member only
+//!   removes that one id (qualification of other transitions depends only on
+//!   routes), so the result and region are updated directly and a delta with
+//!   [`DeltaReason::TransitionExpired`] is emitted — no re-execution.
+//! * **Dirty (re-execute)** — nothing cheaper is sound. Dirty subscriptions
+//!   are collected for the whole update batch and re-executed together
+//!   through the same grouped batch machinery as one-shot queries, so
+//!   subscriptions sharing a `(route, k)` pair share one filter
+//!   construction; the diff against the previous result becomes a delta with
+//!   [`DeltaReason::Reexecuted`].
+//!
+//! Replaying a subscription's deltas, in order, over any earlier snapshot of
+//! its result always reproduces the current result — the determinism suite
+//! in `tests/service_monitor.rs` asserts this against freshly built
+//! post-churn services for all four engines and both semantics.
+//!
+//! [`QueryService::apply_updates`]: crate::QueryService::apply_updates
+//! [`StoreUpdate`]: crate::StoreUpdate
+
+use crate::region::EntryRegion;
+use crate::service::UpdateStats;
+use rknnt_core::{RknntQuery, RknntResult};
+use rknnt_geo::{Point, Rect};
+use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+use std::collections::BTreeMap;
+
+/// Work budget for one subscription's route-removal certificate
+/// ([`EntryRegion::survives_route_remove`]); exhausting it marks the
+/// subscription dirty, which is always sound.
+const SUB_REMOVAL_BUDGET: usize = 8_192;
+
+/// Opaque handle to a standing query registered with
+/// [`QueryService::subscribe`].
+///
+/// [`QueryService::subscribe`]: crate::QueryService::subscribe
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub(crate) u64);
+
+impl SubscriptionId {
+    /// The raw numeric id (stable for the lifetime of the service).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// Why a [`SubscriptionDelta`] was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaReason {
+    /// A member transition expired; the result was updated in place without
+    /// re-execution (the certified-stable path).
+    TransitionExpired,
+    /// The subscription was dirtied by one or more updates and re-executed
+    /// through the batch path; the delta is the diff against its previous
+    /// result.
+    Reexecuted,
+}
+
+/// One incremental change to a subscription's result set.
+///
+/// Deltas compose: applying a subscription's deltas in emission order to any
+/// earlier snapshot of its (sorted) result reproduces the current result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionDelta {
+    /// The subscription the delta belongs to.
+    pub subscription: SubscriptionId,
+    /// Transitions that entered the result, sorted ascending.
+    pub entered: Vec<TransitionId>,
+    /// Transitions that left the result, sorted ascending.
+    pub left: Vec<TransitionId>,
+    /// Why the result changed.
+    pub reason: DeltaReason,
+}
+
+impl SubscriptionDelta {
+    /// Applies the delta to a sorted result snapshot, keeping it sorted.
+    pub fn apply(&self, result: &mut Vec<TransitionId>) {
+        result.retain(|t| self.left.binary_search(t).is_err());
+        for t in &self.entered {
+            if let Err(pos) = result.binary_search(t) {
+                result.insert(pos, *t);
+            }
+        }
+    }
+}
+
+/// One standing query and its maintained state.
+pub(crate) struct Subscription {
+    pub(crate) query: RknntQuery,
+    /// Current result, sorted ascending.
+    pub(crate) result: Vec<TransitionId>,
+    /// Invalidation evidence, recorded when the result was last (re)computed
+    /// and kept current through in-place maintenance.
+    pub(crate) region: EntryRegion,
+    /// Set when an update could have changed the result; cleared by
+    /// re-execution at the end of the update batch.
+    dirty: bool,
+}
+
+/// The store-facing view of one applied [`crate::StoreUpdate`], used to
+/// classify subscriptions. Built by `apply_updates` *after* the store
+/// mutation succeeded, so classification always runs against post-update
+/// stores.
+pub(crate) enum UpdateEffect<'a> {
+    /// A transition with these endpoints was inserted.
+    TransitionInsert {
+        origin: &'a Point,
+        destination: &'a Point,
+    },
+    /// The transition `id` was removed.
+    TransitionRemove { id: TransitionId },
+    /// A route with this MBR was inserted.
+    RouteInsert { mbr: &'a Rect },
+    /// The route `id`, whose points were `points`, was removed.
+    RouteRemove { id: RouteId, points: &'a [Point] },
+}
+
+/// The registry of live subscriptions. Iteration is in id order
+/// (`BTreeMap`), so classification, re-execution and delta emission are
+/// fully deterministic.
+#[derive(Default)]
+pub(crate) struct SubscriptionRegistry {
+    subs: BTreeMap<u64, Subscription>,
+    next_id: u64,
+    /// Deltas produced outside `apply_updates` (wholesale store swaps);
+    /// drained into the next `apply_updates` call's stats or by
+    /// [`crate::QueryService::take_subscription_deltas`].
+    pending: Vec<SubscriptionDelta>,
+}
+
+impl SubscriptionRegistry {
+    pub(crate) fn insert(
+        &mut self,
+        query: RknntQuery,
+        result: Vec<TransitionId>,
+        region: EntryRegion,
+    ) -> SubscriptionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.insert(
+            id,
+            Subscription {
+                query,
+                result,
+                region,
+                dirty: false,
+            },
+        );
+        SubscriptionId(id)
+    }
+
+    pub(crate) fn remove(&mut self, id: SubscriptionId) -> bool {
+        self.subs.remove(&id.0).is_some()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    pub(crate) fn ids(&self) -> Vec<SubscriptionId> {
+        self.subs.keys().map(|id| SubscriptionId(*id)).collect()
+    }
+
+    pub(crate) fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.subs.get(&id.0)
+    }
+
+    /// Ids of subscriptions currently marked dirty, in id order.
+    pub(crate) fn dirty_ids(&self) -> Vec<u64> {
+        self.subs
+            .iter()
+            .filter(|(_, sub)| sub.dirty)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    pub(crate) fn query_of(&self, id: u64) -> &RknntQuery {
+        &self.subs[&id].query
+    }
+
+    /// Marks every subscription dirty (wholesale store replacement).
+    pub(crate) fn mark_all_dirty(&mut self) {
+        for sub in self.subs.values_mut() {
+            sub.dirty = true;
+        }
+    }
+
+    pub(crate) fn take_pending(&mut self) -> Vec<SubscriptionDelta> {
+        std::mem::take(&mut self.pending)
+    }
+
+    pub(crate) fn push_pending(&mut self, deltas: Vec<SubscriptionDelta>) {
+        self.pending.extend(deltas);
+    }
+
+    /// Classifies every live subscription against one applied update:
+    /// unaffected (skip), certified stable (keep; expiry of a member is
+    /// applied in place and emits a delta), or dirty (queued for batch
+    /// re-execution). Subscriptions already dirty are skipped outright —
+    /// they will be re-executed against the final stores anyway.
+    pub(crate) fn classify_update(
+        &mut self,
+        effect: &UpdateEffect<'_>,
+        routes: &RouteStore,
+        transitions: &TransitionStore,
+        stats: &mut UpdateStats,
+    ) {
+        for (id, sub) in self.subs.iter_mut() {
+            if sub.dirty {
+                continue;
+            }
+            if sub.query.is_degenerate() {
+                // Constant empty result, immune to churn.
+                stats.subs_unaffected += 1;
+                continue;
+            }
+            match effect {
+                UpdateEffect::TransitionInsert {
+                    origin,
+                    destination,
+                } => {
+                    if sub
+                        .region
+                        .survives_transition_insert(routes, origin, destination)
+                    {
+                        stats.subs_stable += 1;
+                    } else {
+                        sub.dirty = true;
+                        stats.subs_dirty += 1;
+                    }
+                }
+                UpdateEffect::TransitionRemove { id: expired } => {
+                    match sub.result.binary_search(expired) {
+                        Err(_) => stats.subs_unaffected += 1,
+                        Ok(pos) => {
+                            // Exact in-place maintenance: qualification of
+                            // every other transition depends only on routes,
+                            // so the result loses exactly this member.
+                            sub.result.remove(pos);
+                            sub.region = rebuilt_region(sub, transitions);
+                            stats.subs_stable += 1;
+                            stats.deltas.push(SubscriptionDelta {
+                                subscription: SubscriptionId(*id),
+                                entered: Vec::new(),
+                                left: vec![*expired],
+                                reason: DeltaReason::TransitionExpired,
+                            });
+                        }
+                    }
+                }
+                UpdateEffect::RouteInsert { mbr } => {
+                    if sub.region.survives_route_insert(mbr) {
+                        stats.subs_stable += 1;
+                    } else {
+                        sub.dirty = true;
+                        stats.subs_dirty += 1;
+                    }
+                }
+                UpdateEffect::RouteRemove {
+                    id: removed,
+                    points,
+                } => {
+                    let mut budget = SUB_REMOVAL_BUDGET;
+                    if sub.region.survives_route_remove(
+                        routes,
+                        transitions,
+                        &sub.result,
+                        *removed,
+                        points,
+                        &mut budget,
+                    ) {
+                        stats.subs_stable += 1;
+                    } else {
+                        sub.dirty = true;
+                        stats.subs_dirty += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs a re-executed result, clearing the dirty flag and emitting
+    /// the diff against the previous result as a delta (none when the
+    /// re-execution confirmed the old result).
+    pub(crate) fn finish_reexecution(
+        &mut self,
+        id: u64,
+        new_result: Vec<TransitionId>,
+        region: EntryRegion,
+        stats: &mut UpdateStats,
+    ) {
+        let sub = self.subs.get_mut(&id).expect("re-executed sub must exist");
+        debug_assert!(sub.dirty, "only dirty subscriptions are re-executed");
+        let entered: Vec<TransitionId> = new_result
+            .iter()
+            .filter(|t| sub.result.binary_search(t).is_err())
+            .copied()
+            .collect();
+        let left: Vec<TransitionId> = sub
+            .result
+            .iter()
+            .filter(|t| new_result.binary_search(t).is_err())
+            .copied()
+            .collect();
+        sub.result = new_result;
+        sub.region = region;
+        sub.dirty = false;
+        stats.subs_reexecuted += 1;
+        if !entered.is_empty() || !left.is_empty() {
+            stats.deltas.push(SubscriptionDelta {
+                subscription: SubscriptionId(id),
+                entered,
+                left,
+                reason: DeltaReason::Reexecuted,
+            });
+        }
+    }
+}
+
+/// Rebuilds a subscription's region after in-place result maintenance,
+/// reusing its recorded footprint (transition churn never changes the
+/// filter construction, which depends only on routes).
+fn rebuilt_region(sub: &Subscription, transitions: &TransitionStore) -> EntryRegion {
+    let value = RknntResult {
+        transitions: sub.result.clone(),
+        ..RknntResult::default()
+    };
+    EntryRegion::record(
+        &sub.query,
+        &value,
+        sub.region.footprint.clone(),
+        transitions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u32) -> TransitionId {
+        TransitionId(raw)
+    }
+
+    #[test]
+    fn delta_apply_composes_enter_and_leave() {
+        let mut result = vec![id(1), id(4), id(9)];
+        let delta = SubscriptionDelta {
+            subscription: SubscriptionId(0),
+            entered: vec![id(2), id(7)],
+            left: vec![id(4)],
+            reason: DeltaReason::Reexecuted,
+        };
+        delta.apply(&mut result);
+        assert_eq!(result, vec![id(1), id(2), id(7), id(9)]);
+        // Applying an expiry delta removes exactly the member.
+        let expiry = SubscriptionDelta {
+            subscription: SubscriptionId(0),
+            entered: Vec::new(),
+            left: vec![id(7)],
+            reason: DeltaReason::TransitionExpired,
+        };
+        expiry.apply(&mut result);
+        assert_eq!(result, vec![id(1), id(2), id(9)]);
+        // Idempotent against ids already present/absent.
+        expiry.apply(&mut result);
+        assert_eq!(result, vec![id(1), id(2), id(9)]);
+    }
+
+    #[test]
+    fn registry_assigns_fresh_ids_and_iterates_in_order() {
+        let mut registry = SubscriptionRegistry::default();
+        let query = RknntQuery::exists(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 1);
+        let a = registry.insert(query.clone(), Vec::new(), EntryRegion::conservative(&query));
+        let b = registry.insert(query.clone(), Vec::new(), EntryRegion::conservative(&query));
+        assert_ne!(a, b);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.ids(), vec![a, b]);
+        assert!(registry.remove(a));
+        assert!(!registry.remove(a), "double unsubscribe must fail");
+        assert_eq!(registry.len(), 1);
+        // Ids are never reused.
+        let c = registry.insert(query.clone(), Vec::new(), EntryRegion::conservative(&query));
+        assert!(c.raw() > b.raw());
+        assert_eq!(format!("{c}"), format!("sub#{}", c.raw()));
+    }
+}

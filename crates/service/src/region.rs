@@ -28,16 +28,21 @@
 //!   recorded result endpoint. Keep the entry when the route's MBR stays at
 //!   least [`EntryRegion::result_reach`] away from the recorded
 //!   result-endpoint MBR.
-//! * **Route removal** — results can grow anywhere a removed witness was
-//!   load-bearing, which no bounded record can rule out in general (with
+//! * **Route removal** — results can grow anywhere the removed route was a
+//!   load-bearing witness, which no bounded record rules out *a priori* (with
 //!   k = 1 and a single far-away route, its removal changes answers
-//!   arbitrarily far from the query). The service falls back to a full
-//!   cache drop for this — rare in the modelled workload, where transitions
-//!   churn and lines change seldom.
+//!   arbitrarily far from the query). The universe of points that can enter
+//!   a result is finite, though — the live transition endpoints — so
+//!   [`EntryRegion::survives_route_remove`] walks the TR-tree, prunes every
+//!   node provably outside the removed route's dominance region over the
+//!   query, and re-certifies the few endpoints inside it against the
+//!   footprint with the removed route excluded. Entries that cannot be
+//!   certified within a work budget are evicted; when the budget runs out
+//!   entirely the service falls back to the full cache drop.
 
 use rknnt_core::{FilterFootprint, RknntQuery, RknntResult, Semantics};
-use rknnt_geo::{Point, Rect};
-use rknnt_index::RouteStore;
+use rknnt_geo::{point_route_distance_sq, Point, Rect};
+use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
 use std::sync::Arc;
 
 /// The invalidation evidence recorded with one cached result; see the
@@ -145,13 +150,9 @@ impl EntryRegion {
     }
 
     /// Whether the cached result provably survives removing the transition
-    /// `id` — it does iff the result does not contain it.
-    pub fn survives_transition_remove(
-        &self,
-        result: &RknntResult,
-        id: rknnt_index::TransitionId,
-    ) -> bool {
-        !result.contains(id)
+    /// `id` — it does iff the result (a sorted id list) does not contain it.
+    pub fn survives_transition_remove(&self, result: &[TransitionId], id: TransitionId) -> bool {
+        result.binary_search(&id).is_err()
     }
 
     /// Whether the cached result provably survives inserting a route whose
@@ -164,6 +165,103 @@ impl EntryRegion {
             return true;
         }
         self.result_rect.min_dist_rect(route_mbr) >= self.result_reach
+    }
+
+    /// Whether the cached result (`result`, sorted ids) provably survives
+    /// removing the route `removed`, whose points were `removed_points`.
+    ///
+    /// Soundness argument: removing a route only *removes* closer-route
+    /// witnesses, so per-endpoint closer-counts only decrease and
+    /// qualification can only flip from "no" to "yes" — results only grow,
+    /// and every transition already in the result stays. A transition
+    /// *enters* only if some live endpoint `u` flips, which requires the
+    /// removed route to have been strictly closer to `u` than the query is
+    /// (otherwise `u`'s count is unchanged) *and* `u`'s remaining count to
+    /// drop below `k`. This method therefore walks the TR-tree over the
+    /// (finite) live endpoints, prunes every node where the removed route is
+    /// provably never strictly closer than the query, and for each surviving
+    /// endpoint not already in the result demands the footprint certify `k`
+    /// still-live routes — the removed one excluded — strictly closer than
+    /// the query. If every such endpoint is certified, no qualification flips
+    /// in either direction and the result is unchanged under both semantics.
+    ///
+    /// `budget` bounds the work (units: nodes visited + endpoints tested +
+    /// witnesses scanned); it is decremented in place and the method returns
+    /// `false` (evict — always sound) once it reaches zero, letting the
+    /// caller share one budget across many entries and fall back to a full
+    /// drop when the scan is not paying for itself.
+    pub fn survives_route_remove(
+        &self,
+        routes: &RouteStore,
+        transitions: &TransitionStore,
+        result: &[TransitionId],
+        removed: RouteId,
+        removed_points: &[Point],
+        budget: &mut usize,
+    ) -> bool {
+        if self.is_degenerate() {
+            return true;
+        }
+        let Some(footprint) = &self.footprint else {
+            return false;
+        };
+        if removed_points.is_empty() {
+            // A route with no points is infinitely far from everything and
+            // can never have been a closer-route witness.
+            return true;
+        }
+        let Some(root) = transitions.rtree().root() else {
+            return true;
+        };
+        let live = |r: RouteId| r != removed && routes.route(r).is_some();
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            let mbr = node.mbr();
+            // Lower bound on dist²(u, removed route) over all u in the node…
+            let removed_lb = removed_points
+                .iter()
+                .map(|p| mbr.min_dist_sq(p))
+                .fold(f64::INFINITY, f64::min);
+            // …and upper bound on dist²(u, Q): every u is within
+            // max_dist(mbr, q) of the query vertex q minimising it.
+            let query_ub = self
+                .query_points
+                .iter()
+                .map(|q| mbr.max_dist_sq(q))
+                .fold(f64::INFINITY, f64::min);
+            if removed_lb >= query_ub {
+                // The removed route is never strictly closer than the query
+                // anywhere under this node: no endpoint here can flip.
+                continue;
+            }
+            if !node.is_leaf() {
+                stack.extend(node.children());
+                continue;
+            }
+            for entry in node.entries() {
+                if *budget == 0 {
+                    return false;
+                }
+                *budget -= 1;
+                let u = &entry.point;
+                let query_sq = point_route_distance_sq(u, &self.query_points);
+                if point_route_distance_sq(u, removed_points) >= query_sq {
+                    continue; // the removed route was not strictly closer
+                }
+                if result.binary_search(&entry.data.transition).is_ok() {
+                    continue; // already in the result; results only grow
+                }
+                *budget = budget.saturating_sub(footprint.witnesses.len());
+                if !footprint.covers_point(&self.query_points, u, self.k, live) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -194,9 +292,124 @@ mod tests {
     #[test]
     fn expiry_is_an_exact_membership_test() {
         let (region, result) = entry_with_result(&[0]);
-        assert!(!region.survives_transition_remove(&result, TransitionId(0)));
-        assert!(region.survives_transition_remove(&result, TransitionId(1)));
-        assert!(region.survives_transition_remove(&result, TransitionId(999)));
+        assert!(!region.survives_transition_remove(&result.transitions, TransitionId(0)));
+        assert!(region.survives_transition_remove(&result.transitions, TransitionId(1)));
+        assert!(region.survives_transition_remove(&result.transitions, TransitionId(999)));
+    }
+
+    /// A ladder world for the route-removal certificate: horizontal routes
+    /// at y = 0, 10, …, 70 and a query along y = 35.
+    fn ladder_world() -> (RouteStore, TransitionStore, RknntQuery) {
+        let mut routes = RouteStore::default();
+        for i in 0..8 {
+            let y = i as f64 * 10.0;
+            routes
+                .insert_route((0..8).map(|j| p(j as f64 * 10.0, y)).collect())
+                .unwrap();
+        }
+        let query = RknntQuery::exists(vec![p(5.0, 35.0), p(35.0, 35.0), p(65.0, 35.0)], 2);
+        (routes, TransitionStore::default(), query)
+    }
+
+    fn recorded_region(
+        routes: &RouteStore,
+        transitions: &TransitionStore,
+        query: &RknntQuery,
+        result: &[TransitionId],
+    ) -> EntryRegion {
+        let footprint = Arc::new(FilterFootprint::compute(routes, &query.route, query.k));
+        let value = RknntResult {
+            transitions: result.to_vec(),
+            ..RknntResult::default()
+        };
+        EntryRegion::record(query, &value, Some(footprint), transitions)
+    }
+
+    #[test]
+    fn route_remove_far_from_endpoints_is_survived() {
+        let (mut routes, mut transitions, query) = ladder_world();
+        // One endpoint pair near the query; the removed route is the ladder
+        // top (y = 70), far from both the query and every endpoint, and the
+        // middle rungs keep every endpoint covered without it.
+        let near = transitions.insert(p(34.0, 36.0), p(36.0, 34.0)).unwrap();
+        let region = recorded_region(&routes, &transitions, &query, &[near]);
+        let removed = RouteId(7);
+        let removed_points: Vec<Point> = routes.route_points(removed).to_vec();
+        assert!(routes.remove_route(removed));
+        let mut budget = 100_000usize;
+        assert!(
+            region.survives_route_remove(
+                &routes,
+                &transitions,
+                &[near],
+                removed,
+                &removed_points,
+                &mut budget,
+            ),
+            "removing a far rung is certified harmless"
+        );
+        assert!(budget > 0);
+    }
+
+    #[test]
+    fn route_remove_uncovered_endpoint_or_no_budget_evicts() {
+        let (mut routes, mut transitions, query) = ladder_world();
+        // An endpoint at (30, 25): exactly two routes — the rungs at y = 30
+        // and y = 20, both through their (30, y) stops at distance² 25 — are
+        // strictly closer than the query (distance² 125), so with k = 2 the
+        // transition does not qualify and the true result is empty. Removing
+        // the y = 30 rung drops the count to 1 and the transition *enters*
+        // the result, so no sound certificate can keep the entry.
+        let at_risk = transitions.insert(p(30.0, 25.0), p(500.0, 500.0)).unwrap();
+        assert!(transitions.get(at_risk).is_some());
+        let region = recorded_region(&routes, &transitions, &query, &[]);
+        let removed = RouteId(3); // the y = 30 rung
+        let removed_points: Vec<Point> = routes.route_points(removed).to_vec();
+        assert!(routes.remove_route(removed));
+        let mut budget = 100_000usize;
+        assert!(
+            !region.survives_route_remove(
+                &routes,
+                &transitions,
+                &[],
+                removed,
+                &removed_points,
+                &mut budget,
+            ),
+            "an endpoint whose disqualification depended on the removed \
+             route must evict the entry"
+        );
+        // A zero budget always evicts.
+        let mut empty_budget = 0usize;
+        assert!(!region.survives_route_remove(
+            &routes,
+            &transitions,
+            &[],
+            removed,
+            &removed_points,
+            &mut empty_budget,
+        ));
+        // A missing footprint is conservative.
+        let no_footprint = EntryRegion::conservative(&query);
+        let mut budget = 100_000usize;
+        assert!(!no_footprint.survives_route_remove(
+            &routes,
+            &transitions,
+            &[],
+            removed,
+            &removed_points,
+            &mut budget,
+        ));
+        // Degenerate queries survive everything.
+        let degenerate = EntryRegion::conservative(&RknntQuery::exists(vec![], 2));
+        assert!(degenerate.survives_route_remove(
+            &routes,
+            &transitions,
+            &[],
+            removed,
+            &removed_points,
+            &mut 0,
+        ));
     }
 
     #[test]

@@ -3,14 +3,20 @@
 
 use crate::batch::{form_groups, run_group, BatchStats, Group, GroupCounters, PreparedEngine};
 use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::monitor::{SubscriptionDelta, SubscriptionId, SubscriptionRegistry, UpdateEffect};
 use crate::policy::EnginePolicy;
 use crate::region::EntryRegion;
-use rknnt_core::{RknntQuery, RknntResult};
+use rknnt_core::{FilterFootprint, RknntQuery, RknntResult};
 use rknnt_geo::{Point, Rect};
 use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Work budget per cached entry for the route-removal survival scan; when
+/// the shared budget (`per-entry × entries`) is exhausted mid-call the
+/// removal falls back to a full cache drop.
+const ROUTE_REMOVAL_BUDGET_PER_ENTRY: usize = 4_096;
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,8 +106,31 @@ pub struct UpdateStats {
     pub evicted_entries: usize,
     /// Cached results still live when the call returned.
     pub retained_entries: usize,
-    /// Route removals that forced a full cache drop.
+    /// Route removals that forced a full cache drop (the targeted scan's
+    /// work budget ran out before every entry was classified).
     pub full_drops: usize,
+    /// Route removals handled by targeted eviction: every cached entry was
+    /// classified within budget and only the uncertifiable ones dropped.
+    pub targeted_route_removals: usize,
+    /// (update, subscription) classifications that skipped a subscription
+    /// with an exact constant-time test (degenerate query, or an expired
+    /// transition outside the result).
+    pub subs_unaffected: usize,
+    /// (update, subscription) classifications that kept the subscription
+    /// without re-execution: a `survives_*` certificate passed, or a member
+    /// expiry was applied in place (emitting its delta).
+    pub subs_stable: usize,
+    /// (update, subscription) classifications that marked the subscription
+    /// dirty. Each subscription is marked at most once per call — further
+    /// updates skip it — so this equals [`UpdateStats::subs_reexecuted`].
+    pub subs_dirty: usize,
+    /// Subscriptions re-executed through the batch path at the end of the
+    /// call.
+    pub subs_reexecuted: usize,
+    /// Per-subscription result deltas, in emission order (replaying them
+    /// over the pre-call results reproduces the post-call results). Includes
+    /// any deltas buffered by wholesale store swaps since the last call.
+    pub deltas: Vec<SubscriptionDelta>,
 }
 
 /// A concurrent batch RkNNT query service over one pair of stores.
@@ -121,6 +150,7 @@ pub struct QueryService {
     config: ServiceConfig,
     cache: Mutex<ResultCache>,
     generation: AtomicU64,
+    monitor: SubscriptionRegistry,
 }
 
 impl QueryService {
@@ -133,6 +163,7 @@ impl QueryService {
             config,
             cache,
             generation: AtomicU64::new(0),
+            monitor: SubscriptionRegistry::default(),
         }
     }
 
@@ -177,7 +208,11 @@ impl QueryService {
     }
 
     /// Mutates the stores through `f`, then invalidates the cache and bumps
-    /// the generation so subsequent queries see the new data.
+    /// the generation so subsequent queries see the new data. Every live
+    /// subscription is re-executed against the new stores (a wholesale
+    /// mutation certifies nothing); their deltas are buffered and delivered
+    /// by the next [`QueryService::apply_updates`] call or
+    /// [`QueryService::take_subscription_deltas`].
     ///
     /// Taking `&mut self` is the concurrency-correctness lever: in-flight
     /// batches hold `&self`, so an update waits for them and no batch ever
@@ -188,13 +223,100 @@ impl QueryService {
     {
         f(&mut self.routes, &mut self.transitions);
         self.invalidate_all();
+        self.refresh_all_subscriptions();
     }
 
-    /// Replaces both stores wholesale (e.g. a rebuilt index snapshot).
+    /// Replaces both stores wholesale (e.g. a rebuilt index snapshot). Like
+    /// [`QueryService::update_stores`], re-executes every subscription and
+    /// buffers their deltas.
     pub fn replace_stores(&mut self, routes: RouteStore, transitions: TransitionStore) {
         self.routes = routes;
         self.transitions = transitions;
         self.invalidate_all();
+        self.refresh_all_subscriptions();
+    }
+
+    /// Registers a standing query. The result is computed immediately (and
+    /// readable via [`QueryService::subscription_result`]); from then on
+    /// every [`QueryService::apply_updates`] call keeps it current and
+    /// reports changes as [`SubscriptionDelta`]s.
+    pub fn subscribe(&mut self, query: RknntQuery) -> SubscriptionId {
+        let (result, footprint) = self
+            .execute_uncached(std::slice::from_ref(&query))
+            .pop()
+            .expect("one query in, one result out");
+        let region = EntryRegion::record(&query, &result, footprint, &self.transitions);
+        self.monitor.insert(query, result.transitions, region)
+    }
+
+    /// Drops a subscription. Returns `false` for an unknown or already
+    /// dropped id. Buffered deltas for the subscription are kept until
+    /// drained.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.monitor.remove(id)
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriptions(&self) -> usize {
+        self.monitor.len()
+    }
+
+    /// Ids of all live subscriptions, ascending.
+    pub fn subscription_ids(&self) -> Vec<SubscriptionId> {
+        self.monitor.ids()
+    }
+
+    /// The standing query behind a subscription.
+    pub fn subscription_query(&self, id: SubscriptionId) -> Option<&RknntQuery> {
+        self.monitor.get(id).map(|sub| &sub.query)
+    }
+
+    /// The subscription's current result: the qualifying transition ids,
+    /// sorted ascending — always byte-identical to executing the standing
+    /// query against the current stores.
+    pub fn subscription_result(&self, id: SubscriptionId) -> Option<&[TransitionId]> {
+        self.monitor.get(id).map(|sub| sub.result.as_slice())
+    }
+
+    /// Drains subscription deltas buffered outside
+    /// [`QueryService::apply_updates`] (wholesale store swaps with live
+    /// subscriptions). `apply_updates` drains this buffer into its own
+    /// [`UpdateStats::deltas`] automatically.
+    pub fn take_subscription_deltas(&mut self) -> Vec<SubscriptionDelta> {
+        self.monitor.take_pending()
+    }
+
+    /// Marks every subscription dirty and re-executes them against the
+    /// current stores, buffering any deltas.
+    fn refresh_all_subscriptions(&mut self) {
+        if self.monitor.len() == 0 {
+            return;
+        }
+        self.monitor.mark_all_dirty();
+        let mut scratch = UpdateStats::default();
+        self.reexecute_dirty_subscriptions(&mut scratch);
+        self.monitor.push_pending(scratch.deltas);
+    }
+
+    /// Re-executes every dirty subscription through the grouped batch
+    /// machinery (shared filter constructions, worker pool) against the
+    /// current stores, installing results and emitting deltas.
+    fn reexecute_dirty_subscriptions(&mut self, stats: &mut UpdateStats) {
+        let dirty = self.monitor.dirty_ids();
+        if dirty.is_empty() {
+            return;
+        }
+        let queries: Vec<RknntQuery> = dirty
+            .iter()
+            .map(|id| self.monitor.query_of(*id).clone())
+            .collect();
+        let outputs = self.execute_uncached(&queries);
+        for (id, (query, (result, footprint))) in dirty.into_iter().zip(queries.iter().zip(outputs))
+        {
+            let region = EntryRegion::record(query, &result, footprint, &self.transitions);
+            self.monitor
+                .finish_reexecution(id, result.transitions, region, stats);
+        }
     }
 
     /// Applies incremental store updates in order, evicting **only** the
@@ -215,8 +337,20 @@ impl QueryService {
     /// retained entries remain byte-identical to what a freshly built
     /// service over the post-update stores would answer — asserted by the
     /// churn determinism suite in `tests/service_churn.rs`.
+    ///
+    /// Live subscriptions are classified against every applied update —
+    /// *unaffected* (skipped), *certified stable* (kept, region updated) or
+    /// *dirty* — and the dirty ones are re-executed together through the
+    /// grouped batch path at the end of the call; the returned
+    /// [`UpdateStats::deltas`] describe every subscription result change
+    /// (see [`crate::monitor`]).
     pub fn apply_updates(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
-        let mut stats = UpdateStats::default();
+        let mut stats = UpdateStats {
+            // Deliver deltas buffered by wholesale swaps first so replaying
+            // `deltas` in order stays correct across both update paths.
+            deltas: self.monitor.take_pending(),
+            ..UpdateStats::default()
+        };
         for update in updates {
             match update {
                 StoreUpdate::InsertTransition {
@@ -237,6 +371,15 @@ impl QueryService {
                             .evict_where(|_, _, region| {
                                 !region.survives_transition_insert(routes, &origin, &destination)
                             });
+                    self.monitor.classify_update(
+                        &UpdateEffect::TransitionInsert {
+                            origin: &origin,
+                            destination: &destination,
+                        },
+                        &self.routes,
+                        &self.transitions,
+                        &mut stats,
+                    );
                 }
                 StoreUpdate::ExpireTransition(id) => {
                     if !self.transitions.remove(id) {
@@ -245,7 +388,15 @@ impl QueryService {
                     }
                     stats.applied += 1;
                     stats.evicted_entries += self.cache.get_mut().expect("cache lock").evict_where(
-                        |_, value, region| !region.survives_transition_remove(value, id),
+                        |_, value, region| {
+                            !region.survives_transition_remove(&value.transitions, id)
+                        },
+                    );
+                    self.monitor.classify_update(
+                        &UpdateEffect::TransitionRemove { id },
+                        &self.routes,
+                        &self.transitions,
+                        &mut stats,
                     );
                 }
                 StoreUpdate::InsertRoute(points) => {
@@ -261,22 +412,81 @@ impl QueryService {
                         .get_mut()
                         .expect("cache lock")
                         .evict_where(|_, _, region| !region.survives_route_insert(&dirty));
+                    self.monitor.classify_update(
+                        &UpdateEffect::RouteInsert { mbr: &dirty },
+                        &self.routes,
+                        &self.transitions,
+                        &mut stats,
+                    );
                 }
                 StoreUpdate::RemoveRoute(id) => {
+                    let removed_points: Vec<Point> = self.routes.route_points(id).to_vec();
                     if !self.routes.remove_route(id) {
                         stats.rejected += 1;
                         continue;
                     }
                     stats.applied += 1;
-                    stats.full_drops += 1;
-                    let cache = self.cache.get_mut().expect("cache lock");
-                    stats.evicted_entries += cache.len();
-                    cache.invalidate_all();
+                    self.evict_for_route_removal(id, &removed_points, &mut stats);
+                    self.monitor.classify_update(
+                        &UpdateEffect::RouteRemove {
+                            id,
+                            points: &removed_points,
+                        },
+                        &self.routes,
+                        &self.transitions,
+                        &mut stats,
+                    );
                 }
             }
         }
+        self.reexecute_dirty_subscriptions(&mut stats);
         stats.retained_entries = self.cache.get_mut().expect("cache lock").len();
         stats
+    }
+
+    /// Cache maintenance for a removed route: plan a targeted eviction
+    /// (every entry re-certified with the removed route excluded, under a
+    /// shared work budget) and fall back to the full drop only when the
+    /// budget runs out before every entry is classified.
+    fn evict_for_route_removal(
+        &mut self,
+        id: RouteId,
+        removed_points: &[Point],
+        stats: &mut UpdateStats,
+    ) {
+        let cache = self.cache.get_mut().expect("cache lock");
+        if cache.is_empty() {
+            stats.targeted_route_removals += 1;
+            return;
+        }
+        let mut budget = ROUTE_REMOVAL_BUDGET_PER_ENTRY.saturating_mul(cache.len());
+        let mut victims: Vec<CacheKey> = Vec::new();
+        let mut exhausted = false;
+        for (key, value, region) in cache.entries() {
+            if budget == 0 {
+                exhausted = true;
+                break;
+            }
+            if !region.survives_route_remove(
+                &self.routes,
+                &self.transitions,
+                &value.transitions,
+                id,
+                removed_points,
+                &mut budget,
+            ) {
+                victims.push(key.clone());
+            }
+        }
+        if exhausted {
+            stats.full_drops += 1;
+            stats.evicted_entries += cache.len();
+            cache.invalidate_all();
+        } else {
+            stats.targeted_route_removals += 1;
+            let victims: std::collections::HashSet<&CacheKey> = victims.iter().collect();
+            stats.evicted_entries += cache.evict_where(|key, _, _| victims.contains(key));
+        }
     }
 
     /// Answers one query (through the cache; see
@@ -350,14 +560,68 @@ impl QueryService {
 
         // Phase 3: execution over the worker pool.
         let execution_started = Instant::now();
+        let (mut computed, counters, workers_used) = self.run_groups(&groups);
+        stats.workers_used = workers_used;
+        stats.filter_constructions = counters.filter_constructions;
+        stats.filters_saved = counters.filters_saved;
+        stats.duplicates_coalesced = counters.duplicates_coalesced;
+        stats.timings.execution = execution_started.elapsed();
+
+        // Phase 4: merge into input order and feed the cache.
+        let finalize_started = Instant::now();
+        if caching {
+            self.fill_footprint_fallbacks(queries, &mut computed);
+            let mut cache = self.cache.lock().expect("cache lock");
+            // Only insert when no invalidation raced the batch: the stores
+            // cannot have changed (that needs `&mut self`), but whoever
+            // called invalidate_all expects a cold cache and re-populating
+            // it behind their back would be surprising.
+            let fresh = self.generation() == generation_at_start;
+            for (index, result, footprint) in computed {
+                if fresh {
+                    if let Some(key) = keys[index].take() {
+                        // Record the entry's invalidation region: the filter
+                        // footprint the engine reported plus the MBR of the
+                        // result's endpoints, both against the current
+                        // stores (which cannot have changed under `&self`).
+                        let region = EntryRegion::record(
+                            &queries[index],
+                            &result,
+                            footprint,
+                            &self.transitions,
+                        );
+                        cache.insert(key, result.clone(), region);
+                    }
+                }
+                slots[index] = Some(result);
+            }
+        } else {
+            for (index, result, _) in computed {
+                slots[index] = Some(result);
+            }
+        }
+        let results: Vec<RknntResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every query produced a result"))
+            .collect();
+        stats.timings.finalize = finalize_started.elapsed();
+        (results, stats)
+    }
+
+    /// Executes pre-formed groups over the worker pool, returning the
+    /// outputs, the accumulated reuse counters and the worker count used.
+    fn run_groups(
+        &self,
+        groups: &[Group<'_>],
+    ) -> (Vec<crate::batch::GroupOutput>, GroupCounters, usize) {
         let workers = self.config.workers.max(1).min(groups.len().max(1));
-        stats.workers_used = if groups.is_empty() { 0 } else { workers };
-        let mut computed: Vec<crate::batch::GroupOutput> = Vec::with_capacity(miss_indexes.len());
+        let workers_used = if groups.is_empty() { 0 } else { workers };
+        let mut computed: Vec<crate::batch::GroupOutput> = Vec::new();
         let mut counters = GroupCounters::default();
         if workers <= 1 {
             // In-line fast path: no thread spawn for single-worker batches.
             let mut engines = WorkerEngines::default();
-            for group in &groups {
+            for group in groups {
                 let engine = engines.for_kind(group, &self.routes, &self.transitions);
                 run_group(engine, group, &mut computed, &mut counters);
             }
@@ -398,73 +662,65 @@ impl QueryService {
                 counters.duplicates_coalesced += worker_counters.duplicates_coalesced;
             }
         }
-        stats.filter_constructions = counters.filter_constructions;
-        stats.filters_saved = counters.filters_saved;
-        stats.duplicates_coalesced = counters.duplicates_coalesced;
-        stats.timings.execution = execution_started.elapsed();
+        (computed, counters, workers_used)
+    }
 
-        // Phase 4: merge into input order and feed the cache.
-        let finalize_started = Instant::now();
-        if caching {
-            // Footprint fallback for engines that build no filter set
-            // (BruteForce / DivideConquer): run the filter construction
-            // here, once per distinct (route, k), so their cached entries
-            // are region-taggable too instead of evicting on every update.
-            // Done before taking the cache lock — construction is pure
-            // reads against the stores.
-            type FootprintByQuery =
-                std::collections::HashMap<(Vec<(u64, u64)>, usize), FallbackFootprint>;
-            type FallbackFootprint = std::sync::Arc<rknnt_core::FilterFootprint>;
-            let mut fallback: FootprintByQuery = std::collections::HashMap::new();
-            for (index, _, footprint) in &mut computed {
-                let query = &queries[*index];
-                if footprint.is_none() && !query.is_degenerate() {
-                    let key = (crate::cache::route_bits(&query.route), query.k);
-                    let entry = fallback.entry(key).or_insert_with(|| {
-                        std::sync::Arc::new(rknnt_core::FilterFootprint::compute(
-                            &self.routes,
-                            &query.route,
-                            query.k,
-                        ))
-                    });
-                    *footprint = Some(entry.clone());
-                }
-            }
-            let mut cache = self.cache.lock().expect("cache lock");
-            // Only insert when no invalidation raced the batch: the stores
-            // cannot have changed (that needs `&mut self`), but whoever
-            // called invalidate_all expects a cold cache and re-populating
-            // it behind their back would be surprising.
-            let fresh = self.generation() == generation_at_start;
-            for (index, result, footprint) in computed {
-                if fresh {
-                    if let Some(key) = keys[index].take() {
-                        // Record the entry's invalidation region: the filter
-                        // footprint the engine reported plus the MBR of the
-                        // result's endpoints, both against the current
-                        // stores (which cannot have changed under `&self`).
-                        let region = EntryRegion::record(
-                            &queries[index],
-                            &result,
-                            footprint,
-                            &self.transitions,
-                        );
-                        cache.insert(key, result.clone(), region);
-                    }
-                }
-                slots[index] = Some(result);
-            }
-        } else {
-            for (index, result, _) in computed {
-                slots[index] = Some(result);
+    /// Footprint fallback for engines that build no filter set (BruteForce /
+    /// DivideConquer): run the filter construction here, once per distinct
+    /// `(route, k)`, so their results are region-taggable too instead of
+    /// evicting (or dirtying a subscription) on every update. Pure reads
+    /// against the stores.
+    fn fill_footprint_fallbacks(
+        &self,
+        queries: &[RknntQuery],
+        computed: &mut [crate::batch::GroupOutput],
+    ) {
+        type FootprintByQuery =
+            std::collections::HashMap<(Vec<(u64, u64)>, usize), Arc<FilterFootprint>>;
+        let mut fallback: FootprintByQuery = std::collections::HashMap::new();
+        for (index, _, footprint) in computed.iter_mut() {
+            let query = &queries[*index];
+            if footprint.is_none() && !query.is_degenerate() {
+                let key = (crate::cache::route_bits(&query.route), query.k);
+                let entry = fallback.entry(key).or_insert_with(|| {
+                    Arc::new(FilterFootprint::compute(
+                        &self.routes,
+                        &query.route,
+                        query.k,
+                    ))
+                });
+                *footprint = Some(entry.clone());
             }
         }
-        let results: Vec<RknntResult> = slots
+    }
+
+    /// Executes queries through grouping + the worker pool, bypassing the
+    /// result cache in both directions, and returns each result with its
+    /// filter footprint (engine-reported or fallback-computed). Used for
+    /// subscription (re-)execution: dirty standing queries still share
+    /// filter constructions within the batch, but never pollute the LRU.
+    fn execute_uncached(
+        &self,
+        queries: &[RknntQuery],
+    ) -> Vec<(RknntResult, Option<Arc<FilterFootprint>>)> {
+        let miss_indexes: Vec<usize> = (0..queries.len()).collect();
+        let groups = form_groups(
+            queries,
+            &miss_indexes,
+            self.config.policy,
+            self.config.group_cell,
+        );
+        let (mut computed, _, _) = self.run_groups(&groups);
+        self.fill_footprint_fallbacks(queries, &mut computed);
+        let mut slots: Vec<Option<(RknntResult, Option<Arc<FilterFootprint>>)>> =
+            (0..queries.len()).map(|_| None).collect();
+        for (index, result, footprint) in computed {
+            slots[index] = Some((result, footprint));
+        }
+        slots
             .into_iter()
             .map(|slot| slot.expect("every query produced a result"))
-            .collect();
-        stats.timings.finalize = finalize_started.elapsed();
-        (results, stats)
+            .collect()
     }
 }
 

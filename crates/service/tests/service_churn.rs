@@ -156,7 +156,11 @@ fn run_churn(kind: EngineKind, semantics: Semantics, seed: u64) {
                         assert!(shadow_routes.remove_route(*id));
                         let stats = service.apply_updates(vec![update.clone()]);
                         assert_eq!(stats.applied, 1);
-                        assert_eq!(stats.full_drops, 1);
+                        assert_eq!(
+                            stats.full_drops + stats.targeted_route_removals,
+                            1,
+                            "every applied removal is either targeted or a full drop"
+                        );
                     }
                 }
             }
@@ -294,13 +298,34 @@ fn region_scoped_invalidation_retains_unaffected_entries() {
     );
     check_fresh(&service, "after near route insert");
 
-    // 7. Route removal is the full-drop fallback.
+    // 7. Removing the far ladder rung (y = 70): no live endpoint has it
+    //    strictly closer than the query, so the targeted scan certifies the
+    //    entry and the cache survives what used to be a full drop.
     service.execute(&query); // repopulate
     assert!(service.cache_len() > 0);
+    let len_before = service.cache_len();
     let stats = service.apply_updates(vec![StoreUpdate::RemoveRoute(RouteId(7))]);
-    assert_eq!(stats.full_drops, 1);
-    assert_eq!(service.cache_len(), 0, "route removal drops the cache");
-    check_fresh(&service, "after route removal");
+    assert_eq!(stats.targeted_route_removals, 1, "removal must be targeted");
+    assert_eq!(stats.full_drops, 0);
+    assert_eq!(stats.evicted_entries, 0, "far rung removal evicts nothing");
+    assert_eq!(service.cache_len(), len_before);
+    let h3 = hits(&service);
+    assert_eq!(
+        service.execute(&query).transitions,
+        {
+            let fresh = EngineKind::FilterRefine.build(service.routes(), service.transitions());
+            fresh.execute(&query).transitions
+        },
+        "after far route removal"
+    );
+    assert_eq!(hits(&service), h3 + 1, "entry must survive the removal");
+
+    // 8. Removing a rung adjacent to the query dirties the world for real:
+    //    correctness is preserved whichever way the scan decides.
+    let stats = service.apply_updates(vec![StoreUpdate::RemoveRoute(RouteId(4))]);
+    assert_eq!(stats.applied, 1);
+    assert_eq!(stats.full_drops + stats.targeted_route_removals, 1);
+    check_fresh(&service, "after near route removal");
 
     // Rejected updates mutate nothing and are counted.
     let before_len = service.transitions().len();

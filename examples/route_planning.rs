@@ -9,11 +9,18 @@ use rknnt::prelude::*;
 use rknnt::routeplan::{BruteForcePlanner, PruningPlanner};
 
 fn main() {
-    // City, passengers, indexes and the bus-network graph.
-    let city = CityGenerator::new(CityConfig::small(23)).generate();
+    // City, passengers, indexes and the bus-network graph. Planning
+    // pre-computation is cubic in the vertex count (one RkNNT per vertex +
+    // all-pairs shortest distances), so the example city is kept small
+    // enough that CI can build and run it in seconds; scale `num_routes`
+    // up for a more realistic network.
+    let mut city_config = CityConfig::small(23);
+    city_config.num_routes = 24;
+    city_config.stops_per_route = (6, 14);
+    let city = CityGenerator::new(city_config).generate();
     let routes = city.route_store();
     let transitions =
-        TransitionGenerator::new(TransitionConfig::checkin_like(6_000, 9)).generate_store(&city);
+        TransitionGenerator::new(TransitionConfig::checkin_like(2_000, 9)).generate_store(&city);
     let graph = city.graph();
 
     // Pre-computation (Algorithm 5): one RkNNT per vertex + all-pairs
@@ -29,12 +36,22 @@ fn main() {
         pre.shortest_time()
     );
 
-    // Pick an origin and a destination on opposite sides of the city and
-    // allow a 40% detour over the shortest possible travel distance.
-    let area = city.config.area();
-    let start = graph.nearest_vertex(&area.min).expect("non-empty graph");
-    let end = graph.nearest_vertex(&area.max).expect("non-empty graph");
+    // Plan between the endpoints of the longest existing line — guaranteed
+    // connected in the bus network — and allow a 40% detour over the
+    // shortest possible travel distance.
+    let longest = city
+        .routes
+        .iter()
+        .max_by_key(|r| r.len())
+        .expect("at least one route");
+    let start = graph
+        .nearest_vertex(longest.first().expect("route"))
+        .expect("non-empty graph");
+    let end = graph
+        .nearest_vertex(longest.last().expect("route"))
+        .expect("non-empty graph");
     let shortest = pre.matrix().distance(start, end);
+    assert!(shortest.is_finite(), "route endpoints are connected");
     let query = rknnt::routeplan::PlanQuery {
         start,
         end,

@@ -41,5 +41,8 @@ pub mod prelude {
     pub use rknnt_graph::RouteGraph;
     pub use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
     pub use rknnt_routeplan::{Objective, PlannerConfig, Precomputation, RoutePlanner};
-    pub use rknnt_service::{BatchStats, EnginePolicy, QueryService, ServiceConfig};
+    pub use rknnt_service::{
+        BatchStats, DeltaReason, EnginePolicy, QueryService, ServiceConfig, SubscriptionDelta,
+        SubscriptionId,
+    };
 }
