@@ -20,6 +20,8 @@ struct Args {
     scale: ScaleConfig,
     out_dir: PathBuf,
     options: experiments::RunOptions,
+    save_dataset: Option<PathBuf>,
+    load_dataset: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +30,8 @@ fn parse_args() -> Result<Args, String> {
         scale: ScaleConfig::default(),
         out_dir: PathBuf::from("results"),
         options: experiments::RunOptions::default(),
+        save_dataset: None,
+        load_dataset: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -63,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--save-dataset" => args.save_dataset = Some(PathBuf::from(value("--save-dataset")?)),
+            "--load-dataset" => args.load_dataset = Some(PathBuf::from(value("--load-dataset")?)),
             "--tiny" => args.scale = ScaleConfig::tiny(),
             "--dataset" => {
                 args.options.service_dataset = value("--dataset")?
@@ -78,7 +84,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "usage: experiments [--exp NAME] [--city-scale F] [--transitions N] \
                      [--synthetic-transitions N] [--queries N] [--seed N] [--out DIR] [--tiny] \
-                     [--dataset small|la|nyc|nyc-synthetic] [--semantics exists|forall]\n\
+                     [--dataset small|la|nyc|nyc-synthetic] [--semantics exists|forall] \
+                     [--save-dataset DIR] [--load-dataset DIR]\n\
                      experiments: {}",
                     experiments::experiment_names().join(", ")
                 ))
@@ -98,13 +105,34 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "Building datasets (city scale {}, {} transitions, seed {})...",
-        args.scale.city_scale, args.scale.transitions, args.scale.seed
-    );
-    let ctx = ExperimentContext::build(args.scale);
+    let ctx = match &args.load_dataset {
+        Some(dir) => {
+            println!("Loading datasets from {}...", dir.display());
+            match ExperimentContext::load(dir, args.scale) {
+                Ok(ctx) => ctx,
+                Err(message) => {
+                    eprintln!("cannot load datasets: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            println!(
+                "Building datasets (city scale {}, {} transitions, seed {})...",
+                args.scale.city_scale, args.scale.transitions, args.scale.seed
+            );
+            ExperimentContext::build(args.scale)
+        }
+    };
     println!("{}", ctx.la.summary());
     println!("{}", ctx.nyc.summary());
+    if let Some(dir) = &args.save_dataset {
+        if let Err(message) = ctx.save(dir) {
+            eprintln!("cannot save datasets: {message}");
+            return ExitCode::FAILURE;
+        }
+        println!("Saved datasets to {}", dir.display());
+    }
 
     let Some(reports) = experiments::run(&ctx, &args.experiment, &args.options) else {
         eprintln!(

@@ -1225,6 +1225,179 @@ pub fn continuous_monitoring(
     report
 }
 
+/// Cold start: opening a service from a durable snapshot
+/// ([`QueryService::open`]) vs rebuilding it from raw generation (the
+/// restart path before the storage engine existed), plus WAL replay
+/// throughput for a recovery that arrives mid-stream.
+///
+/// Three timed paths, best-of-3 each (the machine-independent *ratio*
+/// `rebuild / open` is what the CI gate holds):
+///
+/// * **rebuild** — [`Dataset::build`]: generate the city and transitions,
+///   bulk-build the RR-/TR-trees and the graph;
+/// * **open** — load the checksummed snapshot and reconstruct the stores;
+/// * **recover** — open a directory whose snapshot is stale by a churn
+///   stream's worth of WAL records, replaying them through
+///   `apply_updates`.
+///
+/// Opened and recovered services must answer byte-identically to their
+/// freshly built references — asserted inline.
+pub fn cold_start(ctx: &ExperimentContext, kind: DatasetKind, semantics: Semantics) -> Report {
+    let mut report = Report::new("Cold start — open-from-snapshot vs rebuild-from-raw");
+    let service_config = ServiceConfig::default()
+        .with_workers(1)
+        .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi));
+    // No fsync: this experiment measures codec + rebuild cost, not disk
+    // flush latency (the recovery suites cover durability semantics).
+    let storage_config = rknnt_service::StorageConfig::default().with_fsync(false);
+    let dir = std::env::temp_dir().join(format!("rknnt-cold-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Rebuild-from-raw, best of 3.
+    let mut rebuild_ms = f64::INFINITY;
+    let mut built = None;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        let dataset = Dataset::build(kind, &ctx.scale);
+        let service = QueryService::new(
+            dataset.routes.clone(),
+            dataset.transitions.clone(),
+            service_config,
+        );
+        rebuild_ms = rebuild_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        drop(service);
+        built = Some(dataset);
+    }
+    let dataset = built.expect("three rebuilds ran");
+    report.line(format!(
+        "{} — {} semantics (rebuild includes generation + index/graph builds)",
+        dataset.kind.name(),
+        semantics,
+    ));
+
+    // Seed the storage directory with a checkpoint of the built state.
+    let mut seeded = QueryService::new(
+        dataset.routes.clone(),
+        dataset.transitions.clone(),
+        service_config,
+    );
+    seeded
+        .attach_storage(&dir, storage_config)
+        .expect("attach cold-start storage");
+    let snapshot_bytes = seeded
+        .storage_stats()
+        .expect("storage attached")
+        .snapshot_bytes;
+    drop(seeded);
+
+    // Open-from-snapshot, best of 3, answers verified against a fresh build.
+    let mut open_ms = f64::INFINITY;
+    let mut opened = None;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        let (service, stats) = QueryService::open(&dir, service_config, storage_config)
+            .expect("open cold-start storage");
+        open_ms = open_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(stats.replayed_records, 0, "checkpoint left no tail");
+        opened = Some(service);
+    }
+    let opened = opened.expect("three opens ran");
+    let fresh = QueryService::new(
+        dataset.routes.clone(),
+        dataset.transitions.clone(),
+        service_config,
+    );
+    let probes: Vec<RknntQuery> = workload::rknnt_queries(
+        &dataset.city,
+        4,
+        ctx.default_query_len(),
+        1_000.0,
+        ctx.scale.seed,
+    )
+    .into_iter()
+    .map(|route| RknntQuery {
+        route,
+        k: ctx.default_k(),
+        semantics,
+    })
+    .collect();
+    let (fresh_answers, _) = fresh.execute_batch(&probes);
+    let (opened_answers, _) = opened.execute_batch(&probes);
+    for (a, b) in fresh_answers.iter().zip(&opened_answers) {
+        assert_eq!(
+            a.transitions, b.transitions,
+            "opened-from-snapshot answers diverged from rebuild"
+        );
+    }
+    drop(opened);
+
+    // Recovery replay: leave a churn stream in the WAL behind the snapshot.
+    let events = (ctx.scale.queries_per_point * 60).clamp(120, 600);
+    let mut churn_config = rknnt_data::ChurnConfig::new(events, 1.0, ctx.scale.seed ^ 0xc01d);
+    churn_config.query_len = ctx.default_query_len();
+    let stream = workload::churn_stream(&dataset.city, &churn_config);
+    let updates: Vec<StoreUpdate> = resolve_churn(&dataset, stream, ctx.default_k(), semantics)
+        .into_iter()
+        .filter_map(|step| match step {
+            ChurnStep::Update(update) => Some(update),
+            ChurnStep::Query(_) => None,
+        })
+        .collect();
+    let (mut behind, _) =
+        QueryService::open(&dir, service_config, storage_config).expect("reopen for churn");
+    let mut reference = QueryService::new(
+        dataset.routes.clone(),
+        dataset.transitions.clone(),
+        service_config,
+    );
+    for chunk in updates.chunks(16) {
+        behind.apply_updates(chunk.to_vec());
+        reference.apply_updates(chunk.to_vec());
+    }
+    drop(behind); // crash: snapshot + WAL tail on disk
+
+    let started = std::time::Instant::now();
+    let (recovered, stats) =
+        QueryService::open(&dir, service_config, storage_config).expect("recover cold-start");
+    let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(stats.replayed_records as usize, updates.len());
+    let (ref_answers, _) = reference.execute_batch(&probes);
+    let (rec_answers, _) = recovered.execute_batch(&probes);
+    for (a, b) in ref_answers.iter().zip(&rec_answers) {
+        assert_eq!(
+            a.transitions, b.transitions,
+            "recovered answers diverged from the uninterrupted reference"
+        );
+    }
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Plain numeric ms fields (no unit suffix): the bench gate parses them.
+    report.row(&[
+        ("mode", "rebuild".to_string()),
+        ("ms", format!("{rebuild_ms:.3}")),
+    ]);
+    report.row(&[
+        ("mode", "open".to_string()),
+        ("ms", format!("{open_ms:.3}")),
+        ("snapshot_bytes", snapshot_bytes.to_string()),
+    ]);
+    report.row(&[
+        ("metric", "open_speedup".to_string()),
+        ("ratio", format!("{:.3}", rebuild_ms / open_ms.max(1e-6))),
+    ]);
+    report.row(&[
+        ("mode", "recover".to_string()),
+        ("ms", format!("{recover_ms:.3}")),
+        ("replayed", updates.len().to_string()),
+        (
+            "records_per_sec",
+            format!("{:.0}", updates.len() as f64 / (recover_ms / 1e3).max(1e-9)),
+        ),
+    ]);
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -1268,6 +1441,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         service_throughput(ctx, options.service_dataset, options.semantics),
         churn_throughput(ctx, options.service_dataset, options.semantics),
         continuous_monitoring(ctx, options.service_dataset, options.semantics),
+        cold_start(ctx, options.service_dataset, options.semantics),
     ]
 }
 
@@ -1307,6 +1481,9 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
             options.service_dataset,
             options.semantics,
         )),
+        "cold_start" | "coldstart" => {
+            single(cold_start(ctx, options.service_dataset, options.semantics))
+        }
         "all" => Some(all(ctx, options)),
         _ => None,
     }
@@ -1335,6 +1512,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "service_throughput",
         "churn_throughput",
         "continuous_monitoring",
+        "cold_start",
         "all",
     ]
 }
@@ -1464,6 +1642,29 @@ mod tests {
         assert!(text.contains("mode=full-drop"));
         assert!(text.contains("update_ratio=0.10"));
         assert!(text.contains("update_ratio=0.50"));
+    }
+
+    #[test]
+    fn cold_start_reports_every_path_and_the_gated_ratio() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let report = cold_start(&ctx, DatasetKind::Small, Semantics::Exists);
+        // 1 header + rebuild + open + speedup + recover rows; identical
+        // answers are asserted inside the experiment.
+        assert_eq!(report.len(), 1 + 4);
+        let text = report.to_text();
+        assert!(text.contains("mode=rebuild"));
+        assert!(text.contains("mode=open"));
+        assert!(text.contains("metric=open_speedup"));
+        assert!(text.contains("mode=recover"));
+        assert!(text.contains("records_per_sec="));
+        // The gated ratio is parseable and positive.
+        let rows = crate::gate::parse_report_rows(&text);
+        let ratio = crate::gate::find_row(&rows, &[("metric", "open_speedup")])
+            .unwrap()
+            .number("ratio")
+            .unwrap();
+        assert!(ratio > 0.0);
     }
 
     #[test]

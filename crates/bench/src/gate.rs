@@ -207,6 +207,23 @@ pub fn check_monitor_gates(report: &str, config: &GateConfig) -> Result<Vec<Gate
     ])
 }
 
+/// Checks the cold-start gate against the report text: opening from a
+/// snapshot must beat rebuilding from raw generation by at least
+/// `cold_start.min_open_speedup` (the experiment reports the ratio
+/// directly, and asserts byte-identical answers inline before it does).
+pub fn check_cold_start_gate(report: &str, config: &GateConfig) -> Result<GateOutcome, String> {
+    let threshold = config.threshold("cold_start", "min_open_speedup")?;
+    let rows = parse_report_rows(report);
+    let row = find_row(&rows, &[("metric", "open_speedup")])?;
+    let measured = row.number("ratio")?;
+    Ok(GateOutcome {
+        name: "cold_start.open_speedup".to_string(),
+        measured,
+        threshold,
+        passed: measured >= threshold,
+    })
+}
+
 /// Runs every gate against a results directory, returning the outcomes.
 /// Missing files or rows are errors, not passes.
 pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcome>, String> {
@@ -223,6 +240,7 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
         &read("continuous_monitoring.txt")?,
         &config,
     )?);
+    outcomes.push(check_cold_start_gate(&read("cold_start.txt")?, &config)?);
     Ok(outcomes)
 }
 
@@ -237,7 +255,10 @@ min_hit_rate_advantage = 0.05  # inline comment\n\
 \n\
 [continuous_monitoring]\n\
 max_reexecution_rate = 0.95\n\
-min_naive_reexecution_rate = 0.99\n";
+min_naive_reexecution_rate = 0.99\n\
+\n\
+[cold_start]\n\
+min_open_speedup = 1.5\n";
 
     #[test]
     fn parses_the_gate_file_subset() {
@@ -291,6 +312,22 @@ min_naive_reexecution_rate = 0.99\n";
         assert!(
             check_churn_gate("update_ratio=0.50  mode=full-drop  hit_rate=0.1", &config).is_err()
         );
+    }
+
+    #[test]
+    fn cold_start_gate_holds_the_speedup_ratio() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "mode=rebuild  ms=42.000\n\
+                    mode=open  ms=3.000  snapshot_bytes=120000\n\
+                    metric=open_speedup  ratio=14.000\n\
+                    mode=recover  ms=9.000  replayed=200  records_per_sec=22000\n";
+        let outcome = check_cold_start_gate(good, &config).unwrap();
+        assert!(outcome.passed);
+        assert_eq!(outcome.measured, 14.0);
+        let regressed = "metric=open_speedup  ratio=0.900\nmode=open ms=1.0";
+        assert!(!check_cold_start_gate(regressed, &config).unwrap().passed);
+        // A missing ratio row is an error, never a silent pass.
+        assert!(check_cold_start_gate("mode=open ms=1.0", &config).is_err());
     }
 
     #[test]

@@ -22,11 +22,15 @@
 //!   Figures 6, 8 and 17.
 //! * [`io`] — CSV import/export so real GTFS-derived data can be dropped in
 //!   when available.
+//! * [`codec`] — the hand-rolled little-endian binary codec (plus CRC-32)
+//!   behind the durable storage engine's snapshots/WAL and the bench
+//!   harness's `--save-dataset` / `--load-dataset` fast path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod city;
+pub mod codec;
 pub mod io;
 pub mod stats;
 mod transition;

@@ -32,6 +32,6 @@ mod types;
 
 pub use ids::{RouteId, StopId, TransitionId};
 pub use nlist::NList;
-pub use route_store::{PList, RouteStore};
-pub use transition_store::{TransitionEndpoint, TransitionStore};
+pub use route_store::{PList, RouteStore, RouteStoreState};
+pub use transition_store::{TransitionEndpoint, TransitionStore, TransitionStoreState};
 pub use types::{EndpointKind, Route, Transition};

@@ -256,6 +256,111 @@ impl RouteStore {
     pub fn stop_at(&self, p: &Point) -> Option<StopId> {
         self.stop_lookup.get(&coord_key(p)).copied()
     }
+
+    /// Exports the full logical state of the store — everything a byte-for-
+    /// byte faithful reconstruction needs, including the `None` slots of
+    /// removed routes (id assignment depends on slot count) and the stale
+    /// stop slots no live route references any more (stop ids stay
+    /// allocated). The RR-tree itself is *not* part of the state: its node
+    /// layout is an implementation detail that never changes an answer, so
+    /// [`RouteStore::from_state`] rebuilds it deterministically.
+    pub fn export_state(&self) -> RouteStoreState {
+        let mut live_stops: Vec<StopId> = self.stop_lookup.values().copied().collect();
+        live_stops.sort();
+        RouteStoreState {
+            config: self.rtree.config(),
+            routes: self.routes.clone(),
+            stops: self.stops.clone(),
+            live_stops,
+            plist: (0..self.plist.len())
+                .map(|i| self.plist.crossover(StopId(i as u32)).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a store from an exported state, validating every index
+    /// so a decoded-from-disk state can never panic the store. The RR-tree
+    /// is bulk-loaded over the live stops in ascending id order, which is
+    /// deterministic; answers are layout-independent (asserted by the
+    /// recovery determinism suite).
+    pub fn from_state(state: RouteStoreState) -> Result<Self, String> {
+        let RouteStoreState {
+            config,
+            routes,
+            stops,
+            live_stops,
+            plist,
+        } = state;
+        for (i, slot) in routes.iter().enumerate() {
+            if let Some(route) = slot {
+                if route.id.index() != i {
+                    return Err(format!("route slot {i} holds id {}", route.id));
+                }
+                if route.points.len() < 2 {
+                    return Err(format!(
+                        "route {} has {} points",
+                        route.id,
+                        route.points.len()
+                    ));
+                }
+            }
+        }
+        if plist.len() > stops.len() {
+            return Err(format!(
+                "plist tracks {} stops but only {} exist",
+                plist.len(),
+                stops.len()
+            ));
+        }
+        for (stop, list) in plist.iter().enumerate() {
+            for route in list {
+                match routes.get(route.index()) {
+                    Some(Some(_)) => {}
+                    _ => return Err(format!("plist stop {stop} references dead route {route}")),
+                }
+            }
+        }
+        let mut stop_lookup = HashMap::with_capacity(live_stops.len());
+        let mut items = Vec::with_capacity(live_stops.len());
+        for stop in live_stops {
+            let Some(p) = stops.get(stop.index()) else {
+                return Err(format!("live stop {stop} out of range"));
+            };
+            if stop_lookup.insert(coord_key(p), stop).is_some() {
+                return Err(format!("duplicate live stop at {p}"));
+            }
+            items.push((*p, stop));
+        }
+        let live_routes = routes.iter().filter(|slot| slot.is_some()).count();
+        Ok(RouteStore {
+            routes,
+            stops,
+            stop_lookup,
+            plist: PList { lists: plist },
+            rtree: RTree::bulk_load(config, items),
+            live_routes,
+        })
+    }
+}
+
+/// The full logical state of a [`RouteStore`], as exported by
+/// [`RouteStore::export_state`]: a plain-data mirror that the storage
+/// engine's snapshot codec serializes and [`RouteStore::from_state`]
+/// validates back into a store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteStoreState {
+    /// Fan-out configuration of the RR-tree.
+    pub config: RTreeConfig,
+    /// Route slots in id order; `None` marks a removed route whose id stays
+    /// consumed.
+    pub routes: Vec<Option<Route>>,
+    /// Every stop ever interned, in id order (including stale slots).
+    pub stops: Vec<Point>,
+    /// Ids of the stops currently live (referenced by at least one route),
+    /// ascending.
+    pub live_stops: Vec<StopId>,
+    /// Crossover route lists per stop id, in insertion order.
+    pub plist: Vec<Vec<RouteId>>,
 }
 
 #[cfg(test)]

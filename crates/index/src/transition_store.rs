@@ -164,6 +164,71 @@ impl TransitionStore {
     pub fn rtree(&self) -> &RTree<TransitionEndpoint> {
         &self.rtree
     }
+
+    /// Exports the full logical state of the store, including the `None`
+    /// slots of expired transitions (id assignment depends on slot count).
+    /// The TR-tree is rebuilt deterministically by
+    /// [`TransitionStore::from_state`], not serialized.
+    pub fn export_state(&self) -> TransitionStoreState {
+        TransitionStoreState {
+            config: self.rtree.config(),
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Reconstructs a store from an exported state, validating ids and
+    /// coordinates so a decoded-from-disk state can never panic the store.
+    /// The TR-tree is bulk-loaded over live endpoints in ascending
+    /// transition-id order (origin before destination).
+    pub fn from_state(state: TransitionStoreState) -> Result<Self, String> {
+        let TransitionStoreState {
+            config,
+            transitions,
+        } = state;
+        let mut items = Vec::new();
+        let mut live = 0usize;
+        for (i, slot) in transitions.iter().enumerate() {
+            let Some(t) = slot else { continue };
+            if t.id.index() != i {
+                return Err(format!("transition slot {i} holds id {}", t.id));
+            }
+            if !t.origin.is_finite() || !t.destination.is_finite() {
+                return Err(format!("transition {} has non-finite endpoints", t.id));
+            }
+            live += 1;
+            items.push((
+                t.origin,
+                TransitionEndpoint {
+                    transition: t.id,
+                    kind: EndpointKind::Origin,
+                },
+            ));
+            items.push((
+                t.destination,
+                TransitionEndpoint {
+                    transition: t.id,
+                    kind: EndpointKind::Destination,
+                },
+            ));
+        }
+        Ok(TransitionStore {
+            transitions,
+            rtree: RTree::bulk_load(config, items),
+            live,
+        })
+    }
+}
+
+/// The full logical state of a [`TransitionStore`], as exported by
+/// [`TransitionStore::export_state`]: the plain-data mirror the storage
+/// engine's snapshot codec serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionStoreState {
+    /// Fan-out configuration of the TR-tree.
+    pub config: RTreeConfig,
+    /// Transition slots in id order; `None` marks an expired transition
+    /// whose id stays consumed.
+    pub transitions: Vec<Option<Transition>>,
 }
 
 #[cfg(test)]

@@ -36,6 +36,15 @@
 //!   batch path), and result changes come back as per-batch
 //!   [`SubscriptionDelta`]s instead of forcing clients to re-poll
 //!   ([`monitor`]).
+//! * **Durability** — [`QueryService::open`] /
+//!   [`QueryService::attach_storage`] back the service with an
+//!   `rknnt-storage` directory: `apply_updates` appends every update to a
+//!   CRC-guarded write-ahead log before applying it ([`durable`] owns the
+//!   record codec), [`QueryService::checkpoint`] folds the log into a
+//!   checksummed snapshot, and reopening after a crash replays the WAL
+//!   tail through the normal update path — recovered answers are
+//!   byte-identical to the uninterrupted service
+//!   (`tests/service_recovery.rs`).
 //!
 //! ```
 //! use rknnt_core::RknntQuery;
@@ -60,6 +69,7 @@
 
 mod batch;
 mod cache;
+pub mod durable;
 pub mod monitor;
 mod policy;
 pub mod region;
@@ -70,4 +80,5 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use monitor::{DeltaReason, SubscriptionDelta, SubscriptionId};
 pub use policy::EnginePolicy;
 pub use region::EntryRegion;
+pub use rknnt_storage::{StorageConfig, StorageError, StorageStats};
 pub use service::{QueryService, ServiceConfig, StoreUpdate, UpdateStats};

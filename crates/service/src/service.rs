@@ -9,6 +9,8 @@ use crate::region::EntryRegion;
 use rknnt_core::{FilterFootprint, RknntQuery, RknntResult};
 use rknnt_geo::{Point, Rect};
 use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+use rknnt_storage::{Storage, StorageConfig, StorageError, StorageStats};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -131,6 +133,16 @@ pub struct UpdateStats {
     /// over the pre-call results reproduces the post-call results). Includes
     /// any deltas buffered by wholesale store swaps since the last call.
     pub deltas: Vec<SubscriptionDelta>,
+    /// WAL frames appended for this call's updates (0 when no storage is
+    /// attached). With storage, every submitted update — including ones the
+    /// stores later reject — is logged *before* it applies, so this equals
+    /// the submitted update count: replay reproduces rejections
+    /// deterministically, exactly like the `applied`/`rejected` counters
+    /// above.
+    pub wal_appends: usize,
+    /// Bytes those WAL frames occupied on disk, headers included (0 when no
+    /// storage is attached).
+    pub wal_bytes: u64,
 }
 
 /// A concurrent batch RkNNT query service over one pair of stores.
@@ -151,6 +163,7 @@ pub struct QueryService {
     cache: Mutex<ResultCache>,
     generation: AtomicU64,
     monitor: SubscriptionRegistry,
+    storage: Option<Storage>,
 }
 
 impl QueryService {
@@ -164,6 +177,104 @@ impl QueryService {
             cache,
             generation: AtomicU64::new(0),
             monitor: SubscriptionRegistry::default(),
+            storage: None,
+        }
+    }
+
+    /// Opens a durable service from a storage directory: loads the latest
+    /// valid snapshot, replays the WAL tail through the normal update path
+    /// (so cache state and future subscriptions come up consistent for
+    /// free) and attaches the directory for further logging. An empty or
+    /// brand-new directory yields an empty service.
+    ///
+    /// Recovery tolerates a torn final WAL frame (a crash mid-append drops
+    /// exactly the un-committed record, reported via
+    /// [`StorageStats::torn_tail`]); every other form of damage — bad
+    /// magic, checksum mismatches, undecodable records, truncation before
+    /// the final frame — is a typed [`StorageError`].
+    pub fn open(
+        dir: &Path,
+        config: ServiceConfig,
+        storage_config: StorageConfig,
+    ) -> Result<(Self, StorageStats), StorageError> {
+        let (storage, recovery) = Storage::open(dir, storage_config)?;
+        let (routes, transitions) = recovery
+            .stores
+            .unwrap_or_else(|| (RouteStore::default(), TransitionStore::default()));
+        let mut service = QueryService::new(routes, transitions, config);
+        let mut updates = Vec::with_capacity(recovery.tail.len());
+        for record in &recovery.tail {
+            updates.push(StoreUpdate::from_wal_record(record).map_err(|e| {
+                StorageError::Corrupt {
+                    path: dir.to_path_buf(),
+                    offset: None,
+                    detail: format!("undecodable WAL record: {e}"),
+                }
+            })?);
+        }
+        if !updates.is_empty() {
+            // Replay mutates the stores exactly like the original calls did
+            // (ids are dense slot indexes, and the snapshot preserved dead
+            // slots) — but must not re-append to the WAL.
+            service.apply_updates_unlogged(updates);
+        }
+        let stats = storage.stats();
+        service.storage = Some(storage);
+        Ok((service, stats))
+    }
+
+    /// Attaches a storage directory to an in-memory service and writes the
+    /// initial checkpoint, making the current state durable. The directory
+    /// must not already hold snapshot or WAL data
+    /// ([`StorageError::DirectoryNotEmpty`]) — recover existing state with
+    /// [`QueryService::open`] instead.
+    pub fn attach_storage(
+        &mut self,
+        dir: &Path,
+        storage_config: StorageConfig,
+    ) -> Result<StorageStats, StorageError> {
+        let (mut storage, recovery) = Storage::open(dir, storage_config)?;
+        if recovery.found_existing {
+            return Err(StorageError::DirectoryNotEmpty {
+                dir: dir.to_path_buf(),
+            });
+        }
+        // Checkpoint *before* attaching: if the initial snapshot cannot be
+        // written there is no durable baseline, and leaving the directory
+        // attached would let the WAL grow against state recovery could
+        // never reconstruct (replay onto empty stores).
+        let stats = storage.checkpoint(&self.routes, &self.transitions)?;
+        self.storage = Some(storage);
+        Ok(stats)
+    }
+
+    /// Writes a new snapshot covering every logged update and truncates the
+    /// now-obsolete WAL segments. Requires attached storage
+    /// ([`StorageError::NotAttached`] otherwise).
+    pub fn checkpoint(&mut self) -> Result<StorageStats, StorageError> {
+        let storage = self.storage.as_mut().ok_or(StorageError::NotAttached)?;
+        storage.checkpoint(&self.routes, &self.transitions)
+    }
+
+    /// Whether a storage directory is attached.
+    pub fn has_storage(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Storage counters, when storage is attached.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(Storage::stats)
+    }
+
+    /// Checkpoints after a wholesale store mutation when storage is
+    /// attached. Wholesale swaps have no per-update WAL representation, so
+    /// the snapshot *is* their durability; failing to write it would
+    /// silently decouple disk from memory, hence the panic (use
+    /// [`QueryService::checkpoint`] directly for a fallible path).
+    fn checkpoint_if_attached(&mut self) {
+        if self.storage.is_some() {
+            self.checkpoint()
+                .expect("checkpoint after wholesale store mutation failed");
         }
     }
 
@@ -224,6 +335,7 @@ impl QueryService {
         f(&mut self.routes, &mut self.transitions);
         self.invalidate_all();
         self.refresh_all_subscriptions();
+        self.checkpoint_if_attached();
     }
 
     /// Replaces both stores wholesale (e.g. a rebuilt index snapshot). Like
@@ -234,6 +346,7 @@ impl QueryService {
         self.transitions = transitions;
         self.invalidate_all();
         self.refresh_all_subscriptions();
+        self.checkpoint_if_attached();
     }
 
     /// Registers a standing query. The result is computed immediately (and
@@ -344,7 +457,50 @@ impl QueryService {
     /// grouped batch path at the end of the call; the returned
     /// [`UpdateStats::deltas`] describe every subscription result change
     /// (see [`crate::monitor`]).
+    ///
+    /// With storage attached ([`QueryService::open`] /
+    /// [`QueryService::attach_storage`]) the batch is appended to the
+    /// write-ahead log — one frame per update, one fsync per call — *before*
+    /// anything applies, so a crash at any point replays to exactly a batch
+    /// boundary. A WAL I/O failure panics here (durability must not be
+    /// silently dropped); use [`QueryService::try_apply_updates`] to handle
+    /// it instead.
+    ///
+    /// # Panics
+    /// Panics when storage is attached and the WAL append fails.
     pub fn apply_updates(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
+        self.try_apply_updates(updates)
+            .expect("WAL append failed (use try_apply_updates to handle storage errors)")
+    }
+
+    /// Fallible form of [`QueryService::apply_updates`]: returns the WAL
+    /// append error instead of panicking. When it errors, the stores are
+    /// untouched and the WAL rolls the failed batch's bytes back (a retry
+    /// with the same or different updates is safe); if even the rollback
+    /// fails, the log poisons itself and every further logged update
+    /// errors rather than risk corrupting the stream.
+    pub fn try_apply_updates(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+    ) -> Result<UpdateStats, StorageError> {
+        let mut wal_appends = 0usize;
+        let mut wal_bytes = 0u64;
+        if let Some(storage) = &mut self.storage {
+            let records: Vec<Vec<u8>> = updates.iter().map(StoreUpdate::to_wal_record).collect();
+            let (frames, bytes) = storage.append(&records)?;
+            wal_appends = frames as usize;
+            wal_bytes = bytes;
+        }
+        let mut stats = self.apply_updates_unlogged(updates);
+        stats.wal_appends = wal_appends;
+        stats.wal_bytes = wal_bytes;
+        Ok(stats)
+    }
+
+    /// The update path proper, shared by the logged entry points above and
+    /// by WAL replay during [`QueryService::open`] (which must not
+    /// re-append what it replays).
+    pub(crate) fn apply_updates_unlogged(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
         let mut stats = UpdateStats {
             // Deliver deltas buffered by wholesale swaps first so replaying
             // `deltas` in order stays correct across both update paths.

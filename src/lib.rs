@@ -17,6 +17,9 @@
 //! * [`service`] — the serving layer: concurrent batch query execution with
 //!   engine-selection policy, shared-filter batching and a seeded LRU
 //!   result cache.
+//! * [`storage`] — the durable storage engine: checksummed snapshots plus a
+//!   segmented write-ahead log with crash recovery, behind
+//!   `QueryService::open` / `attach_storage` / `checkpoint`.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! per-experiment index.
@@ -29,6 +32,7 @@ pub use rknnt_index as index;
 pub use rknnt_routeplan as routeplan;
 pub use rknnt_rtree as rtree;
 pub use rknnt_service as service;
+pub use rknnt_storage as storage;
 
 /// Commonly used items, suitable for `use rknnt::prelude::*;`.
 pub mod prelude {
@@ -45,4 +49,5 @@ pub mod prelude {
         BatchStats, DeltaReason, EnginePolicy, QueryService, ServiceConfig, SubscriptionDelta,
         SubscriptionId,
     };
+    pub use rknnt_storage::{StorageConfig, StorageError, StorageStats};
 }
