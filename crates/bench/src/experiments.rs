@@ -1398,6 +1398,114 @@ pub fn cold_start(ctx: &ExperimentContext, kind: DatasetKind, semantics: Semanti
     report
 }
 
+/// Verify hot path: candidates/sec through `count_closer_routes_sq` — the
+/// per-candidate kernel of the verification phase — on the scratch path
+/// (epoch-stamped route marks + reused traversal stack + CSR NList slices)
+/// vs the legacy allocating path (fresh `HashSet<RouteId>` + per-node
+/// `Vec<NodeRef>` children) over the same store, same candidates, same
+/// thresholds.
+///
+/// Every candidate's count is asserted byte-identical between the two paths
+/// before anything is timed; the machine-independent *ratio*
+/// (`scratch_speedup`) is what the CI gate holds, via
+/// `verify_hot_path.min_scratch_speedup` in `results/ci_gates.toml`.
+pub fn verify_hot_path(ctx: &ExperimentContext, kind: DatasetKind) -> Report {
+    use rknnt_geo::point_route_distance_sq;
+
+    // Title note: the experiments binary derives the report filename from
+    // the first two title words, so "Verify hot_path" lands the report at
+    // `<out>/verify_hot_path.txt`, where the bench gate expects it.
+    let mut report = Report::new("Verify hot_path — scratch vs allocating count_closer_routes_sq");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    let nlist = rknnt_index::NList::build(&dataset.routes);
+    let k = ctx.default_k();
+    let query = workload::rknnt_queries(
+        &dataset.city,
+        1,
+        ctx.default_query_len(),
+        1_000.0,
+        ctx.scale.seed ^ 0x40f,
+    )
+    .pop()
+    .expect("one query requested");
+    // The candidate set the real pipeline would verify in the worst case:
+    // every transition endpoint, each with its exact squared threshold
+    // (vertex distance to the query route).
+    let candidates: Vec<Point> = dataset
+        .transitions
+        .transitions()
+        .flat_map(|t| [t.origin, t.destination])
+        .collect();
+    let thresholds: Vec<f64> = candidates
+        .iter()
+        .map(|c| point_route_distance_sq(c, &query))
+        .collect();
+    report.line(format!(
+        "{} — k = {k}, {} candidate endpoints, {} routes",
+        dataset.kind.name(),
+        candidates.len(),
+        dataset.routes.num_routes(),
+    ));
+
+    let legacy_pass = || -> Vec<usize> {
+        candidates
+            .iter()
+            .zip(&thresholds)
+            .map(|(c, sq)| rknnt_core::count_closer_routes_sq(&dataset.routes, &nlist, c, *sq, k))
+            .collect()
+    };
+    let mut scratch = rknnt_core::QueryScratch::new();
+    let mut scratch_pass = || -> Vec<usize> {
+        candidates
+            .iter()
+            .zip(&thresholds)
+            .map(|(c, sq)| scratch.count_closer_routes_sq(&dataset.routes, &nlist, c, *sq, k))
+            .collect()
+    };
+
+    // Correctness first: byte-identical counts on every candidate (also
+    // warms the scratch buffers before anything is timed).
+    let legacy_counts = legacy_pass();
+    let scratch_counts = scratch_pass();
+    assert_eq!(
+        scratch_counts, legacy_counts,
+        "scratch and legacy verification counts diverged"
+    );
+
+    // Throughput, best of 3 timed passes each.
+    let time_best = |pass: &mut dyn FnMut() -> Vec<usize>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let started = std::time::Instant::now();
+            let counts = pass();
+            let secs = started.elapsed().as_secs_f64();
+            assert_eq!(counts.len(), candidates.len());
+            best = best.min(secs);
+        }
+        candidates.len() as f64 / best.max(1e-9)
+    };
+    let mut legacy_fn = legacy_pass;
+    let legacy_cps = time_best(&mut legacy_fn);
+    let scratch_cps = time_best(&mut scratch_pass);
+    let ratio = scratch_cps / legacy_cps.max(1e-9);
+
+    report.row(&[
+        ("mode", "legacy".to_string()),
+        ("candidates", candidates.len().to_string()),
+        ("cands_per_sec", format!("{legacy_cps:.0}")),
+    ]);
+    report.row(&[
+        ("mode", "scratch".to_string()),
+        ("candidates", candidates.len().to_string()),
+        ("cands_per_sec", format!("{scratch_cps:.0}")),
+    ]);
+    report.row(&[
+        ("metric", "scratch_speedup".to_string()),
+        ("ratio", format!("{ratio:.3}")),
+    ]);
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -1442,6 +1550,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         churn_throughput(ctx, options.service_dataset, options.semantics),
         continuous_monitoring(ctx, options.service_dataset, options.semantics),
         cold_start(ctx, options.service_dataset, options.semantics),
+        verify_hot_path(ctx, options.service_dataset),
     ]
 }
 
@@ -1484,6 +1593,7 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
         "cold_start" | "coldstart" => {
             single(cold_start(ctx, options.service_dataset, options.semantics))
         }
+        "verify_hot_path" | "hotpath" => single(verify_hot_path(ctx, options.service_dataset)),
         "all" => Some(all(ctx, options)),
         _ => None,
     }
@@ -1513,6 +1623,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "churn_throughput",
         "continuous_monitoring",
         "cold_start",
+        "verify_hot_path",
         "all",
     ]
 }
@@ -1661,6 +1772,25 @@ mod tests {
         // The gated ratio is parseable and positive.
         let rows = crate::gate::parse_report_rows(&text);
         let ratio = crate::gate::find_row(&rows, &[("metric", "open_speedup")])
+            .unwrap()
+            .number("ratio")
+            .unwrap();
+        assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn verify_hot_path_reports_both_modes_and_the_gated_ratio() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let report = verify_hot_path(&ctx, DatasetKind::Small);
+        // 1 header + legacy + scratch + speedup rows; byte-identical counts
+        // are asserted inside the experiment itself.
+        assert_eq!(report.len(), 1 + 3);
+        let text = report.to_text();
+        assert!(text.contains("mode=legacy"));
+        assert!(text.contains("mode=scratch"));
+        let rows = crate::gate::parse_report_rows(&text);
+        let ratio = crate::gate::find_row(&rows, &[("metric", "scratch_speedup")])
             .unwrap()
             .number("ratio")
             .unwrap();

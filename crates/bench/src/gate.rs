@@ -224,6 +224,27 @@ pub fn check_cold_start_gate(report: &str, config: &GateConfig) -> Result<GateOu
     })
 }
 
+/// Checks the verify-hot-path gate against the report text: the scratch
+/// (zero-allocation) verification path must beat the legacy allocating path
+/// by at least `verify_hot_path.min_scratch_speedup` in candidates/sec on
+/// the same store (the experiment asserts byte-identical counts inline
+/// before timing anything).
+pub fn check_verify_hot_path_gate(
+    report: &str,
+    config: &GateConfig,
+) -> Result<GateOutcome, String> {
+    let threshold = config.threshold("verify_hot_path", "min_scratch_speedup")?;
+    let rows = parse_report_rows(report);
+    let row = find_row(&rows, &[("metric", "scratch_speedup")])?;
+    let measured = row.number("ratio")?;
+    Ok(GateOutcome {
+        name: "verify_hot_path.scratch_speedup".to_string(),
+        measured,
+        threshold,
+        passed: measured >= threshold,
+    })
+}
+
 /// Runs every gate against a results directory, returning the outcomes.
 /// Missing files or rows are errors, not passes.
 pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcome>, String> {
@@ -241,6 +262,10 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
         &config,
     )?);
     outcomes.push(check_cold_start_gate(&read("cold_start.txt")?, &config)?);
+    outcomes.push(check_verify_hot_path_gate(
+        &read("verify_hot_path.txt")?,
+        &config,
+    )?);
     Ok(outcomes)
 }
 
@@ -258,7 +283,10 @@ max_reexecution_rate = 0.95\n\
 min_naive_reexecution_rate = 0.99\n\
 \n\
 [cold_start]\n\
-min_open_speedup = 1.5\n";
+min_open_speedup = 1.5\n\
+\n\
+[verify_hot_path]\n\
+min_scratch_speedup = 1.15\n";
 
     #[test]
     fn parses_the_gate_file_subset() {
@@ -328,6 +356,25 @@ min_open_speedup = 1.5\n";
         assert!(!check_cold_start_gate(regressed, &config).unwrap().passed);
         // A missing ratio row is an error, never a silent pass.
         assert!(check_cold_start_gate("mode=open ms=1.0", &config).is_err());
+    }
+
+    #[test]
+    fn verify_hot_path_gate_holds_the_speedup_ratio() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "mode=legacy  candidates=800  cands_per_sec=120000\n\
+                    mode=scratch  candidates=800  cands_per_sec=240000\n\
+                    metric=scratch_speedup  ratio=2.000\n";
+        let outcome = check_verify_hot_path_gate(good, &config).unwrap();
+        assert!(outcome.passed);
+        assert_eq!(outcome.measured, 2.0);
+        let regressed = "metric=scratch_speedup  ratio=1.010\nmode=legacy x=1";
+        assert!(
+            !check_verify_hot_path_gate(regressed, &config)
+                .unwrap()
+                .passed
+        );
+        // A missing ratio row is an error, never a silent pass.
+        assert!(check_verify_hot_path_gate("mode=legacy x=1", &config).is_err());
     }
 
     #[test]

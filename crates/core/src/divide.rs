@@ -15,12 +15,12 @@
 
 use crate::engine::RknnTEngine;
 use crate::filter::build_filter_set;
-use crate::prune::prune_transitions;
+use crate::prune::prune_transitions_scratch;
 use crate::query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
+use crate::scratch::QueryScratch;
 use crate::verify::qualifies;
 use rknnt_geo::{point_route_distance_sq, Point};
-use rknnt_index::{EndpointKind, NList, RouteStore, TransitionId, TransitionStore};
-use std::collections::HashMap;
+use rknnt_index::{EndpointKind, NList, RouteStore, TransitionStore};
 use std::time::Instant;
 
 /// The divide & conquer RkNNT engine.
@@ -60,29 +60,43 @@ impl RknnTEngine for DivideConquerEngine<'_> {
     }
 
     fn execute(&self, query: &RknntQuery) -> RknntResult {
+        self.execute_scratch(query, &mut QueryScratch::new())
+    }
+
+    fn execute_scratch(&self, query: &RknntQuery, scratch: &mut QueryScratch) -> RknntResult {
         let mut result = RknntResult::default();
         if query.is_degenerate() {
             return result;
         }
+        let QueryScratch {
+            marks,
+            node_stack,
+            candidates,
+            per_transition,
+            union,
+        } = scratch;
 
         // Per-query-point filter + prune passes; union of surviving endpoints.
         let filter_started = Instant::now();
-        let mut union: HashMap<(TransitionId, EndpointKind), Point> = HashMap::new();
+        union.clear();
         let mut stats = QueryStats::default();
         for q in &query.route {
             let sub_query: Vec<Point> = vec![*q];
             let filter_outcome = build_filter_set(self.routes, &sub_query, query.k);
-            let prune_outcome = prune_transitions(
+            let pruned_nodes = prune_transitions_scratch(
                 self.transitions,
                 &filter_outcome.filter_set,
                 query.k,
                 self.use_voronoi,
+                marks,
+                node_stack,
+                candidates,
             );
             stats.filter_points += filter_outcome.filter_set.num_points();
             stats.filter_routes += filter_outcome.filter_set.num_routes();
             stats.refine_nodes += filter_outcome.refine_nodes.len();
-            stats.pruned_tr_nodes += prune_outcome.pruned_nodes;
-            for cand in prune_outcome.candidates {
+            stats.pruned_tr_nodes += pruned_nodes;
+            for cand in candidates.iter() {
                 union.insert((cand.transition, cand.kind), cand.point);
             }
         }
@@ -91,10 +105,18 @@ impl RknnTEngine for DivideConquerEngine<'_> {
 
         // Single verification pass over the union, against the full query.
         let verify_started = Instant::now();
-        let mut per_transition: HashMap<TransitionId, (bool, bool)> = HashMap::new();
-        for ((transition, kind), point) in &union {
+        per_transition.clear();
+        for ((transition, kind), point) in union.iter() {
             let threshold_sq = point_route_distance_sq(point, &query.route);
-            let ok = qualifies(self.routes, &self.nlist, point, threshold_sq, query.k);
+            let ok = qualifies(
+                self.routes,
+                &self.nlist,
+                point,
+                threshold_sq,
+                query.k,
+                marks,
+                node_stack,
+            );
             if ok {
                 stats.verified_endpoints += 1;
             }
@@ -104,13 +126,14 @@ impl RknnTEngine for DivideConquerEngine<'_> {
                 EndpointKind::Destination => entry.1 |= ok,
             }
         }
-        for (id, (origin_ok, dest_ok)) in per_transition {
+        result.transitions.reserve_exact(per_transition.len());
+        for (id, (origin_ok, dest_ok)) in per_transition.iter() {
             let include = match query.semantics {
-                Semantics::Exists => origin_ok || dest_ok,
-                Semantics::ForAll => origin_ok && dest_ok,
+                Semantics::Exists => *origin_ok || *dest_ok,
+                Semantics::ForAll => *origin_ok && *dest_ok,
             };
             if include {
-                result.transitions.push(id);
+                result.transitions.push(*id);
             }
         }
         result.transitions.sort_unstable();

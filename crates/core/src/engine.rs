@@ -2,6 +2,7 @@
 
 use crate::footprint::FilterFootprint;
 use crate::query::{RknntQuery, RknntResult};
+use crate::scratch::QueryScratch;
 
 /// A query processor able to answer RkNNT queries over a fixed pair of
 /// route / transition stores.
@@ -23,6 +24,26 @@ pub trait RknnTEngine: Send + Sync {
     /// Executes the query and returns the qualifying transitions together
     /// with phase timings and work counters.
     fn execute(&self, query: &RknntQuery) -> RknntResult;
+
+    /// Executes the query on a caller-provided [`QueryScratch`], reusing its
+    /// buffers instead of allocating per-call state. Byte-identical results
+    /// to [`RknnTEngine::execute`]; the default implementation simply
+    /// ignores the scratch for engines with no per-candidate state (e.g.
+    /// brute force). The serving layer owns one scratch per worker and
+    /// threads it through every query the worker runs.
+    fn execute_scratch(&self, query: &RknntQuery, scratch: &mut QueryScratch) -> RknntResult {
+        let _ = scratch;
+        self.execute(query)
+    }
+
+    /// Scratch-reusing form of [`RknnTEngine::execute_with_footprint`].
+    fn execute_with_footprint_scratch(
+        &self,
+        query: &RknntQuery,
+        scratch: &mut QueryScratch,
+    ) -> (RknntResult, Option<FilterFootprint>) {
+        (self.execute_scratch(query, scratch), None)
+    }
 
     /// Executes the query and also reports the [`FilterFootprint`] of the
     /// filter construction the execution used, when the engine builds one.

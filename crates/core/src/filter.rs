@@ -14,13 +14,14 @@
 //! several routes at once — Definition 7), then, when enabled, using the
 //! per-route Voronoi filtering spaces of Section 5.1.
 
+use crate::scratch::RouteMarks;
 use rknnt_geo::{
     min_dist_query_rect, point_route_distance, FilteringSpace, Point, Rect, VoronoiFilter,
 };
 use rknnt_index::{RouteId, RouteStore, StopId};
 use rknnt_rtree::NodeId;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 /// One filtering point: a stop, its location, the routes crossing it and the
 /// pre-computed filtering space against the query.
@@ -106,20 +107,46 @@ impl FilterSet {
     /// the exact verification phase, matching the result definition "fewer
     /// than k routes strictly closer".
     pub fn filters_rect(&self, rect: &Rect, k: usize, use_voronoi: bool) -> bool {
-        self.filters_impl(
-            k,
-            use_voronoi,
-            |space| space.strictly_contains_rect(rect),
-            |vf| vf.strictly_contains_rect(rect),
-        )
+        self.filters_rect_with(rect, k, use_voronoi, &mut RouteMarks::default())
     }
 
     /// `IsFiltered` for a single point (strict, like
     /// [`FilterSet::filters_rect`]).
     pub fn filters_point(&self, p: &Point, k: usize, use_voronoi: bool) -> bool {
+        self.filters_point_with(p, k, use_voronoi, &mut RouteMarks::default())
+    }
+
+    /// [`FilterSet::filters_rect`] on a caller-provided mark table — the
+    /// form the pruning hot loop uses so the per-node distinct-route count
+    /// allocates nothing once the table is warmed.
+    pub fn filters_rect_with(
+        &self,
+        rect: &Rect,
+        k: usize,
+        use_voronoi: bool,
+        marks: &mut RouteMarks,
+    ) -> bool {
         self.filters_impl(
             k,
             use_voronoi,
+            marks,
+            |space| space.strictly_contains_rect(rect),
+            |vf| vf.strictly_contains_rect(rect),
+        )
+    }
+
+    /// [`FilterSet::filters_point`] on a caller-provided mark table.
+    pub fn filters_point_with(
+        &self,
+        p: &Point,
+        k: usize,
+        use_voronoi: bool,
+        marks: &mut RouteMarks,
+    ) -> bool {
+        self.filters_impl(
+            k,
+            use_voronoi,
+            marks,
             |space| space.strictly_contains_point(p),
             |vf| vf.strictly_contains_point(p),
         )
@@ -129,6 +156,7 @@ impl FilterSet {
         &self,
         k: usize,
         use_voronoi: bool,
+        marks: &mut RouteMarks,
         inside_space: F,
         inside_voronoi: G,
     ) -> bool
@@ -139,33 +167,35 @@ impl FilterSet {
         if k == 0 {
             return true;
         }
-        let mut covering: HashSet<RouteId> = HashSet::new();
+        marks.begin();
         // Step 1: individual filter points, in decreasing crossover order.
         for fp in &self.points {
             if inside_space(&fp.space) {
-                covering.extend(fp.crossover.iter().copied());
-                if covering.len() >= k {
+                for r in &fp.crossover {
+                    marks.mark(*r);
+                }
+                if marks.count() >= k {
                     return true;
                 }
             }
         }
         if !use_voronoi {
-            return covering.len() >= k;
+            return marks.count() >= k;
         }
         // Step 2: per-route Voronoi filtering spaces for routes not yet
         // counted (Section 5.1).
         for (route, vf) in &self.voronoi {
-            if covering.contains(route) {
+            if marks.contains(*route) {
                 continue;
             }
             if inside_voronoi(vf) {
-                covering.insert(*route);
-                if covering.len() >= k {
+                marks.mark(*route);
+                if marks.count() >= k {
                     return true;
                 }
             }
         }
-        covering.len() >= k
+        marks.count() >= k
     }
 }
 
@@ -233,6 +263,7 @@ pub fn build_filter_set(routes: &RouteStore, query: &[Point], k: usize) -> Filte
     }
 
     let mut heap = BinaryHeap::new();
+    let mut marks = RouteMarks::default();
     heap.push(HeapItem {
         dist: min_dist_query_rect(query, &root.mbr()),
         entry: HeapEntry::Node(root.id()),
@@ -244,7 +275,7 @@ pub fn build_filter_set(routes: &RouteStore, query: &[Point], k: usize) -> Filte
                 let Some(node) = tree.node_ref(id) else {
                     continue;
                 };
-                if filter_set.filters_rect(&node.mbr(), k, false) {
+                if filter_set.filters_rect_with(&node.mbr(), k, false, &mut marks) {
                     refine_nodes.push(id);
                     continue;
                 }
@@ -256,16 +287,16 @@ pub fn build_filter_set(routes: &RouteStore, query: &[Point], k: usize) -> Filte
                         });
                     }
                 } else {
-                    for child in node.children() {
+                    node.for_each_child(|child| {
                         heap.push(HeapItem {
                             dist: min_dist_query_rect(query, &child.mbr()),
                             entry: HeapEntry::Node(child.id()),
                         });
-                    }
+                    });
                 }
             }
             HeapEntry::Stop(stop, point) => {
-                if filter_set.filters_point(&point, k, false) {
+                if filter_set.filters_point_with(&point, k, false, &mut marks) {
                     continue;
                 }
                 filter_set.add(stop, point, routes.crossover(stop).to_vec(), query);

@@ -3,12 +3,12 @@
 
 use crate::engine::RknnTEngine;
 use crate::filter::{build_filter_set, FilterOutcome};
-use crate::prune::prune_transitions;
+use crate::prune::prune_transitions_scratch;
 use crate::query::{PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics};
+use crate::scratch::QueryScratch;
 use crate::verify::qualifies;
 use rknnt_geo::point_route_distance_sq;
-use rknnt_index::{EndpointKind, NList, RouteStore, TransitionId, TransitionStore};
-use std::collections::HashMap;
+use rknnt_index::{EndpointKind, NList, RouteStore, TransitionStore};
 use std::time::Instant;
 
 /// The three-step processing framework of Algorithm 1:
@@ -94,28 +94,61 @@ impl<'a> FilterRefineEngine<'a> {
         query: &RknntQuery,
         filter_outcome: &FilterOutcome,
     ) -> RknntResult {
+        self.execute_with_filter_scratch(query, filter_outcome, &mut QueryScratch::new())
+    }
+
+    /// [`FilterRefineEngine::execute_with_filter`] on a caller-provided
+    /// [`QueryScratch`]: the pruning traversal, the `IsFiltered` route
+    /// counts, the candidate buffer, the verification traversals and the
+    /// per-transition grouping all reuse the scratch's buffers, so after the
+    /// scratch is warmed the per-candidate path performs zero heap
+    /// allocations. Results are byte-identical to the allocating wrapper.
+    pub fn execute_with_filter_scratch(
+        &self,
+        query: &RknntQuery,
+        filter_outcome: &FilterOutcome,
+        scratch: &mut QueryScratch,
+    ) -> RknntResult {
         let mut result = RknntResult::default();
         if query.is_degenerate() {
             return result;
         }
+        let QueryScratch {
+            marks,
+            node_stack,
+            candidates,
+            per_transition,
+            ..
+        } = scratch;
 
         // Phase 2: transition pruning against the supplied filter set.
         let prune_started = Instant::now();
-        let prune_outcome = prune_transitions(
+        let pruned_nodes = prune_transitions_scratch(
             self.transitions,
             &filter_outcome.filter_set,
             query.k,
             self.use_voronoi,
+            marks,
+            node_stack,
+            candidates,
         );
         let filtering = prune_started.elapsed();
 
         // Phase 3: exact verification of the surviving endpoints.
         let verify_started = Instant::now();
-        let mut per_transition: HashMap<TransitionId, (bool, bool)> = HashMap::new();
+        per_transition.clear();
         let mut verified_endpoints = 0usize;
-        for cand in &prune_outcome.candidates {
+        for cand in candidates.iter() {
             let threshold_sq = point_route_distance_sq(&cand.point, &query.route);
-            let ok = qualifies(self.routes, &self.nlist, &cand.point, threshold_sq, query.k);
+            let ok = qualifies(
+                self.routes,
+                &self.nlist,
+                &cand.point,
+                threshold_sq,
+                query.k,
+                marks,
+                node_stack,
+            );
             if ok {
                 verified_endpoints += 1;
             }
@@ -127,13 +160,14 @@ impl<'a> FilterRefineEngine<'a> {
                 EndpointKind::Destination => entry.1 |= ok,
             }
         }
-        for (id, (origin_ok, dest_ok)) in per_transition {
+        result.transitions.reserve_exact(per_transition.len());
+        for (id, (origin_ok, dest_ok)) in per_transition.iter() {
             let include = match query.semantics {
-                Semantics::Exists => origin_ok || dest_ok,
-                Semantics::ForAll => origin_ok && dest_ok,
+                Semantics::Exists => *origin_ok || *dest_ok,
+                Semantics::ForAll => *origin_ok && *dest_ok,
             };
             if include {
-                result.transitions.push(id);
+                result.transitions.push(*id);
             }
         }
         result.transitions.sort_unstable();
@@ -147,8 +181,8 @@ impl<'a> FilterRefineEngine<'a> {
             filter_points: filter_outcome.filter_set.num_points(),
             filter_routes: filter_outcome.filter_set.num_routes(),
             refine_nodes: filter_outcome.refine_nodes.len(),
-            pruned_tr_nodes: prune_outcome.pruned_nodes,
-            candidate_endpoints: prune_outcome.candidates.len(),
+            pruned_tr_nodes: pruned_nodes,
+            candidate_endpoints: candidates.len(),
             verified_endpoints,
             result_transitions: result.transitions.len(),
         };
@@ -166,6 +200,10 @@ impl RknnTEngine for FilterRefineEngine<'_> {
     }
 
     fn execute(&self, query: &RknntQuery) -> RknntResult {
+        self.execute_scratch(query, &mut QueryScratch::new())
+    }
+
+    fn execute_scratch(&self, query: &RknntQuery, scratch: &mut QueryScratch) -> RknntResult {
         if query.is_degenerate() {
             return RknntResult::default();
         }
@@ -176,7 +214,7 @@ impl RknnTEngine for FilterRefineEngine<'_> {
         let filter_started = Instant::now();
         let filter_outcome = self.build_filter(query);
         let construction = filter_started.elapsed();
-        let mut result = self.execute_with_filter(query, &filter_outcome);
+        let mut result = self.execute_with_filter_scratch(query, &filter_outcome, scratch);
         result.timings.filtering += construction;
         result
     }
@@ -185,6 +223,14 @@ impl RknnTEngine for FilterRefineEngine<'_> {
         &self,
         query: &RknntQuery,
     ) -> (RknntResult, Option<crate::FilterFootprint>) {
+        self.execute_with_footprint_scratch(query, &mut QueryScratch::new())
+    }
+
+    fn execute_with_footprint_scratch(
+        &self,
+        query: &RknntQuery,
+        scratch: &mut QueryScratch,
+    ) -> (RknntResult, Option<crate::FilterFootprint>) {
         if query.is_degenerate() {
             return (RknntResult::default(), None);
         }
@@ -192,7 +238,7 @@ impl RknnTEngine for FilterRefineEngine<'_> {
         let filter_outcome = self.build_filter(query);
         let construction = filter_started.elapsed();
         let footprint = self.footprint_for(query, &filter_outcome);
-        let mut result = self.execute_with_filter(query, &filter_outcome);
+        let mut result = self.execute_with_filter_scratch(query, &filter_outcome, scratch);
         result.timings.filtering += construction;
         (result, Some(footprint))
     }
@@ -229,6 +275,18 @@ impl<'a> VoronoiEngine<'a> {
     ) -> RknntResult {
         self.0.execute_with_filter(query, filter_outcome)
     }
+
+    /// Scratch-reusing execution against a pre-built filter outcome; see
+    /// [`FilterRefineEngine::execute_with_filter_scratch`].
+    pub fn execute_with_filter_scratch(
+        &self,
+        query: &RknntQuery,
+        filter_outcome: &FilterOutcome,
+        scratch: &mut QueryScratch,
+    ) -> RknntResult {
+        self.0
+            .execute_with_filter_scratch(query, filter_outcome, scratch)
+    }
 }
 
 impl RknnTEngine for VoronoiEngine<'_> {
@@ -240,11 +298,23 @@ impl RknnTEngine for VoronoiEngine<'_> {
         self.0.execute(query)
     }
 
+    fn execute_scratch(&self, query: &RknntQuery, scratch: &mut QueryScratch) -> RknntResult {
+        self.0.execute_scratch(query, scratch)
+    }
+
     fn execute_with_footprint(
         &self,
         query: &RknntQuery,
     ) -> (RknntResult, Option<crate::FilterFootprint>) {
         self.0.execute_with_footprint(query)
+    }
+
+    fn execute_with_footprint_scratch(
+        &self,
+        query: &RknntQuery,
+        scratch: &mut QueryScratch,
+    ) -> (RknntResult, Option<crate::FilterFootprint>) {
+        self.0.execute_with_footprint_scratch(query, scratch)
     }
 }
 

@@ -112,11 +112,29 @@ impl FilterFootprint {
     where
         F: Fn(RouteId) -> bool,
     {
+        self.covers_point_with(query, u, k, route_live, &mut Vec::new())
+    }
+
+    /// [`FilterFootprint::covers_point`] on a caller-provided covering
+    /// buffer (cleared on entry, capacity kept), so retention scans that
+    /// certify many endpoints — the cache invalidation and subscription
+    /// classification paths — stop allocating per endpoint tested.
+    pub fn covers_point_with<F>(
+        &self,
+        query: &[Point],
+        u: &Point,
+        k: usize,
+        route_live: F,
+        covering: &mut Vec<RouteId>,
+    ) -> bool
+    where
+        F: Fn(RouteId) -> bool,
+    {
         if k == 0 {
             return true;
         }
+        covering.clear();
         let threshold_sq = point_route_distance_sq(u, query);
-        let mut covering: Vec<RouteId> = Vec::new();
         for w in &self.witnesses {
             if w.point.distance_sq(u) < threshold_sq {
                 for r in &w.routes {

@@ -5,8 +5,10 @@
 //! wholesale; surviving endpoints become candidates for exact verification.
 
 use crate::filter::FilterSet;
+use crate::scratch::RouteMarks;
 use rknnt_geo::Point;
 use rknnt_index::{EndpointKind, TransitionId, TransitionStore};
+use rknnt_rtree::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// A transition endpoint that survived pruning and awaits verification.
@@ -43,32 +45,71 @@ pub fn prune_transitions(
     k: usize,
     use_voronoi: bool,
 ) -> PruneOutcome {
-    let mut outcome = PruneOutcome::default();
-    let Some(root) = transitions.rtree().root() else {
-        return outcome;
+    let mut candidates = Vec::new();
+    let pruned_nodes = prune_transitions_scratch(
+        transitions,
+        filter_set,
+        k,
+        use_voronoi,
+        &mut RouteMarks::default(),
+        &mut Vec::new(),
+        &mut candidates,
+    );
+    PruneOutcome {
+        candidates,
+        pruned_nodes,
+    }
+}
+
+/// Scratch-based implementation of [`prune_transitions`]: the `IsFiltered`
+/// distinct-route counts run on the caller's mark table, the TR-tree is
+/// walked over the caller's [`NodeId`] stack, and the surviving candidates
+/// land in the caller's buffer (cleared on entry, capacity kept across
+/// calls). Returns the number of TR-tree nodes pruned wholesale.
+///
+/// Traversal order — and therefore the candidate order — is exactly that of
+/// the allocating wrapper.
+pub(crate) fn prune_transitions_scratch(
+    transitions: &TransitionStore,
+    filter_set: &FilterSet,
+    k: usize,
+    use_voronoi: bool,
+    marks: &mut RouteMarks,
+    stack: &mut Vec<NodeId>,
+    candidates: &mut Vec<CandidateEndpoint>,
+) -> usize {
+    candidates.clear();
+    let tree = transitions.rtree();
+    let Some(root) = tree.root() else {
+        return 0;
     };
-    let mut stack = vec![root];
-    while let Some(node) = stack.pop() {
-        if filter_set.filters_rect(&node.mbr(), k, use_voronoi) {
-            outcome.pruned_nodes += 1;
+    let mut pruned_nodes = 0usize;
+    stack.clear();
+    stack.push(root.id());
+    while let Some(id) = stack.pop() {
+        let Some(node) = tree.node_ref(id) else {
+            continue;
+        };
+        if filter_set.filters_rect_with(&node.mbr(), k, use_voronoi, marks) {
+            pruned_nodes += 1;
             continue;
         }
         if node.is_leaf() {
             for entry in node.entries() {
-                if filter_set.filters_point(&entry.point, k, use_voronoi) {
+                if filter_set.filters_point_with(&entry.point, k, use_voronoi, marks) {
                     continue;
                 }
-                outcome.candidates.push(CandidateEndpoint {
+                candidates.push(CandidateEndpoint {
                     transition: entry.data.transition,
                     kind: entry.data.kind,
                     point: entry.point,
                 });
             }
         } else {
-            stack.extend(node.children());
+            node.for_each_child(|child| stack.push(child.id()));
         }
     }
-    outcome
+    pruned_nodes
 }
 
 #[cfg(test)]

@@ -13,8 +13,10 @@
 //! listed for that node in the NList are accounted for at once without
 //! descending further.
 
+use crate::scratch::RouteMarks;
 use rknnt_geo::Point;
 use rknnt_index::{NList, RouteId, RouteStore};
+use rknnt_rtree::NodeId;
 use std::collections::HashSet;
 
 /// Counts distinct routes whose distance to `t` is strictly below
@@ -38,6 +40,14 @@ pub fn count_closer_routes(
 /// the query, so that exact ties (a stop at the same distance as the query,
 /// e.g. when a query point coincides with a stop) are compared without a
 /// `sqrt`/re-square round-trip that could turn a tie into "strictly closer".
+///
+/// This is the *allocating reference path*: it builds a fresh
+/// `HashSet<RouteId>` and traversal stack per call. Hot loops use the
+/// scratch-based twin [`crate::QueryScratch::count_closer_routes_sq`], which
+/// returns the identical count (property-tested in
+/// `tests/verify_scratch_properties.rs`) with zero allocations after
+/// warm-up; the `verify_hot_path` benchmark measures the two against each
+/// other on the same store.
 pub fn count_closer_routes_sq(
     routes: &RouteStore,
     nlist: &NList,
@@ -85,23 +95,102 @@ pub fn count_closer_routes_sq(
                     }
                 }
             }
-        } else {
+        } else if closer.len() < limit {
+            // Invariant guard, not an optimisation: the loop-top check
+            // already guarantees `closer.len() < limit` here (every branch
+            // that reaches the limit returns immediately). Kept so an edit
+            // that adds counting between the top check and this descend
+            // cannot silently reintroduce dead traversal.
             stack.extend(node.children());
         }
     }
     closer.len().min(limit)
 }
 
+/// Scratch-based implementation of [`count_closer_routes_sq`]: the distinct
+/// route set is an epoch-stamped mark table and the traversal reuses the
+/// caller's [`NodeId`] stack via [`rknnt_rtree::NodeRef::for_each_child`],
+/// so after warm-up the call performs zero heap allocations.
+///
+/// The traversal order, counting and early-exit behaviour are exactly those
+/// of the allocating path; both return `min(distinct count, limit)`.
+pub(crate) fn count_closer_routes_sq_scratch(
+    routes: &RouteStore,
+    nlist: &NList,
+    t: &Point,
+    threshold_sq: f64,
+    limit: usize,
+    marks: &mut RouteMarks,
+    stack: &mut Vec<NodeId>,
+) -> usize {
+    if limit == 0 {
+        return 0;
+    }
+    let tree = routes.rtree();
+    let Some(root) = tree.root() else { return 0 };
+
+    marks.begin();
+    stack.clear();
+    stack.push(root.id());
+
+    while let Some(id) = stack.pop() {
+        if marks.count() >= limit {
+            break;
+        }
+        let Some(node) = tree.node_ref(id) else {
+            continue;
+        };
+        let mbr = node.mbr();
+        // Nothing under this node can be closer than the threshold.
+        if mbr.min_dist_sq(t) >= threshold_sq {
+            continue;
+        }
+        // Everything under this node is closer: account for all its routes
+        // via the NList without descending (the paper's node-level shortcut).
+        // The CSR layout returns the node's list as one contiguous slice.
+        if mbr.max_dist_sq(t) < threshold_sq {
+            for r in nlist.routes_under(id) {
+                if marks.mark(*r) && marks.count() >= limit {
+                    return limit;
+                }
+            }
+            continue;
+        }
+        if node.is_leaf() {
+            for entry in node.entries() {
+                if entry.point.distance_sq(t) < threshold_sq {
+                    for r in routes.crossover(entry.data) {
+                        if marks.mark(*r) && marks.count() >= limit {
+                            return limit;
+                        }
+                    }
+                }
+            }
+        } else if marks.count() < limit {
+            // Invariant guard, not an optimisation: the loop-top check
+            // already guarantees `marks.count() < limit` here (every branch
+            // that reaches the limit returns immediately). Kept so an edit
+            // that adds counting between the top check and this descend
+            // cannot silently reintroduce dead traversal.
+            node.for_each_child(|child| stack.push(child.id()));
+        }
+    }
+    marks.count().min(limit)
+}
+
 /// Convenience predicate: does the point `t` take the query as one of its k
-/// nearest routes, given the *squared* threshold `dist²(t, Q)`?
+/// nearest routes, given the *squared* threshold `dist²(t, Q)`? Runs on the
+/// caller's scratch so the per-candidate verification loop never allocates.
 pub(crate) fn qualifies(
     routes: &RouteStore,
     nlist: &NList,
     t: &Point,
     dist_sq_to_query: f64,
     k: usize,
+    marks: &mut RouteMarks,
+    stack: &mut Vec<NodeId>,
 ) -> bool {
-    count_closer_routes_sq(routes, nlist, t, dist_sq_to_query, k) < k
+    count_closer_routes_sq_scratch(routes, nlist, t, dist_sq_to_query, k, marks, stack) < k
 }
 
 #[cfg(test)]
@@ -172,25 +261,57 @@ mod tests {
     fn qualifies_matches_definition() {
         let store = parallel_routes();
         let nlist = NList::build(&store);
+        let (mut marks, mut stack) = (RouteMarks::default(), Vec::new());
+        let mut q = |t: &Point, d_sq: f64, k: usize| {
+            qualifies(&store, &nlist, t, d_sq, k, &mut marks, &mut stack)
+        };
         // A query route along y = 45 (between routes at 40 and 50).
         let query = vec![p(0.0, 45.0), p(20.0, 45.0), p(50.0, 45.0)];
         // A point at y = 44: the query is 1 away, routes at y=40 are 4 away.
         let close = p(25.0, 44.0);
         let d = point_route_distance(&close, &query);
-        assert!(qualifies(&store, &nlist, &close, d * d, 1));
+        assert!(q(&close, d * d, 1));
         // A point at y = 10 sits on a route; many routes are closer than the
         // query (which is 35 away), so it does not qualify even for k = 3.
         let far = p(25.0, 10.0);
         let d_far = point_route_distance(&far, &query);
-        assert!(!qualifies(&store, &nlist, &far, d_far * d_far, 3));
+        assert!(!q(&far, d_far * d_far, 3));
         // ...but with a large enough k it does.
-        assert!(qualifies(
-            &store,
-            &nlist,
-            &far,
-            d_far * d_far,
-            store.num_routes() + 1
-        ));
+        assert!(q(&far, d_far * d_far, store.num_routes() + 1));
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        let store = parallel_routes();
+        let nlist = NList::build(&store);
+        let mut scratch = crate::QueryScratch::new();
+        let probes = [
+            p(25.0, 5.0),
+            p(25.0, 12.0),
+            p(-10.0, 50.0),
+            p(100.0, 100.0),
+            p(25.0, 45.0),
+        ];
+        for t in probes {
+            for threshold in [1.0f64, 6.0, 11.0, 26.0, 200.0] {
+                for limit in [0usize, 1, 3, usize::MAX] {
+                    let sq = threshold * threshold;
+                    let legacy = count_closer_routes_sq(&store, &nlist, &t, sq, limit);
+                    let scr = scratch.count_closer_routes_sq(&store, &nlist, &t, sq, limit);
+                    assert_eq!(
+                        scr, legacy,
+                        "t = {t}, threshold = {threshold}, limit = {limit}"
+                    );
+                }
+            }
+        }
+        // Empty store.
+        let empty = RouteStore::default();
+        let empty_nlist = NList::build(&empty);
+        assert_eq!(
+            scratch.count_closer_routes_sq(&empty, &empty_nlist, &p(0.0, 0.0), 100.0, 5),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Debug-build allocation counter for the query hot path: after warm-up,
+//! the scratch-based verification kernel must perform **zero** heap
+//! allocations per candidate, and a full `execute_with_filter_scratch`
+//! pipeline must allocate only a small per-*query* constant (the returned
+//! result vector), independent of how many candidates it verifies.
+//!
+//! The counter is a thin wrapper around the system allocator installed only
+//! in this test binary — fully hermetic, no external crates — and the
+//! assertions are compiled under `cfg(debug_assertions)`, so release test
+//! runs (CI runs the suite with `--release` too) execute the same code but
+//! skip the counting-based asserts. Tests share one global counter, so they
+//! serialise on a mutex.
+
+use rknnt_core::{FilterRefineEngine, QueryScratch, RknntQuery};
+use rknnt_geo::{point_route_distance_sq, Point};
+use rknnt_index::{NList, RouteStore, TransitionStore};
+use rknnt_rtree::RTreeConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counts every allocation (and growth reallocation) routed through the
+/// global allocator. Deallocations are not counted: the hot-path contract
+/// is about *acquiring* memory per candidate.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Serialises the tests: the counter is process-global, so concurrent tests
+/// would attribute each other's allocations.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// A ladder of horizontal routes plus a deterministic transition scatter —
+/// the standard worlds of the engine test-suites, scaled by `n`.
+fn world(n_routes: usize, n_transitions: u32) -> (RouteStore, TransitionStore) {
+    let routes: Vec<Vec<Point>> = (0..n_routes)
+        .map(|i| {
+            let y = i as f64 * 10.0;
+            (0..8).map(|j| p(j as f64 * 10.0, y)).collect()
+        })
+        .collect();
+    let (route_store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), routes);
+    let mut transition_store = TransitionStore::default();
+    for i in 0..n_transitions {
+        let ox = (i as f64 * 7.3) % 70.0;
+        let oy = (i as f64 * 13.7) % (n_routes as f64 * 10.0);
+        let dx = (i as f64 * 3.1 + 11.0) % 70.0;
+        let dy = (i as f64 * 17.9 + 23.0) % (n_routes as f64 * 10.0);
+        transition_store.insert(p(ox, oy), p(dx, dy)).unwrap();
+    }
+    (route_store, transition_store)
+}
+
+#[test]
+fn warmed_scratch_verification_never_allocates() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    let (routes, transitions) = world(12, 150);
+    let nlist = NList::build(&routes);
+    let query = vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)];
+    let candidates: Vec<(Point, f64)> = transitions
+        .transitions()
+        .flat_map(|t| [t.origin, t.destination])
+        .map(|e| (e, point_route_distance_sq(&e, &query)))
+        .collect();
+
+    let mut scratch = QueryScratch::new();
+    let run = |scratch: &mut QueryScratch| -> usize {
+        candidates
+            .iter()
+            .map(|(c, sq)| scratch.count_closer_routes_sq(&routes, &nlist, c, *sq, 5))
+            .sum()
+    };
+    // Warm-up: the mark table and traversal stack grow to steady state.
+    let reference = run(&mut scratch);
+
+    let before = allocations();
+    let counted = run(&mut scratch);
+    let delta = allocations() - before;
+    assert_eq!(counted, reference, "warmed pass changed the counts");
+    // The hot-path contract: zero allocations per candidate after warm-up.
+    // Counting is only meaningful when the whole workspace (including the
+    // engines) is compiled with debug assertions; release test runs skip
+    // the numeric assert but still execute every code path above.
+    #[cfg(debug_assertions)]
+    assert_eq!(
+        delta,
+        0,
+        "scratch verification allocated {delta} times across {} candidates after warm-up",
+        candidates.len()
+    );
+    #[cfg(not(debug_assertions))]
+    let _ = delta;
+}
+
+#[test]
+fn warmed_execute_allocates_a_per_query_constant_not_per_candidate() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    // Two worlds an order of magnitude apart in candidate count: the
+    // steady-state allocation count of the scratch pipeline must not grow
+    // with the candidate volume (that is what "zero allocations per
+    // candidate" means for the full execute path — only the returned
+    // result's own buffer may be allocated, once per query).
+    let mut steady_deltas = Vec::new();
+    for (n_routes, n_transitions) in [(8usize, 60u32), (12, 600)] {
+        let (routes, transitions) = world(n_routes, n_transitions);
+        let engine = FilterRefineEngine::new(&routes, &transitions);
+        let query = RknntQuery::exists(vec![p(5.0, 37.0), p(35.0, 37.0), p(65.0, 37.0)], 3);
+        let outcome = engine.build_filter(&query);
+        let mut scratch = QueryScratch::new();
+        // Warm-up: buffers, maps and the result-shape capacity reach steady
+        // state (two rounds so the per-transition map is fully grown).
+        let reference = engine.execute_with_filter_scratch(&query, &outcome, &mut scratch);
+        let _ = engine.execute_with_filter_scratch(&query, &outcome, &mut scratch);
+
+        let before = allocations();
+        let result = engine.execute_with_filter_scratch(&query, &outcome, &mut scratch);
+        let delta = allocations() - before;
+        drop(result.clone());
+        assert_eq!(result.transitions, reference.transitions);
+        assert!(result.stats.candidate_endpoints > 0);
+        steady_deltas.push((result.stats.candidate_endpoints, delta));
+    }
+    #[cfg(debug_assertions)]
+    {
+        let (small_cands, small_delta) = steady_deltas[0];
+        let (large_cands, large_delta) = steady_deltas[1];
+        assert!(
+            large_cands > small_cands,
+            "the second world must verify more candidates ({large_cands} vs {small_cands})"
+        );
+        // Per-query constant: a handful of allocations for the returned
+        // result, regardless of candidate volume.
+        for (cands, delta) in &steady_deltas {
+            assert!(
+                *delta <= 8,
+                "steady-state execute allocated {delta} times for {cands} candidates"
+            );
+        }
+        assert_eq!(
+            small_delta, large_delta,
+            "allocation count must not scale with candidates"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = steady_deltas;
+}

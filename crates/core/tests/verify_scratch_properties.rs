@@ -1,0 +1,135 @@
+//! Property tests for the zero-allocation verification hot path: the
+//! scratch-based `count_closer_routes_sq` (epoch-stamped route marks,
+//! reused traversal stack, CSR NList slices) must return exactly what the
+//! legacy allocating implementation returns — same count, same `limit` cap,
+//! same early-exit behaviour — across random stores, probes, thresholds and
+//! limits, including after a forced epoch-counter wrap (the 2³²-reuse
+//! rollover path of the mark table).
+
+use proptest::prelude::*;
+use rknnt_core::{count_closer_routes_sq, QueryScratch};
+use rknnt_geo::{point_route_distance, Point};
+use rknnt_index::{NList, RouteStore};
+use rknnt_rtree::RTreeConfig;
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// Route strategy: 2–6 stops drawn from a small lattice, so routes share
+/// stops (crossovers), overlap and cluster — the layouts that stress the
+/// NList shortcut and the distinct-route counting.
+fn routes(max_routes: usize) -> impl Strategy<Value = Vec<Vec<Point>>> {
+    prop::collection::vec(
+        prop::collection::vec((-8i32..8, -8i32..8), 2..6),
+        1..max_routes,
+    )
+    .prop_map(|routes| {
+        routes
+            .into_iter()
+            .map(|pts| {
+                pts.into_iter()
+                    .map(|(x, y)| p(x as f64 * 10.0, y as f64 * 10.0))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn probes(max: usize) -> impl Strategy<Value = Vec<(f64, f64, f64, u8)>> {
+    // (x, y, threshold, limit selector)
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0, 0.0f64..250.0, 0u8..5),
+        1..max,
+    )
+}
+
+fn limit_of(selector: u8, num_routes: usize) -> usize {
+    match selector {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => num_routes.max(1),
+        _ => usize::MAX,
+    }
+}
+
+/// Brute-force distinct-closer-route count, independent of both
+/// implementations under test.
+fn brute_count(store: &RouteStore, t: &Point, threshold: f64, limit: usize) -> usize {
+    store
+        .routes()
+        .filter(|r| point_route_distance(t, &r.points) < threshold)
+        .count()
+        .min(limit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scratch path == legacy path == brute force, with the scratch reused
+    /// across every probe of the case (the realistic per-worker pattern).
+    #[test]
+    fn scratch_matches_legacy_and_brute_force(
+        route_points in routes(12),
+        queries in probes(24),
+    ) {
+        let (store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
+        let nlist = NList::build(&store);
+        let mut scratch = QueryScratch::new();
+        for (x, y, threshold, sel) in queries {
+            let t = p(x, y);
+            let limit = limit_of(sel, store.num_routes());
+            let sq = threshold * threshold;
+            let legacy = count_closer_routes_sq(&store, &nlist, &t, sq, limit);
+            let scr = scratch.count_closer_routes_sq(&store, &nlist, &t, sq, limit);
+            prop_assert_eq!(
+                scr, legacy,
+                "scratch vs legacy diverged at {} threshold {} limit {}",
+                t, threshold, limit
+            );
+            prop_assert_eq!(
+                legacy,
+                brute_count(&store, &t, threshold, limit),
+                "legacy vs brute force diverged at {} threshold {} limit {}",
+                t, threshold, limit
+            );
+        }
+    }
+
+    /// The epoch-rollover path: forcing the mark table's epoch counter to
+    /// the wrap boundary (simulating 2³²-class reuse) must not change a
+    /// single answer — stale stamps from before the wrap can never leak
+    /// into the post-wrap epochs.
+    #[test]
+    fn forced_epoch_wrap_changes_no_answer(
+        route_points in routes(10),
+        queries in probes(12),
+    ) {
+        let (store, _) = RouteStore::bulk_build(RTreeConfig::new(8, 3), route_points);
+        let nlist = NList::build(&store);
+        let mut scratch = QueryScratch::new();
+        // Dirty the mark table with real marks first...
+        for (x, y, threshold, sel) in &queries {
+            let limit = limit_of(*sel, store.num_routes());
+            scratch.count_closer_routes_sq(&store, &nlist, &p(*x, *y), threshold * threshold, limit);
+        }
+        // ...then wrap the epoch and re-run: every answer must still match
+        // the allocating path, and keep matching on continued reuse.
+        scratch.force_epoch_wrap();
+        for round in 0..3 {
+            for (x, y, threshold, sel) in &queries {
+                let t = p(*x, *y);
+                let limit = limit_of(*sel, store.num_routes());
+                let sq = threshold * threshold;
+                let legacy = count_closer_routes_sq(&store, &nlist, &t, sq, limit);
+                let scr = scratch.count_closer_routes_sq(&store, &nlist, &t, sq, limit);
+                prop_assert_eq!(
+                    scr, legacy,
+                    "post-wrap round {} diverged at {} threshold {} limit {}",
+                    round, t, threshold, limit
+                );
+            }
+        }
+    }
+}

@@ -12,10 +12,23 @@ use crate::route_store::RouteStore;
 use rknnt_rtree::NodeId;
 use serde::{Deserialize, Serialize};
 
-/// Per-node sorted, de-duplicated lists of route ids.
+/// Per-node sorted, de-duplicated lists of route ids, packed in a CSR
+/// (compressed sparse row) layout: one flat route-id vector plus one offset
+/// range per node slot.
+///
+/// The verification hot path reads one node's list per pruned-whole subtree,
+/// so the layout matters: a `Vec<Vec<RouteId>>` scatters the lists across
+/// the heap (one allocation per node, pointer chase per lookup), while the
+/// CSR pack keeps every list contiguous in one cache-friendly buffer and
+/// [`NList::routes_under`] is two offset loads and a slice.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct NList {
-    lists: Vec<Vec<RouteId>>,
+    /// `offsets[i]..offsets[i + 1]` indexes the list of node slot `i` in
+    /// `routes`. Length is `node_id_bound + 1` (empty for an empty tree).
+    offsets: Vec<u32>,
+    /// All per-node lists, concatenated in node-slot order; each list is
+    /// sorted and de-duplicated.
+    routes: Vec<RouteId>,
 }
 
 impl NList {
@@ -26,11 +39,25 @@ impl NList {
     /// engine after updating the store keeps everything consistent.
     pub fn build(store: &RouteStore) -> Self {
         let tree = store.rtree();
-        let mut lists: Vec<Vec<RouteId>> = vec![Vec::new(); tree.node_id_bound()];
+        let bound = tree.node_id_bound();
+        // Build per-node lists first (construction-time allocations are
+        // fine; the pack below is what the query path reads), then pack.
+        let mut lists: Vec<Vec<RouteId>> = vec![Vec::new(); bound];
         if let Some(root) = tree.root() {
             Self::fill(store, root, &mut lists);
         }
-        NList { lists }
+        let total: usize = lists.iter().map(Vec::len).sum();
+        // Hard assert in this cold build path: a silent `as u32` wrap would
+        // make `routes_under` return wrong slices and corrupt verification.
+        assert!(total <= u32::MAX as usize, "CSR offsets are u32");
+        let mut offsets = Vec::with_capacity(bound + 1);
+        let mut routes = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for list in &lists {
+            routes.extend_from_slice(list);
+            offsets.push(routes.len() as u32);
+        }
+        NList { offsets, routes }
     }
 
     /// Recursively computes the list for `node` and returns it by value so
@@ -46,10 +73,10 @@ impl NList {
                 routes.extend_from_slice(store.crossover(entry.data));
             }
         } else {
-            for child in node.children() {
+            node.for_each_child(|child| {
                 let child_routes = Self::fill(store, child, lists);
                 routes.extend(child_routes);
-            }
+            });
         }
         routes.sort_unstable();
         routes.dedup();
@@ -57,24 +84,32 @@ impl NList {
         routes
     }
 
-    /// Route ids appearing in the subtree rooted at `node`. Empty for
-    /// unknown nodes.
+    /// Route ids appearing in the subtree rooted at `node`, as one
+    /// contiguous slice of the CSR buffer. Empty for unknown nodes.
+    #[inline]
     pub fn routes_under(&self, node: NodeId) -> &[RouteId] {
-        self.lists
-            .get(node.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let i = node.index();
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&start), Some(&end)) => &self.routes[start as usize..end as usize],
+            _ => &[],
+        }
     }
 
     /// Number of node slots tracked (equals the RR-tree's node id bound at
     /// build time).
     pub fn len(&self) -> usize {
-        self.lists.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Whether the list tracks no nodes (empty RR-tree).
     pub fn is_empty(&self) -> bool {
-        self.lists.is_empty()
+        self.len() == 0
+    }
+
+    /// Total number of route references across all node lists (the CSR
+    /// buffer's length) — exposed for diagnostics and size accounting.
+    pub fn num_route_refs(&self) -> usize {
+        self.routes.len()
     }
 }
 
@@ -162,6 +197,25 @@ mod tests {
         assert!(nlist.is_empty());
         assert!(nlist.routes_under(NodeId::from_index(0)).is_empty());
         assert_eq!(nlist.len(), 0);
+    }
+
+    #[test]
+    fn csr_pack_is_consistent() {
+        let store = grid_store();
+        let nlist = NList::build(&store);
+        let tree = store.rtree();
+        assert_eq!(nlist.len(), tree.node_id_bound());
+        // Every node's slice lies inside the flat buffer and their total
+        // length equals the buffer length (the lists tile the CSR pack).
+        let mut total = 0usize;
+        for i in 0..nlist.len() {
+            total += nlist.routes_under(NodeId::from_index(i)).len();
+        }
+        assert_eq!(total, nlist.num_route_refs());
+        // Out-of-range node ids are empty, not a panic.
+        assert!(nlist
+            .routes_under(NodeId::from_index(nlist.len() + 10))
+            .is_empty());
     }
 
     #[test]

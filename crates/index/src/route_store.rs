@@ -221,6 +221,15 @@ impl RouteStore {
         self.live_routes
     }
 
+    /// Exclusive upper bound on the dense route-id space: every id this
+    /// store ever handed out satisfies `id.index() < route_id_bound()`
+    /// (removed routes keep their slot). Sizes per-route side tables such as
+    /// the query scratch's epoch-stamped mark table, which index by
+    /// `RouteId::index()` instead of hashing.
+    pub fn route_id_bound(&self) -> usize {
+        self.routes.len()
+    }
+
     /// Whether the store holds no live routes.
     pub fn is_empty(&self) -> bool {
         self.live_routes == 0

@@ -2,7 +2,7 @@
 
 use crate::entry::LeafEntry;
 use crate::node::{NodeId, NodeKind};
-use crate::tree::RTree;
+use crate::tree::{NodeRef, RTree};
 use rknnt_geo::{Point, Rect};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -20,8 +20,15 @@ pub struct KnnResult<D> {
 
 /// Heap item used by the best-first kNN traversal. `BinaryHeap` is a
 /// max-heap, so the ordering is reversed to pop the smallest distance first.
+///
+/// `tie` is a deterministic secondary key — `(arena node id, entry slot)` —
+/// so exact-tie distances (two entries equidistant from the query) pop in a
+/// well-defined order instead of whatever the heap's internal layout
+/// happens to produce. Within one leaf this is entry-slot order, i.e.
+/// insertion order of the tied points.
 struct HeapItem {
     dist: f64,
+    tie: (u32, u32),
     kind: HeapKind,
 }
 
@@ -32,7 +39,7 @@ enum HeapKind {
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.dist == other.dist && self.tie == other.tie
     }
 }
 impl Eq for HeapItem {}
@@ -43,17 +50,46 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist)
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.tie.cmp(&self.tie))
     }
 }
 
 impl<D: Clone + PartialEq> RTree<D> {
-    /// Returns references to all entries whose point lies inside `rect`
-    /// (boundary inclusive).
-    pub fn range(&self, rect: &Rect) -> Vec<&LeafEntry<D>> {
-        let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
-        let mut stack = vec![root];
+    /// Depth-first traversal over the live nodes of the tree using a
+    /// caller-provided stack. `f` is called once per visited node; returning
+    /// `true` descends into an internal node's children (the return value is
+    /// ignored for leaves). The stack is cleared on entry, so one buffer can
+    /// be reused across many traversals and stops allocating once it has
+    /// grown to the tree's pending-node high-water mark.
+    pub fn visit<F>(&self, stack: &mut Vec<NodeId>, mut f: F)
+    where
+        F: FnMut(NodeRef<'_, D>) -> bool,
+    {
+        stack.clear();
+        let Some(root) = self.root else { return };
+        stack.push(root);
+        while let Some(id) = stack.pop() {
+            if f(NodeRef::make(self, id)) {
+                if let NodeKind::Internal(children) = &self.node(id).kind {
+                    stack.extend(children.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Visits every entry whose point lies inside `rect` (boundary
+    /// inclusive), reusing the caller's traversal stack — the allocation-free
+    /// core of [`RTree::range`].
+    pub fn for_each_in_with<'t, F>(&'t self, stack: &mut Vec<NodeId>, rect: &Rect, mut f: F)
+    where
+        F: FnMut(&'t LeafEntry<D>),
+    {
+        stack.clear();
+        let Some(root) = self.root else { return };
+        stack.push(root);
         while let Some(id) = stack.pop() {
             let node = self.node(id);
             if !node.mbr.intersects(rect) {
@@ -61,24 +97,58 @@ impl<D: Clone + PartialEq> RTree<D> {
             }
             match &node.kind {
                 NodeKind::Leaf(entries) => {
-                    out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
+                    for e in entries {
+                        if rect.contains_point(&e.point) {
+                            f(e);
+                        }
+                    }
                 }
                 NodeKind::Internal(children) => stack.extend(children.iter().copied()),
             }
         }
+    }
+
+    /// Visits every entry whose point lies inside `rect` (boundary
+    /// inclusive) with a one-shot internal stack; callers in query loops
+    /// should prefer [`RTree::for_each_in_with`] and reuse their stack.
+    pub fn for_each_in<'t, F>(&'t self, rect: &Rect, f: F)
+    where
+        F: FnMut(&'t LeafEntry<D>),
+    {
+        let mut stack = Vec::new();
+        self.for_each_in_with(&mut stack, rect, f);
+    }
+
+    /// Returns references to all entries whose point lies inside `rect`
+    /// (boundary inclusive). Thin allocating wrapper over
+    /// [`RTree::for_each_in`], kept for tests and non-hot callers.
+    pub fn range(&self, rect: &Rect) -> Vec<&LeafEntry<D>> {
+        let mut out = Vec::new();
+        self.for_each_in(rect, |e| out.push(e));
         out
     }
 
-    /// Visits every entry in the tree in unspecified order.
-    pub fn for_each_entry<F: FnMut(&LeafEntry<D>)>(&self, mut f: F) {
+    /// Visits every entry in the tree in unspecified order, reusing the
+    /// caller's traversal stack.
+    pub fn for_each_entry_with<'t, F>(&'t self, stack: &mut Vec<NodeId>, mut f: F)
+    where
+        F: FnMut(&'t LeafEntry<D>),
+    {
+        stack.clear();
         let Some(root) = self.root else { return };
-        let mut stack = vec![root];
+        stack.push(root);
         while let Some(id) = stack.pop() {
             match &self.node(id).kind {
                 NodeKind::Leaf(entries) => entries.iter().for_each(&mut f),
                 NodeKind::Internal(children) => stack.extend(children.iter().copied()),
             }
         }
+    }
+
+    /// Visits every entry in the tree in unspecified order.
+    pub fn for_each_entry<F: FnMut(&LeafEntry<D>)>(&self, f: F) {
+        let mut stack = Vec::new();
+        self.for_each_entry_with(&mut stack, f);
     }
 
     /// Collects all entries into a vector (mainly for tests and rebuilds).
@@ -90,9 +160,11 @@ impl<D: Clone + PartialEq> RTree<D> {
 
     /// Best-first k-nearest-neighbour search from `query`.
     ///
-    /// Results are sorted by increasing distance; ties are broken
-    /// arbitrarily. Fewer than `k` results are returned when the tree has
-    /// fewer entries.
+    /// Results are sorted by increasing distance; exact-tie distances are
+    /// broken deterministically by `(arena node id, entry slot)`, so for
+    /// tied entries in the same leaf the insertion order of the points
+    /// decides. Fewer than `k` results are returned when the tree has fewer
+    /// entries.
     pub fn knn(&self, query: &Point, k: usize) -> Vec<KnnResult<D>> {
         let mut out = Vec::with_capacity(k.min(self.len()));
         if k == 0 {
@@ -102,6 +174,7 @@ impl<D: Clone + PartialEq> RTree<D> {
         let mut heap = BinaryHeap::new();
         heap.push(HeapItem {
             dist: self.node(root).mbr.min_dist(query),
+            tie: (root.index() as u32, 0),
             kind: HeapKind::Node(root),
         });
         while let Some(item) = heap.pop() {
@@ -114,6 +187,7 @@ impl<D: Clone + PartialEq> RTree<D> {
                         for (i, e) in entries.iter().enumerate() {
                             heap.push(HeapItem {
                                 dist: e.point.distance(query),
+                                tie: (id.index() as u32, i as u32),
                                 kind: HeapKind::Entry(i, id),
                             });
                         }
@@ -122,6 +196,7 @@ impl<D: Clone + PartialEq> RTree<D> {
                         for c in children {
                             heap.push(HeapItem {
                                 dist: self.node(*c).mbr.min_dist(query),
+                                tie: (c.index() as u32, 0),
                                 kind: HeapKind::Node(*c),
                             });
                         }
@@ -221,6 +296,73 @@ mod tests {
         let empty: RTree<u32> = RTree::default();
         assert!(empty.knn(&Point::new(0.0, 0.0), 3).is_empty());
         assert!(empty.nearest(&Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn knn_breaks_exact_ties_deterministically() {
+        // Regression test for the heap ordering on exact-tie distances: two
+        // entries equidistant from the query must come out in a pinned,
+        // reproducible order (entry-slot order within the leaf — insertion
+        // order here), not whatever the heap's layout produces.
+        let mut tree: RTree<u32> = RTree::new(RTreeConfig::new(8, 3));
+        tree.insert(Point::new(0.0, 1.0), 0); // dist 1, inserted first
+        tree.insert(Point::new(0.0, -1.0), 1); // dist 1, inserted second
+        tree.insert(Point::new(1.0, 0.0), 2); // dist 1, inserted third
+        tree.insert(Point::new(5.0, 0.0), 3); // dist 5
+        let q = Point::new(0.0, 0.0);
+        let first = tree.knn(&q, 4);
+        assert_eq!(first.len(), 4);
+        assert_eq!(first[0].distance, first[1].distance);
+        assert_eq!(first[1].distance, first[2].distance);
+        let order: Vec<u32> = first.iter().map(|r| r.data).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "ties pinned by entry-slot order");
+        for _ in 0..5 {
+            let again: Vec<u32> = tree.knn(&q, 4).iter().map(|r| r.data).collect();
+            assert_eq!(again, order, "tie order must be stable across calls");
+        }
+        // nearest() inherits the same tie-break.
+        assert_eq!(tree.nearest(&q).unwrap().data, 0);
+    }
+
+    #[test]
+    fn visitor_traversals_match_allocating_wrappers() {
+        let (tree, items) = build(500);
+        let rect = Rect::new(Point::new(100.0, 100.0), Point::new(1500.0, 1200.0));
+        let expected: Vec<u32> = tree.range(&rect).iter().map(|e| e.data).collect();
+        // for_each_in with a reused stack sees exactly the same entries in
+        // the same order as the Vec-returning wrapper.
+        let mut stack = Vec::new();
+        let mut got = Vec::new();
+        tree.for_each_in_with(&mut stack, &rect, |e| got.push(e.data));
+        assert_eq!(got, expected);
+        assert!(stack.is_empty(), "stack is drained after the traversal");
+        // Reusing the same stack for a second query works.
+        got.clear();
+        tree.for_each_in_with(&mut stack, &rect, |e| got.push(e.data));
+        assert_eq!(got, expected);
+        // visit() reaches every entry when the closure always descends.
+        let mut seen = 0usize;
+        tree.visit(&mut stack, |node| {
+            if node.is_leaf() {
+                seen += node.entries().len();
+            }
+            true
+        });
+        assert_eq!(seen, items.len());
+        // ...and prunes subtrees when it declines to descend.
+        let mut visited = 0usize;
+        tree.visit(&mut stack, |_| {
+            visited += 1;
+            false
+        });
+        assert_eq!(visited, 1, "declining the root visits nothing else");
+        // for_each_child matches children() exactly.
+        let root = tree.root().unwrap();
+        let mut child_ids = Vec::new();
+        root.for_each_child(|c| child_ids.push(c.id()));
+        let wrapper_ids: Vec<_> = root.children().iter().map(|c| c.id()).collect();
+        assert_eq!(child_ids, wrapper_ids);
+        assert!(!child_ids.is_empty());
     }
 
     #[test]

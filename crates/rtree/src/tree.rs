@@ -550,6 +550,12 @@ pub struct NodeRef<'a, D> {
 }
 
 impl<'a, D: Clone + PartialEq> NodeRef<'a, D> {
+    /// Builds a reference to a node the caller knows to be live (used by the
+    /// traversal helpers in `query.rs`).
+    pub(crate) fn make(tree: &'a RTree<D>, id: NodeId) -> Self {
+        NodeRef { tree, id }
+    }
+
     /// Identifier of this node within the tree arena.
     pub fn id(&self) -> NodeId {
         self.id
@@ -575,18 +581,30 @@ impl<'a, D: Clone + PartialEq> NodeRef<'a, D> {
         self.len() == 0
     }
 
-    /// Children of an internal node (empty for leaves).
-    pub fn children(&self) -> Vec<NodeRef<'a, D>> {
-        match &self.tree.node(self.id).kind {
-            NodeKind::Internal(children) => children
-                .iter()
-                .map(|c| NodeRef {
+    /// Calls `f` once per child of an internal node (no-op for leaves),
+    /// allocating nothing. This is the traversal primitive the query hot
+    /// paths use: a caller-owned `Vec<NodeId>` stack plus `for_each_child`
+    /// replaces one `Vec<NodeRef>` allocation per node visit.
+    #[inline]
+    pub fn for_each_child<F: FnMut(NodeRef<'a, D>)>(&self, mut f: F) {
+        if let NodeKind::Internal(children) = &self.tree.node(self.id).kind {
+            for c in children {
+                f(NodeRef {
                     tree: self.tree,
                     id: *c,
-                })
-                .collect(),
-            NodeKind::Leaf(_) => Vec::new(),
+                });
+            }
         }
+    }
+
+    /// Children of an internal node (empty for leaves).
+    ///
+    /// Thin allocating wrapper over [`NodeRef::for_each_child`], kept for
+    /// tests and non-hot callers; traversal loops should use the visitor.
+    pub fn children(&self) -> Vec<NodeRef<'a, D>> {
+        let mut out = Vec::new();
+        self.for_each_child(|c| out.push(c));
+        out
     }
 
     /// Leaf entries of a leaf node (empty slice for internal nodes).

@@ -3,8 +3,8 @@
 
 use crate::policy::EnginePolicy;
 use rknnt_core::{
-    EngineKind, FilterFootprint, FilterOutcome, FilterRefineEngine, RknnTEngine, RknntQuery,
-    RknntResult, Semantics,
+    EngineKind, FilterFootprint, FilterOutcome, FilterRefineEngine, QueryScratch, RknnTEngine,
+    RknntQuery, RknntResult, Semantics,
 };
 use rknnt_geo::Point;
 use rknnt_index::{RouteStore, TransitionStore};
@@ -177,11 +177,14 @@ pub(crate) type GroupOutput = (usize, RknntResult, Option<Arc<FilterFootprint>>)
 ///
 /// Results are byte-identical to running `engine.execute` per query: the
 /// shared filter outcome is exactly what `execute` would build for the same
-/// `(route, k)`, and coalesced duplicates clone a result computed by the
-/// identical pipeline.
+/// `(route, k)`, coalesced duplicates clone a result computed by the
+/// identical pipeline, and the worker-owned `scratch` only recycles buffers
+/// — the engines' scratch paths are property-tested byte-identical to their
+/// allocating twins.
 pub(crate) fn run_group<'q>(
     engine: &PreparedEngine<'_>,
     group: &Group<'q>,
+    scratch: &mut QueryScratch,
     out: &mut Vec<GroupOutput>,
     counters: &mut GroupCounters,
 ) {
@@ -223,12 +226,12 @@ pub(crate) fn run_group<'q>(
                         }
                     };
                     (
-                        fr.execute_with_filter(job.query, outcome),
+                        fr.execute_with_filter_scratch(job.query, outcome, scratch),
                         Some(footprint.clone()),
                     )
                 }
             }
-            PreparedEngine::Plain(engine) => (engine.execute(job.query), None),
+            PreparedEngine::Plain(engine) => (engine.execute_scratch(job.query, scratch), None),
         };
         seen.insert(full_key, out.len());
         out.push((job.index, result, footprint));

@@ -139,7 +139,11 @@ impl EntryRegion {
             return false;
         };
         let live = |r| routes.route(r).is_some();
-        let covered = |u: &Point| footprint.covers_point(&self.query_points, u, self.k, live);
+        // One covering buffer for both endpoint certificates.
+        let mut covering = Vec::new();
+        let mut covered = |u: &Point| {
+            footprint.covers_point_with(&self.query_points, u, self.k, live, &mut covering)
+        };
         match self.semantics {
             // ∃: the transition qualifies if either endpoint does, so both
             // must be certified disqualified.
@@ -210,16 +214,24 @@ impl EntryRegion {
             // can never have been a closer-route witness.
             return true;
         }
-        let Some(root) = transitions.rtree().root() else {
+        let tree = transitions.rtree();
+        let Some(root) = tree.root() else {
             return true;
         };
         let live = |r: RouteId| r != removed && routes.route(r).is_some();
-        let mut stack = vec![root];
-        while let Some(node) = stack.pop() {
+        // NodeId stack + `for_each_child` instead of a `Vec<NodeRef>` per
+        // internal node, and one covering buffer reused across every
+        // endpoint certificate: the scan allocates O(1) per entry checked.
+        let mut covering: Vec<RouteId> = Vec::new();
+        let mut stack = vec![root.id()];
+        while let Some(id) = stack.pop() {
             if *budget == 0 {
                 return false;
             }
             *budget -= 1;
+            let Some(node) = tree.node_ref(id) else {
+                continue;
+            };
             let mbr = node.mbr();
             // Lower bound on dist²(u, removed route) over all u in the node…
             let removed_lb = removed_points
@@ -239,7 +251,7 @@ impl EntryRegion {
                 continue;
             }
             if !node.is_leaf() {
-                stack.extend(node.children());
+                node.for_each_child(|child| stack.push(child.id()));
                 continue;
             }
             for entry in node.entries() {
@@ -256,7 +268,8 @@ impl EntryRegion {
                     continue; // already in the result; results only grow
                 }
                 *budget = budget.saturating_sub(footprint.witnesses.len());
-                if !footprint.covers_point(&self.query_points, u, self.k, live) {
+                if !footprint.covers_point_with(&self.query_points, u, self.k, live, &mut covering)
+                {
                     return false;
                 }
             }

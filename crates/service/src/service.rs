@@ -776,10 +776,14 @@ impl QueryService {
         let mut counters = GroupCounters::default();
         if workers <= 1 {
             // In-line fast path: no thread spawn for single-worker batches.
+            // The scratch is this worker's own (see `rknnt_core::scratch` for
+            // the ownership rules) and is reused across every query of the
+            // batch, so per-candidate work stops allocating once warmed.
             let mut engines = WorkerEngines::default();
+            let mut scratch = rknnt_core::QueryScratch::new();
             for group in groups {
                 let engine = engines.for_kind(group, &self.routes, &self.transitions);
-                run_group(engine, group, &mut computed, &mut counters);
+                run_group(engine, group, &mut scratch, &mut computed, &mut counters);
             }
         } else {
             // Round-robin shard the groups, spawn one scoped worker per
@@ -796,11 +800,13 @@ impl QueryService {
                         let (routes, transitions) = (&self.routes, &self.transitions);
                         scope.spawn(move || {
                             let mut engines = WorkerEngines::default();
+                            // One scratch per worker thread, never shared.
+                            let mut scratch = rknnt_core::QueryScratch::new();
                             let mut out = Vec::new();
                             let mut counters = GroupCounters::default();
                             for group in shard {
                                 let engine = engines.for_kind(group, routes, transitions);
-                                run_group(engine, group, &mut out, &mut counters);
+                                run_group(engine, group, &mut scratch, &mut out, &mut counters);
                             }
                             (out, counters)
                         })

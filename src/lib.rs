@@ -37,8 +37,8 @@ pub use rknnt_storage as storage;
 /// Commonly used items, suitable for `use rknnt::prelude::*;`.
 pub mod prelude {
     pub use rknnt_core::{
-        BruteForceEngine, DivideConquerEngine, EngineKind, FilterRefineEngine, RknnTEngine,
-        RknntQuery, Semantics, VoronoiEngine,
+        BruteForceEngine, DivideConquerEngine, EngineKind, FilterRefineEngine, QueryScratch,
+        RknnTEngine, RknntQuery, Semantics, VoronoiEngine,
     };
     pub use rknnt_data::{CityConfig, CityGenerator, TransitionConfig, TransitionGenerator};
     pub use rknnt_geo::{Point, Rect};
