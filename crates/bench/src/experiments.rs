@@ -1013,10 +1013,67 @@ fn churn_points(
     (region, full)
 }
 
+/// Replays the 10 % churn stream once more through a storage-attached
+/// service with periodic checkpoints and appends the resulting metrics
+/// snapshot to the report, so every churn run archives the per-stage
+/// latency histograms (cache lookup, grouping, execution, finalize, the
+/// engine-reported filter/verify split, WAL fsync, checkpoint) and the
+/// `checkpoint_stall_ns` high-water gauge alongside the throughput rows.
+fn churn_metrics_snapshot(
+    ctx: &ExperimentContext,
+    dataset: &Dataset,
+    semantics: Semantics,
+    report: &mut Report,
+) {
+    let events = (ctx.scale.queries_per_point * 60).clamp(120, 1_200);
+    let mut config = rknnt_data::ChurnConfig::new(events, 0.10, ctx.scale.seed ^ 0xc4a2);
+    config.query_pool = 8;
+    config.query_len = ctx.default_query_len();
+    let stream = workload::churn_stream(&dataset.city, &config);
+    let steps = resolve_churn(dataset, stream, ctx.default_k(), semantics);
+    let dir = std::env::temp_dir().join(format!("rknnt-churn-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut service = QueryService::new(
+        dataset.routes.clone(),
+        dataset.transitions.clone(),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi)),
+    );
+    service
+        .attach_storage(&dir, rknnt_service::StorageConfig::default())
+        .expect("attach churn metrics storage");
+    let mut updates = 0usize;
+    for step in &steps {
+        match step {
+            ChurnStep::Query(query) => {
+                let _ = service.execute(query);
+            }
+            ChurnStep::Update(update) => {
+                service.apply_updates(vec![update.clone()]);
+                updates += 1;
+                if updates.is_multiple_of(32) {
+                    service.checkpoint().expect("mid-stream checkpoint");
+                }
+            }
+        }
+    }
+    service.checkpoint().expect("final checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+    report.line(format!(
+        "metrics snapshot (durable region-scoped pass, update_ratio=0.10, {updates} updates, checkpoint every 32):"
+    ));
+    for line in service.metrics_text().lines() {
+        report.line(line.to_string());
+    }
+}
+
 /// Churn throughput: interleaved query/update streams at 1/10/50% update
 /// ratios; region-scoped invalidation ([`QueryService::apply_updates`]) vs
 /// the full-drop baseline (`update_stores`), reporting retained hit-rate and
-/// QPS. Both modes must answer identically — asserted inline.
+/// QPS. Both modes must answer identically — asserted inline. A final
+/// durable pass appends the full metrics snapshot (stage latency
+/// histograms, WAL fsync, checkpoint stall) to the archived report.
 pub fn churn_throughput(
     ctx: &ExperimentContext,
     kind: DatasetKind,
@@ -1043,6 +1100,7 @@ pub fn churn_throughput(
             ]);
         }
     }
+    churn_metrics_snapshot(ctx, &dataset, semantics, &mut report);
     report
 }
 
@@ -1506,6 +1564,89 @@ pub fn verify_hot_path(ctx: &ExperimentContext, kind: DatasetKind) -> Report {
     report
 }
 
+/// Obs overhead: the telemetry layer's hot-path cost, measured as the same
+/// service binary running the identical workload with metrics enabled vs
+/// [`QueryService::set_metrics_enabled`]`(false)`, best-of-3 wall-clock
+/// each. Like `cold_start` and `verify_hot_path` the gated number is a
+/// same-run ratio — `throughput_cost = 1 − instrumented_qps / off_qps` —
+/// held to `obs_overhead.max_throughput_cost` (≤ 5 %) by the CI gate. Both
+/// modes must answer identically — asserted inline — and the instrumented
+/// pass's full metrics snapshot is appended to the archived report.
+pub fn obs_overhead(ctx: &ExperimentContext, kind: DatasetKind, semantics: Semantics) -> Report {
+    let mut report = Report::new("Obs overhead — instrumented vs metrics-off service throughput");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    let total = (ctx.scale.queries_per_point * 64).clamp(64, 1_024);
+    let queries = service_workload(ctx, &dataset, semantics, total);
+    report.line(format!(
+        "{} — {} queries (pool cycling), batch 16, k = {}, {} semantics, Voronoi engine, 1 worker",
+        dataset.kind.name(),
+        queries.len(),
+        ctx.default_k(),
+        semantics,
+    ));
+
+    // Best-of-3 timed passes per mode, each on a fresh service so both
+    // modes start from the identical cold cache. Counters stay live with
+    // metrics off (the per-call stats depend on them); what the toggle
+    // removes is clock reads, histogram recording and recorder events —
+    // exactly the instrumentation whose cost this experiment bounds.
+    let run_mode = |instrumented: bool| -> (f64, usize, String) {
+        let mut best_secs = f64::INFINITY;
+        let mut checksum = 0usize;
+        let mut metrics_text = String::new();
+        for _ in 0..3 {
+            let service = QueryService::new(
+                dataset.routes.clone(),
+                dataset.transitions.clone(),
+                ServiceConfig::default()
+                    .with_workers(1)
+                    .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi)),
+            );
+            service.set_metrics_enabled(instrumented);
+            let started = std::time::Instant::now();
+            let mut results = 0usize;
+            for chunk in queries.chunks(16) {
+                let (outs, _) = service.execute_batch(chunk);
+                results += outs.iter().map(|r| r.len()).sum::<usize>();
+            }
+            best_secs = best_secs.min(started.elapsed().as_secs_f64());
+            checksum = results;
+            metrics_text = service.metrics_text();
+        }
+        (
+            queries.len() as f64 / best_secs.max(1e-9),
+            checksum,
+            metrics_text,
+        )
+    };
+    let (on_qps, on_checksum, on_text) = run_mode(true);
+    let (off_qps, off_checksum, _) = run_mode(false);
+    assert_eq!(
+        on_checksum, off_checksum,
+        "instrumented answers diverged from metrics-off"
+    );
+    let cost = 1.0 - on_qps / off_qps.max(1e-9);
+    report.row(&[
+        ("mode", "instrumented".to_string()),
+        ("qps", format!("{on_qps:.0}")),
+        ("results", on_checksum.to_string()),
+    ]);
+    report.row(&[
+        ("mode", "metrics-off".to_string()),
+        ("qps", format!("{off_qps:.0}")),
+        ("results", off_checksum.to_string()),
+    ]);
+    report.row(&[
+        ("metric", "throughput_cost".to_string()),
+        ("ratio", format!("{cost:.4}")),
+    ]);
+    report.line("instrumented metrics snapshot (last timed pass):".to_string());
+    for line in on_text.lines() {
+        report.line(line.to_string());
+    }
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -1551,6 +1692,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         continuous_monitoring(ctx, options.service_dataset, options.semantics),
         cold_start(ctx, options.service_dataset, options.semantics),
         verify_hot_path(ctx, options.service_dataset),
+        obs_overhead(ctx, options.service_dataset, options.semantics),
     ]
 }
 
@@ -1594,6 +1736,11 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
             single(cold_start(ctx, options.service_dataset, options.semantics))
         }
         "verify_hot_path" | "hotpath" => single(verify_hot_path(ctx, options.service_dataset)),
+        "obs_overhead" | "obs" => single(obs_overhead(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
         "all" => Some(all(ctx, options)),
         _ => None,
     }
@@ -1624,6 +1771,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "continuous_monitoring",
         "cold_start",
         "verify_hot_path",
+        "obs_overhead",
         "all",
     ]
 }
@@ -1746,13 +1894,42 @@ mod tests {
         let mut ctx = tiny_ctx();
         ctx.scale.queries_per_point = 2;
         let report = churn_throughput(&ctx, DatasetKind::Small, Semantics::Exists);
-        // 1 header + 3 ratios × 2 modes.
-        assert_eq!(report.len(), 1 + 3 * 2);
+        // 1 header + 3 ratios × 2 modes, then the appended metrics snapshot.
+        assert!(report.len() > 1 + 3 * 2);
         let text = report.to_text();
         assert!(text.contains("mode=region-scoped"));
         assert!(text.contains("mode=full-drop"));
         assert!(text.contains("update_ratio=0.10"));
         assert!(text.contains("update_ratio=0.50"));
+        // The durable pass archives every stage histogram plus the
+        // checkpoint-stall gauge (the acceptance bar for the obs layer).
+        assert!(text.contains("histogram=service.stage.cache_lookup_ns"));
+        assert!(text.contains("histogram=service.stage.filter_ns"));
+        assert!(text.contains("histogram=service.stage.verify_ns"));
+        assert!(text.contains("histogram=storage.wal.fsync_ns"));
+        assert!(text.contains("gauge=storage.checkpoint_stall_ns"));
+        assert!(text.contains("p50=") && text.contains("p99="));
+    }
+
+    #[test]
+    fn obs_overhead_reports_both_modes_and_the_gated_cost() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 1;
+        let report = obs_overhead(&ctx, DatasetKind::Small, Semantics::Exists);
+        let text = report.to_text();
+        // Identical answers are asserted inside the experiment itself.
+        assert!(text.contains("mode=instrumented"));
+        assert!(text.contains("mode=metrics-off"));
+        assert!(text.contains("histogram=service.stage.cache_lookup_ns"));
+        let rows = crate::gate::parse_report_rows(&text);
+        let cost = crate::gate::find_row(&rows, &[("metric", "throughput_cost")])
+            .unwrap()
+            .number("ratio")
+            .unwrap();
+        // The cost is a fraction of throughput: strictly below 1, and not
+        // absurdly negative (off-mode slower than instrumented by 2x would
+        // mean the measurement itself is broken).
+        assert!(cost < 1.0 && cost > -1.0, "implausible cost {cost}");
     }
 
     #[test]

@@ -245,6 +245,24 @@ pub fn check_verify_hot_path_gate(
     })
 }
 
+/// Checks the observability-overhead gate against the report text: the
+/// instrumented service's throughput cost — `1 − instrumented_qps /
+/// metrics_off_qps`, same run, same workload, best-of-3 each — must not
+/// exceed `obs_overhead.max_throughput_cost` (the experiment asserts
+/// identical answers between the two modes before anything is compared).
+pub fn check_obs_overhead_gate(report: &str, config: &GateConfig) -> Result<GateOutcome, String> {
+    let threshold = config.threshold("obs_overhead", "max_throughput_cost")?;
+    let rows = parse_report_rows(report);
+    let row = find_row(&rows, &[("metric", "throughput_cost")])?;
+    let measured = row.number("ratio")?;
+    Ok(GateOutcome {
+        name: "obs_overhead.throughput_cost".to_string(),
+        measured,
+        threshold,
+        passed: measured <= threshold,
+    })
+}
+
 /// Runs every gate against a results directory, returning the outcomes.
 /// Missing files or rows are errors, not passes.
 pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcome>, String> {
@@ -264,6 +282,10 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
     outcomes.push(check_cold_start_gate(&read("cold_start.txt")?, &config)?);
     outcomes.push(check_verify_hot_path_gate(
         &read("verify_hot_path.txt")?,
+        &config,
+    )?);
+    outcomes.push(check_obs_overhead_gate(
+        &read("obs_overhead.txt")?,
         &config,
     )?);
     Ok(outcomes)
@@ -286,7 +308,10 @@ min_naive_reexecution_rate = 0.99\n\
 min_open_speedup = 1.5\n\
 \n\
 [verify_hot_path]\n\
-min_scratch_speedup = 1.15\n";
+min_scratch_speedup = 1.15\n\
+\n\
+[obs_overhead]\n\
+max_throughput_cost = 0.05\n";
 
     #[test]
     fn parses_the_gate_file_subset() {
@@ -375,6 +400,24 @@ min_scratch_speedup = 1.15\n";
         );
         // A missing ratio row is an error, never a silent pass.
         assert!(check_verify_hot_path_gate("mode=legacy x=1", &config).is_err());
+    }
+
+    #[test]
+    fn obs_overhead_gate_holds_the_cost_ceiling() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "mode=instrumented  qps=52000  results=900\n\
+                    mode=metrics-off  qps=53000  results=900\n\
+                    metric=throughput_cost  ratio=0.0189\n";
+        let outcome = check_obs_overhead_gate(good, &config).unwrap();
+        assert!(outcome.passed);
+        assert!((outcome.measured - 0.0189).abs() < 1e-9);
+        // Negative cost (instrumented faster, i.e. noise) still passes.
+        let noisy = "metric=throughput_cost  ratio=-0.0100\nmode=instrumented qps=1";
+        assert!(check_obs_overhead_gate(noisy, &config).unwrap().passed);
+        let regressed = "metric=throughput_cost  ratio=0.1200\nmode=instrumented qps=1";
+        assert!(!check_obs_overhead_gate(regressed, &config).unwrap().passed);
+        // A missing ratio row is an error, never a silent pass.
+        assert!(check_obs_overhead_gate("mode=instrumented qps=1", &config).is_err());
     }
 
     #[test]

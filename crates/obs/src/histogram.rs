@@ -1,0 +1,450 @@
+//! A fixed-memory log-linear latency histogram (HdrHistogram-style).
+//!
+//! Values are `u64` nanoseconds. Buckets are exact below 16 ns and then form
+//! 16 linear sub-buckets per power of two, so every bucket's width is at most
+//! 1/16 (6.25%) of its lower bound: a recorded value `v ≥ 16` lands in a
+//! bucket whose upper bound overshoots `v` by at most `v / 16`. That bound is
+//! what [`Histogram::percentile`] inherits and what the property tests in
+//! `tests/histogram_properties.rs` pin down.
+//!
+//! The whole structure is 976 atomic buckets plus four scalar atomics —
+//! about 8 KiB, allocated once. Recording is four relaxed atomic RMWs and
+//! never allocates, which is what lets the query hot path keep a histogram
+//! per pipeline stage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave (and the exact-bucket range `0..16`).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count: covers the full `u64` range.
+/// Index of `u64::MAX` is `((63 - 4 + 1) << 4) + 15 = 975`.
+const BUCKET_COUNT: usize = (((64 - SUB_BITS) << SUB_BITS) + SUB_COUNT as u32 - 1) as usize + 1;
+
+/// Bucket index for a value (total order, 0 ..= 975).
+#[inline]
+fn index_of(value: u64) -> usize {
+    if value < SUB_COUNT {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BITS;
+        (((shift + 1) << SUB_BITS) + ((value >> shift) as u32 & (SUB_COUNT as u32 - 1))) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `index`.
+#[inline]
+fn bucket_lower(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        index
+    } else {
+        let group = index >> SUB_BITS;
+        let sub = index & (SUB_COUNT - 1);
+        (SUB_COUNT + sub) << (group - 1)
+    }
+}
+
+/// Largest value mapping to bucket `index`.
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    if (index as u64) < SUB_COUNT {
+        index as u64
+    } else {
+        let group = index as u64 >> SUB_BITS;
+        bucket_lower(index) + ((1u64 << (group - 1)) - 1)
+    }
+}
+
+/// Rank targeted by percentile `p` out of `total` samples (1-based).
+#[inline]
+fn percentile_rank(p: f64, total: u64) -> u64 {
+    let p = p.clamp(0.0, 100.0);
+    (((p / 100.0) * total as f64).ceil() as u64).clamp(1, total)
+}
+
+/// Walks sparse `(bucket index, count)` pairs in ascending index order and
+/// returns the capped upper bound of the bucket containing `rank`.
+fn percentile_over(
+    buckets: impl Iterator<Item = (usize, u64)>,
+    total: u64,
+    cap: u64,
+    p: f64,
+) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = percentile_rank(p, total);
+    let mut cumulative = 0u64;
+    for (index, count) in buckets {
+        cumulative += count;
+        if cumulative >= rank {
+            return bucket_upper(index).min(cap);
+        }
+    }
+    cap
+}
+
+/// A concurrent log-linear latency histogram over `u64` nanoseconds.
+///
+/// `record` is lock-free and allocation-free; reads (`percentile`, `count`,
+/// `snapshot`) scan the bucket array and are meant for cold paths. Reads that
+/// race with writers see some consistent-enough interleaving (each bucket is
+/// individually atomic), which is the usual histogram contract.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    total: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (~8 KiB, fixed).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[index_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as saturated nanoseconds.
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Sum of all recorded values (wraps after ~584 years of total latency).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (v != u64::MAX || !self.is_empty()).then_some(v)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (!self.is_empty()).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Value at percentile `p` (0.0 ..= 100.0).
+    ///
+    /// Returns the upper bound of the bucket holding the rank-`⌈p·n/100⌉`
+    /// sample, capped at the recorded maximum — so the estimate never
+    /// undershoots the true order statistic and overshoots it by at most
+    /// 1/16 of its value (exact below 16 ns). Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        let cap = self.max.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.load(Ordering::Relaxed)))
+            .filter(|&(_, c)| c > 0);
+        percentile_over(buckets, total, cap, p)
+    }
+
+    /// Adds all of `other`'s samples into `self`.
+    ///
+    /// Bucket-exact: merging equals having recorded every sample into one
+    /// histogram. Not a consistent cut if `other` has concurrent writers.
+    pub fn merge(&self, other: &Histogram) {
+        for (bucket, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// An owned point-in-time copy (sparse; cold path, allocates).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u16, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u16, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, sparse copy of a [`Histogram`], suitable for diffing two
+/// points in time and for embedding in a
+/// [`MetricsSnapshot`](crate::MetricsSnapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)` pairs, ascending by index, counts > 0.
+    buckets: Vec<(u16, u64)>,
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` while empty.
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the snapshot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of the snapshotted values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest snapshotted value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Largest snapshotted value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p`, with the same error contract as
+    /// [`Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        let buckets = self.buckets.iter().map(|&(i, c)| (i as usize, c));
+        percentile_over(buckets, self.count, self.max, p)
+    }
+
+    /// Samples recorded between `earlier` and `self` (both from the same
+    /// histogram, `earlier` taken first).
+    ///
+    /// Bucket counts subtract exactly; the interval's min/max are
+    /// reconstructed from its surviving buckets and therefore only
+    /// bucket-accurate (within the 1/16 bound).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut their = earlier.buckets.iter().peekable();
+        for &(index, count) in &self.buckets {
+            let mut count = count;
+            while let Some(&&(i, c)) = their.peek() {
+                if i < index {
+                    their.next();
+                } else {
+                    if i == index {
+                        count = count.saturating_sub(c);
+                        their.next();
+                    }
+                    break;
+                }
+            }
+            if count > 0 {
+                buckets.push((index, count));
+            }
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        let (min, max) = match (buckets.first(), buckets.last()) {
+            (Some(&(first, _)), Some(&(last, _))) if count > 0 => (
+                bucket_lower(first as usize).max(self.min),
+                bucket_upper(last as usize).min(self.max),
+            ),
+            _ => (u64::MAX, 0),
+        };
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_total_and_monotone() {
+        assert_eq!(index_of(0), 0);
+        assert_eq!(index_of(15), 15);
+        assert_eq!(index_of(16), 16);
+        assert_eq!(index_of(31), 31);
+        assert_eq!(index_of(32), 32);
+        assert_eq!(index_of(u64::MAX), BUCKET_COUNT - 1);
+        for index in 0..BUCKET_COUNT {
+            let lower = bucket_lower(index);
+            let upper = bucket_upper(index);
+            assert!(lower <= upper);
+            assert_eq!(index_of(lower), index, "lower of bucket {index}");
+            assert_eq!(index_of(upper), index, "upper of bucket {index}");
+            if index + 1 < BUCKET_COUNT {
+                assert_eq!(upper + 1, bucket_lower(index + 1), "bucket {index} gap");
+            } else {
+                assert_eq!(upper, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_width_respects_relative_error_bound() {
+        for index in 16..BUCKET_COUNT {
+            let lower = bucket_lower(index);
+            let width = bucket_upper(index) - lower;
+            assert!(width <= lower / 16, "bucket {index} too wide");
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_on_small_values() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 5);
+        assert_eq!(h.percentile(90.0), 9);
+        assert_eq!(h.percentile(100.0), 10);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert!((h.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_is_capped_at_recorded_max() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        // Bucket upper bound exceeds the single sample; the cap hides that.
+        assert_eq!(h.percentile(99.0), 1_000_003);
+        assert_eq!(h.percentile(1.0), 1_000_003);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [0u64, 15, 16, 1_000, 123_456_789] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [7u64, 16, 999_999_999_999] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_the_interval() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let earlier = h.snapshot();
+        h.record(100);
+        h.record(5_000);
+        let diff = h.snapshot().diff(&earlier);
+        assert_eq!(diff.count(), 2);
+        assert_eq!(diff.sum(), 5_100);
+        // The interval's p100 reflects only the new samples.
+        let p100 = diff.percentile(100.0);
+        assert!((5_000..=5_000 + 5_000 / 16).contains(&p100));
+        assert!(diff.min().unwrap() <= 100);
+    }
+
+    #[test]
+    fn snapshot_diff_of_identical_snapshots_is_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        let snap = h.snapshot();
+        let diff = snap.diff(&snap);
+        assert!(diff.is_empty());
+        assert_eq!(diff.percentile(50.0), 0);
+        assert_eq!(diff.min(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Hermetic telemetry for the RkNNT workspace.
+//!
+//! The source paper's evaluation lives and dies by *stage-level* cost
+//! breakdowns — filtering vs. verification time is what separates the four
+//! engines — so the reproduction needs first-class measurement machinery,
+//! not ad-hoc counters threaded by hand. This crate provides it with zero
+//! external dependencies:
+//!
+//! * [`Histogram`] — a fixed-memory log-linear latency histogram
+//!   (HdrHistogram-style): `record`/`percentile`/`merge` over `u64`
+//!   nanoseconds, ≤6.25% relative bucket error, ~8 KiB per histogram.
+//! * [`Counter`] / [`Gauge`] — cheap clonable atomic cells.
+//! * [`MetricsRegistry`] — register-once metric cells with static string
+//!   ids, a `key=value` text exposition format ([`MetricsSnapshot::to_text`])
+//!   and point-in-time [`MetricsSnapshot`]s that diff to isolate intervals.
+//! * [`Stage`] / [`Span`] — lightweight stage timing
+//!   (`Span::enter(&stage)`) over a pluggable [`Clock`]: monotonic in
+//!   production, [`MockClock`] in tests.
+//! * [`FlightRecorder`] — a fixed-capacity ring of recent structured
+//!   [`Event`]s, dumpable on demand or on panic ([`DumpOnPanic`]).
+//!
+//! Everything on the hot path is allocation-free (preallocated cells and
+//! ring slots, relaxed atomics); the [`Telemetry`] enable switch turns the
+//! costed parts (clock reads, histogram records, recorder events) off at
+//! runtime, while counters and gauges stay live so exact per-call stats
+//! keep working. The `obs_overhead` bench experiment gates the enabled
+//! cost at ≤5% of service throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod histogram;
+mod metrics;
+mod recorder;
+
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{
+    Counter, Gauge, Metric, MetricId, MetricValue, MetricsRegistry, MetricsSnapshot, Span, Stage,
+    Telemetry,
+};
+pub use recorder::{DumpOnPanic, Event, EventKind, FlightRecorder};

@@ -1,0 +1,600 @@
+//! Metric cells, stage spans and the registry that exposes them.
+//!
+//! The flow is: a component registers its metrics once at construction time
+//! against a [`MetricsRegistry`] (getting back cheap clonable cells), then
+//! increments/records through the cells on the hot path with no further
+//! registry involvement. Reporting walks the registry cold: a
+//! [`MetricsSnapshot`] is an owned point-in-time copy that can be rendered
+//! as text or diffed against an earlier snapshot to isolate an interval.
+//!
+//! Counters and gauges are *always* live — exact per-call statistics
+//! (`BatchStats`-style) are computed by diffing them around a call, so they
+//! cannot be turned off. The [`Telemetry`] enabled flag gates only the parts
+//! with measurable cost: clock reads in [`Span`]s, histogram recording and
+//! flight-recorder events.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing atomic counter cell.
+///
+/// Clones share the same cell, so a component can keep one copy and hand
+/// another to the registry.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value (or running-max) atomic gauge cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current reading
+    /// (used for high-water marks like `checkpoint_stall_ns`).
+    #[inline]
+    pub fn record_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared time source and master enable switch for instrumentation.
+///
+/// Cloning is cheap (two `Arc`s); every [`Stage`] and
+/// [`FlightRecorder`](crate::FlightRecorder) carries a clone so a single
+/// [`Telemetry::set_enabled`] call flips the whole pipeline.
+#[derive(Clone)]
+pub struct Telemetry {
+    clock: Arc<dyn Clock>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Production telemetry: monotonic clock, enabled.
+    pub fn monotonic() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Telemetry over an explicit clock (tests pass a
+    /// [`MockClock`](crate::MockClock)).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Telemetry {
+            clock,
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Whether spans, histograms and the flight recorder are live.
+    ///
+    /// With the `off` cargo feature this is a constant `false` and the
+    /// compiler folds the instrumentation away entirely.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        if cfg!(feature = "off") {
+            return false;
+        }
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns timing instrumentation on or off at runtime (counters and
+    /// gauges stay live either way).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Reads the clock.
+    #[inline]
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::monotonic()
+    }
+}
+
+/// A named pipeline stage whose latencies feed one histogram.
+///
+/// Created by [`MetricsRegistry::stage`]; enter it with [`Span::enter`].
+#[derive(Debug, Clone)]
+pub struct Stage {
+    name: &'static str,
+    histogram: Arc<Histogram>,
+    telemetry: Telemetry,
+}
+
+impl Stage {
+    /// The registered metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The histogram this stage records into.
+    pub fn histogram(&self) -> &Arc<Histogram> {
+        &self.histogram
+    }
+}
+
+/// An open timing span over a [`Stage`].
+///
+/// Records the elapsed nanoseconds into the stage's histogram when finished
+/// or dropped. When telemetry is disabled the span never reads the clock and
+/// [`Span::finish`] returns [`Duration::ZERO`] — callers that feed
+/// wall-clock fields from spans therefore report zeros with metrics off.
+#[derive(Debug)]
+#[must_use = "a span measures nothing unless it lives across the timed code"]
+pub struct Span<'a> {
+    stage: &'a Stage,
+    started: Option<u64>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `stage` (a no-op span if telemetry is disabled).
+    #[inline]
+    pub fn enter(stage: &'a Stage) -> Self {
+        let started = stage
+            .telemetry
+            .enabled()
+            .then(|| stage.telemetry.now_nanos());
+        Span { stage, started }
+    }
+
+    /// Stops the span, records it, and returns the elapsed time.
+    #[inline]
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        match self.started.take() {
+            Some(started) => {
+                let nanos = self.stage.telemetry.now_nanos().saturating_sub(started);
+                self.stage.histogram.record(nanos);
+                Duration::from_nanos(nanos)
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// One registered metric cell.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(Counter),
+    /// A point-in-time or high-water value.
+    Gauge(Gauge),
+    /// A latency distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// A stable handle to a registered metric (its index in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId(usize);
+
+/// The set of metrics one component (or one service) exposes.
+///
+/// Registration happens once, at construction, through `&mut self`; after
+/// that the registry is read-only and the returned cells are the only way to
+/// write. Names must be unique `'static` strings — they double as the
+/// stable exposition ids.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    telemetry: Telemetry,
+    entries: Vec<(&'static str, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with production (monotonic) telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry over the given telemetry (tests inject a mock
+    /// clock here).
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        MetricsRegistry {
+            telemetry,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry's shared clock + enable switch.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn register(&mut self, name: &'static str, metric: Metric) {
+        assert!(self.id(name).is_none(), "metric {name:?} registered twice");
+        self.entries.push((name, metric));
+    }
+
+    /// Registers and returns a counter. Panics on a duplicate name.
+    pub fn counter(&mut self, name: &'static str) -> Counter {
+        let cell = Counter::new();
+        self.register(name, Metric::Counter(cell.clone()));
+        cell
+    }
+
+    /// Registers and returns a gauge. Panics on a duplicate name.
+    pub fn gauge(&mut self, name: &'static str) -> Gauge {
+        let cell = Gauge::new();
+        self.register(name, Metric::Gauge(cell.clone()));
+        cell
+    }
+
+    /// Registers and returns a histogram. Panics on a duplicate name.
+    pub fn histogram(&mut self, name: &'static str) -> Arc<Histogram> {
+        let cell = Arc::new(Histogram::new());
+        self.register(name, Metric::Histogram(cell.clone()));
+        cell
+    }
+
+    /// Registers a histogram and wraps it as an enterable [`Stage`] bound to
+    /// this registry's telemetry. Panics on a duplicate name.
+    pub fn stage(&mut self, name: &'static str) -> Stage {
+        Stage {
+            name,
+            histogram: self.histogram(name),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    /// The id of a registered metric, if present.
+    pub fn id(&self, name: &str) -> Option<MetricId> {
+        self.entries
+            .iter()
+            .position(|&(n, _)| n == name)
+            .map(MetricId)
+    }
+
+    /// The name behind an id. Panics if the id is from another registry.
+    pub fn name(&self, id: MetricId) -> &'static str {
+        self.entries[id.0].0
+    }
+
+    /// The cell behind an id. Panics if the id is from another registry.
+    pub fn metric(&self, id: MetricId) -> &Metric {
+        &self.entries[id.0].1
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// An owned point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(&'static str, MetricValue)> = self
+            .entries
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (*name, value)
+            })
+            .collect();
+        entries.sort_by_key(|&(name, _)| name);
+        MetricsSnapshot { entries }
+    }
+
+    /// The current state in the text exposition format
+    /// (see [`MetricsSnapshot::to_text`]).
+    pub fn render_text(&self) -> String {
+        self.snapshot().to_text()
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram copy.
+    Histogram(HistogramSnapshot),
+}
+
+/// An owned point-in-time copy of a [`MetricsRegistry`], sorted by name.
+///
+/// Snapshots render to text and diff: `later.diff(&earlier)` subtracts
+/// counters and histogram buckets (isolating the interval's samples) and
+/// keeps the later gauge readings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<(&'static str, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a metric, if present.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|&(n, _)| n.cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter reading by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram copy by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (*n, v))
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The interval between `earlier` and `self` (both snapshots of the same
+    /// registry, `earlier` taken first): counters and histograms subtract,
+    /// gauges keep the later reading, metrics new in `self` pass through.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let value = match (value, earlier.get(name)) {
+                    (MetricValue::Counter(v), Some(MetricValue::Counter(e))) => {
+                        MetricValue::Counter(v.saturating_sub(*e))
+                    }
+                    (MetricValue::Histogram(h), Some(MetricValue::Histogram(e))) => {
+                        MetricValue::Histogram(h.diff(e))
+                    }
+                    _ => value.clone(),
+                };
+                (*name, value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Renders the snapshot as one `key=value` row per metric:
+    ///
+    /// ```text
+    /// counter=<name> value=<n>
+    /// gauge=<name> value=<n>
+    /// histogram=<name> count=<n> p50=<ns> p90=<ns> p99=<ns> max=<ns> mean=<ns>
+    /// ```
+    ///
+    /// Rows are sorted by metric name; all latency figures are nanoseconds.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "counter={name} value={v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "gauge={name} value={v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram={name} count={} p50={} p90={} p99={} max={} mean={:.0}",
+                        h.count(),
+                        h.percentile(50.0),
+                        h.percentile(90.0),
+                        h.percentile(99.0),
+                        h.max().unwrap_or(0),
+                        h.mean(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    fn mock_registry() -> (MetricsRegistry, Arc<MockClock>) {
+        let clock = Arc::new(MockClock::new());
+        let registry = MetricsRegistry::with_telemetry(Telemetry::with_clock(clock.clone()));
+        (registry, clock)
+    }
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let mut registry = MetricsRegistry::new();
+        let hits = registry.counter("cache.hits");
+        let stall = registry.gauge("checkpoint.stall");
+        hits.inc();
+        hits.add(4);
+        stall.record_max(70);
+        stall.record_max(30);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(5));
+        assert_eq!(snap.gauge("checkpoint.stall"), Some(70));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_panic() {
+        let mut registry = MetricsRegistry::new();
+        let _a = registry.counter("x");
+        let _b = registry.gauge("x");
+    }
+
+    #[test]
+    fn metric_ids_are_stable_handles() {
+        let mut registry = MetricsRegistry::new();
+        let _c = registry.counter("b.second");
+        let _h = registry.histogram("a.first");
+        let id = registry.id("a.first").expect("registered");
+        assert_eq!(registry.name(id), "a.first");
+        assert!(matches!(registry.metric(id), Metric::Histogram(_)));
+        assert_eq!(registry.id("nope"), None);
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn spans_record_mock_elapsed_time() {
+        let (mut registry, clock) = mock_registry();
+        let stage = registry.stage("stage.filter_ns");
+        let span = Span::enter(&stage);
+        clock.advance(1_500);
+        assert_eq!(span.finish(), Duration::from_nanos(1_500));
+        clock.advance(10);
+        {
+            let _implicit = Span::enter(&stage);
+            clock.advance(2_500);
+            // Dropped without finish(): still records.
+        }
+        assert_eq!(stage.histogram().count(), 2);
+        assert_eq!(stage.histogram().max(), Some(2_500));
+    }
+
+    #[test]
+    fn disabled_telemetry_skips_spans_but_not_counters() {
+        let (mut registry, clock) = mock_registry();
+        let stage = registry.stage("stage.verify_ns");
+        let ops = registry.counter("ops");
+        registry.telemetry().set_enabled(false);
+        let span = Span::enter(&stage);
+        clock.advance(9_999);
+        ops.inc();
+        assert_eq!(span.finish(), Duration::ZERO);
+        assert!(stage.histogram().is_empty());
+        assert_eq!(ops.get(), 1);
+        registry.telemetry().set_enabled(true);
+        let span = Span::enter(&stage);
+        clock.advance(5);
+        span.finish();
+        assert_eq!(stage.histogram().count(), 1);
+    }
+
+    #[test]
+    fn exposition_text_is_sorted_and_parseable() {
+        let (mut registry, clock) = mock_registry();
+        let stage = registry.stage("b.stage_ns");
+        let hits = registry.counter("a.hits");
+        let depth = registry.gauge("c.depth");
+        hits.add(3);
+        depth.set(11);
+        let span = Span::enter(&stage);
+        clock.advance(100);
+        span.finish();
+        let text = registry.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "counter=a.hits value=3");
+        assert!(lines[1].starts_with("histogram=b.stage_ns count=1 p50=100"));
+        assert!(lines[1].contains("max=100"));
+        assert_eq!(lines[2], "gauge=c.depth value=11");
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_keeps_gauges() {
+        let mut registry = MetricsRegistry::new();
+        let hits = registry.counter("hits");
+        let depth = registry.gauge("depth");
+        hits.add(10);
+        depth.set(5);
+        let earlier = registry.snapshot();
+        hits.add(7);
+        depth.set(2);
+        let diff = registry.snapshot().diff(&earlier);
+        assert_eq!(diff.counter("hits"), Some(7));
+        assert_eq!(diff.gauge("depth"), Some(2));
+    }
+}

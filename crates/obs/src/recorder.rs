@@ -1,0 +1,336 @@
+//! The flight recorder: a fixed-capacity ring of recent structured events.
+//!
+//! Metrics aggregate; the recorder remembers *what just happened* — the last
+//! few hundred pipeline events (batches admitted, evictions, WAL fsyncs,
+//! checkpoints, subscription reclassifications) with sequence numbers and
+//! clock readings, dumpable on demand or automatically when a test
+//! assertion fires ([`DumpOnPanic`]).
+//!
+//! Recording is allocation-free: [`EventKind`] is a fixed-size `Copy` enum
+//! and the ring's slots are preallocated at construction, so the per-event
+//! cost is one short mutex hold and a clock read. Events are dropped (not
+//! recorded) while telemetry is disabled.
+
+use crate::metrics::Telemetry;
+use std::fmt;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// What happened. Fields are the small set of figures worth replaying when
+/// debugging an anomaly; everything is inline and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query batch entered the service pipeline.
+    BatchAdmitted {
+        /// Queries in the batch.
+        queries: u32,
+        /// How many were answered straight from the result cache.
+        cache_hits: u32,
+    },
+    /// Cache entries were evicted by an update.
+    CacheEvicted {
+        /// Entries removed.
+        entries: u32,
+        /// Whether this was a full drop (budget exhausted) rather than a
+        /// targeted region-scoped eviction.
+        full_drop: bool,
+    },
+    /// A WAL batch was appended (and, per configuration, fsynced).
+    WalAppend {
+        /// Records in the appended batch.
+        frames: u32,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A checkpoint started; updates stall until the matching end event.
+    CheckpointBegin,
+    /// A checkpoint finished.
+    CheckpointEnd {
+        /// Checkpoint duration in nanoseconds (= the update-path stall).
+        nanos: u64,
+    },
+    /// An update batch was classified against live subscriptions.
+    SubscriptionsClassified {
+        /// Subscriptions provably unaffected.
+        unaffected: u32,
+        /// Subscriptions patched in place (stable result membership).
+        stable: u32,
+        /// Subscriptions marked dirty for re-execution.
+        dirty: u32,
+    },
+    /// A dirty subscription was re-executed.
+    SubscriptionReexecuted {
+        /// The subscription id.
+        id: u64,
+        /// Transitions that entered its result.
+        entered: u32,
+        /// Transitions that left its result.
+        left: u32,
+    },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventKind::BatchAdmitted {
+                queries,
+                cache_hits,
+            } => write!(
+                f,
+                "event=batch_admitted queries={queries} cache_hits={cache_hits}"
+            ),
+            EventKind::CacheEvicted { entries, full_drop } => {
+                write!(
+                    f,
+                    "event=cache_evicted entries={entries} full_drop={full_drop}"
+                )
+            }
+            EventKind::WalAppend { frames, bytes } => {
+                write!(f, "event=wal_append frames={frames} bytes={bytes}")
+            }
+            EventKind::CheckpointBegin => write!(f, "event=checkpoint_begin"),
+            EventKind::CheckpointEnd { nanos } => {
+                write!(f, "event=checkpoint_end nanos={nanos}")
+            }
+            EventKind::SubscriptionsClassified {
+                unaffected,
+                stable,
+                dirty,
+            } => write!(
+                f,
+                "event=subs_classified unaffected={unaffected} stable={stable} dirty={dirty}"
+            ),
+            EventKind::SubscriptionReexecuted { id, entered, left } => {
+                write!(
+                    f,
+                    "event=sub_reexecuted id={id} entered={entered} left={left}"
+                )
+            }
+        }
+    }
+}
+
+/// One recorded event: a sequence number, a clock reading, and the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the recorder's total event stream (0-based, never
+    /// wraps back — lets a dump show how much history was lost).
+    pub seq: u64,
+    /// Telemetry clock reading when the event was recorded.
+    pub at_nanos: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} t={}ns {}", self.seq, self.at_nanos, self.kind)
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    /// Preallocated storage; grows to `capacity` once, then overwrites.
+    slots: Vec<Event>,
+    /// Next slot to overwrite once full.
+    next: usize,
+    /// Total events ever recorded.
+    seq: u64,
+}
+
+/// A fixed-capacity ring buffer of the most recent [`Event`]s.
+///
+/// Shared by `Arc`; recording is gated on the telemetry enable switch.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    telemetry: Telemetry,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// Default ring capacity used by the service layer.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A recorder keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize, telemetry: Telemetry) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            telemetry,
+            capacity,
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                next: 0,
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .expect("flight recorder poisoned")
+            .slots
+            .len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().expect("flight recorder poisoned").seq
+    }
+
+    /// Records an event (dropped while telemetry is disabled).
+    pub fn record(&self, kind: EventKind) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let at_nanos = self.telemetry.now_nanos();
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        let event = Event {
+            seq: ring.seq,
+            at_nanos,
+            kind,
+        };
+        ring.seq += 1;
+        if ring.slots.len() < self.capacity {
+            ring.slots.push(event);
+        } else {
+            let next = ring.next;
+            ring.slots[next] = event;
+            ring.next = (next + 1) % self.capacity;
+        }
+    }
+
+    /// The retained events, oldest first (cold path, allocates).
+    pub fn dump(&self) -> Vec<Event> {
+        let ring = self.ring.lock().expect("flight recorder poisoned");
+        let mut events = Vec::with_capacity(ring.slots.len());
+        if ring.slots.len() < self.capacity {
+            events.extend_from_slice(&ring.slots);
+        } else {
+            events.extend_from_slice(&ring.slots[ring.next..]);
+            events.extend_from_slice(&ring.slots[..ring.next]);
+        }
+        events
+    }
+
+    /// Renders the last `last` retained events as text, one per line, with a
+    /// header stating how much history the ring has seen in total.
+    pub fn render(&self, last: usize) -> String {
+        let events = self.dump();
+        let total = self.total_recorded();
+        let shown = events.len().min(last);
+        let mut out = format!("flight recorder: showing last {shown} of {total} event(s)\n");
+        for event in &events[events.len() - shown..] {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A guard that dumps a flight recorder to stderr if the current thread
+/// panics while it is alive — install one at the top of a test to see the
+/// last pipeline events when an invariant assertion fires.
+#[derive(Debug)]
+pub struct DumpOnPanic {
+    recorder: Arc<FlightRecorder>,
+    last: usize,
+}
+
+impl DumpOnPanic {
+    /// Dumps the last `last` events of `recorder` on panic.
+    pub fn new(recorder: Arc<FlightRecorder>, last: usize) -> Self {
+        DumpOnPanic { recorder, last }
+    }
+}
+
+impl Drop for DumpOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("{}", self.recorder.render(self.last));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    fn mock_recorder(capacity: usize) -> (FlightRecorder, Arc<MockClock>) {
+        let clock = Arc::new(MockClock::new());
+        let recorder = FlightRecorder::new(capacity, Telemetry::with_clock(clock.clone()));
+        (recorder, clock)
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let (recorder, clock) = mock_recorder(3);
+        for i in 0..5u64 {
+            clock.advance(10);
+            recorder.record(EventKind::CheckpointEnd { nanos: i });
+        }
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.total_recorded(), 5);
+        let events = recorder.dump();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(events[0].at_nanos, 30);
+        assert_eq!(events[2].kind, EventKind::CheckpointEnd { nanos: 4 });
+    }
+
+    #[test]
+    fn disabled_telemetry_drops_events() {
+        let (recorder, _clock) = mock_recorder(4);
+        recorder.record(EventKind::CheckpointBegin);
+        recorder.telemetry.set_enabled(false);
+        recorder.record(EventKind::CheckpointBegin);
+        assert_eq!(recorder.total_recorded(), 1);
+    }
+
+    #[test]
+    fn render_shows_tail_with_header() {
+        let (recorder, _clock) = mock_recorder(8);
+        recorder.record(EventKind::BatchAdmitted {
+            queries: 64,
+            cache_hits: 10,
+        });
+        recorder.record(EventKind::CacheEvicted {
+            entries: 3,
+            full_drop: false,
+        });
+        let text = recorder.render(1);
+        assert!(text.starts_with("flight recorder: showing last 1 of 2"));
+        assert!(text.contains("event=cache_evicted entries=3 full_drop=false"));
+        assert!(!text.contains("batch_admitted"));
+    }
+
+    #[test]
+    fn event_display_is_key_value_shaped() {
+        let event = Event {
+            seq: 7,
+            at_nanos: 1_234,
+            kind: EventKind::SubscriptionReexecuted {
+                id: 3,
+                entered: 1,
+                left: 2,
+            },
+        };
+        assert_eq!(
+            event.to_string(),
+            "#7 t=1234ns event=sub_reexecuted id=3 entered=1 left=2"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests pinning down the histogram's three contracts: percentile
+//! estimates respect the log-linear bucket error bound against a sorted
+//! oracle, merging two histograms is indistinguishable from recording every
+//! sample into one, and concurrent recording from many threads loses no
+//! counts.
+
+use proptest::prelude::*;
+use rknnt_obs::Histogram;
+
+/// Mixed-magnitude sample draws: small exact-range values, mid-range, and
+/// large values near the top octaves, so the buckets exercised span the
+/// exact region, the linear sub-buckets and the wide high groups.
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    let value = prop_oneof![
+        0u64..16,
+        16u64..4_096,
+        4_096u64..1_000_000,
+        1_000_000u64..u64::MAX / 2,
+    ];
+    prop::collection::vec(value, 1..200)
+}
+
+/// The true order statistic the histogram approximates: the rank-⌈p·n/100⌉
+/// sample of the sorted data (1-based, clamped like `percentile_rank`).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = (((p / 100.0) * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// estimate ≥ v* always, and estimate − v* ≤ v*/16 for v* ≥ 16 (the
+    /// 6.25% bucket-width bound); exact below 16 where buckets are unit.
+    #[test]
+    fn percentile_respects_the_bucket_error_bound(samples in samples_strategy()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let truth = exact_percentile(&sorted, p);
+            let estimate = h.percentile(p);
+            prop_assert!(
+                estimate >= truth,
+                "p{p}: estimate {estimate} undershoots true {truth}"
+            );
+            if truth < 16 {
+                // Unit-width buckets below 16: the estimate is exact.
+                prop_assert_eq!(estimate, truth);
+            } else {
+                prop_assert!(
+                    estimate - truth <= truth / 16,
+                    "p{p}: estimate {estimate} overshoots true {truth} by more than 1/16"
+                );
+            }
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), sorted.first().copied());
+        prop_assert_eq!(h.max(), sorted.last().copied());
+    }
+
+    /// merge(a, b) is bucket-exact: identical snapshot, count, sum, min,
+    /// max and percentiles to recording every sample into one histogram.
+    #[test]
+    fn merge_equals_recording_into_one(
+        left in samples_strategy(),
+        right in samples_strategy(),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.snapshot(), combined.snapshot());
+        prop_assert_eq!(a.count(), combined.count());
+        prop_assert_eq!(a.sum(), combined.sum());
+        for p in [50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(a.percentile(p), combined.percentile(p));
+        }
+    }
+}
+
+/// N threads hammering one histogram lose no samples: the final count, sum
+/// and extremes equal the sequential reference over the same values.
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let shared = Histogram::new();
+    let reference = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let shared = &shared;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic mixed-magnitude values, distinct per
+                    // thread, covering exact and log-linear buckets.
+                    let v = (t * PER_THREAD + i).wrapping_mul(2_654_435_761) % 1_000_000;
+                    shared.record(v);
+                }
+            });
+        }
+    });
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let v = (t * PER_THREAD + i).wrapping_mul(2_654_435_761) % 1_000_000;
+            reference.record(v);
+        }
+    }
+    assert_eq!(shared.count(), THREADS * PER_THREAD);
+    assert_eq!(shared.snapshot(), reference.snapshot());
+    assert_eq!(shared.sum(), reference.sum());
+    assert_eq!(shared.min(), reference.min());
+    assert_eq!(shared.max(), reference.max());
+    for p in [50.0, 99.0, 100.0] {
+        assert_eq!(shared.percentile(p), reference.percentile(p));
+    }
+}

@@ -1,6 +1,7 @@
 //! Batch formation and per-group execution: spatial grouping, shared-filter
 //! reuse, duplicate coalescing and the [`BatchStats`] counters.
 
+use crate::metrics::ServiceMetrics;
 use crate::policy::EnginePolicy;
 use rknnt_core::{
     EngineKind, FilterFootprint, FilterOutcome, FilterRefineEngine, QueryScratch, RknnTEngine,
@@ -126,14 +127,6 @@ pub(crate) fn form_groups<'q>(
         .collect()
 }
 
-/// Counters accumulated by group execution.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct GroupCounters {
-    pub filter_constructions: usize,
-    pub filters_saved: usize,
-    pub duplicates_coalesced: usize,
-}
-
 /// Exact-identity key for coalescing and filter sharing inside a group,
 /// produced by [`crate::cache::route_bits`] — the same mapping the cache key
 /// uses, so cache, coalescing and filter sharing can never disagree about
@@ -181,12 +174,17 @@ pub(crate) type GroupOutput = (usize, RknntResult, Option<Arc<FilterFootprint>>)
 /// identical pipeline, and the worker-owned `scratch` only recycles buffers
 /// — the engines' scratch paths are property-tested byte-identical to their
 /// allocating twins.
+///
+/// Work counters go straight to the registry cells in `metrics` (the caller
+/// diffs them into [`BatchStats`]); each *fresh* execution also feeds the
+/// engine-reported filtering/verification split into the stage histograms
+/// (coalesced clones are skipped so no sample is counted twice).
 pub(crate) fn run_group<'q>(
     engine: &PreparedEngine<'_>,
     group: &Group<'q>,
     scratch: &mut QueryScratch,
     out: &mut Vec<GroupOutput>,
-    counters: &mut GroupCounters,
+    metrics: &ServiceMetrics,
 ) {
     // (route, k, semantics) -> position in `out` of the first identical
     // query's result, for exact-duplicate coalescing.
@@ -204,7 +202,7 @@ pub(crate) fn run_group<'q>(
             let (_, result, footprint) = &out[first];
             let cloned = (job.index, result.clone(), footprint.clone());
             out.push(cloned);
-            counters.duplicates_coalesced += 1;
+            metrics.duplicates_coalesced.inc();
             continue;
         }
         let (result, footprint) = match engine {
@@ -215,11 +213,11 @@ pub(crate) fn run_group<'q>(
                     let filter_key = (bits, job.query.k);
                     let (outcome, footprint) = match filters.entry(filter_key) {
                         std::collections::hash_map::Entry::Occupied(entry) => {
-                            counters.filters_saved += 1;
+                            metrics.filters_saved.inc();
                             entry.into_mut()
                         }
                         std::collections::hash_map::Entry::Vacant(entry) => {
-                            counters.filter_constructions += 1;
+                            metrics.filter_constructions.inc();
                             let outcome = fr.build_filter(job.query);
                             let footprint = Arc::new(fr.footprint_for(job.query, &outcome));
                             entry.insert((outcome, footprint))
@@ -233,6 +231,7 @@ pub(crate) fn run_group<'q>(
             }
             PreparedEngine::Plain(engine) => (engine.execute_scratch(job.query, scratch), None),
         };
+        metrics.record_engine_timings(&result.timings);
         seen.insert(full_key, out.len());
         out.push((job.index, result, footprint));
     }

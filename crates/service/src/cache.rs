@@ -13,6 +13,7 @@
 
 use crate::region::EntryRegion;
 use rknnt_core::{RknntQuery, RknntResult, Semantics};
+use rknnt_obs::Counter;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
 
@@ -80,7 +81,7 @@ impl BuildHasher for SeededState {
 }
 
 /// Monotonic counters exposed for observability and asserted by the
-/// cache tests.
+/// cache tests. A plain-value copy of the cache's [`CacheCounters`] cells.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that returned a cached result.
@@ -96,6 +97,31 @@ pub struct CacheStats {
     /// Entries evicted by region-scoped invalidation
     /// ([`ResultCache::evict_where`]).
     pub targeted_evictions: u64,
+    /// Entries dropped by full invalidations (each invalidation adds the
+    /// number of entries it cleared).
+    pub invalidated_entries: u64,
+}
+
+/// The atomic counter cells the cache increments in place of ad-hoc struct
+/// fields. The service registers these cells with its metrics registry, so
+/// cache activity shows up in every snapshot without extra plumbing; a
+/// standalone cache gets unregistered cells.
+#[derive(Debug, Clone, Default)]
+pub struct CacheCounters {
+    /// Lookup hits.
+    pub hits: Counter,
+    /// Lookup misses.
+    pub misses: Counter,
+    /// Results stored.
+    pub insertions: Counter,
+    /// LRU evictions.
+    pub evictions: Counter,
+    /// Full invalidations.
+    pub invalidations: Counter,
+    /// Entries dropped by `evict_where`.
+    pub targeted_evictions: Counter,
+    /// Entries dropped by full invalidations.
+    pub invalidated_entries: Counter,
 }
 
 struct Slot {
@@ -116,13 +142,18 @@ pub struct ResultCache {
     free: Vec<usize>,
     head: usize,
     tail: usize,
-    stats: CacheStats,
+    counters: CacheCounters,
 }
 
 impl ResultCache {
     /// A cache holding at most `capacity` results. Capacity 0 disables
-    /// storage (every lookup misses).
+    /// storage (every lookup misses). Counts into fresh, unregistered cells.
     pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_counters(capacity, seed, CacheCounters::default())
+    }
+
+    /// A cache counting into the given (typically registry-owned) cells.
+    pub fn with_counters(capacity: usize, seed: u64, counters: CacheCounters) -> Self {
         ResultCache {
             capacity,
             map: HashMap::with_hasher(SeededState(seed)),
@@ -130,7 +161,7 @@ impl ResultCache {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
-            stats: CacheStats::default(),
+            counters,
         }
     }
 
@@ -146,20 +177,28 @@ impl ResultCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            insertions: self.counters.insertions.get(),
+            evictions: self.counters.evictions.get(),
+            invalidations: self.counters.invalidations.get(),
+            targeted_evictions: self.counters.targeted_evictions.get(),
+            invalidated_entries: self.counters.invalidated_entries.get(),
+        }
     }
 
     /// Looks up a query, refreshing its recency on a hit.
     pub fn get(&mut self, key: &CacheKey) -> Option<RknntResult> {
         match self.map.get(key).copied() {
             Some(slot) => {
-                self.stats.hits += 1;
+                self.counters.hits.inc();
                 self.unlink(slot);
                 self.push_front(slot);
                 Some(self.slots[slot].value.clone())
             }
             None => {
-                self.stats.misses += 1;
+                self.counters.misses.inc();
                 None
             }
         }
@@ -207,7 +246,7 @@ impl ResultCache {
         };
         self.map.insert(key, slot);
         self.push_front(slot);
-        self.stats.insertions += 1;
+        self.counters.insertions.inc();
     }
 
     /// Read-only iteration over the live entries, in no particular order —
@@ -241,18 +280,19 @@ impl ResultCache {
             self.map.remove(&self.slots[*slot].key);
             self.free.push(*slot);
         }
-        self.stats.targeted_evictions += victims.len() as u64;
+        self.counters.targeted_evictions.add(victims.len() as u64);
         victims.len()
     }
 
     /// Drops every entry (the generation-bump hook).
     pub fn invalidate_all(&mut self) {
+        self.counters.invalidated_entries.add(self.map.len() as u64);
         self.map.clear();
         self.slots.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
-        self.stats.invalidations += 1;
+        self.counters.invalidations.inc();
     }
 
     fn evict_lru(&mut self) {
@@ -263,7 +303,7 @@ impl ResultCache {
         self.unlink(victim);
         self.map.remove(&self.slots[victim].key);
         self.free.push(victim);
-        self.stats.evictions += 1;
+        self.counters.evictions.inc();
     }
 
     fn unlink(&mut self, slot: usize) {

@@ -70,13 +70,15 @@
 mod batch;
 mod cache;
 pub mod durable;
+pub mod metrics;
 pub mod monitor;
 mod policy;
 pub mod region;
 mod service;
 
 pub use batch::{BatchPhaseTimings, BatchStats};
-pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use cache::{CacheCounters, CacheKey, CacheStats, ResultCache};
+pub use metrics::ServiceMetrics;
 pub use monitor::{DeltaReason, SubscriptionDelta, SubscriptionId};
 pub use policy::EnginePolicy;
 pub use region::EntryRegion;

@@ -1,0 +1,257 @@
+//! The service's metric catalog: every counter, gauge, stage histogram and
+//! the flight recorder, registered once per [`QueryService`] and threaded
+//! through the pipeline as preallocated cells.
+//!
+//! Metric names are stable ids, grouped by layer:
+//!
+//! | prefix | what |
+//! |---|---|
+//! | `service.batch.*` | batch admission: queries, batches, groups, filter sharing, coalescing |
+//! | `service.cache.*` | result-cache counters (hits, misses, evictions, …) |
+//! | `service.stage.*_ns` | per-stage latency histograms: `cache_lookup`, `grouping`, `execution`, `finalize`, plus engine-reported `filter` / `verify` |
+//! | `service.update.*` | update admission and eviction strategy counts |
+//! | `service.subs.*` | subscription classification outcomes |
+//! | `storage.wal.*` | WAL appends, bytes, and `fsync_ns` latency |
+//! | `storage.checkpoint*` | checkpoint duration and the `checkpoint_stall_ns` high-water gauge |
+//!
+//! The public stats structs ([`BatchStats`](crate::BatchStats),
+//! [`UpdateStats`](crate::UpdateStats)) are populated by diffing cheap
+//! fixed-size counter views around each call rather than by hand-threaded
+//! field increments; the views are plain `u64` arrays of relaxed loads, so
+//! the hot path never snapshots histograms or allocates.
+//!
+//! [`QueryService`]: crate::QueryService
+
+use crate::cache::CacheCounters;
+use rknnt_core::PhaseTimings;
+use rknnt_obs::{
+    Counter, EventKind, FlightRecorder, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Stage,
+};
+use rknnt_storage::StorageInstruments;
+use std::sync::Arc;
+
+/// All metric cells of one [`crate::QueryService`], plus the registry that
+/// exposes them and the flight recorder of recent pipeline events.
+///
+/// Obtained via [`crate::QueryService::metrics`]. Counters and gauges are
+/// always live (the exact per-call stats depend on them); span timing,
+/// histogram recording and flight-recorder events can be switched off with
+/// [`ServiceMetrics::set_enabled`] — the `obs_overhead` bench experiment
+/// holds their enabled cost to ≤5% of throughput.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    registry: MetricsRegistry,
+    recorder: Arc<FlightRecorder>,
+
+    // Batch admission.
+    pub(crate) queries: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) groups: Counter,
+    pub(crate) filter_constructions: Counter,
+    pub(crate) filters_saved: Counter,
+    pub(crate) duplicates_coalesced: Counter,
+
+    // Result cache (shared cells with the cache itself).
+    pub(crate) cache: CacheCounters,
+
+    // Pipeline stages.
+    pub(crate) stage_lookup: Stage,
+    pub(crate) stage_grouping: Stage,
+    pub(crate) stage_execution: Stage,
+    pub(crate) stage_finalize: Stage,
+    pub(crate) filter_ns: Arc<Histogram>,
+    pub(crate) verify_ns: Arc<Histogram>,
+
+    // Update path.
+    pub(crate) update_applied: Counter,
+    pub(crate) update_rejected: Counter,
+    pub(crate) full_drops: Counter,
+    pub(crate) targeted_route_removals: Counter,
+
+    // Subscription classification.
+    pub(crate) subs_unaffected: Counter,
+    pub(crate) subs_stable: Counter,
+    pub(crate) subs_dirty: Counter,
+    pub(crate) subs_reexecuted: Counter,
+
+    // Storage (incremented by the storage engine through
+    // [`StorageInstruments`]).
+    pub(crate) wal_appends: Counter,
+    pub(crate) wal_bytes: Counter,
+    wal_fsync: Stage,
+    checkpoint: Stage,
+    checkpoint_stall: Gauge,
+}
+
+impl ServiceMetrics {
+    /// Registers the full catalog against a fresh registry with production
+    /// (monotonic) telemetry.
+    pub(crate) fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        let recorder = Arc::new(FlightRecorder::new(
+            FlightRecorder::DEFAULT_CAPACITY,
+            registry.telemetry().clone(),
+        ));
+        let cache = CacheCounters {
+            hits: registry.counter("service.cache.hits"),
+            misses: registry.counter("service.cache.misses"),
+            insertions: registry.counter("service.cache.insertions"),
+            evictions: registry.counter("service.cache.evictions"),
+            invalidations: registry.counter("service.cache.invalidations"),
+            targeted_evictions: registry.counter("service.cache.targeted_evictions"),
+            invalidated_entries: registry.counter("service.cache.invalidated_entries"),
+        };
+        ServiceMetrics {
+            queries: registry.counter("service.batch.queries"),
+            batches: registry.counter("service.batch.count"),
+            groups: registry.counter("service.batch.groups"),
+            filter_constructions: registry.counter("service.batch.filter_constructions"),
+            filters_saved: registry.counter("service.batch.filters_saved"),
+            duplicates_coalesced: registry.counter("service.batch.duplicates_coalesced"),
+            cache,
+            stage_lookup: registry.stage("service.stage.cache_lookup_ns"),
+            stage_grouping: registry.stage("service.stage.grouping_ns"),
+            stage_execution: registry.stage("service.stage.execution_ns"),
+            stage_finalize: registry.stage("service.stage.finalize_ns"),
+            filter_ns: registry.histogram("service.stage.filter_ns"),
+            verify_ns: registry.histogram("service.stage.verify_ns"),
+            update_applied: registry.counter("service.update.applied"),
+            update_rejected: registry.counter("service.update.rejected"),
+            full_drops: registry.counter("service.update.full_drops"),
+            targeted_route_removals: registry.counter("service.update.targeted_route_removals"),
+            subs_unaffected: registry.counter("service.subs.unaffected"),
+            subs_stable: registry.counter("service.subs.stable"),
+            subs_dirty: registry.counter("service.subs.dirty"),
+            subs_reexecuted: registry.counter("service.subs.reexecuted"),
+            wal_appends: registry.counter("storage.wal.appends"),
+            wal_bytes: registry.counter("storage.wal.bytes"),
+            wal_fsync: registry.stage("storage.wal.fsync_ns"),
+            checkpoint: registry.stage("storage.checkpoint_ns"),
+            checkpoint_stall: registry.gauge("storage.checkpoint_stall_ns"),
+            recorder,
+            registry,
+        }
+    }
+
+    /// The underlying registry (ids, individual cells, raw snapshots).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The flight recorder of recent pipeline events.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Whether timing instrumentation is live.
+    pub fn enabled(&self) -> bool {
+        self.registry.telemetry().enabled()
+    }
+
+    /// Turns span timing, histogram recording and flight-recorder events on
+    /// or off. Counters and gauges stay live either way, so the exact
+    /// per-call stats keep working.
+    pub fn set_enabled(&self, on: bool) {
+        self.registry.telemetry().set_enabled(on);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The current metrics in the text exposition format.
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
+    }
+
+    /// Records a flight-recorder event (dropped while disabled).
+    #[inline]
+    pub(crate) fn record_event(&self, kind: EventKind) {
+        self.recorder.record(kind);
+    }
+
+    /// Feeds the engine-reported filtering/verification split of one fresh
+    /// execution into the stage histograms. The engines already measure
+    /// these phases for [`rknnt_core::RknntResult::timings`], so this costs
+    /// no extra clock reads.
+    #[inline]
+    pub(crate) fn record_engine_timings(&self, timings: &PhaseTimings) {
+        if self.registry.telemetry().enabled() {
+            self.filter_ns.record_duration(timings.filtering);
+            self.verify_ns.record_duration(timings.verification);
+        }
+    }
+
+    /// The cells the storage engine increments, pre-bound to this registry.
+    pub(crate) fn storage_instruments(&self) -> StorageInstruments {
+        StorageInstruments {
+            wal_appends: self.wal_appends.clone(),
+            wal_bytes: self.wal_bytes.clone(),
+            wal_fsync: self.wal_fsync.clone(),
+            checkpoint: self.checkpoint.clone(),
+            checkpoint_stall: self.checkpoint_stall.clone(),
+            recorder: self.recorder.clone(),
+        }
+    }
+
+    /// Relaxed loads of the counters [`crate::BatchStats`] is diffed from.
+    #[inline]
+    pub(crate) fn batch_view(&self) -> BatchCounterView {
+        BatchCounterView {
+            cache_hits: self.cache.hits.get(),
+            filter_constructions: self.filter_constructions.get(),
+            filters_saved: self.filters_saved.get(),
+            duplicates_coalesced: self.duplicates_coalesced.get(),
+        }
+    }
+
+    /// Relaxed loads of the counters [`crate::UpdateStats`] is diffed from.
+    #[inline]
+    pub(crate) fn update_view(&self) -> UpdateCounterView {
+        UpdateCounterView {
+            applied: self.update_applied.get(),
+            rejected: self.update_rejected.get(),
+            evicted_entries: self.cache.targeted_evictions.get()
+                + self.cache.invalidated_entries.get(),
+            full_drops: self.full_drops.get(),
+            targeted_route_removals: self.targeted_route_removals.get(),
+            subs_unaffected: self.subs_unaffected.get(),
+            subs_stable: self.subs_stable.get(),
+            subs_dirty: self.subs_dirty.get(),
+            subs_reexecuted: self.subs_reexecuted.get(),
+            wal_appends: self.wal_appends.get(),
+            wal_bytes: self.wal_bytes.get(),
+        }
+    }
+}
+
+/// Counter readings taken before a batch executes; the readings afterwards
+/// minus these are the batch's [`crate::BatchStats`] counts. (Two batches
+/// running concurrently each see the union of what happened during their
+/// own window — the global registry stays exact.)
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchCounterView {
+    pub(crate) cache_hits: u64,
+    pub(crate) filter_constructions: u64,
+    pub(crate) filters_saved: u64,
+    pub(crate) duplicates_coalesced: u64,
+}
+
+/// Counter readings taken before an update batch applies (updates hold
+/// `&mut self`, so the window is exclusive and the diff exact).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UpdateCounterView {
+    pub(crate) applied: u64,
+    pub(crate) rejected: u64,
+    /// Targeted evictions + entries dropped by full invalidations.
+    pub(crate) evicted_entries: u64,
+    pub(crate) full_drops: u64,
+    pub(crate) targeted_route_removals: u64,
+    pub(crate) subs_unaffected: u64,
+    pub(crate) subs_stable: u64,
+    pub(crate) subs_dirty: u64,
+    pub(crate) subs_reexecuted: u64,
+    pub(crate) wal_appends: u64,
+    pub(crate) wal_bytes: u64,
+}

@@ -32,11 +32,12 @@
 //! [`QueryService::apply_updates`]: crate::QueryService::apply_updates
 //! [`StoreUpdate`]: crate::StoreUpdate
 
+use crate::metrics::ServiceMetrics;
 use crate::region::EntryRegion;
-use crate::service::UpdateStats;
 use rknnt_core::{RknntQuery, RknntResult};
 use rknnt_geo::{Point, Rect};
 use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+use rknnt_obs::EventKind;
 use std::collections::BTreeMap;
 
 /// Work budget for one subscription's route-removal certificate
@@ -223,15 +224,17 @@ impl SubscriptionRegistry {
         effect: &UpdateEffect<'_>,
         routes: &RouteStore,
         transitions: &TransitionStore,
-        stats: &mut UpdateStats,
+        metrics: &ServiceMetrics,
+        deltas: &mut Vec<SubscriptionDelta>,
     ) {
+        let (mut unaffected, mut stable, mut dirty) = (0u64, 0u64, 0u64);
         for (id, sub) in self.subs.iter_mut() {
             if sub.dirty {
                 continue;
             }
             if sub.query.is_degenerate() {
                 // Constant empty result, immune to churn.
-                stats.subs_unaffected += 1;
+                unaffected += 1;
                 continue;
             }
             match effect {
@@ -243,23 +246,23 @@ impl SubscriptionRegistry {
                         .region
                         .survives_transition_insert(routes, origin, destination)
                     {
-                        stats.subs_stable += 1;
+                        stable += 1;
                     } else {
                         sub.dirty = true;
-                        stats.subs_dirty += 1;
+                        dirty += 1;
                     }
                 }
                 UpdateEffect::TransitionRemove { id: expired } => {
                     match sub.result.binary_search(expired) {
-                        Err(_) => stats.subs_unaffected += 1,
+                        Err(_) => unaffected += 1,
                         Ok(pos) => {
                             // Exact in-place maintenance: qualification of
                             // every other transition depends only on routes,
                             // so the result loses exactly this member.
                             sub.result.remove(pos);
                             sub.region = rebuilt_region(sub, transitions);
-                            stats.subs_stable += 1;
-                            stats.deltas.push(SubscriptionDelta {
+                            stable += 1;
+                            deltas.push(SubscriptionDelta {
                                 subscription: SubscriptionId(*id),
                                 entered: Vec::new(),
                                 left: vec![*expired],
@@ -270,10 +273,10 @@ impl SubscriptionRegistry {
                 }
                 UpdateEffect::RouteInsert { mbr } => {
                     if sub.region.survives_route_insert(mbr) {
-                        stats.subs_stable += 1;
+                        stable += 1;
                     } else {
                         sub.dirty = true;
-                        stats.subs_dirty += 1;
+                        dirty += 1;
                     }
                 }
                 UpdateEffect::RouteRemove {
@@ -289,13 +292,23 @@ impl SubscriptionRegistry {
                         points,
                         &mut budget,
                     ) {
-                        stats.subs_stable += 1;
+                        stable += 1;
                     } else {
                         sub.dirty = true;
-                        stats.subs_dirty += 1;
+                        dirty += 1;
                     }
                 }
             }
+        }
+        metrics.subs_unaffected.add(unaffected);
+        metrics.subs_stable.add(stable);
+        metrics.subs_dirty.add(dirty);
+        if unaffected + stable + dirty > 0 {
+            metrics.record_event(EventKind::SubscriptionsClassified {
+                unaffected: u32::try_from(unaffected).unwrap_or(u32::MAX),
+                stable: u32::try_from(stable).unwrap_or(u32::MAX),
+                dirty: u32::try_from(dirty).unwrap_or(u32::MAX),
+            });
         }
     }
 
@@ -307,7 +320,8 @@ impl SubscriptionRegistry {
         id: u64,
         new_result: Vec<TransitionId>,
         region: EntryRegion,
-        stats: &mut UpdateStats,
+        metrics: &ServiceMetrics,
+        deltas: &mut Vec<SubscriptionDelta>,
     ) {
         let sub = self.subs.get_mut(&id).expect("re-executed sub must exist");
         debug_assert!(sub.dirty, "only dirty subscriptions are re-executed");
@@ -325,9 +339,14 @@ impl SubscriptionRegistry {
         sub.result = new_result;
         sub.region = region;
         sub.dirty = false;
-        stats.subs_reexecuted += 1;
+        metrics.subs_reexecuted.inc();
+        metrics.record_event(EventKind::SubscriptionReexecuted {
+            id,
+            entered: u32::try_from(entered.len()).unwrap_or(u32::MAX),
+            left: u32::try_from(left.len()).unwrap_or(u32::MAX),
+        });
         if !entered.is_empty() || !left.is_empty() {
-            stats.deltas.push(SubscriptionDelta {
+            deltas.push(SubscriptionDelta {
                 subscription: SubscriptionId(id),
                 entered,
                 left,

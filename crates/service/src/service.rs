@@ -1,19 +1,20 @@
 //! The [`QueryService`]: owns the stores, executes batches across a worker
 //! pool and fronts them with the LRU result cache.
 
-use crate::batch::{form_groups, run_group, BatchStats, Group, GroupCounters, PreparedEngine};
+use crate::batch::{form_groups, run_group, BatchStats, Group, PreparedEngine};
 use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::metrics::{ServiceMetrics, UpdateCounterView};
 use crate::monitor::{SubscriptionDelta, SubscriptionId, SubscriptionRegistry, UpdateEffect};
 use crate::policy::EnginePolicy;
 use crate::region::EntryRegion;
 use rknnt_core::{FilterFootprint, RknntQuery, RknntResult};
 use rknnt_geo::{Point, Rect};
 use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+use rknnt_obs::{EventKind, FlightRecorder, MetricsSnapshot, Span};
 use rknnt_storage::{Storage, StorageConfig, StorageError, StorageStats};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// Work budget per cached entry for the route-removal survival scan; when
 /// the shared budget (`per-entry × entries`) is exhausted mid-call the
@@ -164,12 +165,18 @@ pub struct QueryService {
     generation: AtomicU64,
     monitor: SubscriptionRegistry,
     storage: Option<Storage>,
+    metrics: ServiceMetrics,
 }
 
 impl QueryService {
     /// Creates a service over the given stores.
     pub fn new(routes: RouteStore, transitions: TransitionStore, config: ServiceConfig) -> Self {
-        let cache = Mutex::new(ResultCache::new(config.cache_capacity, config.cache_seed));
+        let metrics = ServiceMetrics::new();
+        let cache = Mutex::new(ResultCache::with_counters(
+            config.cache_capacity,
+            config.cache_seed,
+            metrics.cache.clone(),
+        ));
         QueryService {
             routes,
             transitions,
@@ -178,6 +185,7 @@ impl QueryService {
             generation: AtomicU64::new(0),
             monitor: SubscriptionRegistry::default(),
             storage: None,
+            metrics,
         }
     }
 
@@ -197,11 +205,12 @@ impl QueryService {
         config: ServiceConfig,
         storage_config: StorageConfig,
     ) -> Result<(Self, StorageStats), StorageError> {
-        let (storage, recovery) = Storage::open(dir, storage_config)?;
+        let (mut storage, recovery) = Storage::open(dir, storage_config)?;
         let (routes, transitions) = recovery
             .stores
             .unwrap_or_else(|| (RouteStore::default(), TransitionStore::default()));
         let mut service = QueryService::new(routes, transitions, config);
+        storage.set_instruments(service.metrics.storage_instruments());
         let mut updates = Vec::with_capacity(recovery.tail.len());
         for record in &recovery.tail {
             updates.push(StoreUpdate::from_wal_record(record).map_err(|e| {
@@ -239,6 +248,7 @@ impl QueryService {
                 dir: dir.to_path_buf(),
             });
         }
+        storage.set_instruments(self.metrics.storage_instruments());
         // Checkpoint *before* attaching: if the initial snapshot cannot be
         // written there is no durable baseline, and leaving the directory
         // attached would let the WAL grow against state recovery could
@@ -307,6 +317,37 @@ impl QueryService {
     /// Number of results currently cached.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("cache lock").len()
+    }
+
+    /// The service's metric catalog: registry access, per-stage latency
+    /// histograms, the flight recorder and the enable switch.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of every registered metric; diff two snapshots
+    /// to isolate an interval.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The current metrics in the text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_text()
+    }
+
+    /// Shared handle to the flight recorder of recent pipeline events (for
+    /// [`rknnt_obs::DumpOnPanic`] and on-demand dumps).
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        self.metrics.recorder().clone()
+    }
+
+    /// Turns span timing, histogram recording and flight-recorder events on
+    /// or off. Counters stay live, so the exact per-call
+    /// [`BatchStats`]/[`UpdateStats`] counts keep working; the wall-clock
+    /// `timings` fields read zero while disabled.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.metrics.set_enabled(on);
     }
 
     /// Drops every cached result and bumps the generation. Safe to call
@@ -406,15 +447,15 @@ impl QueryService {
             return;
         }
         self.monitor.mark_all_dirty();
-        let mut scratch = UpdateStats::default();
-        self.reexecute_dirty_subscriptions(&mut scratch);
-        self.monitor.push_pending(scratch.deltas);
+        let mut deltas = Vec::new();
+        self.reexecute_dirty_subscriptions(&mut deltas);
+        self.monitor.push_pending(deltas);
     }
 
     /// Re-executes every dirty subscription through the grouped batch
     /// machinery (shared filter constructions, worker pool) against the
     /// current stores, installing results and emitting deltas.
-    fn reexecute_dirty_subscriptions(&mut self, stats: &mut UpdateStats) {
+    fn reexecute_dirty_subscriptions(&mut self, deltas: &mut Vec<SubscriptionDelta>) {
         let dirty = self.monitor.dirty_ids();
         if dirty.is_empty() {
             return;
@@ -428,7 +469,7 @@ impl QueryService {
         {
             let region = EntryRegion::record(query, &result, footprint, &self.transitions);
             self.monitor
-                .finish_reexecution(id, result.transitions, region, stats);
+                .finish_reexecution(id, result.transitions, region, &self.metrics, deltas);
         }
     }
 
@@ -483,24 +524,32 @@ impl QueryService {
         &mut self,
         updates: Vec<StoreUpdate>,
     ) -> Result<UpdateStats, StorageError> {
-        let mut wal_appends = 0usize;
-        let mut wal_bytes = 0u64;
+        // Read the counter baseline *before* the WAL append so the frames
+        // and bytes the storage instruments record land in this call's diff.
+        let base = self.metrics.update_view();
         if let Some(storage) = &mut self.storage {
             let records: Vec<Vec<u8>> = updates.iter().map(StoreUpdate::to_wal_record).collect();
-            let (frames, bytes) = storage.append(&records)?;
-            wal_appends = frames as usize;
-            wal_bytes = bytes;
+            storage.append(&records)?;
         }
-        let mut stats = self.apply_updates_unlogged(updates);
-        stats.wal_appends = wal_appends;
-        stats.wal_bytes = wal_bytes;
-        Ok(stats)
+        Ok(self.apply_updates_from(updates, base))
     }
 
     /// The update path proper, shared by the logged entry points above and
     /// by WAL replay during [`QueryService::open`] (which must not
     /// re-append what it replays).
     pub(crate) fn apply_updates_unlogged(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
+        let base = self.metrics.update_view();
+        self.apply_updates_from(updates, base)
+    }
+
+    /// Applies the updates and builds the [`UpdateStats`] by diffing the
+    /// registry counters against `base` — updates hold `&mut self`, so the
+    /// window is exclusive and the diff exact.
+    fn apply_updates_from(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        base: UpdateCounterView,
+    ) -> UpdateStats {
         let mut stats = UpdateStats {
             // Deliver deltas buffered by wholesale swaps first so replaying
             // `deltas` in order stays correct across both update paths.
@@ -514,19 +563,18 @@ impl QueryService {
                     destination,
                 } => {
                     let Some(id) = self.transitions.insert(origin, destination) else {
-                        stats.rejected += 1;
+                        self.metrics.update_rejected.inc();
                         continue;
                     };
-                    stats.applied += 1;
+                    self.metrics.update_applied.inc();
                     stats.inserted_transitions.push(id);
                     let routes = &self.routes;
-                    stats.evicted_entries +=
-                        self.cache
-                            .get_mut()
-                            .expect("cache lock")
-                            .evict_where(|_, _, region| {
-                                !region.survives_transition_insert(routes, &origin, &destination)
-                            });
+                    self.cache
+                        .get_mut()
+                        .expect("cache lock")
+                        .evict_where(|_, _, region| {
+                            !region.survives_transition_insert(routes, &origin, &destination)
+                        });
                     self.monitor.classify_update(
                         &UpdateEffect::TransitionInsert {
                             origin: &origin,
@@ -534,37 +582,39 @@ impl QueryService {
                         },
                         &self.routes,
                         &self.transitions,
-                        &mut stats,
+                        &self.metrics,
+                        &mut stats.deltas,
                     );
                 }
                 StoreUpdate::ExpireTransition(id) => {
                     if !self.transitions.remove(id) {
-                        stats.rejected += 1;
+                        self.metrics.update_rejected.inc();
                         continue;
                     }
-                    stats.applied += 1;
-                    stats.evicted_entries += self.cache.get_mut().expect("cache lock").evict_where(
-                        |_, value, region| {
+                    self.metrics.update_applied.inc();
+                    self.cache
+                        .get_mut()
+                        .expect("cache lock")
+                        .evict_where(|_, value, region| {
                             !region.survives_transition_remove(&value.transitions, id)
-                        },
-                    );
+                        });
                     self.monitor.classify_update(
                         &UpdateEffect::TransitionRemove { id },
                         &self.routes,
                         &self.transitions,
-                        &mut stats,
+                        &self.metrics,
+                        &mut stats.deltas,
                     );
                 }
                 StoreUpdate::InsertRoute(points) => {
                     let dirty = Rect::from_points(&points).unwrap_or_else(Rect::empty);
                     let Some(id) = self.routes.insert_route(points) else {
-                        stats.rejected += 1;
+                        self.metrics.update_rejected.inc();
                         continue;
                     };
-                    stats.applied += 1;
+                    self.metrics.update_applied.inc();
                     stats.inserted_routes.push(id);
-                    stats.evicted_entries += self
-                        .cache
+                    self.cache
                         .get_mut()
                         .expect("cache lock")
                         .evict_where(|_, _, region| !region.survives_route_insert(&dirty));
@@ -572,17 +622,18 @@ impl QueryService {
                         &UpdateEffect::RouteInsert { mbr: &dirty },
                         &self.routes,
                         &self.transitions,
-                        &mut stats,
+                        &self.metrics,
+                        &mut stats.deltas,
                     );
                 }
                 StoreUpdate::RemoveRoute(id) => {
                     let removed_points: Vec<Point> = self.routes.route_points(id).to_vec();
                     if !self.routes.remove_route(id) {
-                        stats.rejected += 1;
+                        self.metrics.update_rejected.inc();
                         continue;
                     }
-                    stats.applied += 1;
-                    self.evict_for_route_removal(id, &removed_points, &mut stats);
+                    self.metrics.update_applied.inc();
+                    self.evict_for_route_removal(id, &removed_points);
                     self.monitor.classify_update(
                         &UpdateEffect::RouteRemove {
                             id,
@@ -590,13 +641,27 @@ impl QueryService {
                         },
                         &self.routes,
                         &self.transitions,
-                        &mut stats,
+                        &self.metrics,
+                        &mut stats.deltas,
                     );
                 }
             }
         }
-        self.reexecute_dirty_subscriptions(&mut stats);
+        self.reexecute_dirty_subscriptions(&mut stats.deltas);
         stats.retained_entries = self.cache.get_mut().expect("cache lock").len();
+        let view = self.metrics.update_view();
+        stats.applied = (view.applied - base.applied) as usize;
+        stats.rejected = (view.rejected - base.rejected) as usize;
+        stats.evicted_entries = (view.evicted_entries - base.evicted_entries) as usize;
+        stats.full_drops = (view.full_drops - base.full_drops) as usize;
+        stats.targeted_route_removals =
+            (view.targeted_route_removals - base.targeted_route_removals) as usize;
+        stats.subs_unaffected = (view.subs_unaffected - base.subs_unaffected) as usize;
+        stats.subs_stable = (view.subs_stable - base.subs_stable) as usize;
+        stats.subs_dirty = (view.subs_dirty - base.subs_dirty) as usize;
+        stats.subs_reexecuted = (view.subs_reexecuted - base.subs_reexecuted) as usize;
+        stats.wal_appends = (view.wal_appends - base.wal_appends) as usize;
+        stats.wal_bytes = view.wal_bytes - base.wal_bytes;
         stats
     }
 
@@ -604,15 +669,10 @@ impl QueryService {
     /// (every entry re-certified with the removed route excluded, under a
     /// shared work budget) and fall back to the full drop only when the
     /// budget runs out before every entry is classified.
-    fn evict_for_route_removal(
-        &mut self,
-        id: RouteId,
-        removed_points: &[Point],
-        stats: &mut UpdateStats,
-    ) {
+    fn evict_for_route_removal(&mut self, id: RouteId, removed_points: &[Point]) {
         let cache = self.cache.get_mut().expect("cache lock");
         if cache.is_empty() {
-            stats.targeted_route_removals += 1;
+            self.metrics.targeted_route_removals.inc();
             return;
         }
         let mut budget = ROUTE_REMOVAL_BUDGET_PER_ENTRY.saturating_mul(cache.len());
@@ -635,13 +695,20 @@ impl QueryService {
             }
         }
         if exhausted {
-            stats.full_drops += 1;
-            stats.evicted_entries += cache.len();
+            self.metrics.full_drops.inc();
+            self.metrics.record_event(EventKind::CacheEvicted {
+                entries: u32::try_from(cache.len()).unwrap_or(u32::MAX),
+                full_drop: true,
+            });
             cache.invalidate_all();
         } else {
-            stats.targeted_route_removals += 1;
+            self.metrics.targeted_route_removals.inc();
+            self.metrics.record_event(EventKind::CacheEvicted {
+                entries: u32::try_from(victims.len()).unwrap_or(u32::MAX),
+                full_drop: false,
+            });
             let victims: std::collections::HashSet<&CacheKey> = victims.iter().collect();
-            stats.evicted_entries += cache.evict_where(|key, _, _| victims.contains(key));
+            cache.evict_where(|key, _, _| victims.contains(key));
         }
     }
 
@@ -675,9 +742,16 @@ impl QueryService {
             return (Vec::new(), stats);
         }
         let generation_at_start = self.generation();
+        self.metrics.batches.inc();
+        self.metrics.queries.add(queries.len() as u64);
+        // Counter baseline this batch's stats are diffed from. Concurrent
+        // batches each see the union of what happened during their own
+        // window (the registry totals stay exact); single-batch callers see
+        // exactly their own counts.
+        let base = self.metrics.batch_view();
 
         // Phase 1: cache lookup.
-        let lookup_started = Instant::now();
+        let span = Span::enter(&self.metrics.stage_lookup);
         let caching = self.config.cache_capacity > 0;
         let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(queries.len());
         let mut miss_indexes: Vec<usize> = Vec::new();
@@ -687,7 +761,6 @@ impl QueryService {
                 let key = CacheKey::of(query);
                 match cache.get(&key) {
                     Some(result) => {
-                        stats.cache_hits += 1;
                         slots[i] = Some(result);
                         keys.push(Some(key));
                     }
@@ -701,10 +774,15 @@ impl QueryService {
             keys.resize_with(queries.len(), || None);
             miss_indexes.extend(0..queries.len());
         }
-        stats.timings.lookup = lookup_started.elapsed();
+        stats.timings.lookup = span.finish();
+        stats.cache_hits = (self.metrics.cache.hits.get() - base.cache_hits) as usize;
+        self.metrics.record_event(EventKind::BatchAdmitted {
+            queries: u32::try_from(queries.len()).unwrap_or(u32::MAX),
+            cache_hits: u32::try_from(stats.cache_hits).unwrap_or(u32::MAX),
+        });
 
         // Phase 2: policy + spatial grouping of the misses.
-        let grouping_started = Instant::now();
+        let span = Span::enter(&self.metrics.stage_grouping);
         let groups = form_groups(
             queries,
             &miss_indexes,
@@ -712,19 +790,17 @@ impl QueryService {
             self.config.group_cell,
         );
         stats.groups = groups.len();
-        stats.timings.grouping = grouping_started.elapsed();
+        self.metrics.groups.add(groups.len() as u64);
+        stats.timings.grouping = span.finish();
 
         // Phase 3: execution over the worker pool.
-        let execution_started = Instant::now();
-        let (mut computed, counters, workers_used) = self.run_groups(&groups);
+        let span = Span::enter(&self.metrics.stage_execution);
+        let (mut computed, workers_used) = self.run_groups(&groups);
         stats.workers_used = workers_used;
-        stats.filter_constructions = counters.filter_constructions;
-        stats.filters_saved = counters.filters_saved;
-        stats.duplicates_coalesced = counters.duplicates_coalesced;
-        stats.timings.execution = execution_started.elapsed();
+        stats.timings.execution = span.finish();
 
         // Phase 4: merge into input order and feed the cache.
-        let finalize_started = Instant::now();
+        let span = Span::enter(&self.metrics.stage_finalize);
         if caching {
             self.fill_footprint_fallbacks(queries, &mut computed);
             let mut cache = self.cache.lock().expect("cache lock");
@@ -760,20 +836,23 @@ impl QueryService {
             .into_iter()
             .map(|slot| slot.expect("every query produced a result"))
             .collect();
-        stats.timings.finalize = finalize_started.elapsed();
+        stats.timings.finalize = span.finish();
+        let view = self.metrics.batch_view();
+        stats.filter_constructions =
+            (view.filter_constructions - base.filter_constructions) as usize;
+        stats.filters_saved = (view.filters_saved - base.filters_saved) as usize;
+        stats.duplicates_coalesced =
+            (view.duplicates_coalesced - base.duplicates_coalesced) as usize;
         (results, stats)
     }
 
     /// Executes pre-formed groups over the worker pool, returning the
-    /// outputs, the accumulated reuse counters and the worker count used.
-    fn run_groups(
-        &self,
-        groups: &[Group<'_>],
-    ) -> (Vec<crate::batch::GroupOutput>, GroupCounters, usize) {
+    /// outputs and the worker count used. Work counters go straight to the
+    /// registry cells (they are atomic, so workers increment them directly).
+    fn run_groups(&self, groups: &[Group<'_>]) -> (Vec<crate::batch::GroupOutput>, usize) {
         let workers = self.config.workers.max(1).min(groups.len().max(1));
         let workers_used = if groups.is_empty() { 0 } else { workers };
         let mut computed: Vec<crate::batch::GroupOutput> = Vec::new();
-        let mut counters = GroupCounters::default();
         if workers <= 1 {
             // In-line fast path: no thread spawn for single-worker batches.
             // The scratch is this worker's own (see `rknnt_core::scratch` for
@@ -783,13 +862,13 @@ impl QueryService {
             let mut scratch = rknnt_core::QueryScratch::new();
             for group in groups {
                 let engine = engines.for_kind(group, &self.routes, &self.transitions);
-                run_group(engine, group, &mut scratch, &mut computed, &mut counters);
+                run_group(engine, group, &mut scratch, &mut computed, &self.metrics);
             }
         } else {
             // Round-robin shard the groups, spawn one scoped worker per
             // shard, and join in shard order (determinism does not depend
-            // on it — results carry their batch index — but stable stats
-            // accumulation is nice to have).
+            // on it — results carry their batch index — but a stable merge
+            // order is nice to have).
             let shards: Vec<Vec<&Group>> = (0..workers)
                 .map(|w| groups.iter().skip(w).step_by(workers).collect())
                 .collect();
@@ -798,17 +877,17 @@ impl QueryService {
                     .into_iter()
                     .map(|shard| {
                         let (routes, transitions) = (&self.routes, &self.transitions);
+                        let metrics = &self.metrics;
                         scope.spawn(move || {
                             let mut engines = WorkerEngines::default();
                             // One scratch per worker thread, never shared.
                             let mut scratch = rknnt_core::QueryScratch::new();
                             let mut out = Vec::new();
-                            let mut counters = GroupCounters::default();
                             for group in shard {
                                 let engine = engines.for_kind(group, routes, transitions);
-                                run_group(engine, group, &mut scratch, &mut out, &mut counters);
+                                run_group(engine, group, &mut scratch, &mut out, metrics);
                             }
-                            (out, counters)
+                            out
                         })
                     })
                     .collect();
@@ -817,14 +896,11 @@ impl QueryService {
                     .map(|h| h.join().expect("service worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for (out, worker_counters) in outputs {
+            for out in outputs {
                 computed.extend(out);
-                counters.filter_constructions += worker_counters.filter_constructions;
-                counters.filters_saved += worker_counters.filters_saved;
-                counters.duplicates_coalesced += worker_counters.duplicates_coalesced;
             }
         }
-        (computed, counters, workers_used)
+        (computed, workers_used)
     }
 
     /// Footprint fallback for engines that build no filter set (BruteForce /
@@ -872,7 +948,7 @@ impl QueryService {
             self.config.policy,
             self.config.group_cell,
         );
-        let (mut computed, _, _) = self.run_groups(&groups);
+        let (mut computed, _) = self.run_groups(&groups);
         self.fill_footprint_fallbacks(queries, &mut computed);
         let mut slots: Vec<Option<(RknntResult, Option<Arc<FilterFootprint>>)>> =
             (0..queries.len()).map(|_| None).collect();

@@ -43,6 +43,11 @@ fn run_churn(kind: EngineKind, semantics: Semantics, seed: u64) {
             .with_policy(EnginePolicy::Fixed(kind)),
     );
 
+    // If any churn assertion fires, dump the flight recorder's recent
+    // pipeline events (batches, evictions, reclassifications) so the
+    // failure comes with the service's side of the story.
+    let _dump = rknnt_obs::DumpOnPanic::new(service.flight_recorder(), 32);
+
     let stream = workload::churn_stream(&city, &ChurnConfig::new(140, 0.3, seed ^ 0xc4a2));
     let mut pending: Vec<RknntQuery> = Vec::new();
     let mut query_counter = 0usize;

@@ -45,8 +45,10 @@ pub use error::StorageError;
 pub use wal::WalConfig;
 
 use rknnt_index::{RouteStore, TransitionStore};
+use rknnt_obs::{Counter, EventKind, FlightRecorder, Gauge, Span, Stage};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use wal::Wal;
 
 /// Tuning for a storage directory.
@@ -121,6 +123,29 @@ pub struct Recovery {
     pub found_existing: bool,
 }
 
+/// Telemetry cells the storage engine records into, pre-bound to the
+/// owner's metrics registry (the service builds one from its
+/// `ServiceMetrics`). Without instruments the engine stays silent — the
+/// in-crate tests and any standalone use are unaffected.
+#[derive(Debug, Clone)]
+pub struct StorageInstruments {
+    /// WAL frames appended through this handle.
+    pub wal_appends: Counter,
+    /// WAL bytes appended through this handle.
+    pub wal_bytes: Counter,
+    /// Latency of one [`Storage::append`] call — the write plus, per
+    /// configuration, its fdatasync.
+    pub wal_fsync: Stage,
+    /// Checkpoint duration (snapshot write + WAL truncation + cleanup).
+    pub checkpoint: Stage,
+    /// High-water checkpoint duration in nanoseconds. Checkpoints run under
+    /// the service's `&mut self`, so this is the maximum update-path pause a
+    /// checkpoint has caused — the ROADMAP's `checkpoint_stall`.
+    pub checkpoint_stall: Gauge,
+    /// Ring of recent WAL/checkpoint events.
+    pub recorder: Arc<FlightRecorder>,
+}
+
 /// Handle to one storage directory: the WAL for appends, plus checkpoint
 /// bookkeeping.
 #[derive(Debug)]
@@ -131,6 +156,7 @@ pub struct Storage {
     snapshot_bytes: u64,
     replayed_records: u64,
     torn_tail: bool,
+    instruments: Option<StorageInstruments>,
 }
 
 /// Snapshot file name for a snapshot covering sequences up to `last_seq`.
@@ -261,6 +287,7 @@ impl Storage {
             snapshot_bytes,
             replayed_records: recovery.tail.len() as u64,
             torn_tail: recovery.torn_tail,
+            instruments: None,
         };
         Ok((storage, recovery))
     }
@@ -270,10 +297,31 @@ impl Storage {
         &self.dir
     }
 
+    /// Installs the telemetry cells this handle records into from now on.
+    pub fn set_instruments(&mut self, instruments: StorageInstruments) {
+        self.instruments = Some(instruments);
+    }
+
     /// Appends a batch of opaque records to the WAL (one write, one fsync).
     /// Returns `(frames, bytes)` appended.
     pub fn append<R: AsRef<[u8]>>(&mut self, records: &[R]) -> Result<(u64, u64), StorageError> {
-        self.wal.append_batch(records)
+        match &self.instruments {
+            None => self.wal.append_batch(records),
+            Some(instruments) => {
+                let span = Span::enter(&instruments.wal_fsync);
+                let result = self.wal.append_batch(records);
+                span.finish();
+                if let Ok((frames, bytes)) = &result {
+                    instruments.wal_appends.add(*frames);
+                    instruments.wal_bytes.add(*bytes);
+                    instruments.recorder.record(EventKind::WalAppend {
+                        frames: u32::try_from(*frames).unwrap_or(u32::MAX),
+                        bytes: *bytes,
+                    });
+                }
+                result
+            }
+        }
     }
 
     /// Writes a new snapshot of the store pair covering every appended
@@ -286,6 +334,10 @@ impl Storage {
         routes: &RouteStore,
         transitions: &TransitionStore,
     ) -> Result<StorageStats, StorageError> {
+        let span = self.instruments.as_ref().map(|instruments| {
+            instruments.recorder.record(EventKind::CheckpointBegin);
+            Span::enter(&instruments.checkpoint)
+        });
         let last_seq = self.wal.next_seq() - 1;
         let path = self.dir.join(snapshot_name(last_seq));
         let bytes = snapshot::write_snapshot(&path, routes, transitions, last_seq)?;
@@ -301,6 +353,15 @@ impl Storage {
             if is_snapshot_name(&name) && name != snapshot_name(last_seq) {
                 let _ = fs::remove_file(entry.path());
             }
+        }
+        if let (Some(span), Some(instruments)) = (span, self.instruments.as_ref()) {
+            let nanos = u64::try_from(span.finish().as_nanos()).unwrap_or(u64::MAX);
+            // The whole checkpoint ran under the service's `&mut self`, so
+            // its duration is exactly the update-path stall it caused.
+            instruments.checkpoint_stall.record_max(nanos);
+            instruments
+                .recorder
+                .record(EventKind::CheckpointEnd { nanos });
         }
         Ok(self.stats())
     }

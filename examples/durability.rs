@@ -84,6 +84,16 @@ fn main() {
         "pre-crash: next_seq {}, {} segments, {} WAL bytes beyond the snapshot",
         pre_crash.next_seq, pre_crash.segments, pre_crash.wal_bytes
     );
+    println!("pre-crash metrics snapshot (WAL fsync / checkpoint latencies):");
+    for line in durable.metrics_text().lines() {
+        if line.starts_with("histogram=storage.")
+            || line.starts_with("gauge=storage.")
+            || line.starts_with("counter=storage.")
+            || line.starts_with("counter=service.update.")
+        {
+            println!("  {line}");
+        }
+    }
 
     // The crash: no checkpoint, no flush call, just gone.
     drop(durable);
@@ -95,6 +105,12 @@ fn main() {
         "recovered: replayed {} WAL records (torn tail: {})",
         stats.replayed_records, stats.torn_tail
     );
+    println!("recovered metrics snapshot (replay went through the update path):");
+    for line in recovered.metrics_text().lines() {
+        if line.starts_with("counter=service.update.") {
+            println!("  {line}");
+        }
+    }
 
     // Verify: byte-identical answers against the uninterrupted twin.
     let queries: Vec<RknntQuery> = city.routes[..20]

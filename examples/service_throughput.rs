@@ -140,8 +140,24 @@ fn main() {
         total.cache_hits
     );
     let cache = service.cache_stats();
+    let lookups = cache.hits + cache.misses;
     println!(
-        "cache: {} hits / {} misses / {} insertions / {} evictions",
-        cache.hits, cache.misses, cache.insertions, cache.evictions
+        "cache: {} hits / {} misses / {} insertions / {} evictions (hit rate {:.1}%)",
+        cache.hits,
+        cache.misses,
+        cache.insertions,
+        cache.evictions,
+        if lookups == 0 {
+            0.0
+        } else {
+            100.0 * cache.hits as f64 / lookups as f64
+        }
     );
+
+    // The same run through the telemetry layer: per-stage latency
+    // percentiles and the full counter catalog, straight from the registry.
+    println!("\nmetrics snapshot (per-stage breakdown):");
+    for line in service.metrics_text().lines() {
+        println!("  {line}");
+    }
 }

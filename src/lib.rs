@@ -20,6 +20,9 @@
 //! * [`storage`] — the durable storage engine: checksummed snapshots plus a
 //!   segmented write-ahead log with crash recovery, behind
 //!   `QueryService::open` / `attach_storage` / `checkpoint`.
+//! * [`obs`] — hermetic telemetry: log-linear latency histograms, stage
+//!   spans over a pluggable clock, a metrics registry with text exposition
+//!   and snapshot diffing, and a flight recorder of recent pipeline events.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! per-experiment index.
@@ -29,6 +32,7 @@ pub use rknnt_data as data;
 pub use rknnt_geo as geo;
 pub use rknnt_graph as graph;
 pub use rknnt_index as index;
+pub use rknnt_obs as obs;
 pub use rknnt_routeplan as routeplan;
 pub use rknnt_rtree as rtree;
 pub use rknnt_service as service;
