@@ -20,7 +20,9 @@ use rknnt_routeplan::{
     BruteForcePlanner, Objective, PlanQuery, PlannerConfig, PrePlanner, Precomputation,
     PruningPlanner, RoutePlanner,
 };
-use rknnt_service::{EnginePolicy, QueryService, ServiceConfig, StoreUpdate};
+use rknnt_service::{
+    EnginePolicy, QueryService, ServiceConfig, ShardedConfig, ShardedService, StoreUpdate,
+};
 use std::time::Duration;
 
 /// Mean of a slice of durations (zero for an empty slice).
@@ -1647,6 +1649,182 @@ pub fn obs_overhead(ctx: &ExperimentContext, kind: DatasetKind, semantics: Seman
     report
 }
 
+/// Shard scale-out: the same churn workload (interleaved queries and
+/// updates, 1 % and 10 % update ratios) replayed through a
+/// [`ShardedService`] at 1, 2, 4 and 8 shards, with an unsharded
+/// [`QueryService`] as the reference. Every sharded answer is asserted
+/// byte-identical to the reference inline before anything is reported.
+///
+/// The report carries QPS per shard count plus the router's fan-out
+/// counters: `mean_fanout` is shards consulted per fresh (uncached)
+/// execution, and `fanout_fraction` divides that by the fleet size. The
+/// gated ratio is the *worst* fan-out fraction at 8 shards across both
+/// update ratios — the footprint certificate has to keep the router out of
+/// most shards for sharding to buy anything, and that property is
+/// machine-independent.
+/// Caps a trip at `max_len` metres by pulling the destination toward the
+/// origin along the trip direction. The scale-out experiment runs on
+/// local-trip demand: shards are partitioned by *origin* cell, and a
+/// hub-to-hub trip pins its far-away destination into the origin's shard,
+/// inflating that shard's TR-tree root MBR to city size — after which the
+/// router's root-MBR certificate can never write the shard off. Local
+/// trips keep shard MBRs tight, which is the regime sharding is for.
+fn localize_trip(origin: Point, destination: Point, max_len: f64) -> Point {
+    let dx = destination.x - origin.x;
+    let dy = destination.y - origin.y;
+    let len = (dx * dx + dy * dy).sqrt();
+    if len <= max_len || len == 0.0 {
+        destination
+    } else {
+        let scale = max_len / len;
+        Point::new(origin.x + dx * scale, origin.y + dy * scale)
+    }
+}
+
+pub fn shard_scaleout(ctx: &ExperimentContext, kind: DatasetKind, semantics: Semantics) -> Report {
+    let mut report = Report::new("Shard scaleout — router fan-out and QPS vs shard count");
+    // Trips longer than this are shortened toward their origin; ~2 stop
+    // spacings keeps every transition inside its origin's neighbourhood.
+    const TRIP_CAP_METRES: f64 = 600.0;
+    let generated = Dataset::build(kind, &ctx.scale);
+    // The raw material the sharded build partitions: the generated route
+    // polylines and the (localized) transition endpoint pairs, in store id
+    // order — the router's global ids then coincide with the unsharded
+    // store's ids, so answers can be compared verbatim.
+    let raw_routes: Vec<Vec<Point>> = generated.city.routes.clone();
+    let raw_pairs: Vec<(Point, Point)> = generated
+        .transitions
+        .transitions()
+        .map(|t| {
+            (
+                t.origin,
+                localize_trip(t.origin, t.destination, TRIP_CAP_METRES),
+            )
+        })
+        .collect();
+    // The unsharded reference runs on the same localized pairs.
+    let dataset = Dataset {
+        kind: generated.kind,
+        city: generated.city.clone(),
+        routes: generated.routes.clone(),
+        transitions: rknnt_index::TransitionStore::bulk_build(
+            rknnt_rtree::RTreeConfig::default(),
+            raw_pairs.clone(),
+        ),
+        graph: generated.city.graph(),
+    };
+    // Sharding earns its keep on *localized* queries — short routes with
+    // small k, the per-neighbourhood demand probes a dispatch deployment
+    // issues — where the filter certificate can write off remote shards.
+    // Table 4's default k = 10 with a city-spanning route touches every
+    // shard by construction and measures nothing about the router.
+    let k = 1;
+    report.line(format!(
+        "{} — local trips (≤ {TRIP_CAP_METRES:.0} m), k = {k}, {} semantics, \
+         Voronoi engine, 1 worker per shard",
+        dataset.kind.name(),
+        semantics,
+    ));
+    let base = || {
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi))
+    };
+    let mut gate_fraction = 0.0f64;
+    for ratio in [0.01, 0.10] {
+        let events = (ctx.scale.queries_per_point * 60).clamp(120, 1_200);
+        let mut config = rknnt_data::ChurnConfig::new(events, ratio, ctx.scale.seed ^ 0x51a9);
+        config.query_pool = 8;
+        config.query_len = 3;
+        config.query_interval = 400.0;
+        // Churn inserts are localized the same way as the base pairs: one
+        // hub-to-hub insert would permanently inflate its shard's MBR.
+        let stream: Vec<workload::ChurnEvent> = workload::churn_stream(&dataset.city, &config)
+            .into_iter()
+            .map(|event| match event {
+                workload::ChurnEvent::InsertTransition(origin, destination) => {
+                    workload::ChurnEvent::InsertTransition(
+                        origin,
+                        localize_trip(origin, destination, TRIP_CAP_METRES),
+                    )
+                }
+                other => other,
+            })
+            .collect();
+        let steps = resolve_churn(&dataset, stream, k, semantics);
+        // Unsharded reference pass: the answers every shard count must
+        // reproduce byte for byte.
+        let mut reference =
+            QueryService::new(dataset.routes.clone(), dataset.transitions.clone(), base());
+        let mut expected: Vec<Vec<rknnt_index::TransitionId>> = Vec::new();
+        for step in &steps {
+            match step {
+                ChurnStep::Query(query) => expected.push(reference.execute(query).transitions),
+                ChurnStep::Update(update) => {
+                    reference.apply_updates(vec![update.clone()]);
+                }
+            }
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let mut service = ShardedService::bulk_build(
+                ShardedConfig::default()
+                    .with_shards(shards)
+                    .with_base(base()),
+                raw_routes.clone(),
+                raw_pairs.clone(),
+            );
+            let mut answers: Vec<Vec<rknnt_index::TransitionId>> =
+                Vec::with_capacity(expected.len());
+            let started = std::time::Instant::now();
+            for step in &steps {
+                match step {
+                    ChurnStep::Query(query) => answers.push(service.execute(query).transitions),
+                    ChurnStep::Update(update) => {
+                        service.apply_updates(vec![update.clone()]);
+                    }
+                }
+            }
+            let elapsed = started.elapsed();
+            assert_eq!(
+                answers, expected,
+                "sharded answers diverged from the unsharded reference at {shards} shard(s)"
+            );
+            let stats = service.router_stats();
+            assert!(
+                stats.executions > 0,
+                "the workload must route fresh executions for fan-out to mean anything"
+            );
+            let fraction = stats.mean_fanout() / shards as f64;
+            if shards == 8 {
+                gate_fraction = gate_fraction.max(fraction);
+            }
+            report.row(&[
+                ("update_ratio", format!("{ratio:.2}")),
+                ("shards", shards.to_string()),
+                ("queries", expected.len().to_string()),
+                (
+                    "qps",
+                    if elapsed.is_zero() {
+                        "inf".to_string()
+                    } else {
+                        format!("{:.0}", expected.len() as f64 / elapsed.as_secs_f64())
+                    },
+                ),
+                ("executions", stats.executions.to_string()),
+                ("dispatches", stats.dispatches.to_string()),
+                ("pruned", stats.shards_pruned.to_string()),
+                ("mean_fanout", format!("{:.3}", stats.mean_fanout())),
+                ("fanout_fraction", format!("{fraction:.4}")),
+            ]);
+        }
+    }
+    report.row(&[
+        ("metric", "fanout_fraction".to_string()),
+        ("ratio", format!("{gate_fraction:.4}")),
+    ]);
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -1693,6 +1871,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         cold_start(ctx, options.service_dataset, options.semantics),
         verify_hot_path(ctx, options.service_dataset),
         obs_overhead(ctx, options.service_dataset, options.semantics),
+        shard_scaleout(ctx, options.service_dataset, options.semantics),
     ]
 }
 
@@ -1741,6 +1920,11 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
             options.service_dataset,
             options.semantics,
         )),
+        "shard_scaleout" | "scaleout" => single(shard_scaleout(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
         "all" => Some(all(ctx, options)),
         _ => None,
     }
@@ -1772,6 +1956,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "cold_start",
         "verify_hot_path",
         "obs_overhead",
+        "shard_scaleout",
         "all",
     ]
 }
@@ -1972,6 +2157,33 @@ mod tests {
             .number("ratio")
             .unwrap();
         assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn shard_scaleout_reports_every_shard_count_and_the_gated_fraction() {
+        let mut ctx = tiny_ctx();
+        ctx.scale.queries_per_point = 2;
+        let report = shard_scaleout(&ctx, DatasetKind::Small, Semantics::Exists);
+        // 1 header + 2 ratios × 4 shard counts + the gated ratio row.
+        // Byte-identical answers are asserted inside the experiment.
+        assert_eq!(report.len(), 1 + 2 * 4 + 1);
+        let text = report.to_text();
+        assert!(text.contains("shards=1"));
+        assert!(text.contains("shards=8"));
+        assert!(text.contains("update_ratio=0.01"));
+        assert!(text.contains("update_ratio=0.10"));
+        assert!(text.contains("mean_fanout="));
+        let rows = crate::gate::parse_report_rows(&text);
+        let fraction = crate::gate::find_row(&rows, &[("metric", "fanout_fraction")])
+            .unwrap()
+            .number("ratio")
+            .unwrap();
+        // The fraction is mean fan-out over fleet size at 8 shards: within
+        // (0, 1], and the certificate should keep it well under 1.
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "implausible fan-out fraction {fraction}"
+        );
     }
 
     #[test]

@@ -263,6 +263,26 @@ pub fn check_obs_overhead_gate(report: &str, config: &GateConfig) -> Result<Gate
     })
 }
 
+/// Checks the shard-scaleout gate against the report text: the router's
+/// worst mean fan-out at 8 shards, expressed as a fraction of the fleet,
+/// must stay at or below `shard_scaleout.max_mean_fanout_fraction`. The
+/// footprint certificate has to keep most shards out of most fresh
+/// executions for sharding to scale, and that fraction is a property of
+/// the pruning logic, not the machine (the experiment asserts answers
+/// byte-identical to the unsharded service inline before reporting).
+pub fn check_shard_scaleout_gate(report: &str, config: &GateConfig) -> Result<GateOutcome, String> {
+    let threshold = config.threshold("shard_scaleout", "max_mean_fanout_fraction")?;
+    let rows = parse_report_rows(report);
+    let row = find_row(&rows, &[("metric", "fanout_fraction")])?;
+    let measured = row.number("ratio")?;
+    Ok(GateOutcome {
+        name: "shard_scaleout.fanout_fraction@8".to_string(),
+        measured,
+        threshold,
+        passed: measured <= threshold,
+    })
+}
+
 /// Runs every gate against a results directory, returning the outcomes.
 /// Missing files or rows are errors, not passes.
 pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcome>, String> {
@@ -288,6 +308,10 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
         &read("obs_overhead.txt")?,
         &config,
     )?);
+    outcomes.push(check_shard_scaleout_gate(
+        &read("shard_scaleout.txt")?,
+        &config,
+    )?);
     Ok(outcomes)
 }
 
@@ -311,7 +335,10 @@ min_open_speedup = 1.5\n\
 min_scratch_speedup = 1.15\n\
 \n\
 [obs_overhead]\n\
-max_throughput_cost = 0.05\n";
+max_throughput_cost = 0.05\n\
+\n\
+[shard_scaleout]\n\
+max_mean_fanout_fraction = 0.5\n";
 
     #[test]
     fn parses_the_gate_file_subset() {
@@ -418,6 +445,24 @@ max_throughput_cost = 0.05\n";
         assert!(!check_obs_overhead_gate(regressed, &config).unwrap().passed);
         // A missing ratio row is an error, never a silent pass.
         assert!(check_obs_overhead_gate("mode=instrumented qps=1", &config).is_err());
+    }
+
+    #[test]
+    fn shard_scaleout_gate_holds_the_fanout_ceiling() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "update_ratio=0.10  shards=8  mean_fanout=1.820  fanout_fraction=0.2275\n\
+                    metric=fanout_fraction  ratio=0.2275\n";
+        let outcome = check_shard_scaleout_gate(good, &config).unwrap();
+        assert!(outcome.passed);
+        assert!((outcome.measured - 0.2275).abs() < 1e-9);
+        let regressed = "metric=fanout_fraction  ratio=0.8100\nshards=8 mean_fanout=6.5";
+        assert!(
+            !check_shard_scaleout_gate(regressed, &config)
+                .unwrap()
+                .passed
+        );
+        // A missing ratio row is an error, never a silent pass.
+        assert!(check_shard_scaleout_gate("shards=8 mean_fanout=6.5", &config).is_err());
     }
 
     #[test]

@@ -149,6 +149,48 @@ impl FilterFootprint {
         }
         false
     }
+
+    /// Whether *every* point of `rect` is certified covered: at least `k`
+    /// distinct live routes each have a witness strictly closer to the whole
+    /// rectangle than the query can ever be to any point of it.
+    ///
+    /// Per witness `w` the rectangle-level comparison is
+    /// `MaxDist(rect, w)² < min_q MinDist(rect, q)²`, which implies the
+    /// point-level `|w − u|² < min_q |u − q|²` for every `u ∈ rect`, so
+    /// `covers_rect` ⇒ [`FilterFootprint::covers_point`] pointwise. The
+    /// sharded router uses this as a *registration* bound (a subscription
+    /// need not register on a shard whose territory is fully covered); with
+    /// fewer than `k` live witness routes it never certifies anything.
+    pub fn covers_rect<F>(&self, query: &[Point], rect: &Rect, k: usize, route_live: F) -> bool
+    where
+        F: Fn(RouteId) -> bool,
+    {
+        if k == 0 {
+            return true;
+        }
+        if rect.is_empty() {
+            // An empty territory holds no point that could need covering.
+            return true;
+        }
+        let threshold_sq = query
+            .iter()
+            .map(|q| rect.min_dist_sq(q))
+            .fold(f64::INFINITY, f64::min);
+        let mut covering: Vec<RouteId> = Vec::new();
+        for w in &self.witnesses {
+            if rect.max_dist_sq(&w.point) < threshold_sq {
+                for r in &w.routes {
+                    if !covering.contains(r) && route_live(*r) {
+                        covering.push(*r);
+                        if covering.len() >= k {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +264,52 @@ mod tests {
         assert!(!fp.covers_point(&query, &u, 1, |_| false));
         // k = 0 is trivially covered.
         assert!(fp.covers_point(&query, &u, 0, |_| false));
+    }
+
+    #[test]
+    fn rect_coverage_implies_pointwise_coverage() {
+        let store = ladder(10);
+        let query = vec![p(0.0, 45.0), p(35.0, 45.0), p(70.0, 45.0)];
+        let k = 2;
+        let fp = FilterFootprint::compute(&store, &query, k);
+        let mut certified = 0;
+        for i in -3..12 {
+            for j in -3..12 {
+                let min = p(i as f64 * 8.0, j as f64 * 8.0);
+                let rect = Rect::new(min, p(min.x + 6.0, min.y + 6.0));
+                if !fp.covers_rect(&query, &rect, k, |_| true) {
+                    continue;
+                }
+                certified += 1;
+                // Sample the rectangle: every sampled point must be covered
+                // by the point-level certificate too.
+                for sx in 0..4 {
+                    for sy in 0..4 {
+                        let u = p(rect.min.x + sx as f64 * 2.0, rect.min.y + sy as f64 * 2.0);
+                        assert!(
+                            fp.covers_point(&query, &u, k, |_| true),
+                            "rect certificate overclaimed at {u}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(certified > 0, "expected some rect to be certified");
+    }
+
+    #[test]
+    fn rect_coverage_needs_k_live_witness_routes() {
+        let store = ladder(4);
+        let query = vec![p(0.0, 100.0), p(70.0, 100.0)];
+        let fp = FilterFootprint::compute(&store, &query, 4);
+        let rect = Rect::new(p(20.0, 10.0), p(40.0, 20.0));
+        assert!(fp.covers_rect(&query, &rect, 4, |_| true));
+        // Killing every witness route withdraws the certificate; fewer than
+        // k live routes can never cover.
+        assert!(!fp.covers_rect(&query, &rect, 1, |_| false));
+        assert!(fp.covers_rect(&query, &rect, 0, |_| false));
+        // Empty territories are trivially covered.
+        assert!(fp.covers_rect(&query, &Rect::empty(), 4, |_| true));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod point;
 pub mod polyline;
 pub mod rect;
 pub mod voronoi;
+pub mod zorder;
 
 pub use bisector::HalfPlane;
 pub use distance::{min_dist_query_rect, point_route_distance, point_route_distance_sq};
@@ -41,6 +42,7 @@ pub use point::Point;
 pub use polyline::{detour_ratio, mean_interval, straight_line_distance, travel_distance};
 pub use rect::Rect;
 pub use voronoi::VoronoiFilter;
+pub use zorder::{CellGrid, MAX_GRID_BITS};
 
 /// Numerical tolerance used by geometric predicates when comparing squared
 /// distances. Chosen so that coordinates on a city scale (hundreds of

@@ -1,0 +1,264 @@
+//! Z-order (Morton) cell grid over a dataset MBR — the space-filling-curve
+//! substrate of the sharded service layer.
+//!
+//! A [`CellGrid`] overlays a `2^bits × 2^bits` grid of equal-size cells on a
+//! bounding rectangle and numbers the cells along the Z-order curve: the
+//! cell index interleaves the bits of the column and row indices, so cells
+//! that are close in index tend to be close in space. Shard assignment then
+//! reduces to splitting the one-dimensional index range `[0, 4^bits)` into
+//! contiguous slices — [`CellGrid::shard_of_cell`] — which keeps each
+//! shard's territory spatially coherent without any per-cell lookup table.
+//!
+//! The mapping is exact in both directions ([`CellGrid::interleave`] /
+//! [`CellGrid::deinterleave`] are bijective on the grid) and
+//! [`CellGrid::cell_of`] post-corrects the floating-point floor so that the
+//! returned cell's [`CellGrid::cell_rect`] always contains the point —
+//! properties the `zorder_properties` proptest suite pins down.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Maximum supported bits per axis: 15 bits per axis keeps the interleaved
+/// index comfortably inside `u32` and caps the grid at 2^30 cells.
+pub const MAX_GRID_BITS: u32 = 15;
+
+/// A Z-order grid of `2^bits × 2^bits` equal cells over a fixed MBR.
+///
+/// Points outside the MBR are clamped into the nearest edge cell, so every
+/// finite point maps to a cell; the grid never rejects input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGrid {
+    mbr: Rect,
+    bits: u32,
+}
+
+impl CellGrid {
+    /// A grid over `mbr` with `bits` bits per axis (clamped to
+    /// `1..=MAX_GRID_BITS`). An empty `mbr` degenerates to a single-point
+    /// domain where every point lands in cell 0.
+    pub fn new(mbr: Rect, bits: u32) -> Self {
+        let bits = bits.clamp(1, MAX_GRID_BITS);
+        CellGrid { mbr, bits }
+    }
+
+    /// The grid's bounding rectangle.
+    pub fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Bits per axis.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Cells per axis (`2^bits`).
+    pub fn side(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Total number of cells (`4^bits`).
+    pub fn num_cells(&self) -> u64 {
+        (self.side() as u64) * (self.side() as u64)
+    }
+
+    /// Interleaves the bits of `(x, y)` into a Z-order index
+    /// (x occupies the even bit positions).
+    pub fn interleave(x: u32, y: u32) -> u64 {
+        spread(x) | (spread(y) << 1)
+    }
+
+    /// Inverse of [`CellGrid::interleave`].
+    pub fn deinterleave(z: u64) -> (u32, u32) {
+        (compact(z), compact(z >> 1))
+    }
+
+    /// One axis's cell width (0 on a degenerate axis).
+    fn cell_extent(&self, span: f64) -> f64 {
+        if span.is_finite() && span > 0.0 {
+            span / self.side() as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Axis index of `v` within `[min, min + side*extent]`, floored, clamped
+    /// and post-corrected so that `min + i*extent <= v <= min + (i+1)*extent`
+    /// holds *exactly* in the produced floating-point arithmetic (a plain
+    /// floor can land one cell off when `v - min` rounds across a boundary).
+    fn axis_index(&self, v: f64, min: f64, extent: f64) -> u32 {
+        let side = self.side();
+        if extent <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let raw = ((v - min) / extent).floor();
+        let mut i = if raw.is_finite() {
+            raw.clamp(0.0, (side - 1) as f64) as u32
+        } else {
+            0
+        };
+        // Post-correct against the exact cell boundaries (at most one step).
+        if i > 0 && min + i as f64 * extent > v {
+            i -= 1;
+        }
+        if i + 1 < side && min + (i + 1) as f64 * extent < v {
+            i += 1;
+        }
+        i
+    }
+
+    /// The Z-order cell index of `p` (clamped into the grid).
+    pub fn cell_of(&self, p: &Point) -> u64 {
+        let ex = self.cell_extent(self.mbr.max.x - self.mbr.min.x);
+        let ey = self.cell_extent(self.mbr.max.y - self.mbr.min.y);
+        let ix = self.axis_index(p.x, self.mbr.min.x, ex);
+        let iy = self.axis_index(p.y, self.mbr.min.y, ey);
+        Self::interleave(ix, iy)
+    }
+
+    /// The rectangle of cell `z` (boundary-inclusive; adjacent cells share
+    /// their common boundary). Degenerate axes collapse to the MBR edge.
+    pub fn cell_rect(&self, z: u64) -> Rect {
+        let (ix, iy) = Self::deinterleave(z);
+        let ex = self.cell_extent(self.mbr.max.x - self.mbr.min.x);
+        let ey = self.cell_extent(self.mbr.max.y - self.mbr.min.y);
+        let min = Point::new(
+            self.mbr.min.x + ix as f64 * ex,
+            self.mbr.min.y + iy as f64 * ey,
+        );
+        let max = Point::new(
+            self.mbr.min.x + (ix + 1) as f64 * ex,
+            self.mbr.min.y + (iy + 1) as f64 * ey,
+        );
+        Rect::new(min, max)
+    }
+
+    /// Which of `shards` contiguous Z-range slices cell `z` belongs to.
+    ///
+    /// The index space `[0, 4^bits)` is cut into `shards` ranges whose sizes
+    /// differ by at most one; the mapping is monotone in `z`, so each shard's
+    /// territory is one contiguous run of the Z-order curve.
+    pub fn shard_of_cell(&self, z: u64, shards: usize) -> usize {
+        let shards = shards.max(1) as u64;
+        let total = self.num_cells();
+        let z = z.min(total - 1);
+        ((z * shards) / total) as usize
+    }
+
+    /// [`CellGrid::shard_of_cell`] composed with [`CellGrid::cell_of`].
+    pub fn shard_of_point(&self, p: &Point, shards: usize) -> usize {
+        self.shard_of_cell(self.cell_of(p), shards)
+    }
+
+    /// Union rectangle of every cell assigned to `shard` — the shard's
+    /// static spatial territory (independent of what data it holds).
+    pub fn shard_territory(&self, shard: usize, shards: usize) -> Rect {
+        let mut out = Rect::empty();
+        for z in 0..self.num_cells() {
+            if self.shard_of_cell(z, shards) == shard {
+                out = out.union(&self.cell_rect(z));
+            }
+        }
+        out
+    }
+}
+
+/// Spreads the 16 low bits of `v` so bit `i` lands at position `2i`.
+fn spread(v: u32) -> u64 {
+    let mut v = (v as u64) & 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555;
+    v
+}
+
+/// Inverse of [`spread`]: collects the even-position bits of `z`.
+fn compact(z: u64) -> u32 {
+    let mut z = z & 0x5555_5555;
+    z = (z | (z >> 1)) & 0x3333_3333;
+    z = (z | (z >> 2)) & 0x0F0F_0F0F;
+    z = (z | (z >> 4)) & 0x00FF_00FF;
+    z = (z | (z >> 8)) & 0x0000_FFFF;
+    z as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CellGrid {
+        CellGrid::new(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)), 2)
+    }
+
+    #[test]
+    fn morton_order_matches_the_textbook_sequence() {
+        // First eight cells of the 4x4 Z curve.
+        let expected = [
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (1, 1),
+            (2, 0),
+            (3, 0),
+            (2, 1),
+            (3, 1),
+        ];
+        for (z, &(x, y)) in expected.iter().enumerate() {
+            assert_eq!(CellGrid::deinterleave(z as u64), (x, y));
+            assert_eq!(CellGrid::interleave(x, y), z as u64);
+        }
+    }
+
+    #[test]
+    fn points_map_into_containing_cells() {
+        let g = grid();
+        let p = Point::new(26.0, 74.0);
+        let z = g.cell_of(&p);
+        assert!(g.cell_rect(z).contains_point(&p));
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp_to_edge_cells() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(-50.0, -50.0)), 0);
+        let far = g.cell_of(&Point::new(1e6, 1e6));
+        assert_eq!(CellGrid::deinterleave(far), (3, 3));
+    }
+
+    #[test]
+    fn degenerate_mbr_sends_everything_to_cell_zero() {
+        let g = CellGrid::new(Rect::from_point(Point::new(5.0, 5.0)), 3);
+        assert_eq!(g.cell_of(&Point::new(-10.0, 40.0)), 0);
+        assert!(g.cell_rect(0).contains_point(&Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_balanced_and_exhaustive() {
+        let g = CellGrid::new(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 4);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut counts = vec![0u64; shards];
+            let mut last = 0usize;
+            for z in 0..g.num_cells() {
+                let s = g.shard_of_cell(z, shards);
+                assert!(s >= last, "assignment must be monotone in z");
+                assert!(s < shards);
+                last = s;
+                counts[s] += 1;
+            }
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 1, "slice sizes differ by more than one");
+        }
+    }
+
+    #[test]
+    fn shard_territories_tile_the_mbr() {
+        let g = grid();
+        let shards = 4;
+        let mut union = Rect::empty();
+        for s in 0..shards {
+            union = union.union(&g.shard_territory(s, shards));
+        }
+        assert!(union.contains_rect(&g.mbr()));
+    }
+}

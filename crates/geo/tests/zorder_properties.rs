@@ -1,0 +1,119 @@
+//! Property-based tests for the Z-order cell grid the sharded service
+//! partitions space with: exact bijectivity of the bit interleaving,
+//! point→cell→rect containment, and the locality guarantees shard
+//! assignment relies on.
+
+use proptest::prelude::*;
+use rknnt_geo::{CellGrid, Point, Rect};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn grid() -> impl Strategy<Value = CellGrid> {
+    (pt(), pt(), 1u32..7).prop_map(|(a, b, bits)| CellGrid::new(Rect::new(a, b), bits))
+}
+
+proptest! {
+    /// interleave/deinterleave are exact inverses on the grid domain.
+    #[test]
+    fn morton_round_trip_is_bijective(x in 0u32..(1 << 15), y in 0u32..(1 << 15)) {
+        let z = CellGrid::interleave(x, y);
+        prop_assert_eq!(CellGrid::deinterleave(z), (x, y));
+    }
+
+    /// And the other way round: every index below 4^bits decodes to a cell
+    /// that re-encodes to the same index.
+    #[test]
+    fn morton_index_round_trip(z in 0u64..(1u64 << 30)) {
+        let (x, y) = CellGrid::deinterleave(z);
+        prop_assert_eq!(CellGrid::interleave(x, y), z);
+    }
+
+    /// The cell a point maps to really contains the point (the floor is
+    /// post-corrected against floating-point boundary rounding), so routing
+    /// data to the owner of `cell_of(p)` never loses it spatially.
+    #[test]
+    fn point_maps_into_containing_cell(g in grid(), p in pt()) {
+        let mbr = g.mbr();
+        prop_assume!(!mbr.is_empty());
+        prop_assume!(mbr.contains_point(&p));
+        let z = g.cell_of(&p);
+        prop_assert!(z < g.num_cells());
+        prop_assert!(g.cell_rect(z).contains_point(&p), "cell {} does not contain {}", z, p);
+    }
+
+    /// Out-of-bounds points clamp to a valid cell instead of escaping the
+    /// grid.
+    #[test]
+    fn clamping_keeps_every_point_on_the_grid(g in grid(), p in pt()) {
+        let z = g.cell_of(&p);
+        prop_assert!(z < g.num_cells());
+    }
+
+    /// Grid-adjacent cells share a boundary: their rectangles intersect but
+    /// overlap with zero area (the monotone-locality half of the cell
+    /// mapping contract).
+    #[test]
+    fn axis_neighbours_share_a_boundary(g in grid(), z in 0u64..4096) {
+        prop_assume!(!g.mbr().is_empty());
+        prop_assume!(g.mbr().area() > 1e-6);
+        let z = z % g.num_cells();
+        let (x, y) = CellGrid::deinterleave(z);
+        let side = g.side();
+        let mut neighbours = Vec::new();
+        if x + 1 < side { neighbours.push(CellGrid::interleave(x + 1, y)); }
+        if y + 1 < side { neighbours.push(CellGrid::interleave(x, y + 1)); }
+        let rect = g.cell_rect(z);
+        for n in neighbours {
+            let other = g.cell_rect(n);
+            prop_assert!(rect.intersects(&other), "adjacent cells must touch");
+            prop_assert!(rect.intersection_area(&other) <= 1e-9, "adjacent cells must not overlap");
+        }
+    }
+
+    /// Z-order locality: two indices sharing their high prefix at block
+    /// level `l` lie inside the same aligned 2^l × 2^l block of cells, so a
+    /// contiguous Z-range slice stays spatially coherent.
+    #[test]
+    fn shared_prefix_means_shared_block(x1 in 0u32..64, y1 in 0u32..64,
+                                        x2 in 0u32..64, y2 in 0u32..64,
+                                        l in 1u32..6) {
+        let z1 = CellGrid::interleave(x1, y1);
+        let z2 = CellGrid::interleave(x2, y2);
+        let same_prefix = (z1 >> (2 * l)) == (z2 >> (2 * l));
+        let same_block = (x1 >> l) == (x2 >> l) && (y1 >> l) == (y2 >> l);
+        prop_assert_eq!(same_prefix, same_block);
+    }
+
+    /// Shard assignment is monotone, exhaustive and balanced for every
+    /// shard count the service supports.
+    #[test]
+    fn shard_slices_partition_the_curve(g in grid(), shards in 1usize..9) {
+        let mut last = 0usize;
+        let mut counts = vec![0u64; shards];
+        for z in 0..g.num_cells() {
+            let s = g.shard_of_cell(z, shards);
+            prop_assert!(s < shards);
+            prop_assert!(s >= last);
+            last = s;
+            counts[s] += 1;
+        }
+        if g.num_cells() >= shards as u64 {
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            prop_assert!(min >= 1, "every shard owns at least one cell");
+            prop_assert!(max - min <= 1, "slice sizes differ by more than one");
+        }
+    }
+
+    /// A point always lands inside the territory of the shard it is
+    /// assigned to (territory = union of the shard's cell rects).
+    #[test]
+    fn point_lands_in_its_shards_territory(g in grid(), p in pt(), shards in 1usize..9) {
+        prop_assume!(!g.mbr().is_empty());
+        prop_assume!(g.mbr().contains_point(&p));
+        let s = g.shard_of_point(&p, shards);
+        prop_assert!(g.shard_territory(s, shards).contains_point(&p));
+    }
+}

@@ -67,6 +67,14 @@ pub enum EventKind {
         /// Transitions that left its result.
         left: u32,
     },
+    /// The sharded router dispatched one query to one shard (the filter
+    /// footprint could not certify the shard candidate-free).
+    ShardDispatch {
+        /// Index of the consulted shard.
+        shard: u32,
+        /// Candidate endpoints the shard's prune phase returned.
+        candidates: u32,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -104,6 +112,12 @@ impl fmt::Display for EventKind {
                 write!(
                     f,
                     "event=sub_reexecuted id={id} entered={entered} left={left}"
+                )
+            }
+            EventKind::ShardDispatch { shard, candidates } => {
+                write!(
+                    f,
+                    "event=shard_dispatch shard={shard} candidates={candidates}"
                 )
             }
         }

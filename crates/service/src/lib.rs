@@ -75,12 +75,14 @@ pub mod monitor;
 mod policy;
 pub mod region;
 mod service;
+pub mod sharded;
 
 pub use batch::{BatchPhaseTimings, BatchStats};
 pub use cache::{CacheCounters, CacheKey, CacheStats, ResultCache};
-pub use metrics::ServiceMetrics;
+pub use metrics::{RouterStats, ServiceMetrics};
 pub use monitor::{DeltaReason, SubscriptionDelta, SubscriptionId};
 pub use policy::EnginePolicy;
 pub use region::EntryRegion;
 pub use rknnt_storage::{StorageConfig, StorageError, StorageStats};
 pub use service::{QueryService, ServiceConfig, StoreUpdate, UpdateStats};
+pub use sharded::{ShardedConfig, ShardedService};

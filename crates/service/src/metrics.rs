@@ -13,6 +13,8 @@
 //! | `service.subs.*` | subscription classification outcomes |
 //! | `storage.wal.*` | WAL appends, bytes, and `fsync_ns` latency |
 //! | `storage.checkpoint*` | checkpoint duration and the `checkpoint_stall_ns` high-water gauge |
+//! | `router.*` | sharded routing: `fanout` histogram (shards consulted per fresh execution), `shards_pruned`, `dispatches`, `executions` |
+//! | `shard.<i>.dispatches` | per-shard dispatch counters of one [`crate::ShardedService`] |
 //!
 //! The public stats structs ([`BatchStats`](crate::BatchStats),
 //! [`UpdateStats`](crate::UpdateStats)) are populated by diffing cheap
@@ -133,6 +135,28 @@ impl ServiceMetrics {
         }
     }
 
+    /// Registers the single-service catalog *plus* the router-layer cells a
+    /// [`crate::ShardedService`] adds on top: the fan-out histogram, prune
+    /// and dispatch counters, and one `shard.<i>.dispatches` counter per
+    /// shard. Shard counter names are interned for the process lifetime
+    /// (the registry requires `&'static str` ids); a service holds at most
+    /// one registration per shard index, and resharding rebuilds the whole
+    /// catalog fresh, so the interned set stays bounded by the largest shard
+    /// count ever used.
+    pub(crate) fn new_with_router(shards: usize) -> (Self, RouterMetrics) {
+        let mut metrics = Self::new();
+        let router = RouterMetrics {
+            fanout: metrics.registry.histogram("router.fanout"),
+            shards_pruned: metrics.registry.counter("router.shards_pruned"),
+            dispatches: metrics.registry.counter("router.dispatches"),
+            executions: metrics.registry.counter("router.executions"),
+            shard_dispatches: (0..shards)
+                .map(|i| metrics.registry.counter(shard_counter_name(i)))
+                .collect(),
+        };
+        (metrics, router)
+    }
+
     /// The underlying registry (ids, individual cells, raw snapshots).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
@@ -222,6 +246,77 @@ impl ServiceMetrics {
             subs_reexecuted: self.subs_reexecuted.get(),
             wal_appends: self.wal_appends.get(),
             wal_bytes: self.wal_bytes.get(),
+        }
+    }
+}
+
+/// Router-layer metric cells of one [`crate::ShardedService`], registered
+/// against the same registry as the router's service catalog. Each shard's
+/// inner [`crate::QueryService`] keeps its own full catalog; these cells
+/// describe the routing layer itself.
+#[derive(Debug)]
+pub(crate) struct RouterMetrics {
+    /// Shards consulted per fresh (uncached, non-degenerate) execution.
+    pub(crate) fanout: Arc<Histogram>,
+    /// Shards skipped because the query's filter certified them
+    /// candidate-free (or they were empty).
+    pub(crate) shards_pruned: Counter,
+    /// Total cross-shard dispatches.
+    pub(crate) dispatches: Counter,
+    /// Fresh executions routed (the fan-out histogram's count, mirrored as
+    /// a counter so stats reads never touch histogram locks).
+    pub(crate) executions: Counter,
+    /// Per-shard dispatch counters, `shard.<i>.dispatches`.
+    pub(crate) shard_dispatches: Vec<Counter>,
+}
+
+impl RouterMetrics {
+    /// Relaxed-load snapshot of the routing counters.
+    pub(crate) fn stats(&self) -> RouterStats {
+        RouterStats {
+            executions: self.executions.get(),
+            dispatches: self.dispatches.get(),
+            shards_pruned: self.shards_pruned.get(),
+        }
+    }
+}
+
+/// Interned `shard.<i>.dispatches` names: the registry requires `&'static`
+/// ids, and a process may build sharded services repeatedly (tests,
+/// resharding), so names are cached per index instead of leaked per call.
+fn shard_counter_name(index: usize) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(Vec::new()));
+    let mut names = names.lock().expect("shard name cache poisoned");
+    while names.len() <= index {
+        let i = names.len();
+        names.push(Box::leak(format!("shard.{i}.dispatches").into_boxed_str()));
+    }
+    names[index]
+}
+
+/// Point-in-time routing counters of a [`crate::ShardedService`], read via
+/// [`crate::ShardedService::router_stats`]. The mean fan-out —
+/// `dispatches / executions` — is the sharding efficiency figure the
+/// `shard_scaleout` bench gates on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Fresh (uncached, non-degenerate) executions routed.
+    pub executions: u64,
+    /// Cross-shard dispatches issued for those executions.
+    pub dispatches: u64,
+    /// Shard consultations avoided by the footprint certificate.
+    pub shards_pruned: u64,
+}
+
+impl RouterStats {
+    /// Mean shards consulted per fresh execution (0 when nothing ran).
+    pub fn mean_fanout(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.dispatches as f64 / self.executions as f64
         }
     }
 }

@@ -43,7 +43,7 @@ use std::collections::BTreeMap;
 /// Work budget for one subscription's route-removal certificate
 /// ([`EntryRegion::survives_route_remove`]); exhausting it marks the
 /// subscription dirty, which is always sound.
-const SUB_REMOVAL_BUDGET: usize = 8_192;
+pub(crate) const SUB_REMOVAL_BUDGET: usize = 8_192;
 
 /// Opaque handle to a standing query registered with
 /// [`QueryService::subscribe`].
@@ -227,6 +227,48 @@ impl SubscriptionRegistry {
         metrics: &ServiceMetrics,
         deltas: &mut Vec<SubscriptionDelta>,
     ) {
+        self.classify_update_with(
+            effect,
+            routes,
+            metrics,
+            deltas,
+            |sub, removed, points| {
+                let mut budget = SUB_REMOVAL_BUDGET;
+                sub.region.survives_route_remove(
+                    routes,
+                    transitions,
+                    &sub.result,
+                    removed,
+                    points,
+                    &mut budget,
+                )
+            },
+            |sub| rebuilt_region(sub, transitions),
+        )
+    }
+
+    /// [`SubscriptionRegistry::classify_update`] with the two
+    /// store-dependent steps abstracted out: the route-removal survival
+    /// certificate and the post-expiry region rebuild. The sharded router
+    /// supplies closures that AND per-shard certificates and resolve
+    /// transition endpoints through its routing directory; the single-store
+    /// service delegates with the plain [`TransitionStore`] versions. Both
+    /// closures must be *sound* (a `false` survival / conservative region is
+    /// always safe), which keeps sharded and unsharded delta streams
+    /// byte-identical: a spuriously dirty subscription re-executes to an
+    /// unchanged result and emits nothing.
+    pub(crate) fn classify_update_with<R, B>(
+        &mut self,
+        effect: &UpdateEffect<'_>,
+        routes: &RouteStore,
+        metrics: &ServiceMetrics,
+        deltas: &mut Vec<SubscriptionDelta>,
+        mut route_remove_survives: R,
+        mut rebuild_region: B,
+    ) where
+        R: FnMut(&Subscription, RouteId, &[Point]) -> bool,
+        B: FnMut(&Subscription) -> EntryRegion,
+    {
         let (mut unaffected, mut stable, mut dirty) = (0u64, 0u64, 0u64);
         for (id, sub) in self.subs.iter_mut() {
             if sub.dirty {
@@ -260,7 +302,8 @@ impl SubscriptionRegistry {
                             // every other transition depends only on routes,
                             // so the result loses exactly this member.
                             sub.result.remove(pos);
-                            sub.region = rebuilt_region(sub, transitions);
+                            let region = rebuild_region(&*sub);
+                            sub.region = region;
                             stable += 1;
                             deltas.push(SubscriptionDelta {
                                 subscription: SubscriptionId(*id),
@@ -283,15 +326,7 @@ impl SubscriptionRegistry {
                     id: removed,
                     points,
                 } => {
-                    let mut budget = SUB_REMOVAL_BUDGET;
-                    if sub.region.survives_route_remove(
-                        routes,
-                        transitions,
-                        &sub.result,
-                        *removed,
-                        points,
-                        &mut budget,
-                    ) {
+                    if route_remove_survives(&*sub, *removed, points) {
                         stable += 1;
                     } else {
                         sub.dirty = true;

@@ -90,11 +90,29 @@ impl EntryRegion {
         footprint: Option<Arc<FilterFootprint>>,
         transitions: &rknnt_index::TransitionStore,
     ) -> Self {
+        Self::record_with(query, result, footprint, |id| {
+            transitions.get(id).map(|t| (t.origin, t.destination))
+        })
+    }
+
+    /// [`EntryRegion::record`] over an arbitrary transition-endpoint lookup
+    /// instead of a single [`TransitionStore`] — the sharded router records
+    /// regions for results whose transitions live across many shard-local
+    /// stores, resolving each global id through its routing directory.
+    pub fn record_with<F>(
+        query: &RknntQuery,
+        result: &RknntResult,
+        footprint: Option<Arc<FilterFootprint>>,
+        lookup: F,
+    ) -> Self
+    where
+        F: Fn(TransitionId) -> Option<(Point, Point)>,
+    {
         let mut result_rect = Rect::empty();
         for id in &result.transitions {
-            if let Some(t) = transitions.get(*id) {
-                result_rect.expand_to_point(&t.origin);
-                result_rect.expand_to_point(&t.destination);
+            if let Some((origin, destination)) = lookup(*id) {
+                result_rect.expand_to_point(&origin);
+                result_rect.expand_to_point(&destination);
             }
         }
         // Upper bound on dist(p, Q) over p in result_rect: for the query

@@ -19,7 +19,7 @@ use std::sync::{Arc, Mutex};
 /// Work budget per cached entry for the route-removal survival scan; when
 /// the shared budget (`per-entry × entries`) is exhausted mid-call the
 /// removal falls back to a full cache drop.
-const ROUTE_REMOVAL_BUDGET_PER_ENTRY: usize = 4_096;
+pub(crate) const ROUTE_REMOVAL_BUDGET_PER_ENTRY: usize = 4_096;
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,6 +205,12 @@ impl QueryService {
         config: ServiceConfig,
         storage_config: StorageConfig,
     ) -> Result<(Self, StorageStats), StorageError> {
+        if let Some(layout) = rknnt_storage::detect_shard_layout(dir) {
+            return Err(StorageError::ShardedLayout {
+                dir: dir.to_path_buf(),
+                shards: layout.shard_count(),
+            });
+        }
         let (mut storage, recovery) = Storage::open(dir, storage_config)?;
         let (routes, transitions) = recovery
             .stores
@@ -236,12 +242,23 @@ impl QueryService {
     /// initial checkpoint, making the current state durable. The directory
     /// must not already hold snapshot or WAL data
     /// ([`StorageError::DirectoryNotEmpty`]) — recover existing state with
-    /// [`QueryService::open`] instead.
+    /// [`QueryService::open`] instead. A directory holding a *sharded*
+    /// layout (`router/`, `shard-NNN/` subdirectories) is recognised and
+    /// refused with the typed [`StorageError::ShardedLayout`]: its state
+    /// belongs to a whole fleet and must be recovered with
+    /// [`crate::ShardedService::open`], not shadowed by a single service
+    /// checkpointing into the root.
     pub fn attach_storage(
         &mut self,
         dir: &Path,
         storage_config: StorageConfig,
     ) -> Result<StorageStats, StorageError> {
+        if let Some(layout) = rknnt_storage::detect_shard_layout(dir) {
+            return Err(StorageError::ShardedLayout {
+                dir: dir.to_path_buf(),
+                shards: layout.shard_count(),
+            });
+        }
         let (mut storage, recovery) = Storage::open(dir, storage_config)?;
         if recovery.found_existing {
             return Err(StorageError::DirectoryNotEmpty {

@@ -1,0 +1,1900 @@
+//! Spatial sharding: SFC-partitioned shards behind a footprint-pruned
+//! router.
+//!
+//! [`ShardedService`] splits one city across `N` shards by Z-order cell of
+//! each item's representative point (a route's first vertex, a transition's
+//! origin — see [`rknnt_geo::CellGrid`]). Every shard owns a plain
+//! [`QueryService`] over its slice of the data; the router in front owns a
+//! **planner replica** of the full [`RouteStore`] (routes are small and
+//! queried globally; transitions are the bulk and are sharded), the global
+//! result cache, the subscription registry and the routing directory mapping
+//! every global id to `(shard, local id, live)`.
+//!
+//! The routing insight is that the filter step already produces a
+//! *shard-pruning certificate*: the same `filters_rect` test the TR-tree
+//! descent uses on interior nodes applies verbatim to a shard's root MBR. A
+//! query builds its filter once against the planner; any shard whose
+//! TR-tree root the filter covers provably contains no candidate and is
+//! never consulted. Because an endpoint survives pruning iff `filters_point`
+//! accepts it — node-level tests are certificates for their subtrees, so
+//! tree *shape* never changes survival — the union of per-shard candidate
+//! sets equals the unsharded candidate set, and after identical per-endpoint
+//! verification against the planner the merged, sorted result is
+//! **byte-identical** to the unsharded service's. The same argument makes
+//! subscription delta streams identical: classification certificates are
+//! sound on both sides, and a spuriously dirty subscription re-executes to
+//! an unchanged result and emits nothing.
+//!
+//! Durability is layered: each shard keeps its own WAL + snapshot directory
+//! (`shard-NNN/`), and the router keeps its own (`router/`) holding the
+//! planner snapshot, the routing directory (in the checkpoint's meta block)
+//! and a WAL of every update in *global* form. Updates are logged by the
+//! router first, then forwarded to the owning shard (which logs them again
+//! locally), so a crash between the two appends is reconciled on
+//! [`ShardedService::open`]: a replayed update whose owning shard already
+//! shows it applied only re-records the directory mapping.
+
+use crate::batch::{form_groups, BatchStats, Group, GroupOutput};
+use crate::cache::{route_bits, CacheKey, CacheStats, ResultCache};
+use crate::metrics::{RouterMetrics, ServiceMetrics};
+use crate::monitor::{Subscription, SUB_REMOVAL_BUDGET};
+use crate::monitor::{SubscriptionDelta, SubscriptionId, SubscriptionRegistry, UpdateEffect};
+use crate::region::EntryRegion;
+use crate::service::{
+    QueryService, ServiceConfig, StoreUpdate, UpdateStats, ROUTE_REMOVAL_BUDGET_PER_ENTRY,
+};
+use rknnt_core::{
+    build_filter_set, count_closer_routes_sq, prune_transitions, CandidateEndpoint, EngineKind,
+    FilterFootprint, FilterOutcome, PhaseTimings, QueryStats, RknntQuery, RknntResult, Semantics,
+};
+use rknnt_data::codec::{CodecError, Decoder, Encoder};
+use rknnt_geo::{point_route_distance_sq, CellGrid, Point, Rect};
+use rknnt_index::{
+    partition_routes, partition_transitions, EndpointKind, IdSpace, NList, RouteId, RouteStore,
+    TransitionId, TransitionStore,
+};
+use rknnt_obs::{EventKind, FlightRecorder, MetricsSnapshot, Span};
+use rknnt_rtree::RTreeConfig;
+use rknnt_storage::{
+    detect_shard_layout, dir_has_storage_data, parse_shard_subdir, shard_subdir, Storage,
+    StorageConfig, StorageError, StorageStats, ROUTER_SUBDIR,
+};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Version byte of the router checkpoint's meta block.
+const META_VERSION: u8 = 1;
+/// Meta slot tag: no item ever held this global id (skipped at build time).
+const SLOT_VACANT: u8 = 0;
+/// Meta slot tag: a live item on `(shard, local)`.
+const SLOT_LIVE: u8 = 1;
+/// Meta slot tag: an item that lived on `(shard, local)` and was removed.
+const SLOT_DEAD: u8 = 2;
+
+/// Configuration of a [`ShardedService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards the city is split into (at least 1 is always used).
+    pub shards: usize,
+    /// Z-order grid resolution: the dataset MBR is divided into
+    /// `2^bits × 2^bits` cells (clamped to
+    /// [`rknnt_geo::MAX_GRID_BITS`]).
+    pub grid_bits: u32,
+    /// R-tree fan-out for the per-shard stores and the planner replica.
+    pub rtree: RTreeConfig,
+    /// Configuration of the router's batch pipeline (workers, policy,
+    /// cache) and of each shard's inner service.
+    pub base: ServiceConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            grid_bits: 6,
+            rtree: RTreeConfig::default(),
+            base: ServiceConfig::default(),
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Fixes the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Fixes the Z-order grid resolution.
+    pub fn with_grid_bits(mut self, bits: u32) -> Self {
+        self.grid_bits = bits;
+        self
+    }
+
+    /// Fixes the base service configuration.
+    pub fn with_base(mut self, base: ServiceConfig) -> Self {
+        self.base = base;
+        self
+    }
+}
+
+/// One entry of the routing directory: where a global id lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// The global id was never assigned (the item was rejected at build
+    /// time, consuming no id in the unsharded numbering — kept so directory
+    /// indexes line up with store slot indexes).
+    Vacant,
+    /// The global id maps to `local` on `shard`; `live` tracks removal.
+    Held { shard: u32, local: u32, live: bool },
+}
+
+/// One shard: its inner service plus the local→global id spaces.
+struct Shard {
+    service: QueryService,
+    route_l2g: IdSpace,
+    transition_l2g: IdSpace,
+}
+
+/// Decoded router checkpoint meta.
+struct RouterMeta {
+    grid: CellGrid,
+    shards: usize,
+    route_dir: Vec<Slot>,
+    transition_dir: Vec<Slot>,
+}
+
+/// A spatially sharded [`QueryService`] fleet behind a footprint-pruned
+/// router. Construction is [`ShardedService::bulk_build`] (in memory) or
+/// [`ShardedService::open`] (from a per-shard storage layout); the query
+/// and update API mirrors [`QueryService`], and every answer — batch
+/// results, subscription results and their delta streams — is byte-identical
+/// to an unsharded service over the same data (see the module docs for the
+/// argument, `tests/service_sharded.rs` for the enforcement).
+pub struct ShardedService {
+    grid: CellGrid,
+    config: ShardedConfig,
+    /// Full-city route store: filter construction and endpoint verification
+    /// are global decisions, so the router keeps the complete (small) route
+    /// set while transitions (the bulk) stay sharded. Global route ids are
+    /// exactly this store's slot indexes.
+    planner: RouteStore,
+    shards: Vec<Shard>,
+    route_dir: Vec<Slot>,
+    transition_dir: Vec<Slot>,
+    cache: Mutex<ResultCache>,
+    generation: AtomicU64,
+    monitor: SubscriptionRegistry,
+    /// Advisory registration: which shards each subscription's footprint
+    /// overlaps (see [`ShardedService::subscription_shards`]). *Not* used to
+    /// skip classification — transitions are routed by origin cell, so a
+    /// shard outside a footprint can still own a transition whose
+    /// destination falls inside it.
+    sub_shards: BTreeMap<u64, Vec<usize>>,
+    storage: Option<Storage>,
+    storage_root: Option<PathBuf>,
+    storage_config: Option<StorageConfig>,
+    metrics: ServiceMetrics,
+    router: RouterMetrics,
+}
+
+/// Translates a global sorted result into a shard's local id space, keeping
+/// only the transitions the shard owns. `to_local` is monotone, so the
+/// output stays sorted.
+fn translate_result(space: &IdSpace, result: &[TransitionId]) -> Vec<TransitionId> {
+    result
+        .iter()
+        .filter_map(|t| space.to_local(t.raw()).map(TransitionId))
+        .collect()
+}
+
+/// Resolves a global transition id to its endpoints through the routing
+/// directory (`None` for vacant, dead or unknown ids).
+fn endpoints_of(dir: &[Slot], shards: &[Shard], id: TransitionId) -> Option<(Point, Point)> {
+    match dir.get(id.index())? {
+        Slot::Held {
+            shard,
+            local,
+            live: true,
+        } => shards
+            .get(*shard as usize)?
+            .service
+            .transitions()
+            .get(TransitionId(*local))
+            .map(|t| (t.origin, t.destination)),
+        _ => None,
+    }
+}
+
+impl ShardedService {
+    /// Builds a sharded service from raw data: computes the dataset MBR,
+    /// lays a Z-order grid over it, partitions routes and transitions to
+    /// shards by representative point (first route vertex / transition
+    /// origin) and bulk-builds each shard's stores plus the planner replica.
+    /// Global ids are assigned exactly as the unsharded bulk build would
+    /// (invalid items are skipped and consume no id).
+    pub fn bulk_build(
+        config: ShardedConfig,
+        routes: Vec<Vec<Point>>,
+        transitions: Vec<(Point, Point)>,
+    ) -> Self {
+        let shard_count = config.shards.max(1);
+        let mut mbr = Rect::empty();
+        for route in &routes {
+            for p in route {
+                if p.is_finite() {
+                    mbr.expand_to_point(p);
+                }
+            }
+        }
+        for (origin, destination) in &transitions {
+            if origin.is_finite() {
+                mbr.expand_to_point(origin);
+            }
+            if destination.is_finite() {
+                mbr.expand_to_point(destination);
+            }
+        }
+        if mbr.is_empty() {
+            mbr = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        }
+        let grid = CellGrid::new(mbr, config.grid_bits);
+        let (planner, _) = RouteStore::bulk_build(config.rtree, routes.clone());
+        let rp = partition_routes(config.rtree, routes, shard_count, |points| {
+            grid.shard_of_point(&points[0], shard_count)
+        });
+        let tp = partition_transitions(config.rtree, transitions, shard_count, |origin, _| {
+            grid.shard_of_point(origin, shard_count)
+        });
+
+        let mut next_route_local = vec![0u32; shard_count];
+        let route_dir: Vec<Slot> = rp
+            .owners
+            .iter()
+            .map(|&owner| {
+                let local = next_route_local[owner as usize];
+                next_route_local[owner as usize] += 1;
+                Slot::Held {
+                    shard: owner,
+                    local,
+                    live: true,
+                }
+            })
+            .collect();
+        let mut next_transition_local = vec![0u32; shard_count];
+        let transition_dir: Vec<Slot> = tp
+            .owners
+            .iter()
+            .map(|&owner| {
+                let local = next_transition_local[owner as usize];
+                next_transition_local[owner as usize] += 1;
+                Slot::Held {
+                    shard: owner,
+                    local,
+                    live: true,
+                }
+            })
+            .collect();
+
+        let shards: Vec<Shard> = rp
+            .stores
+            .into_iter()
+            .zip(rp.spaces)
+            .zip(tp.stores.into_iter().zip(tp.spaces))
+            .map(
+                |((route_store, route_l2g), (transition_store, transition_l2g))| Shard {
+                    service: QueryService::new(route_store, transition_store, config.base),
+                    route_l2g,
+                    transition_l2g,
+                },
+            )
+            .collect();
+
+        let (metrics, router) = ServiceMetrics::new_with_router(shard_count);
+        let cache = Mutex::new(ResultCache::with_counters(
+            config.base.cache_capacity,
+            config.base.cache_seed,
+            metrics.cache.clone(),
+        ));
+        ShardedService {
+            grid,
+            config: ShardedConfig {
+                shards: shard_count,
+                ..config
+            },
+            planner,
+            shards,
+            route_dir,
+            transition_dir,
+            cache,
+            generation: AtomicU64::new(0),
+            monitor: SubscriptionRegistry::default(),
+            sub_shards: BTreeMap::new(),
+            storage: None,
+            storage_root: None,
+            storage_config: None,
+            metrics,
+            router,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query path.
+    // ------------------------------------------------------------------
+
+    /// Answers one query (through the cache; see
+    /// [`ShardedService::execute_batch`] for the batched path).
+    pub fn execute(&self, query: &RknntQuery) -> RknntResult {
+        let (mut results, _) = self.execute_batch(std::slice::from_ref(query));
+        results.pop().expect("one query in, one result out")
+    }
+
+    /// Executes a batch of queries with the same pipeline as
+    /// [`QueryService::execute_batch`] — cache lookup, policy + spatial
+    /// grouping, worker-pool execution, deterministic merge — except that
+    /// group execution routes each fresh query across the shard fleet: the
+    /// filter is built once against the planner, shards whose TR-tree root
+    /// MBR the filter covers are skipped (`router.shards_pruned`), the rest
+    /// are pruned individually and their candidates verified together
+    /// against the planner. Returned transition sets are byte-identical to
+    /// the unsharded service's.
+    pub fn execute_batch(&self, queries: &[RknntQuery]) -> (Vec<RknntResult>, BatchStats) {
+        let mut stats = BatchStats {
+            queries: queries.len(),
+            ..BatchStats::default()
+        };
+        let mut slots: Vec<Option<RknntResult>> = vec![None; queries.len()];
+        if queries.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let generation_at_start = self.generation();
+        self.metrics.batches.inc();
+        self.metrics.queries.add(queries.len() as u64);
+        let base = self.metrics.batch_view();
+
+        // Phase 1: cache lookup.
+        let span = Span::enter(&self.metrics.stage_lookup);
+        let caching = self.config.base.cache_capacity > 0;
+        let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(queries.len());
+        let mut miss_indexes: Vec<usize> = Vec::new();
+        if caching {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, query) in queries.iter().enumerate() {
+                let key = CacheKey::of(query);
+                match cache.get(&key) {
+                    Some(result) => {
+                        slots[i] = Some(result);
+                        keys.push(Some(key));
+                    }
+                    None => {
+                        miss_indexes.push(i);
+                        keys.push(Some(key));
+                    }
+                }
+            }
+        } else {
+            keys.resize_with(queries.len(), || None);
+            miss_indexes.extend(0..queries.len());
+        }
+        stats.timings.lookup = span.finish();
+        stats.cache_hits = (self.metrics.cache.hits.get() - base.cache_hits) as usize;
+        self.metrics.record_event(EventKind::BatchAdmitted {
+            queries: u32::try_from(queries.len()).unwrap_or(u32::MAX),
+            cache_hits: u32::try_from(stats.cache_hits).unwrap_or(u32::MAX),
+        });
+
+        // Phase 2: policy + spatial grouping of the misses.
+        let span = Span::enter(&self.metrics.stage_grouping);
+        let groups = form_groups(
+            queries,
+            &miss_indexes,
+            self.config.base.policy,
+            self.config.base.group_cell,
+        );
+        stats.groups = groups.len();
+        self.metrics.groups.add(groups.len() as u64);
+        stats.timings.grouping = span.finish();
+
+        // Phase 3: routed execution over the worker pool.
+        let span = Span::enter(&self.metrics.stage_execution);
+        let (computed, workers_used) = self.run_sharded_groups(&groups);
+        stats.workers_used = workers_used;
+        stats.timings.execution = span.finish();
+
+        // Phase 4: merge into input order and feed the cache. Every
+        // non-degenerate result already carries its footprint (the router
+        // builds the filter for every engine kind), so no fallback pass.
+        let span = Span::enter(&self.metrics.stage_finalize);
+        if caching {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let fresh = self.generation() == generation_at_start;
+            for (index, result, footprint) in computed {
+                if fresh {
+                    if let Some(key) = keys[index].take() {
+                        let region =
+                            EntryRegion::record_with(&queries[index], &result, footprint, |id| {
+                                endpoints_of(&self.transition_dir, &self.shards, id)
+                            });
+                        cache.insert(key, result.clone(), region);
+                    }
+                }
+                slots[index] = Some(result);
+            }
+        } else {
+            for (index, result, _) in computed {
+                slots[index] = Some(result);
+            }
+        }
+        let results: Vec<RknntResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every query produced a result"))
+            .collect();
+        stats.timings.finalize = span.finish();
+        let view = self.metrics.batch_view();
+        stats.filter_constructions =
+            (view.filter_constructions - base.filter_constructions) as usize;
+        stats.filters_saved = (view.filters_saved - base.filters_saved) as usize;
+        stats.duplicates_coalesced =
+            (view.duplicates_coalesced - base.duplicates_coalesced) as usize;
+        (results, stats)
+    }
+
+    /// Executes one routed query: per-shard prune behind the root-MBR
+    /// skip certificate, then global verification against the planner.
+    ///
+    /// The result is byte-identical to the unsharded filter–refine
+    /// execution (and therefore to every engine): an endpoint survives
+    /// pruning iff `filters_point` accepts it — node-level `filters_rect`
+    /// tests, including the shard-root test used here, are certificates for
+    /// their whole subtree — so the union of per-shard candidates equals
+    /// the unsharded candidate set; each transition is owned by exactly one
+    /// shard, so the union has no duplicates; and verification per
+    /// candidate uses the same planner-wide closer-route count.
+    fn route_query(
+        &self,
+        nlist: &NList,
+        query: &RknntQuery,
+        outcome: &FilterOutcome,
+        use_voronoi: bool,
+    ) -> RknntResult {
+        let mut result = RknntResult::default();
+
+        let prune_started = Instant::now();
+        let mut candidates: Vec<CandidateEndpoint> = Vec::new();
+        let mut pruned_nodes = 0usize;
+        let mut consulted = 0u64;
+        for (index, shard) in self.shards.iter().enumerate() {
+            // An empty shard has nothing to consult or prune.
+            let Some(root) = shard.service.transitions().rtree().root() else {
+                continue;
+            };
+            if outcome
+                .filter_set
+                .filters_rect(&root.mbr(), query.k, use_voronoi)
+            {
+                // The certificate covers the shard's whole TR-tree: no
+                // candidate can live there, skip without dispatching.
+                self.router.shards_pruned.inc();
+                pruned_nodes += 1;
+                continue;
+            }
+            consulted += 1;
+            self.router.dispatches.inc();
+            self.router.shard_dispatches[index].inc();
+            let local = prune_transitions(
+                shard.service.transitions(),
+                &outcome.filter_set,
+                query.k,
+                use_voronoi,
+            );
+            self.metrics.record_event(EventKind::ShardDispatch {
+                shard: index as u32,
+                candidates: u32::try_from(local.candidates.len()).unwrap_or(u32::MAX),
+            });
+            pruned_nodes += local.pruned_nodes;
+            for cand in local.candidates {
+                let global = shard
+                    .transition_l2g
+                    .to_global(cand.transition.raw())
+                    .expect("pruned transition must be in the shard's id space");
+                candidates.push(CandidateEndpoint {
+                    transition: TransitionId(global),
+                    ..cand
+                });
+            }
+        }
+        self.router.executions.inc();
+        self.router.fanout.record(consulted);
+        let filtering = prune_started.elapsed();
+
+        let verify_started = Instant::now();
+        let mut per_transition: HashMap<TransitionId, (bool, bool)> = HashMap::new();
+        let mut verified_endpoints = 0usize;
+        for cand in &candidates {
+            let threshold_sq = point_route_distance_sq(&cand.point, &query.route);
+            let ok =
+                count_closer_routes_sq(&self.planner, nlist, &cand.point, threshold_sq, query.k)
+                    < query.k;
+            if ok {
+                verified_endpoints += 1;
+            }
+            let entry = per_transition
+                .entry(cand.transition)
+                .or_insert((false, false));
+            match cand.kind {
+                EndpointKind::Origin => entry.0 |= ok,
+                EndpointKind::Destination => entry.1 |= ok,
+            }
+        }
+        for (transition, (origin_ok, dest_ok)) in &per_transition {
+            let include = match query.semantics {
+                Semantics::Exists => *origin_ok || *dest_ok,
+                Semantics::ForAll => *origin_ok && *dest_ok,
+            };
+            if include {
+                result.transitions.push(*transition);
+            }
+        }
+        result.transitions.sort_unstable();
+        result.timings = PhaseTimings {
+            filtering,
+            verification: verify_started.elapsed(),
+        };
+        result.stats = QueryStats {
+            filter_points: outcome.filter_set.num_points(),
+            filter_routes: outcome.filter_set.num_routes(),
+            refine_nodes: outcome.refine_nodes.len(),
+            pruned_tr_nodes: pruned_nodes,
+            candidate_endpoints: candidates.len(),
+            verified_endpoints,
+            result_transitions: result.transitions.len(),
+        };
+        result
+    }
+
+    /// Executes one group through the router: same coalescing and filter
+    /// sharing as [`crate::batch::run_group`], but every fresh query routes
+    /// across the shards via [`ShardedService::route_query`]. The filter is
+    /// built for *every* engine kind (all engines agree on result
+    /// transitions, so routing through the filter pipeline preserves
+    /// byte-identity while giving every cached entry a real footprint).
+    fn run_shard_group(&self, nlist: &NList, group: &Group<'_>, out: &mut Vec<GroupOutput>) {
+        // Exact-identity keys mirroring `crate::batch::RouteBits`: coalescing
+        // keys on (route bits, k, semantics), filter sharing only on
+        // (route bits, k) since the filter set is semantics-independent.
+        type RouteBits = Vec<(u64, u64)>;
+        type SharedFilter = (FilterOutcome, Arc<FilterFootprint>);
+        let use_voronoi = matches!(group.kind, EngineKind::Voronoi);
+        let mut seen: HashMap<(RouteBits, usize, Semantics), usize> = HashMap::new();
+        let mut filters: HashMap<(RouteBits, usize), SharedFilter> = HashMap::new();
+        for job in &group.jobs {
+            let bits = route_bits(&job.query.route);
+            let full_key = (bits.clone(), job.query.k, job.query.semantics);
+            if let Some(&first) = seen.get(&full_key) {
+                let (_, result, footprint) = &out[first];
+                let cloned = (job.index, result.clone(), footprint.clone());
+                out.push(cloned);
+                self.metrics.duplicates_coalesced.inc();
+                continue;
+            }
+            let (result, footprint) = if job.query.is_degenerate() {
+                (RknntResult::default(), None)
+            } else {
+                let filter_key = (bits, job.query.k);
+                let (outcome, footprint) = match filters.entry(filter_key) {
+                    Entry::Occupied(entry) => {
+                        self.metrics.filters_saved.inc();
+                        entry.into_mut()
+                    }
+                    Entry::Vacant(entry) => {
+                        self.metrics.filter_constructions.inc();
+                        let outcome =
+                            build_filter_set(&self.planner, &job.query.route, job.query.k);
+                        let footprint =
+                            Arc::new(FilterFootprint::from_outcome(&job.query.route, &outcome));
+                        entry.insert((outcome, footprint))
+                    }
+                };
+                (
+                    self.route_query(nlist, job.query, outcome, use_voronoi),
+                    Some(footprint.clone()),
+                )
+            };
+            self.metrics.record_engine_timings(&result.timings);
+            seen.insert(full_key, out.len());
+            out.push((job.index, result, footprint));
+        }
+    }
+
+    /// Executes pre-formed groups over the worker pool (round-robin group
+    /// sharding, scoped threads, one planner [`NList`] per worker).
+    fn run_sharded_groups(&self, groups: &[Group<'_>]) -> (Vec<GroupOutput>, usize) {
+        let workers = self.config.base.workers.max(1).min(groups.len().max(1));
+        let workers_used = if groups.is_empty() { 0 } else { workers };
+        let mut computed: Vec<GroupOutput> = Vec::new();
+        if workers <= 1 {
+            let nlist = NList::build(&self.planner);
+            for group in groups {
+                self.run_shard_group(&nlist, group, &mut computed);
+            }
+        } else {
+            let assignments: Vec<Vec<&Group>> = (0..workers)
+                .map(|w| groups.iter().skip(w).step_by(workers).collect())
+                .collect();
+            let outputs = std::thread::scope(|scope| {
+                let handles: Vec<_> = assignments
+                    .into_iter()
+                    .map(|list| {
+                        scope.spawn(move || {
+                            let nlist = NList::build(&self.planner);
+                            let mut out = Vec::new();
+                            for group in list {
+                                self.run_shard_group(&nlist, group, &mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for out in outputs {
+                computed.extend(out);
+            }
+        }
+        (computed, workers_used)
+    }
+
+    /// Executes queries through grouping + routing, bypassing the result
+    /// cache in both directions (subscription (re-)execution).
+    fn execute_uncached(
+        &self,
+        queries: &[RknntQuery],
+    ) -> Vec<(RknntResult, Option<Arc<FilterFootprint>>)> {
+        let miss_indexes: Vec<usize> = (0..queries.len()).collect();
+        let groups = form_groups(
+            queries,
+            &miss_indexes,
+            self.config.base.policy,
+            self.config.base.group_cell,
+        );
+        let (computed, _) = self.run_sharded_groups(&groups);
+        let mut slots: Vec<Option<(RknntResult, Option<Arc<FilterFootprint>>)>> =
+            (0..queries.len()).map(|_| None).collect();
+        for (index, result, footprint) in computed {
+            slots[index] = Some((result, footprint));
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every query produced a result"))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Update path.
+    // ------------------------------------------------------------------
+
+    /// Applies incremental updates: each is routed to its owning shard
+    /// (transition inserts and route inserts by the representative point's
+    /// grid cell; removals through the routing directory), the planner
+    /// replica is kept in lock-step, the router's cache is region-evicted
+    /// and subscriptions are classified with per-shard certificates — the
+    /// sharded mirror of [`QueryService::apply_updates`], with identical
+    /// [`UpdateStats`] semantics and byte-identical delta streams.
+    ///
+    /// # Panics
+    /// Panics when storage is attached and a WAL append fails (router or
+    /// shard level); use [`ShardedService::try_apply_updates`] to handle
+    /// router-level append errors.
+    pub fn apply_updates(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
+        self.try_apply_updates(updates)
+            .expect("WAL append failed (use try_apply_updates to handle storage errors)")
+    }
+
+    /// Fallible form of [`ShardedService::apply_updates`]: the router's WAL
+    /// append error is returned instead of panicking (the stores are then
+    /// untouched). The router logs every update in **global** form before
+    /// anything applies; forwarding then double-logs each accepted update in
+    /// the owning shard's local WAL, and [`ShardedService::open`] reconciles
+    /// the two ledgers after a crash between the appends.
+    pub fn try_apply_updates(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+    ) -> Result<UpdateStats, StorageError> {
+        // Baseline before the append so router WAL frames land in the diff.
+        let base = self.metrics.update_view();
+        if let Some(storage) = &mut self.storage {
+            let records: Vec<Vec<u8>> = updates.iter().map(StoreUpdate::to_wal_record).collect();
+            storage.append(&records)?;
+        }
+        let mut stats = UpdateStats {
+            deltas: self.monitor.take_pending(),
+            ..UpdateStats::default()
+        };
+        for update in updates {
+            match update {
+                StoreUpdate::InsertTransition {
+                    origin,
+                    destination,
+                } => {
+                    let owner = self.grid.shard_of_point(&origin, self.shards.len());
+                    let global = self.transition_dir.len() as u32;
+                    let shard = &mut self.shards[owner];
+                    let forwarded =
+                        shard
+                            .service
+                            .apply_updates(vec![StoreUpdate::InsertTransition {
+                                origin,
+                                destination,
+                            }]);
+                    let Some(local) = forwarded.inserted_transitions.first().copied() else {
+                        // Store-boundary rejection (non-finite endpoint):
+                        // no id consumed, mirroring the unsharded service.
+                        self.metrics.update_rejected.inc();
+                        continue;
+                    };
+                    debug_assert_eq!(local.index(), shard.transition_l2g.len());
+                    shard.transition_l2g.push(global);
+                    self.transition_dir.push(Slot::Held {
+                        shard: owner as u32,
+                        local: local.raw(),
+                        live: true,
+                    });
+                    self.metrics.update_applied.inc();
+                    stats.inserted_transitions.push(TransitionId(global));
+                    let planner = &self.planner;
+                    self.cache
+                        .get_mut()
+                        .expect("cache lock")
+                        .evict_where(|_, _, region| {
+                            !region.survives_transition_insert(planner, &origin, &destination)
+                        });
+                    self.classify(
+                        &UpdateEffect::TransitionInsert {
+                            origin: &origin,
+                            destination: &destination,
+                        },
+                        &mut stats.deltas,
+                    );
+                }
+                StoreUpdate::ExpireTransition(id) => {
+                    let slot = self.transition_dir.get(id.index()).copied();
+                    let Some(Slot::Held {
+                        shard,
+                        local,
+                        live: true,
+                    }) = slot
+                    else {
+                        self.metrics.update_rejected.inc();
+                        continue;
+                    };
+                    let forwarded = self.shards[shard as usize]
+                        .service
+                        .apply_updates(vec![StoreUpdate::ExpireTransition(TransitionId(local))]);
+                    debug_assert_eq!(forwarded.applied, 1, "directory said the id was live");
+                    self.transition_dir[id.index()] = Slot::Held {
+                        shard,
+                        local,
+                        live: false,
+                    };
+                    self.metrics.update_applied.inc();
+                    self.cache
+                        .get_mut()
+                        .expect("cache lock")
+                        .evict_where(|_, value, region| {
+                            !region.survives_transition_remove(&value.transitions, id)
+                        });
+                    self.classify(&UpdateEffect::TransitionRemove { id }, &mut stats.deltas);
+                }
+                StoreUpdate::InsertRoute(points) => {
+                    let dirty = Rect::from_points(&points).unwrap_or_else(Rect::empty);
+                    let Some(global) = self.planner.insert_route(points.clone()) else {
+                        self.metrics.update_rejected.inc();
+                        continue;
+                    };
+                    debug_assert_eq!(global.index(), self.route_dir.len());
+                    let owner = self.grid.shard_of_point(&points[0], self.shards.len());
+                    let shard = &mut self.shards[owner];
+                    let forwarded = shard
+                        .service
+                        .apply_updates(vec![StoreUpdate::InsertRoute(points)]);
+                    let local = forwarded
+                        .inserted_routes
+                        .first()
+                        .copied()
+                        .expect("planner-accepted route cannot be rejected by a shard");
+                    debug_assert_eq!(local.index(), shard.route_l2g.len());
+                    shard.route_l2g.push(global.raw());
+                    self.route_dir.push(Slot::Held {
+                        shard: owner as u32,
+                        local: local.raw(),
+                        live: true,
+                    });
+                    self.metrics.update_applied.inc();
+                    stats.inserted_routes.push(global);
+                    self.cache
+                        .get_mut()
+                        .expect("cache lock")
+                        .evict_where(|_, _, region| !region.survives_route_insert(&dirty));
+                    self.classify(
+                        &UpdateEffect::RouteInsert { mbr: &dirty },
+                        &mut stats.deltas,
+                    );
+                }
+                StoreUpdate::RemoveRoute(id) => {
+                    let removed_points: Vec<Point> = self.planner.route_points(id).to_vec();
+                    if !self.planner.remove_route(id) {
+                        self.metrics.update_rejected.inc();
+                        continue;
+                    }
+                    let Some(Slot::Held {
+                        shard,
+                        local,
+                        live: true,
+                    }) = self.route_dir.get(id.index()).copied()
+                    else {
+                        panic!("planner accepted removing a route the directory does not hold");
+                    };
+                    let forwarded = self.shards[shard as usize]
+                        .service
+                        .apply_updates(vec![StoreUpdate::RemoveRoute(RouteId(local))]);
+                    debug_assert_eq!(forwarded.applied, 1, "directory said the route was live");
+                    self.route_dir[id.index()] = Slot::Held {
+                        shard,
+                        local,
+                        live: false,
+                    };
+                    self.metrics.update_applied.inc();
+                    self.evict_for_route_removal(id, &removed_points);
+                    self.classify(
+                        &UpdateEffect::RouteRemove {
+                            id,
+                            points: &removed_points,
+                        },
+                        &mut stats.deltas,
+                    );
+                }
+            }
+        }
+        self.reexecute_dirty_subscriptions(&mut stats.deltas);
+        stats.retained_entries = self.cache.get_mut().expect("cache lock").len();
+        let view = self.metrics.update_view();
+        stats.applied = (view.applied - base.applied) as usize;
+        stats.rejected = (view.rejected - base.rejected) as usize;
+        stats.evicted_entries = (view.evicted_entries - base.evicted_entries) as usize;
+        stats.full_drops = (view.full_drops - base.full_drops) as usize;
+        stats.targeted_route_removals =
+            (view.targeted_route_removals - base.targeted_route_removals) as usize;
+        stats.subs_unaffected = (view.subs_unaffected - base.subs_unaffected) as usize;
+        stats.subs_stable = (view.subs_stable - base.subs_stable) as usize;
+        stats.subs_dirty = (view.subs_dirty - base.subs_dirty) as usize;
+        stats.subs_reexecuted = (view.subs_reexecuted - base.subs_reexecuted) as usize;
+        stats.wal_appends = (view.wal_appends - base.wal_appends) as usize;
+        stats.wal_bytes = view.wal_bytes - base.wal_bytes;
+        Ok(stats)
+    }
+
+    /// Classifies every live subscription against one applied update,
+    /// supplying the sharded versions of the two store-dependent steps: the
+    /// route-removal certificate ANDs the per-shard `survives_route_remove`
+    /// tests (each over the shard-local slice of the result, all drawing on
+    /// one shared budget), and region rebuilds resolve endpoints through the
+    /// routing directory.
+    fn classify(&mut self, effect: &UpdateEffect<'_>, deltas: &mut Vec<SubscriptionDelta>) {
+        let planner = &self.planner;
+        let shards = &self.shards;
+        let dir = &self.transition_dir;
+        self.monitor.classify_update_with(
+            effect,
+            planner,
+            &self.metrics,
+            deltas,
+            |sub: &Subscription, removed: RouteId, points: &[Point]| {
+                let mut budget = SUB_REMOVAL_BUDGET;
+                shards.iter().all(|shard| {
+                    let local_result = translate_result(&shard.transition_l2g, &sub.result);
+                    sub.region.survives_route_remove(
+                        planner,
+                        shard.service.transitions(),
+                        &local_result,
+                        removed,
+                        points,
+                        &mut budget,
+                    )
+                })
+            },
+            |sub: &Subscription| {
+                let value = RknntResult {
+                    transitions: sub.result.clone(),
+                    ..RknntResult::default()
+                };
+                EntryRegion::record_with(&sub.query, &value, sub.region.footprint.clone(), |id| {
+                    endpoints_of(dir, shards, id)
+                })
+            },
+        );
+    }
+
+    /// Cache maintenance for a removed route: the sharded version of the
+    /// targeted-eviction plan, certifying each entry against every shard's
+    /// TR-tree under one shared budget, with the same full-drop fallback.
+    fn evict_for_route_removal(&mut self, id: RouteId, removed_points: &[Point]) {
+        let planner = &self.planner;
+        let shards = &self.shards;
+        let cache = self.cache.get_mut().expect("cache lock");
+        if cache.is_empty() {
+            self.metrics.targeted_route_removals.inc();
+            return;
+        }
+        let mut budget = ROUTE_REMOVAL_BUDGET_PER_ENTRY.saturating_mul(cache.len());
+        let mut victims: Vec<CacheKey> = Vec::new();
+        let mut exhausted = false;
+        for (key, value, region) in cache.entries() {
+            if budget == 0 {
+                exhausted = true;
+                break;
+            }
+            let survives = shards.iter().all(|shard| {
+                let local_result = translate_result(&shard.transition_l2g, &value.transitions);
+                region.survives_route_remove(
+                    planner,
+                    shard.service.transitions(),
+                    &local_result,
+                    id,
+                    removed_points,
+                    &mut budget,
+                )
+            });
+            if !survives {
+                victims.push(key.clone());
+            }
+        }
+        if exhausted {
+            self.metrics.full_drops.inc();
+            self.metrics.record_event(EventKind::CacheEvicted {
+                entries: u32::try_from(cache.len()).unwrap_or(u32::MAX),
+                full_drop: true,
+            });
+            cache.invalidate_all();
+        } else {
+            self.metrics.targeted_route_removals.inc();
+            self.metrics.record_event(EventKind::CacheEvicted {
+                entries: u32::try_from(victims.len()).unwrap_or(u32::MAX),
+                full_drop: false,
+            });
+            let victims: std::collections::HashSet<&CacheKey> = victims.iter().collect();
+            cache.evict_where(|key, _, _| victims.contains(key));
+        }
+    }
+
+    /// Re-executes every dirty subscription through the routed batch path,
+    /// installing results, emitting deltas and refreshing the advisory
+    /// shard registrations.
+    fn reexecute_dirty_subscriptions(&mut self, deltas: &mut Vec<SubscriptionDelta>) {
+        let dirty = self.monitor.dirty_ids();
+        if dirty.is_empty() {
+            return;
+        }
+        let queries: Vec<RknntQuery> = dirty
+            .iter()
+            .map(|id| self.monitor.query_of(*id).clone())
+            .collect();
+        let outputs = self.execute_uncached(&queries);
+        for (id, (query, (result, footprint))) in dirty.iter().zip(queries.iter().zip(outputs)) {
+            let region = EntryRegion::record_with(query, &result, footprint, |tid| {
+                endpoints_of(&self.transition_dir, &self.shards, tid)
+            });
+            self.monitor
+                .finish_reexecution(*id, result.transitions, region, &self.metrics, deltas);
+        }
+        for id in dirty {
+            self.refresh_sub_shards(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriptions.
+    // ------------------------------------------------------------------
+
+    /// Registers a standing query (see [`QueryService::subscribe`]); the
+    /// delta stream it produces under churn is byte-identical to the
+    /// unsharded service's. The subscription is also registered against the
+    /// shards its filter footprint overlaps
+    /// ([`ShardedService::subscription_shards`]).
+    pub fn subscribe(&mut self, query: RknntQuery) -> SubscriptionId {
+        let (result, footprint) = self
+            .execute_uncached(std::slice::from_ref(&query))
+            .pop()
+            .expect("one query in, one result out");
+        let region = EntryRegion::record_with(&query, &result, footprint, |id| {
+            endpoints_of(&self.transition_dir, &self.shards, id)
+        });
+        let id = self.monitor.insert(query, result.transitions, region);
+        self.refresh_sub_shards(id.raw());
+        id
+    }
+
+    /// Drops a subscription. Returns `false` for an unknown or already
+    /// dropped id.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.sub_shards.remove(&id.raw());
+        self.monitor.remove(id)
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriptions(&self) -> usize {
+        self.monitor.len()
+    }
+
+    /// Ids of all live subscriptions, ascending.
+    pub fn subscription_ids(&self) -> Vec<SubscriptionId> {
+        self.monitor.ids()
+    }
+
+    /// The standing query behind a subscription.
+    pub fn subscription_query(&self, id: SubscriptionId) -> Option<&RknntQuery> {
+        self.monitor.get(id).map(|sub| &sub.query)
+    }
+
+    /// The subscription's current result in **global** transition ids,
+    /// sorted ascending — byte-identical to the unsharded service's.
+    pub fn subscription_result(&self, id: SubscriptionId) -> Option<&[TransitionId]> {
+        self.monitor.get(id).map(|sub| sub.result.as_slice())
+    }
+
+    /// The shards a subscription's filter footprint currently overlaps: a
+    /// shard is listed unless it is empty or the footprint certifies its
+    /// whole TR-tree root candidate-free. Advisory composition of the
+    /// per-shard certificates (refreshed on subscribe, re-execution and
+    /// reshard); classification itself always consults every shard, because
+    /// origin-cell routing lets a shard own transitions whose destination
+    /// endpoint lies outside its territory.
+    pub fn subscription_shards(&self, id: SubscriptionId) -> Option<&[usize]> {
+        self.sub_shards.get(&id.raw()).map(Vec::as_slice)
+    }
+
+    /// Drains subscription deltas buffered outside
+    /// [`ShardedService::apply_updates`].
+    pub fn take_subscription_deltas(&mut self) -> Vec<SubscriptionDelta> {
+        self.monitor.take_pending()
+    }
+
+    /// Recomputes the advisory shard registration of one subscription.
+    fn refresh_sub_shards(&mut self, raw: u64) {
+        let overlap = match self.monitor.get(SubscriptionId(raw)) {
+            Some(sub) => self.shard_overlap(sub),
+            None => {
+                self.sub_shards.remove(&raw);
+                return;
+            }
+        };
+        self.sub_shards.insert(raw, overlap);
+    }
+
+    /// The shards a subscription's footprint overlaps (all non-empty shards
+    /// when no footprint was recorded; none for a degenerate query).
+    fn shard_overlap(&self, sub: &Subscription) -> Vec<usize> {
+        if sub.query.is_degenerate() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let Some(root) = shard.service.transitions().rtree().root() else {
+                continue;
+            };
+            let include = match &sub.region.footprint {
+                None => true,
+                Some(footprint) => {
+                    !footprint.covers_rect(&sub.query.route, &root.mbr(), sub.query.k, |r| {
+                        self.planner.route(r).is_some()
+                    })
+                }
+            };
+            if include {
+                out.push(index);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Durability.
+    // ------------------------------------------------------------------
+
+    /// Attaches a storage root to an in-memory fleet and writes the initial
+    /// checkpoints: one `shard-NNN/` directory per shard (each shard's own
+    /// WAL + snapshot) plus `router/` for the planner snapshot, the routing
+    /// directory (checkpoint meta) and the global-form WAL. The root must
+    /// hold neither flat storage data ([`StorageError::DirectoryNotEmpty`])
+    /// nor an existing sharded layout ([`StorageError::ShardedLayout`] —
+    /// recover that with [`ShardedService::open`]).
+    pub fn attach_storage(
+        &mut self,
+        root: &Path,
+        storage_config: StorageConfig,
+    ) -> Result<StorageStats, StorageError> {
+        if let Some(layout) = detect_shard_layout(root) {
+            return Err(StorageError::ShardedLayout {
+                dir: root.to_path_buf(),
+                shards: layout.shard_count(),
+            });
+        }
+        if dir_has_storage_data(root) {
+            return Err(StorageError::DirectoryNotEmpty {
+                dir: root.to_path_buf(),
+            });
+        }
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            shard
+                .service
+                .attach_storage(&root.join(shard_subdir(index)), storage_config)?;
+        }
+        let router_dir = root.join(ROUTER_SUBDIR);
+        let (mut storage, recovery) = Storage::open(&router_dir, storage_config)?;
+        if recovery.found_existing {
+            return Err(StorageError::DirectoryNotEmpty { dir: router_dir });
+        }
+        storage.set_instruments(self.metrics.storage_instruments());
+        let meta = self.encode_meta();
+        let stats =
+            storage.checkpoint_with_meta(&self.planner, &TransitionStore::default(), &meta)?;
+        self.storage = Some(storage);
+        self.storage_root = Some(root.to_path_buf());
+        self.storage_config = Some(storage_config);
+        Ok(stats)
+    }
+
+    /// Checkpoints the whole fleet: every shard first, then the router
+    /// (planner snapshot + routing directory meta + WAL truncation). The
+    /// ordering makes a crash between the two phases recoverable: the
+    /// router's WAL tail then *over*-covers what its snapshot misses, and
+    /// replay reconciliation skips what the shards already applied.
+    pub fn checkpoint(&mut self) -> Result<StorageStats, StorageError> {
+        if self.storage.is_none() {
+            return Err(StorageError::NotAttached);
+        }
+        for shard in &mut self.shards {
+            shard.service.checkpoint()?;
+        }
+        let meta = self.encode_meta();
+        let storage = self.storage.as_mut().expect("checked above");
+        storage.checkpoint_with_meta(&self.planner, &TransitionStore::default(), &meta)
+    }
+
+    /// Whether a storage root is attached.
+    pub fn has_storage(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The router's storage counters, when storage is attached (per-shard
+    /// counters are on each shard's own metrics).
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(Storage::stats)
+    }
+
+    /// Opens a sharded fleet from a storage root written by
+    /// [`ShardedService::attach_storage`] / [`ShardedService::checkpoint`].
+    /// A root with no sharded layout yields an empty fleet attached to it
+    /// (mirroring [`QueryService::open`] on an empty directory).
+    ///
+    /// Recovery opens the router directory (planner snapshot + routing
+    /// directory meta), opens every shard through [`QueryService::open`]
+    /// (each replays its own local WAL tail), rebuilds the local→global id
+    /// spaces from the directory, and then replays the router's global-form
+    /// WAL tail with per-record reconciliation: an insert whose owning shard
+    /// already holds the predicted local slot, or a removal the shard
+    /// already shows dead, only re-records the directory mapping — the
+    /// crash fell between the router's append and the shard's. Everything
+    /// else is forwarded through the normal shard update path. The decoded
+    /// `shards` / `grid_bits` on disk are authoritative and override the
+    /// passed config's.
+    pub fn open(
+        root: &Path,
+        config: ShardedConfig,
+        storage_config: StorageConfig,
+    ) -> Result<(Self, StorageStats), StorageError> {
+        let Some(layout) = detect_shard_layout(root) else {
+            let mut service = Self::bulk_build(config, Vec::new(), Vec::new());
+            let stats = service.attach_storage(root, storage_config)?;
+            return Ok((service, stats));
+        };
+        let router_dir = root.join(ROUTER_SUBDIR);
+        if !layout.router {
+            return Err(StorageError::Corrupt {
+                path: router_dir,
+                offset: None,
+                detail: "sharded layout has shard directories but no router storage".to_string(),
+            });
+        }
+        if !layout.is_contiguous() {
+            return Err(StorageError::Corrupt {
+                path: root.to_path_buf(),
+                offset: None,
+                detail: format!(
+                    "shard directories are not contiguous from zero: {:?}",
+                    layout.shards
+                ),
+            });
+        }
+        let (mut storage, recovery) = Storage::open(&router_dir, storage_config)?;
+        let Some((planner, _)) = recovery.stores else {
+            return Err(StorageError::Corrupt {
+                path: router_dir,
+                offset: None,
+                detail: "router directory holds no snapshot".to_string(),
+            });
+        };
+        let meta = decode_meta(&recovery.meta).map_err(|e| StorageError::Corrupt {
+            path: router_dir.clone(),
+            offset: None,
+            detail: format!("undecodable router meta: {e}"),
+        })?;
+        if meta.shards != layout.shard_count() {
+            return Err(StorageError::Corrupt {
+                path: root.to_path_buf(),
+                offset: None,
+                detail: format!(
+                    "router meta names {} shard(s) but the layout holds {}",
+                    meta.shards,
+                    layout.shard_count()
+                ),
+            });
+        }
+        let mut shards = Vec::with_capacity(meta.shards);
+        for index in 0..meta.shards {
+            let (service, _) =
+                QueryService::open(&root.join(shard_subdir(index)), config.base, storage_config)?;
+            shards.push(Shard {
+                service,
+                route_l2g: IdSpace::new(),
+                transition_l2g: IdSpace::new(),
+            });
+        }
+        // Rebuild the local→global spaces from the directory; dead slots are
+        // included (store slots persist as dead slots, keeping local indexes
+        // aligned).
+        for (gid, slot) in meta.route_dir.iter().enumerate() {
+            if let Slot::Held { shard, local, .. } = slot {
+                let space = &mut shards[*shard as usize].route_l2g;
+                debug_assert_eq!(*local as usize, space.len());
+                space.push(gid as u32);
+            }
+        }
+        for (gid, slot) in meta.transition_dir.iter().enumerate() {
+            if let Slot::Held { shard, local, .. } = slot {
+                let space = &mut shards[*shard as usize].transition_l2g;
+                debug_assert_eq!(*local as usize, space.len());
+                space.push(gid as u32);
+            }
+        }
+        let (metrics, router) = ServiceMetrics::new_with_router(meta.shards);
+        let cache = Mutex::new(ResultCache::with_counters(
+            config.base.cache_capacity,
+            config.base.cache_seed,
+            metrics.cache.clone(),
+        ));
+        let mut service = ShardedService {
+            config: ShardedConfig {
+                shards: meta.shards,
+                grid_bits: meta.grid.bits(),
+                ..config
+            },
+            grid: meta.grid,
+            planner,
+            shards,
+            route_dir: meta.route_dir,
+            transition_dir: meta.transition_dir,
+            cache,
+            generation: AtomicU64::new(0),
+            monitor: SubscriptionRegistry::default(),
+            sub_shards: BTreeMap::new(),
+            storage: None,
+            storage_root: Some(root.to_path_buf()),
+            storage_config: Some(storage_config),
+            metrics,
+            router,
+        };
+        for record in &recovery.tail {
+            let update =
+                StoreUpdate::from_wal_record(record).map_err(|e| StorageError::Corrupt {
+                    path: router_dir.clone(),
+                    offset: None,
+                    detail: format!("undecodable router WAL record: {e}"),
+                })?;
+            service.replay_update(update);
+        }
+        storage.set_instruments(service.metrics.storage_instruments());
+        let stats = storage.stats();
+        service.storage = Some(storage);
+        Ok((service, stats))
+    }
+
+    /// Replays one router-WAL update during [`ShardedService::open`],
+    /// reconciling the global ledger with what each shard already holds:
+    /// the planner and directory always advance (they come from the router
+    /// snapshot, strictly older than the WAL tail), but a record is
+    /// forwarded to its owning shard only when the shard does not already
+    /// show it applied — detected for inserts by comparing the predicted
+    /// local slot with the shard's store bound, for removals by the item's
+    /// liveness in the shard's store.
+    fn replay_update(&mut self, update: StoreUpdate) {
+        match update {
+            StoreUpdate::InsertTransition {
+                origin,
+                destination,
+            } => {
+                if !origin.is_finite() || !destination.is_finite() {
+                    // Was rejected originally; replay mirrors the rejection.
+                    return;
+                }
+                let owner = self.grid.shard_of_point(&origin, self.shards.len());
+                let global = self.transition_dir.len() as u32;
+                let shard = &mut self.shards[owner];
+                let predicted = shard.transition_l2g.len();
+                if predicted >= shard.service.transitions().transition_id_bound() {
+                    let forwarded =
+                        shard
+                            .service
+                            .apply_updates(vec![StoreUpdate::InsertTransition {
+                                origin,
+                                destination,
+                            }]);
+                    debug_assert_eq!(
+                        forwarded.inserted_transitions.first().map(|t| t.index()),
+                        Some(predicted)
+                    );
+                }
+                shard.transition_l2g.push(global);
+                self.transition_dir.push(Slot::Held {
+                    shard: owner as u32,
+                    local: predicted as u32,
+                    live: true,
+                });
+            }
+            StoreUpdate::ExpireTransition(id) => {
+                let Some(Slot::Held {
+                    shard,
+                    local,
+                    live: true,
+                }) = self.transition_dir.get(id.index()).copied()
+                else {
+                    return;
+                };
+                let owned = &mut self.shards[shard as usize];
+                if owned
+                    .service
+                    .transitions()
+                    .get(TransitionId(local))
+                    .is_some()
+                {
+                    owned
+                        .service
+                        .apply_updates(vec![StoreUpdate::ExpireTransition(TransitionId(local))]);
+                }
+                self.transition_dir[id.index()] = Slot::Held {
+                    shard,
+                    local,
+                    live: false,
+                };
+            }
+            StoreUpdate::InsertRoute(points) => {
+                let Some(global) = self.planner.insert_route(points.clone()) else {
+                    return;
+                };
+                let owner = self.grid.shard_of_point(&points[0], self.shards.len());
+                let shard = &mut self.shards[owner];
+                let predicted = shard.route_l2g.len();
+                if predicted >= shard.service.routes().route_id_bound() {
+                    shard
+                        .service
+                        .apply_updates(vec![StoreUpdate::InsertRoute(points)]);
+                }
+                shard.route_l2g.push(global.raw());
+                debug_assert_eq!(global.index(), self.route_dir.len());
+                self.route_dir.push(Slot::Held {
+                    shard: owner as u32,
+                    local: predicted as u32,
+                    live: true,
+                });
+            }
+            StoreUpdate::RemoveRoute(id) => {
+                if !self.planner.remove_route(id) {
+                    return;
+                }
+                let Some(Slot::Held {
+                    shard,
+                    local,
+                    live: true,
+                }) = self.route_dir.get(id.index()).copied()
+                else {
+                    return;
+                };
+                let owned = &mut self.shards[shard as usize];
+                if owned.service.routes().route(RouteId(local)).is_some() {
+                    owned
+                        .service
+                        .apply_updates(vec![StoreUpdate::RemoveRoute(RouteId(local))]);
+                }
+                self.route_dir[id.index()] = Slot::Held {
+                    shard,
+                    local,
+                    live: false,
+                };
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reshard (split / merge).
+    // ------------------------------------------------------------------
+
+    /// Re-partitions the fleet to a new shard count and grid resolution:
+    /// shard *split* (`shards` grows) and *merge* (`shards` shrinks) are the
+    /// same operation. The global id spaces — planner slots and the routing
+    /// directory's indexes — are preserved (dead slots stay dead), so query
+    /// results, subscription results and future update semantics are
+    /// unchanged; only item *placement* moves. Live data is gathered in
+    /// global id order, a fresh grid is laid over its MBR, and each shard's
+    /// stores are bulk-built anew with dense local ids. Metrics and the
+    /// result cache are rebuilt fresh (counters restart from zero);
+    /// subscriptions are kept as-is — their results cannot change, so no
+    /// deltas are emitted — with advisory shard registrations refreshed.
+    ///
+    /// With storage attached, the old `shard-NNN/` and `router/` directories
+    /// are removed and the root is re-attached and checkpointed, making the
+    /// reshard itself the durable baseline (checkpoint → re-partition →
+    /// checkpoint, not WAL replay).
+    pub fn reshard(&mut self, shards: usize, grid_bits: u32) -> Result<(), StorageError> {
+        let shard_count = shards.max(1);
+        // Gather live items in global id order.
+        let mut live_transitions: Vec<(u32, Point, Point)> = Vec::new();
+        for (gid, slot) in self.transition_dir.iter().enumerate() {
+            if let Slot::Held {
+                shard,
+                local,
+                live: true,
+            } = slot
+            {
+                let t = self.shards[*shard as usize]
+                    .service
+                    .transitions()
+                    .get(TransitionId(*local))
+                    .expect("live directory entry must resolve in its shard");
+                live_transitions.push((gid as u32, t.origin, t.destination));
+            }
+        }
+        let mut mbr = Rect::empty();
+        for route in self.planner.routes() {
+            for p in &route.points {
+                mbr.expand_to_point(p);
+            }
+        }
+        for (_, origin, destination) in &live_transitions {
+            mbr.expand_to_point(origin);
+            mbr.expand_to_point(destination);
+        }
+        if mbr.is_empty() {
+            mbr = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        }
+        let grid = CellGrid::new(mbr, grid_bits);
+
+        // Re-place routes: fresh dense local ids, in global id order.
+        let mut route_sets: Vec<Vec<Vec<Point>>> = vec![Vec::new(); shard_count];
+        let mut route_spaces = vec![IdSpace::new(); shard_count];
+        let mut new_route_dir = vec![Slot::Vacant; self.route_dir.len()];
+        for (gid, slot) in self.route_dir.iter().enumerate() {
+            if let Slot::Held { live: true, .. } = slot {
+                let points = self.planner.route_points(RouteId(gid as u32)).to_vec();
+                let owner = grid.shard_of_point(&points[0], shard_count);
+                let local = route_spaces[owner].len() as u32;
+                route_spaces[owner].push(gid as u32);
+                route_sets[owner].push(points);
+                new_route_dir[gid] = Slot::Held {
+                    shard: owner as u32,
+                    local,
+                    live: true,
+                };
+            }
+        }
+        // Re-place transitions the same way.
+        let mut transition_sets: Vec<Vec<(Point, Point)>> = vec![Vec::new(); shard_count];
+        let mut transition_spaces = vec![IdSpace::new(); shard_count];
+        let mut new_transition_dir = vec![Slot::Vacant; self.transition_dir.len()];
+        for (gid, origin, destination) in &live_transitions {
+            let owner = grid.shard_of_point(origin, shard_count);
+            let local = transition_spaces[owner].len() as u32;
+            transition_spaces[owner].push(*gid);
+            transition_sets[owner].push((*origin, *destination));
+            new_transition_dir[*gid as usize] = Slot::Held {
+                shard: owner as u32,
+                local,
+                live: true,
+            };
+        }
+
+        let shards: Vec<Shard> = route_sets
+            .into_iter()
+            .zip(route_spaces)
+            .zip(transition_sets.into_iter().zip(transition_spaces))
+            .map(|((routes, route_l2g), (transitions, transition_l2g))| {
+                let (route_store, rejected) = RouteStore::bulk_build(self.config.rtree, routes);
+                debug_assert_eq!(rejected, 0, "re-placed routes were already validated");
+                let transition_store = TransitionStore::bulk_build(self.config.rtree, transitions);
+                Shard {
+                    service: QueryService::new(route_store, transition_store, self.config.base),
+                    route_l2g,
+                    transition_l2g,
+                }
+            })
+            .collect();
+
+        // Install the new topology. Metrics and cache are rebuilt fresh —
+        // the registry's names are per-shard-count, and an empty cache is
+        // the honest state after a topology change.
+        let (metrics, router) = ServiceMetrics::new_with_router(shard_count);
+        self.grid = grid;
+        self.config.shards = shard_count;
+        self.config.grid_bits = grid.bits();
+        self.shards = shards;
+        self.route_dir = new_route_dir;
+        self.transition_dir = new_transition_dir;
+        self.cache = Mutex::new(ResultCache::with_counters(
+            self.config.base.cache_capacity,
+            self.config.base.cache_seed,
+            metrics.cache.clone(),
+        ));
+        self.metrics = metrics;
+        self.router = router;
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        let sub_ids: Vec<u64> = self.monitor.ids().iter().map(|id| id.raw()).collect();
+        for id in sub_ids {
+            self.refresh_sub_shards(id);
+        }
+
+        // Durable reshard: wipe the old layout and re-attach fresh (the old
+        // shard services and router handle were just dropped with the swap).
+        if let (Some(root), Some(storage_config)) = (self.storage_root.clone(), self.storage_config)
+        {
+            self.storage = None;
+            let entries = std::fs::read_dir(&root).map_err(|e| StorageError::Io {
+                context: "list storage root for reshard".to_string(),
+                path: root.clone(),
+                source: e,
+            })?;
+            for entry in entries {
+                let entry = entry.map_err(|e| StorageError::Io {
+                    context: "list storage root for reshard".to_string(),
+                    path: root.clone(),
+                    source: e,
+                })?;
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name == ROUTER_SUBDIR || parse_shard_subdir(&name).is_some() {
+                    std::fs::remove_dir_all(entry.path()).map_err(|e| StorageError::Io {
+                        context: "remove stale shard directory".to_string(),
+                        path: entry.path(),
+                        source: e,
+                    })?;
+                }
+            }
+            self.attach_storage(&root, storage_config)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// The configuration the fleet currently runs with (`shards` and
+    /// `grid_bits` reflect opens and reshards).
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// The Z-order grid items are routed by.
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's inner service.
+    pub fn shard_service(&self, index: usize) -> Option<&QueryService> {
+        self.shards.get(index).map(|shard| &shard.service)
+    }
+
+    /// Read access to the planner replica (the full-city route store;
+    /// global route ids are its slot indexes).
+    pub fn routes(&self) -> &RouteStore {
+        &self.planner
+    }
+
+    /// The router's store generation (bumped by
+    /// [`ShardedService::invalidate_all`] and [`ShardedService::reshard`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Drops every cached result and bumps the generation.
+    pub fn invalidate_all(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.cache.lock().expect("cache lock").invalidate_all();
+    }
+
+    /// Result-cache counter snapshot (the router's global cache).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Number of results currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// The router's metric catalog (`router.*`, `shard.<i>.dispatches` and
+    /// the full service catalog for the router-level pipeline).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of the router's registered metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Router metrics plus every shard's catalog in the text exposition
+    /// format; shard lines are prefixed `shard.<i>.`.
+    pub fn metrics_text(&self) -> String {
+        let mut text = self.metrics.render_text();
+        for (index, shard) in self.shards.iter().enumerate() {
+            for line in shard.service.metrics_text().lines() {
+                text.push_str(&format!("shard.{index}.{line}\n"));
+            }
+        }
+        text
+    }
+
+    /// Shared handle to the router's flight recorder.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        self.metrics.recorder().clone()
+    }
+
+    /// Switches timing instrumentation on or off for the router and every
+    /// shard together.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.metrics.set_enabled(on);
+        for shard in &self.shards {
+            shard.service.set_metrics_enabled(on);
+        }
+    }
+
+    /// Point-in-time routing counters (executions, dispatches, prunes); the
+    /// mean fan-out is `dispatches / executions`.
+    pub fn router_stats(&self) -> crate::RouterStats {
+        self.router.stats()
+    }
+
+    /// The shards the router would consult for this query under the given
+    /// engine kind — the shard-pruning certificate evaluated outside the
+    /// execution path, for soundness testing and capacity planning. Every
+    /// non-empty shard *not* listed is certified candidate-free for the
+    /// query.
+    pub fn planned_shards(&self, query: &RknntQuery, kind: EngineKind) -> Vec<usize> {
+        if query.is_degenerate() {
+            return Vec::new();
+        }
+        let outcome = build_filter_set(&self.planner, &query.route, query.k);
+        let use_voronoi = matches!(kind, EngineKind::Voronoi);
+        let mut out = Vec::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let Some(root) = shard.service.transitions().rtree().root() else {
+                continue;
+            };
+            if !outcome
+                .filter_set
+                .filters_rect(&root.mbr(), query.k, use_voronoi)
+            {
+                out.push(index);
+            }
+        }
+        out
+    }
+
+    /// The owning shard of a live global transition id.
+    pub fn transition_owner(&self, id: TransitionId) -> Option<usize> {
+        match self.transition_dir.get(id.index())? {
+            Slot::Held {
+                shard, live: true, ..
+            } => Some(*shard as usize),
+            _ => None,
+        }
+    }
+
+    /// Endpoints of a live global transition id, resolved through the
+    /// routing directory.
+    pub fn transition_endpoints(&self, id: TransitionId) -> Option<(Point, Point)> {
+        endpoints_of(&self.transition_dir, &self.shards, id)
+    }
+
+    /// Number of live transitions across the fleet.
+    pub fn num_transitions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.service.transitions().len())
+            .sum()
+    }
+
+    /// Encodes the routing state carried in the router checkpoint's meta
+    /// block: grid MBR + bits, shard count and both directories.
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u8(META_VERSION);
+        let mbr = self.grid.mbr();
+        enc.f64(mbr.min.x);
+        enc.f64(mbr.min.y);
+        enc.f64(mbr.max.x);
+        enc.f64(mbr.max.y);
+        enc.u32(self.grid.bits());
+        enc.u32(self.shards.len() as u32);
+        encode_dir(&mut enc, &self.route_dir);
+        encode_dir(&mut enc, &self.transition_dir);
+        enc.into_bytes()
+    }
+}
+
+/// Encodes one routing directory (length-prefixed tagged slots).
+fn encode_dir(enc: &mut Encoder, dir: &[Slot]) {
+    enc.len_prefix(dir.len());
+    for slot in dir {
+        match slot {
+            Slot::Vacant => enc.u8(SLOT_VACANT),
+            Slot::Held { shard, local, live } => {
+                enc.u8(if *live { SLOT_LIVE } else { SLOT_DEAD });
+                enc.u32(*shard);
+                enc.u32(*local);
+            }
+        }
+    }
+}
+
+/// Decodes one routing directory.
+fn decode_dir(dec: &mut Decoder<'_>) -> Result<Vec<Slot>, CodecError> {
+    let len = dec.len_prefix(1)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let slot = match dec.u8()? {
+            SLOT_VACANT => Slot::Vacant,
+            tag @ (SLOT_LIVE | SLOT_DEAD) => Slot::Held {
+                shard: dec.u32()?,
+                local: dec.u32()?,
+                live: tag == SLOT_LIVE,
+            },
+            tag => {
+                return Err(CodecError {
+                    offset: 0,
+                    detail: format!("unknown directory slot tag {tag}"),
+                })
+            }
+        };
+        out.push(slot);
+    }
+    Ok(out)
+}
+
+/// Decodes the router checkpoint's meta block.
+fn decode_meta(bytes: &[u8]) -> Result<RouterMeta, CodecError> {
+    let mut dec = Decoder::new(bytes);
+    let version = dec.u8()?;
+    if version != META_VERSION {
+        return Err(CodecError {
+            offset: 0,
+            detail: format!("unsupported router meta version {version}"),
+        });
+    }
+    let min = Point::new(dec.f64()?, dec.f64()?);
+    let max = Point::new(dec.f64()?, dec.f64()?);
+    let bits = dec.u32()?;
+    let shards = dec.u32()? as usize;
+    let route_dir = decode_dir(&mut dec)?;
+    let transition_dir = decode_dir(&mut dec)?;
+    dec.expect_exhausted()?;
+    Ok(RouterMeta {
+        grid: CellGrid::new(Rect::new(min, max), bits),
+        shards,
+        route_dir,
+        transition_dir,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn grid_world() -> (Vec<Vec<Point>>, Vec<(Point, Point)>) {
+        let mut routes = Vec::new();
+        for i in 0..6 {
+            let y = 100.0 * i as f64;
+            routes.push(vec![p(0.0, y), p(250.0, y + 20.0), p(500.0, y)]);
+        }
+        let mut transitions = Vec::new();
+        for i in 0..40 {
+            let x = (i % 8) as f64 * 60.0;
+            let y = (i / 8) as f64 * 110.0;
+            transitions.push((p(x, y + 5.0), p(x + 45.0, y + 35.0)));
+        }
+        (routes, transitions)
+    }
+
+    #[test]
+    fn meta_codec_round_trips() {
+        let (routes, transitions) = grid_world();
+        let service = ShardedService::bulk_build(
+            ShardedConfig::default().with_shards(3),
+            routes,
+            transitions,
+        );
+        let bytes = service.encode_meta();
+        let meta = decode_meta(&bytes).expect("round trip");
+        assert_eq!(meta.shards, 3);
+        assert_eq!(meta.route_dir, service.route_dir);
+        assert_eq!(meta.transition_dir, service.transition_dir);
+        assert_eq!(meta.grid.bits(), service.grid.bits());
+        assert_eq!(meta.grid.mbr(), service.grid.mbr());
+    }
+
+    #[test]
+    fn decode_meta_rejects_damage() {
+        let (routes, transitions) = grid_world();
+        let service = ShardedService::bulk_build(ShardedConfig::default(), routes, transitions);
+        let bytes = service.encode_meta();
+        assert!(decode_meta(&[]).is_err(), "empty meta");
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 99;
+        assert!(decode_meta(&wrong_version).is_err(), "unknown version");
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 1);
+        assert!(decode_meta(&truncated).is_err(), "truncated payload");
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_meta(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn directory_and_id_spaces_agree() {
+        let (routes, transitions) = grid_world();
+        let service = ShardedService::bulk_build(
+            ShardedConfig::default().with_shards(4),
+            routes,
+            transitions,
+        );
+        for (gid, slot) in service.transition_dir.iter().enumerate() {
+            let Slot::Held { shard, local, live } = slot else {
+                panic!("bulk build of valid data leaves no vacant slots");
+            };
+            assert!(live);
+            let space = &service.shards[*shard as usize].transition_l2g;
+            assert_eq!(space.to_global(*local), Some(gid as u32));
+            assert_eq!(space.to_local(gid as u32), Some(*local));
+        }
+        let total: usize = service
+            .shards
+            .iter()
+            .map(|s| s.service.transitions().len())
+            .sum();
+        assert_eq!(total, service.transition_dir.len());
+    }
+}

@@ -1,0 +1,858 @@
+//! Sharding invariants: a [`ShardedService`] — SFC-partitioned shards
+//! behind a footprint-pruned router — answers byte-identically to an
+//! unsharded [`QueryService`] over the same data, for every shard count,
+//! all four engines and both semantics. That covers one-shot batches, the
+//! router's shard-skip soundness (a skipped shard provably holds no
+//! candidate of the unsharded execution), subscription delta streams under
+//! churn, crash recovery from the per-shard WALs, and reshard (split /
+//! merge) keeping answers and durability intact.
+
+use proptest::prelude::*;
+use rknnt_core::{build_filter_set, prune_transitions, EngineKind, RknntQuery, Semantics};
+use rknnt_data::{workload, CityConfig, CityGenerator, TransitionConfig, TransitionGenerator};
+use rknnt_geo::Point;
+use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+use rknnt_rtree::RTreeConfig;
+use rknnt_service::{
+    EnginePolicy, QueryService, ServiceConfig, ShardedConfig, ShardedService, StorageConfig,
+    StoreUpdate, SubscriptionId,
+};
+use std::path::PathBuf;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rknnt-sharded-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_storage() -> StorageConfig {
+    StorageConfig::default()
+        .with_fsync(false)
+        .with_segment_bytes(512)
+}
+
+/// Raw world: routes and transition endpoint pairs, so both the unsharded
+/// stores and the sharded fleet are built from identical inputs (and global
+/// ids line up by construction).
+fn raw_world(seed: u64, transitions: usize) -> (Vec<Vec<Point>>, Vec<(Point, Point)>) {
+    let city = CityGenerator::new(CityConfig::small(seed)).generate();
+    let pairs = TransitionGenerator::new(TransitionConfig::checkin_like(transitions, seed ^ 0x77))
+        .generate(&city);
+    (city.routes.clone(), pairs)
+}
+
+fn unsharded_stores(
+    routes: &[Vec<Point>],
+    pairs: &[(Point, Point)],
+) -> (RouteStore, TransitionStore) {
+    let (store, _) = RouteStore::bulk_build(RTreeConfig::default(), routes.to_vec());
+    let transitions = TransitionStore::bulk_build(RTreeConfig::default(), pairs.to_vec());
+    (store, transitions)
+}
+
+fn mixed_batch(query_routes: &[Vec<Point>]) -> Vec<RknntQuery> {
+    let mut batch = Vec::new();
+    for (i, route) in query_routes.iter().enumerate() {
+        let k = 1 + (i % 3) * 4;
+        batch.push(RknntQuery::exists(route.clone(), k));
+        batch.push(RknntQuery::for_all(route.clone(), k));
+        batch.push(RknntQuery::exists(route.clone(), k)); // coalesce path
+    }
+    batch.push(RknntQuery::exists(Vec::new(), 3));
+    batch.push(RknntQuery::exists(query_routes[0].clone(), 0));
+    batch
+}
+
+fn raw_results(results: &[rknnt_core::RknntResult]) -> Vec<Vec<u32>> {
+    results
+        .iter()
+        .map(|r| r.transitions.iter().map(|t| t.raw()).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Batch parity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_batches_match_unsharded_for_all_engines_and_shard_counts() {
+    let (routes, pairs) = raw_world(23, 2_000);
+    let city = CityGenerator::new(CityConfig::small(23)).generate();
+    let query_routes = workload::rknnt_queries(&city, 6, 4, 1_200.0, 23 ^ 0x3);
+    let batch = mixed_batch(&query_routes);
+    let (route_store, transition_store) = unsharded_stores(&routes, &pairs);
+
+    for kind in EngineKind::ALL {
+        let base = ServiceConfig::default()
+            .with_workers(4)
+            .with_policy(EnginePolicy::Fixed(kind));
+        let unsharded = QueryService::new(route_store.clone(), transition_store.clone(), base);
+        let (expected, _) = unsharded.execute_batch(&batch);
+        let expected = raw_results(&expected);
+
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedService::bulk_build(
+                ShardedConfig::default().with_shards(shards).with_base(base),
+                routes.clone(),
+                pairs.clone(),
+            );
+            assert_eq!(sharded.shard_count(), shards);
+            for pass in 0..2 {
+                let (results, stats) = sharded.execute_batch(&batch);
+                assert_eq!(
+                    raw_results(&results),
+                    expected,
+                    "engine {kind} shards {shards} pass {pass}"
+                );
+                assert_eq!(stats.queries, batch.len());
+                if pass == 1 {
+                    assert_eq!(
+                        stats.cache_hits,
+                        batch.len(),
+                        "second pass must be answered entirely from the router cache"
+                    );
+                }
+            }
+            let rs = sharded.router_stats();
+            assert!(rs.executions > 0, "fresh routed executions must be counted");
+            assert!(
+                rs.dispatches <= rs.executions * shards as u64,
+                "fan-out can never exceed the shard count"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router skip soundness
+// ---------------------------------------------------------------------------
+
+/// Asserts the router's shard-skip certificate is sound for one world and
+/// query: every non-empty shard the router would *not* consult yields zero
+/// candidates when pruned with the *unsharded* filter — so skipping it
+/// cannot lose a candidate of the unsharded execution — and the routed
+/// answer matches a fresh unsharded engine.
+fn assert_skips_sound(
+    sharded: &ShardedService,
+    full_routes: &RouteStore,
+    full_transitions: &TransitionStore,
+    query: &RknntQuery,
+) -> usize {
+    let mut skips = 0;
+    for kind in EngineKind::ALL {
+        let engine = kind.build(full_routes, full_transitions);
+        let expected = engine.execute(query).transitions;
+        assert_eq!(
+            sharded.execute(query).transitions,
+            expected,
+            "routed answer diverged ({kind}, k={})",
+            query.k
+        );
+        if query.is_degenerate() {
+            assert!(sharded.planned_shards(query, kind).is_empty());
+            continue;
+        }
+        let planned = sharded.planned_shards(query, kind);
+        let outcome = build_filter_set(full_routes, &query.route, query.k);
+        let use_voronoi = matches!(kind, EngineKind::Voronoi);
+        for index in 0..sharded.shard_count() {
+            let store = sharded.shard_service(index).unwrap().transitions();
+            if store.rtree().root().is_none() || planned.contains(&index) {
+                continue;
+            }
+            skips += 1;
+            let pruned = prune_transitions(store, &outcome.filter_set, query.k, use_voronoi);
+            assert!(
+                pruned.candidates.is_empty(),
+                "router skipped shard {index} but it holds {} candidate endpoint(s) \
+                 of the unsharded execution ({kind}, k={})",
+                pruned.candidates.len(),
+                query.k
+            );
+        }
+    }
+    skips
+}
+
+/// Two far-apart clusters: the query and its everywhere-closer competitor
+/// routes live in cluster A; cluster B has its own dominating route, so the
+/// filter certifies every B-owned shard candidate-free and the router must
+/// actually skip shards (not just stay vacuously sound).
+#[test]
+fn router_skips_certified_shards_and_loses_nothing() {
+    let routes = vec![
+        // Cluster A around the origin.
+        vec![p(0.0, 50.0), p(500.0, 50.0), p(1_000.0, 50.0)],
+        vec![p(0.0, -80.0), p(1_000.0, -80.0)],
+        // Cluster B far away, with a route sitting right on its transitions.
+        vec![p(15_000.0, 0.0), p(15_500.0, 0.0), p(16_000.0, 0.0)],
+    ];
+    let mut pairs = Vec::new();
+    for i in 0..30 {
+        let x = (i % 6) as f64 * 150.0;
+        let y = (i / 6) as f64 * 60.0 - 120.0;
+        pairs.push((p(x, y), p(x + 40.0, y + 20.0))); // cluster A
+        pairs.push((p(15_000.0 + x, y * 0.2), p(15_040.0 + x, y * 0.2 + 10.0)));
+        // cluster B
+    }
+    let (full_routes, full_transitions) = unsharded_stores(&routes, &pairs);
+    let sharded =
+        ShardedService::bulk_build(ShardedConfig::default().with_shards(8), routes, pairs);
+    let query = RknntQuery::exists(vec![p(0.0, 0.0), p(400.0, 0.0), p(800.0, 0.0)], 1);
+    let skips = assert_skips_sound(&sharded, &full_routes, &full_transitions, &query);
+    assert!(
+        skips > 0,
+        "this world is built so the cluster-B shards are certified skippable"
+    );
+    assert!(
+        sharded.router_stats().shards_pruned > 0,
+        "execution must have recorded the skips"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random worlds, every shard count: any shard the router skips holds no
+    /// candidate of the unsharded execution, and routed answers match, for
+    /// all four engines and both semantics.
+    #[test]
+    fn skipped_shards_never_hold_candidates(
+        raw_routes in prop::collection::vec(
+            (-5_000.0f64..5_000.0, -5_000.0f64..5_000.0, -800.0f64..800.0, -800.0f64..800.0, 2u32..5),
+            1..7,
+        ),
+        raw_pairs in prop::collection::vec(
+            (-6_000.0f64..6_000.0, -6_000.0f64..6_000.0, -300.0f64..300.0, -300.0f64..300.0),
+            0..40,
+        ),
+        qx in -5_000.0f64..5_000.0,
+        qy in -5_000.0f64..5_000.0,
+        qstep in -900.0f64..900.0,
+        k in 1usize..4,
+        shard_draw in 0usize..4,
+        semantics_draw in 0u8..2,
+    ) {
+        let routes: Vec<Vec<Point>> = raw_routes
+            .into_iter()
+            .map(|(x, y, dx, dy, len)| {
+                (0..len)
+                    .map(|i| p(x + i as f64 * dx, y + i as f64 * dy))
+                    .collect()
+            })
+            .collect();
+        let pairs: Vec<(Point, Point)> = raw_pairs
+            .into_iter()
+            .map(|(x, y, dx, dy)| (p(x, y), p(x + dx, y + dy)))
+            .collect();
+        let query = RknntQuery {
+            route: (0..3).map(|i| p(qx + i as f64 * qstep, qy - i as f64 * qstep)).collect(),
+            k,
+            semantics: if semantics_draw == 0 { Semantics::Exists } else { Semantics::ForAll },
+        };
+        let (full_routes, full_transitions) = unsharded_stores(&routes, &pairs);
+        let sharded = ShardedService::bulk_build(
+            ShardedConfig::default().with_shards(SHARD_COUNTS[shard_draw]),
+            routes,
+            pairs,
+        );
+        assert_skips_sound(&sharded, &full_routes, &full_transitions, &query);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Churn + subscription delta parity
+// ---------------------------------------------------------------------------
+
+/// Drives the same interleaved update/query/subscription stream through an
+/// unsharded service and a sharded fleet: applied/rejected bookkeeping,
+/// inserted global ids, every query answer, every maintained subscription
+/// result and the full delta stream must be byte-identical.
+fn run_churn_parity(kind: EngineKind, semantics: Semantics, shards: usize, seed: u64) {
+    let city = CityGenerator::new(CityConfig::small(seed)).generate();
+    let pairs =
+        TransitionGenerator::new(TransitionConfig::checkin_like(700, seed ^ 0x77)).generate(&city);
+    let (route_store, transition_store) = unsharded_stores(&city.routes, &pairs);
+    let base = ServiceConfig::default()
+        .with_workers(2)
+        .with_policy(EnginePolicy::Fixed(kind));
+    let mut unsharded = QueryService::new(route_store.clone(), transition_store.clone(), base);
+    let mut sharded = ShardedService::bulk_build(
+        ShardedConfig::default().with_shards(shards).with_base(base),
+        city.routes.clone(),
+        pairs,
+    );
+
+    let mut live_transitions = transition_store.transition_ids();
+    let mut live_routes = route_store.route_ids();
+    let mut live_subs: Vec<SubscriptionId> = Vec::new();
+
+    let stream = workload::subscription_stream(
+        &city,
+        &workload::SubscriptionStreamConfig::new(90, 0.3, seed ^ 0x5ab5),
+    );
+    let queries = workload::rknnt_queries(&city, 8, 4, 1_000.0, seed ^ 0x91);
+    let mut query_cursor = 0usize;
+    let mut delta_batches = 0usize;
+
+    for (step, event) in stream.into_iter().enumerate() {
+        match event {
+            workload::SubscriptionEvent::Subscribe(route) => {
+                let query = RknntQuery {
+                    route,
+                    k: 1 + step % 3,
+                    semantics,
+                };
+                let a = unsharded.subscribe(query.clone());
+                let b = sharded.subscribe(query);
+                assert_eq!(a, b, "subscription ids must line up");
+                assert_eq!(
+                    unsharded.subscription_result(a),
+                    sharded.subscription_result(b),
+                    "initial subscription result diverged ({kind} {semantics:?} N={shards})"
+                );
+                // The advisory registration must at least be consistent with
+                // the fleet: only indexes of real shards.
+                let registered = sharded.subscription_shards(b).unwrap();
+                assert!(registered.iter().all(|&i| i < shards));
+                live_subs.push(a);
+            }
+            workload::SubscriptionEvent::Unsubscribe(draw) => {
+                if live_subs.is_empty() {
+                    continue;
+                }
+                let victim = live_subs.swap_remove(draw as usize % live_subs.len());
+                assert_eq!(unsharded.unsubscribe(victim), sharded.unsubscribe(victim));
+            }
+            workload::SubscriptionEvent::Update(update_event) => {
+                let update = match update_event {
+                    workload::ChurnEvent::InsertTransition(origin, destination) => {
+                        StoreUpdate::InsertTransition {
+                            origin,
+                            destination,
+                        }
+                    }
+                    workload::ChurnEvent::ExpireTransition(draw) => {
+                        if live_transitions.is_empty() {
+                            continue;
+                        }
+                        let victim = draw as usize % live_transitions.len();
+                        StoreUpdate::ExpireTransition(live_transitions.swap_remove(victim))
+                    }
+                    workload::ChurnEvent::InsertRoute(points) => StoreUpdate::InsertRoute(points),
+                    workload::ChurnEvent::RemoveRoute(draw) => {
+                        if live_routes.len() <= 4 {
+                            continue;
+                        }
+                        let victim = draw as usize % live_routes.len();
+                        StoreUpdate::RemoveRoute(live_routes.swap_remove(victim))
+                    }
+                    workload::ChurnEvent::Query(_) => unreachable!(),
+                };
+                let a = unsharded.apply_updates(vec![update.clone()]);
+                let b = sharded.apply_updates(vec![update]);
+                assert_eq!(a.applied, b.applied, "applied diverged at step {step}");
+                assert_eq!(a.rejected, b.rejected, "rejected diverged at step {step}");
+                assert_eq!(
+                    a.inserted_transitions, b.inserted_transitions,
+                    "global transition ids diverged at step {step}"
+                );
+                assert_eq!(
+                    a.inserted_routes, b.inserted_routes,
+                    "global route ids diverged at step {step}"
+                );
+                assert_eq!(
+                    a.deltas, b.deltas,
+                    "delta stream diverged at step {step} ({kind} {semantics:?} N={shards})"
+                );
+                if !a.deltas.is_empty() {
+                    delta_batches += 1;
+                }
+                live_transitions.extend(&a.inserted_transitions);
+                live_routes.extend(&a.inserted_routes);
+            }
+        }
+        // Interleave one-shot queries so the caches stay exercised.
+        if step % 5 == 0 && !queries.is_empty() {
+            let query = RknntQuery {
+                route: queries[query_cursor % queries.len()].clone(),
+                k: 1 + step % 4,
+                semantics,
+            };
+            query_cursor += 1;
+            assert_eq!(
+                unsharded.execute(&query).transitions,
+                sharded.execute(&query).transitions,
+                "one-shot answer diverged at step {step} ({kind} {semantics:?} N={shards})"
+            );
+        }
+    }
+    // Every surviving subscription ends with the same maintained result.
+    for id in &live_subs {
+        assert_eq!(
+            unsharded.subscription_result(*id),
+            sharded.subscription_result(*id),
+            "final subscription result diverged ({kind} {semantics:?} N={shards})"
+        );
+    }
+    // Force a guaranteed delta pair: a transition with both endpoints ON a
+    // subscribed route qualifies unconditionally (distance 0, so no route
+    // is strictly closer), and expiring it must emit a TransitionExpired
+    // delta — both streams byte-identical.
+    let watched = if let Some(id) = live_subs.first() {
+        unsharded.subscription_query(*id).unwrap().route.clone()
+    } else {
+        let query = RknntQuery {
+            route: queries[0].clone(),
+            k: 1,
+            semantics,
+        };
+        let a = unsharded.subscribe(query.clone());
+        let b = sharded.subscribe(query.clone());
+        assert_eq!(a, b);
+        query.route
+    };
+    let update = StoreUpdate::InsertTransition {
+        origin: watched[0],
+        destination: watched[1],
+    };
+    let a = unsharded.apply_updates(vec![update.clone()]);
+    let b = sharded.apply_updates(vec![update]);
+    assert_eq!(a.inserted_transitions, b.inserted_transitions);
+    assert_eq!(a.deltas, b.deltas);
+    assert!(
+        !a.deltas.is_empty(),
+        "an on-route insert must dirty the watching subscription"
+    );
+    delta_batches += 1;
+    let expire = StoreUpdate::ExpireTransition(a.inserted_transitions[0]);
+    let a = unsharded.apply_updates(vec![expire.clone()]);
+    let b = sharded.apply_updates(vec![expire]);
+    assert_eq!(a.deltas, b.deltas);
+    assert!(
+        !a.deltas.is_empty(),
+        "expiring a result member must emit a delta"
+    );
+    assert!(
+        delta_batches > 0,
+        "the stream must actually emit deltas ({kind} {semantics:?} N={shards})"
+    );
+}
+
+#[test]
+fn churn_and_delta_parity_filter_refine() {
+    run_churn_parity(EngineKind::FilterRefine, Semantics::Exists, 4, 211);
+    run_churn_parity(EngineKind::FilterRefine, Semantics::ForAll, 8, 212);
+}
+
+#[test]
+fn churn_and_delta_parity_voronoi() {
+    run_churn_parity(EngineKind::Voronoi, Semantics::Exists, 2, 213);
+    run_churn_parity(EngineKind::Voronoi, Semantics::ForAll, 4, 214);
+}
+
+#[test]
+fn churn_and_delta_parity_divide_conquer() {
+    run_churn_parity(EngineKind::DivideConquer, Semantics::Exists, 8, 215);
+    run_churn_parity(EngineKind::DivideConquer, Semantics::ForAll, 1, 216);
+}
+
+#[test]
+fn churn_and_delta_parity_brute_force() {
+    run_churn_parity(EngineKind::BruteForce, Semantics::Exists, 1, 217);
+    run_churn_parity(EngineKind::BruteForce, Semantics::ForAll, 2, 218);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery from the per-shard WALs
+// ---------------------------------------------------------------------------
+
+/// Deterministic mixed update stream (splitmix64), including draws that the
+/// stores reject — replay must reproduce the rejections exactly.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+fn make_updates(gen: &mut Gen, count: usize, transition_pool: usize) -> Vec<StoreUpdate> {
+    let mut updates = Vec::with_capacity(count);
+    for i in 0..count {
+        let roll = gen.next() % 100;
+        if roll < 55 {
+            updates.push(StoreUpdate::InsertTransition {
+                origin: p(gen.f64(0.0, 12_000.0), gen.f64(0.0, 12_000.0)),
+                destination: p(gen.f64(0.0, 12_000.0), gen.f64(0.0, 12_000.0)),
+            });
+        } else if roll < 80 {
+            let id = gen.next() % (transition_pool + i) as u64;
+            updates.push(StoreUpdate::ExpireTransition(TransitionId(id as u32)));
+        } else if roll < 92 {
+            let len = 3 + (gen.next() % 3) as usize;
+            let mut points = Vec::with_capacity(len);
+            let (mut x, mut y) = (gen.f64(0.0, 11_000.0), gen.f64(0.0, 11_000.0));
+            for _ in 0..len {
+                points.push(p(x, y));
+                x += gen.f64(200.0, 600.0);
+                y += gen.f64(-300.0, 300.0);
+            }
+            updates.push(StoreUpdate::InsertRoute(points));
+        } else {
+            let id = gen.next() % 40;
+            updates.push(StoreUpdate::RemoveRoute(RouteId(id as u32)));
+        }
+    }
+    updates
+}
+
+fn assert_fleets_identical(a: &ShardedService, b: &ShardedService, label: &str) {
+    assert_eq!(a.shard_count(), b.shard_count(), "{label}: shard count");
+    assert_eq!(
+        a.routes().export_state(),
+        b.routes().export_state(),
+        "{label}: planner replica diverged"
+    );
+    for index in 0..a.shard_count() {
+        let sa = a.shard_service(index).unwrap();
+        let sb = b.shard_service(index).unwrap();
+        assert_eq!(
+            sa.routes().export_state(),
+            sb.routes().export_state(),
+            "{label}: shard {index} route store diverged"
+        );
+        assert_eq!(
+            sa.transitions().export_state(),
+            sb.transitions().export_state(),
+            "{label}: shard {index} transition store diverged"
+        );
+    }
+}
+
+fn run_sharded_recovery(kind: EngineKind, semantics: Semantics, shards: usize, seed: u64) {
+    let city = CityGenerator::new(CityConfig::small(seed)).generate();
+    let pairs =
+        TransitionGenerator::new(TransitionConfig::checkin_like(250, seed ^ 0x33)).generate(&city);
+    let base = ServiceConfig::default()
+        .with_workers(2)
+        .with_policy(EnginePolicy::Fixed(kind));
+    let config = ShardedConfig::default().with_shards(shards).with_base(base);
+
+    let mut reference = ShardedService::bulk_build(config, city.routes.clone(), pairs.clone());
+    let dir = temp_dir(&format!("rec-{kind}-{semantics:?}-{shards}-{seed}"));
+    let mut durable = ShardedService::bulk_build(config, city.routes.clone(), pairs);
+    durable.attach_storage(&dir, test_storage()).unwrap();
+    assert!(durable.has_storage());
+
+    let mut gen = Gen(seed ^ 0xD15C);
+    let phase1 = make_updates(&mut gen, 25, 250);
+    let phase2 = make_updates(&mut gen, 25, 300);
+    let phase3 = make_updates(&mut gen, 15, 350);
+
+    let ref1 = reference.apply_updates(phase1.clone());
+    let dur1 = durable.apply_updates(phase1.clone());
+    assert_eq!(ref1.applied, dur1.applied);
+    assert_eq!(ref1.rejected, dur1.rejected);
+    assert_eq!(
+        dur1.wal_appends,
+        phase1.len(),
+        "the router logs every submitted update in global form"
+    );
+    durable.checkpoint().unwrap();
+
+    // Standing queries on the reference across the crash window.
+    let standing: Vec<RknntQuery> = workload::rknnt_queries(&city, 4, 4, 800.0, seed ^ 0x5b)
+        .into_iter()
+        .map(|route| RknntQuery {
+            route,
+            k: 2,
+            semantics,
+        })
+        .collect();
+    let ref_subs: Vec<SubscriptionId> = standing
+        .iter()
+        .map(|q| reference.subscribe(q.clone()))
+        .collect();
+
+    // Phase 2 in small batches, then crash (drop): shard WALs and the
+    // router WAL both carry the tail.
+    for chunk in phase2.chunks(4) {
+        reference.apply_updates(chunk.to_vec());
+        durable.apply_updates(chunk.to_vec());
+    }
+    drop(durable);
+
+    let (mut recovered, _) = ShardedService::open(&dir, config, test_storage()).unwrap();
+    assert!(recovered.has_storage());
+    assert_eq!(recovered.shard_count(), shards, "shard count from disk");
+    assert_fleets_identical(&recovered, &reference, "after recovery");
+
+    // Probe answers byte-identical.
+    let probes: Vec<RknntQuery> = workload::rknnt_queries(&city, 6, 5, 700.0, seed ^ 0x77)
+        .into_iter()
+        .enumerate()
+        .map(|(i, route)| RknntQuery {
+            route,
+            k: 1 + i % 3,
+            semantics,
+        })
+        .collect();
+    let (ref_answers, _) = reference.execute_batch(&probes);
+    let (rec_answers, _) = recovered.execute_batch(&probes);
+    assert_eq!(
+        raw_results(&ref_answers),
+        raw_results(&rec_answers),
+        "recovered fleet answers diverged ({kind} {semantics:?} N={shards})"
+    );
+
+    // Re-register the standing queries; results and the continuing delta
+    // stream must match the never-crashed fleet.
+    let rec_subs: Vec<SubscriptionId> = standing
+        .iter()
+        .map(|q| recovered.subscribe(q.clone()))
+        .collect();
+    for (a, b) in ref_subs.iter().zip(&rec_subs) {
+        assert_eq!(
+            reference.subscription_result(*a),
+            recovered.subscription_result(*b)
+        );
+    }
+    let mut ref3 = reference.apply_updates(phase3.clone());
+    let rec3 = recovered.apply_updates(phase3);
+    assert_eq!(ref3.applied, rec3.applied);
+    assert_eq!(ref3.rejected, rec3.rejected);
+    assert_eq!(ref3.inserted_transitions, rec3.inserted_transitions);
+    assert_eq!(ref3.inserted_routes, rec3.inserted_routes);
+    // The reference buffered phase-2 deltas (it had subscriptions then);
+    // compare only the non-empty deltas of the shared phase-3 window.
+    ref3.deltas
+        .retain(|d| !d.entered.is_empty() || !d.left.is_empty());
+    let rec_deltas: Vec<_> = rec3
+        .deltas
+        .iter()
+        .filter(|d| !d.entered.is_empty() || !d.left.is_empty())
+        .cloned()
+        .collect();
+    assert_eq!(
+        ref3.deltas, rec_deltas,
+        "post-recovery delta stream diverged ({kind} {semantics:?} N={shards})"
+    );
+    assert_fleets_identical(&recovered, &reference, "after the stream continued");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_recovery_is_deterministic_for_every_engine_and_semantics() {
+    for (i, kind) in EngineKind::ALL.into_iter().enumerate() {
+        for (j, semantics) in [Semantics::Exists, Semantics::ForAll]
+            .into_iter()
+            .enumerate()
+        {
+            let combo = i * 2 + j;
+            run_sharded_recovery(kind, semantics, SHARD_COUNTS[combo % 4], 61 + combo as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout guards
+// ---------------------------------------------------------------------------
+
+#[test]
+fn layout_guards_route_each_side_to_the_right_open() {
+    // A sharded layout refuses a flat attach / open, naming the recovery
+    // path; a flat layout refuses a sharded attach.
+    let (routes, pairs) = raw_world(77, 120);
+    let config = ShardedConfig::default().with_shards(3);
+    let dir = temp_dir("layout");
+    let mut fleet = ShardedService::bulk_build(config, routes.clone(), pairs.clone());
+    fleet.attach_storage(&dir, test_storage()).unwrap();
+    fleet.apply_updates(vec![StoreUpdate::InsertTransition {
+        origin: p(1.0, 2.0),
+        destination: p(3.0, 4.0),
+    }]);
+    drop(fleet);
+
+    // Flat service: both attach and open must refuse the sharded root.
+    let base = ServiceConfig::default().with_workers(1);
+    let mut flat = QueryService::new(Default::default(), Default::default(), base);
+    let err = flat.attach_storage(&dir, test_storage()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            rknnt_service::StorageError::ShardedLayout { shards: 3, .. }
+        ),
+        "got {err}"
+    );
+    let err = match QueryService::open(&dir, base, test_storage()) {
+        Err(err) => err,
+        Ok(_) => panic!("flat open must refuse a sharded layout"),
+    };
+    assert!(
+        matches!(err, rknnt_service::StorageError::ShardedLayout { .. }),
+        "got {err}"
+    );
+
+    // A second fleet must refuse to attach over the live layout too.
+    let mut other = ShardedService::bulk_build(config, routes, pairs);
+    let err = other.attach_storage(&dir, test_storage()).unwrap_err();
+    assert!(
+        matches!(err, rknnt_service::StorageError::ShardedLayout { .. }),
+        "got {err}"
+    );
+    assert!(matches!(
+        other.checkpoint().unwrap_err(),
+        rknnt_service::StorageError::NotAttached
+    ));
+
+    // And the sharded open on a *flat* layout is refused the same way the
+    // flat attach on a sharded one is.
+    let flat_dir = temp_dir("layout-flat");
+    let (mut flat, _) = QueryService::open(&flat_dir, base, test_storage()).unwrap();
+    flat.apply_updates(vec![StoreUpdate::InsertTransition {
+        origin: p(0.0, 0.0),
+        destination: p(1.0, 1.0),
+    }]);
+    drop(flat);
+    let err = other.attach_storage(&flat_dir, test_storage()).unwrap_err();
+    assert!(
+        matches!(err, rknnt_service::StorageError::DirectoryNotEmpty { .. }),
+        "got {err}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&flat_dir).unwrap();
+}
+
+#[test]
+fn open_on_a_fresh_directory_starts_an_empty_durable_fleet() {
+    let dir = temp_dir("fresh");
+    let config = ShardedConfig::default().with_shards(2);
+    let (mut fleet, _) = ShardedService::open(&dir, config, test_storage()).unwrap();
+    assert!(fleet.has_storage());
+    assert_eq!(fleet.num_transitions(), 0);
+    let stats = fleet.apply_updates(vec![
+        StoreUpdate::InsertRoute(vec![p(0.0, 0.0), p(100.0, 0.0)]),
+        StoreUpdate::InsertTransition {
+            origin: p(10.0, 5.0),
+            destination: p(90.0, 5.0),
+        },
+    ]);
+    assert_eq!(stats.applied, 2);
+    drop(fleet);
+    let (fleet, _) = ShardedService::open(&dir, config, test_storage()).unwrap();
+    assert_eq!(fleet.routes().num_routes(), 1);
+    assert_eq!(fleet.num_transitions(), 1);
+    let query = RknntQuery::exists(vec![p(0.0, 10.0), p(100.0, 10.0)], 1);
+    assert_eq!(fleet.execute(&query).transitions, vec![TransitionId(0)]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Reshard (split / merge)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reshard_preserves_answers_subscriptions_and_durability() {
+    let (routes, pairs) = raw_world(131, 900);
+    let city = CityGenerator::new(CityConfig::small(131)).generate();
+    let (route_store, transition_store) = unsharded_stores(&routes, &pairs);
+    let base = ServiceConfig::default().with_workers(2);
+    let mut unsharded = QueryService::new(route_store, transition_store, base);
+    let dir = temp_dir("reshard");
+    let mut fleet = ShardedService::bulk_build(
+        ShardedConfig::default().with_shards(2).with_base(base),
+        routes,
+        pairs,
+    );
+    fleet.attach_storage(&dir, test_storage()).unwrap();
+
+    // Churn a little so both live and dead global ids exist, and register a
+    // standing query on both sides.
+    let mut gen = Gen(0xE5);
+    let updates = make_updates(&mut gen, 30, 900);
+    unsharded.apply_updates(updates.clone());
+    fleet.apply_updates(updates);
+    let standing = RknntQuery::exists(
+        workload::rknnt_queries(&city, 1, 4, 900.0, 131 ^ 0x5b)[0].clone(),
+        2,
+    );
+    let sub_a = unsharded.subscribe(standing.clone());
+    let sub_b = fleet.subscribe(standing);
+
+    let probes: Vec<RknntQuery> = workload::rknnt_queries(&city, 6, 4, 800.0, 131 ^ 0x77)
+        .into_iter()
+        .enumerate()
+        .map(|(i, route)| RknntQuery {
+            route,
+            k: 1 + i % 3,
+            semantics: if i % 2 == 0 {
+                Semantics::Exists
+            } else {
+                Semantics::ForAll
+            },
+        })
+        .collect();
+    let (expected, _) = unsharded.execute_batch(&probes);
+    let expected = raw_results(&expected);
+
+    // Split 2 -> 8, then merge 8 -> 3: ids, answers and the subscription
+    // survive both, and the re-partitioned fleet keeps every item findable.
+    for (shards, bits) in [(8usize, 7u32), (3, 5)] {
+        fleet.reshard(shards, bits).unwrap();
+        assert_eq!(fleet.shard_count(), shards);
+        assert_eq!(fleet.config().grid_bits, bits);
+        let (got, _) = fleet.execute_batch(&probes);
+        assert_eq!(
+            raw_results(&got),
+            expected,
+            "answers changed across reshard to N={shards}"
+        );
+        assert_eq!(
+            fleet.subscription_result(sub_b),
+            unsharded.subscription_result(sub_a),
+            "subscription result changed across reshard to N={shards}"
+        );
+        // Every live directory entry resolves in its new shard.
+        let total: usize = (0..shards)
+            .map(|i| fleet.shard_service(i).unwrap().transitions().len())
+            .sum();
+        assert_eq!(total, fleet.num_transitions());
+    }
+
+    // The reshard rewrote the storage layout in place: a reopen recovers the
+    // new topology with identical contents.
+    let config_at_drop = *fleet.config();
+    // Keep churning after the reshard so the reopened fleet replays a tail
+    // written by the *new* topology.
+    let tail = make_updates(&mut gen, 10, 950);
+    unsharded.apply_updates(tail.clone());
+    fleet.apply_updates(tail);
+    let (expected_after, _) = unsharded.execute_batch(&probes);
+    drop(fleet);
+    let (reopened, _) = ShardedService::open(&dir, config_at_drop, test_storage()).unwrap();
+    assert_eq!(reopened.shard_count(), 3);
+    let (got, _) = reopened.execute_batch(&probes);
+    assert_eq!(
+        raw_results(&got),
+        raw_results(&expected_after),
+        "reopened resharded fleet diverged"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -54,6 +54,16 @@ pub enum StorageError {
         /// The offending directory.
         dir: PathBuf,
     },
+    /// The directory holds a *sharded* service layout (`router/` and
+    /// `shard-NNN/` subdirectories with their own storage data). A single
+    /// service must not attach over it — recover the whole fleet with the
+    /// sharded service's `open` instead.
+    ShardedLayout {
+        /// The root directory of the layout.
+        dir: PathBuf,
+        /// Shard subdirectories found under it.
+        shards: usize,
+    },
     /// A durability operation was requested on a service with no storage
     /// attached.
     NotAttached,
@@ -93,6 +103,11 @@ impl fmt::Display for StorageError {
             StorageError::DirectoryNotEmpty { dir } => write!(
                 f,
                 "storage directory {} already holds snapshot/WAL data",
+                dir.display()
+            ),
+            StorageError::ShardedLayout { dir, shards } => write!(
+                f,
+                "storage directory {} holds a sharded service layout ({shards} shard dir(s)); recover it with ShardedService::open",
                 dir.display()
             ),
             StorageError::NotAttached => write!(f, "no storage attached to this service"),
