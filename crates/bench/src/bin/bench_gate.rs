@@ -2,6 +2,12 @@
 //! serving-layer experiments against the thresholds checked in at
 //! `results/ci_gates.toml`, and exits non-zero on any regression.
 //!
+//! Besides the human-readable PASS/FAIL lines on stdout, every run writes
+//! a machine-readable `gates.json` into the results directory (carrying
+//! the error when the run itself fails, so the artifact never goes
+//! missing), and appends a markdown table to `$GITHUB_STEP_SUMMARY` when
+//! that variable is set — locally it simply isn't, and nothing happens.
+//!
 //! ```text
 //! bench_gate [--results DIR] [--gates FILE]
 //! ```
@@ -45,8 +51,16 @@ fn main() -> ExitCode {
     }
 
     match gate::run_gates(&results, &gates) {
-        Err(message) => fail(&message),
+        Err(message) => {
+            write_artifact(&results, &gate::render_json_error(&message));
+            append_step_summary(&format!(
+                "### Bench gates\n\n❌ gate run failed: {message}\n"
+            ));
+            fail(&message)
+        }
         Ok(outcomes) => {
+            write_artifact(&results, &gate::render_json(&outcomes));
+            append_step_summary(&gate::render_markdown(&outcomes));
             let mut failed = false;
             for outcome in &outcomes {
                 println!("{outcome}");
@@ -60,6 +74,34 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+    }
+}
+
+/// Writes `gates.json` next to the reports; a write failure is loud on
+/// stderr but never masks the gate verdict itself.
+fn write_artifact(results: &std::path::Path, json: &str) {
+    let path = results.join("gates.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Appends markdown to `$GITHUB_STEP_SUMMARY` when running under Actions;
+/// a no-op anywhere else.
+fn append_step_summary(markdown: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, markdown.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: cannot append to {path}: {e}");
     }
 }
 

@@ -1825,6 +1825,311 @@ pub fn shard_scaleout(ctx: &ExperimentContext, kind: DatasetKind, semantics: Sem
     report
 }
 
+/// One offered-load point of the open-loop sweep.
+struct OpenLoopPoint {
+    achieved_qps: f64,
+    answered: usize,
+    shed: usize,
+    unanswered: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+}
+
+/// Drives `n` queries through a real client→TCP→server loop at `offered_qps`
+/// (open loop: the sender paces on the wall clock and never waits for
+/// replies), asserting every answered reply byte-identical to `expected`.
+/// `offered_qps = 0` means closed-loop back-to-back (the overload burst).
+fn open_loop_point(
+    server: &rknnt_net::Server,
+    pool: &[RknntQuery],
+    expected: &[Vec<rknnt_index::TransitionId>],
+    n: usize,
+    offered_qps: f64,
+) -> OpenLoopPoint {
+    use rknnt_net::protocol::{read_frame, write_frame, Message};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    // Guard against a silently dropped request hanging the experiment: a
+    // reply gap of 60 s counts the remainder as unanswered (and fails the
+    // gate) instead of wedging CI.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut write_half = stream.try_clone().expect("clone stream");
+    let mut read_half = stream;
+
+    // id -> (send instant, pool index); written by the sender thread,
+    // consumed by the receiver as replies come back (sheds reply out of
+    // order relative to queued requests, so matching is by id).
+    let inflight: Mutex<HashMap<u64, (Instant, usize)>> = Mutex::new(HashMap::new());
+    let latencies = rknnt_obs::Histogram::new();
+    let mut answered = 0usize;
+    let mut shed = 0usize;
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let interval = if offered_qps > 0.0 {
+                Duration::from_secs_f64(1.0 / offered_qps)
+            } else {
+                Duration::ZERO
+            };
+            let t0 = Instant::now();
+            for i in 0..n {
+                let due = t0 + interval.mul_f64(i as f64);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let qi = i % pool.len();
+                let id = (i + 1) as u64;
+                inflight
+                    .lock()
+                    .expect("inflight poisoned")
+                    .insert(id, (Instant::now(), qi));
+                let frame = Message::Query {
+                    id,
+                    query: pool[qi].clone(),
+                }
+                .encode();
+                if write_frame(&mut write_half, &frame).is_err() {
+                    return; // server gone; the receiver accounts the loss
+                }
+            }
+        });
+
+        let mut buf = Vec::new();
+        let mut received = 0usize;
+        while received < n {
+            match read_frame(&mut read_half, &mut buf) {
+                Ok(Some(())) => {}
+                Ok(None) | Err(_) => break,
+            }
+            match Message::decode(&buf).expect("server sent an undecodable frame") {
+                Message::QueryOk { id, transitions } => {
+                    let (sent_at, qi) = inflight
+                        .lock()
+                        .expect("inflight poisoned")
+                        .remove(&id)
+                        .expect("reply for an unknown request id");
+                    latencies
+                        .record(u64::try_from(sent_at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    assert_eq!(
+                        transitions, expected[qi],
+                        "served answer diverged from in-process execution (pool index {qi})"
+                    );
+                    answered += 1;
+                    received += 1;
+                }
+                Message::Overloaded { id, .. } => {
+                    inflight
+                        .lock()
+                        .expect("inflight poisoned")
+                        .remove(&id)
+                        .expect("shed reply for an unknown request id");
+                    shed += 1;
+                    received += 1;
+                }
+                other => panic!("unexpected message kind on the reply stream: {other:?}"),
+            }
+        }
+    });
+
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    OpenLoopPoint {
+        achieved_qps: (answered + shed) as f64 / elapsed,
+        answered,
+        shed,
+        unanswered: n - answered - shed,
+        p50_ms: latencies.percentile(50.0) as f64 / 1e6,
+        p99_ms: latencies.percentile(99.0) as f64 / 1e6,
+        p999_ms: latencies.percentile(99.9) as f64 / 1e6,
+    }
+}
+
+/// Open-loop tail latency through the serving edge: a paced sender drives
+/// the same pool-cycling workload as the other serving experiments through
+/// a real client→TCP→server loop at offered rates from 0.25× to 4× the
+/// measured closed-loop capacity, reporting p50/p99/p999 of answered
+/// requests and the saturation knee (the highest rate the server absorbs
+/// without shedding while achieving ≥ 90 % of the offered rate).
+///
+/// The second phase is the gate: a back-to-back burst against a deliberately
+/// tiny admission queue. Under overload the server must *shed* (typed
+/// `Overloaded` replies, counted by `net.shed`) rather than queue without
+/// bound or drop silently — so `shed_fraction_under_overload` must clear a
+/// floor while `unanswered_under_overload` stays exactly zero, and both are
+/// machine-independent (a slower machine sheds *more*, never less). Every
+/// answered reply in both phases is asserted byte-identical to in-process
+/// execution inline.
+pub fn open_loop_latency(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    semantics: Semantics,
+) -> Report {
+    use rknnt_net::{Backend, Server, ServerConfig};
+
+    let mut report =
+        Report::new("Open loop_latency — offered-load sweep through the TCP serving edge");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    let pool = service_workload(ctx, &dataset, semantics, 32);
+    // The serving service runs with the result cache off so cycling the
+    // pool costs real execution work on every request — an LRU would turn
+    // the overload phase into a cache-hit benchmark.
+    let service_config = ServiceConfig::default()
+        .with_workers(1)
+        .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi))
+        .with_cache_capacity(0);
+    let fresh_service = || {
+        QueryService::new(
+            dataset.routes.clone(),
+            dataset.transitions.clone(),
+            service_config,
+        )
+    };
+    let twin = fresh_service();
+    let expected: Vec<Vec<rknnt_index::TransitionId>> = pool
+        .iter()
+        .map(|q| {
+            let (mut results, _) = twin.execute_batch(std::slice::from_ref(q));
+            results.remove(0).transitions
+        })
+        .collect();
+    report.line(format!(
+        "{} — pool of {} queries, k = {}, {} semantics, Voronoi engine, 1 worker, cache off",
+        dataset.kind.name(),
+        pool.len(),
+        ctx.default_k(),
+        semantics,
+    ));
+
+    // Phase 1: closed-loop capacity calibration (serial request/response
+    // round-trips through the full socket path).
+    let n_cal = (ctx.scale.queries_per_point * 24).clamp(48, 192);
+    let capacity_qps = {
+        let server = Server::start(Backend::Single(fresh_service()), ServerConfig::default())
+            .expect("start calibration server");
+        let mut client = rknnt_net::Client::connect(server.local_addr()).expect("connect");
+        let started = std::time::Instant::now();
+        for i in 0..n_cal {
+            let query = &pool[i % pool.len()];
+            let reply = client.query(query).expect("calibration query");
+            let transitions = reply
+                .answered()
+                .expect("a serial client must never be shed at default budgets");
+            assert_eq!(transitions, expected[i % pool.len()]);
+        }
+        n_cal as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+    report.row(&[
+        ("phase", "calibration".to_string()),
+        ("closed_loop_qps", format!("{capacity_qps:.0}")),
+        ("requests", n_cal.to_string()),
+    ]);
+
+    // Phase 2: the offered-load sweep. Fresh server per point so queue
+    // state and metrics start cold.
+    let n_sweep = (ctx.scale.queries_per_point * 24).clamp(48, 192);
+    let mut knee_x: Option<f64> = None;
+    for offered_x in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let server = Server::start(Backend::Single(fresh_service()), ServerConfig::default())
+            .expect("start sweep server");
+        let offered_qps = capacity_qps * offered_x;
+        let point = open_loop_point(&server, &pool, &expected, n_sweep, offered_qps);
+        assert_eq!(
+            point.unanswered, 0,
+            "open-loop sweep at {offered_x}x: every request must be answered or shed"
+        );
+        if point.shed == 0 && point.achieved_qps >= 0.9 * offered_qps {
+            knee_x = Some(offered_x);
+        }
+        report.row(&[
+            ("offered_x", format!("{offered_x:.2}")),
+            ("offered_qps", format!("{offered_qps:.0}")),
+            ("achieved_qps", format!("{:.0}", point.achieved_qps)),
+            ("answered", point.answered.to_string()),
+            ("shed", point.shed.to_string()),
+            ("p50_ms", format!("{:.3}", point.p50_ms)),
+            ("p99_ms", format!("{:.3}", point.p99_ms)),
+            ("p999_ms", format!("{:.3}", point.p999_ms)),
+        ]);
+    }
+    report.row(&[
+        ("metric", "saturation_knee_x".to_string()),
+        ("ratio", format!("{:.2}", knee_x.unwrap_or(0.0))),
+    ]);
+
+    // Phase 3: the overload burst behind the CI gate. Expensive queries
+    // (4× k) against an 8-slot queue, sent back-to-back: the reader admits
+    // and sheds in microseconds while the executor needs milliseconds per
+    // drain, so nearly everything past the queue must come back as a typed
+    // `Overloaded` — and a slower machine sheds strictly more, making the
+    // floor machine-independent.
+    let burst_pool: Vec<RknntQuery> = pool
+        .iter()
+        .map(|q| RknntQuery {
+            route: q.route.clone(),
+            k: (q.k * 4).max(8),
+            semantics: q.semantics,
+        })
+        .collect();
+    let burst_twin = fresh_service();
+    let burst_expected: Vec<Vec<rknnt_index::TransitionId>> = burst_pool
+        .iter()
+        .map(|q| {
+            let (mut results, _) = burst_twin.execute_batch(std::slice::from_ref(q));
+            results.remove(0).transitions
+        })
+        .collect();
+    let n_burst = (ctx.scale.queries_per_point * 64).clamp(192, 512);
+    let server = Server::start(
+        Backend::Single(fresh_service()),
+        ServerConfig::default()
+            .with_queue_capacity(8)
+            .with_per_conn_inflight(u64::MAX),
+    )
+    .expect("start burst server");
+    let burst = open_loop_point(&server, &burst_pool, &burst_expected, n_burst, 0.0);
+    let shed_fraction = burst.shed as f64 / n_burst as f64;
+    let unanswered_fraction = burst.unanswered as f64 / n_burst as f64;
+    assert_eq!(
+        burst.answered + burst.shed + burst.unanswered,
+        n_burst,
+        "burst accounting must cover every request"
+    );
+    assert_eq!(
+        server.admitted() + server.shed(),
+        n_burst as u64,
+        "every burst request must pass through the admission decision"
+    );
+    report.row(&[
+        ("phase", "burst".to_string()),
+        ("total", n_burst.to_string()),
+        ("answered", burst.answered.to_string()),
+        ("shed", burst.shed.to_string()),
+        ("unanswered", burst.unanswered.to_string()),
+        ("p99_ms", format!("{:.3}", burst.p99_ms)),
+    ]);
+    report.row(&[
+        ("metric", "shed_fraction_under_overload".to_string()),
+        ("ratio", format!("{shed_fraction:.4}")),
+    ]);
+    report.row(&[
+        ("metric", "unanswered_under_overload".to_string()),
+        ("ratio", format!("{unanswered_fraction:.4}")),
+    ]);
+    report.line("server metrics after the burst:".to_string());
+    for line in server.metrics_text().lines() {
+        report.line(line.to_string());
+    }
+    report
+}
+
 /// Options the CLI threads into experiments that take flags (today: the
 /// service-throughput experiment's dataset and semantics).
 #[derive(Debug, Clone, Copy)]
@@ -1872,6 +2177,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         verify_hot_path(ctx, options.service_dataset),
         obs_overhead(ctx, options.service_dataset, options.semantics),
         shard_scaleout(ctx, options.service_dataset, options.semantics),
+        open_loop_latency(ctx, options.service_dataset, options.semantics),
     ]
 }
 
@@ -1925,6 +2231,11 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
             options.service_dataset,
             options.semantics,
         )),
+        "open_loop_latency" | "openloop" => single(open_loop_latency(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
         "all" => Some(all(ctx, options)),
         _ => None,
     }
@@ -1957,6 +2268,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "verify_hot_path",
         "obs_overhead",
         "shard_scaleout",
+        "open_loop_latency",
         "all",
     ]
 }

@@ -41,7 +41,10 @@ impl GateConfig {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 let name = name.trim().to_string();
-                config.sections.entry(name.clone()).or_default();
+                if config.sections.contains_key(&name) {
+                    return Err(format!("line {}: duplicate section [{name}]", number + 1));
+                }
+                config.sections.insert(name.clone(), BTreeMap::new());
                 current = Some(name);
                 continue;
             }
@@ -61,11 +64,18 @@ impl GateConfig {
                 .trim()
                 .parse()
                 .map_err(|e| format!("line {}: bad number: {e}", number + 1))?;
-            config
+            let key = key.trim().to_string();
+            let keys = config
                 .sections
                 .get_mut(section)
-                .expect("section was inserted")
-                .insert(key.trim().to_string(), value);
+                .expect("section was inserted");
+            if keys.contains_key(&key) {
+                return Err(format!(
+                    "line {}: duplicate key {key:?} in [{section}]",
+                    number + 1
+                ));
+            }
+            keys.insert(key, value);
         }
         Ok(config)
     }
@@ -283,6 +293,112 @@ pub fn check_shard_scaleout_gate(report: &str, config: &GateConfig) -> Result<Ga
     })
 }
 
+/// Checks the open-loop serving gates against the report text. Under the
+/// experiment's overload burst the server must *shed* with typed replies
+/// rather than violate: `shed_fraction_under_overload` must clear
+/// `open_loop_latency.min_shed_fraction_under_overload` (a slower machine
+/// sheds more, never less, so the floor is machine-independent) while
+/// `unanswered_under_overload` stays at or below
+/// `open_loop_latency.max_unanswered_fraction` — nothing silently dropped
+/// (the experiment asserts answered replies byte-identical to in-process
+/// execution inline).
+pub fn check_open_loop_gates(
+    report: &str,
+    config: &GateConfig,
+) -> Result<Vec<GateOutcome>, String> {
+    let min_shed = config.threshold("open_loop_latency", "min_shed_fraction_under_overload")?;
+    let max_unanswered = config.threshold("open_loop_latency", "max_unanswered_fraction")?;
+    let rows = parse_report_rows(report);
+    let shed = find_row(&rows, &[("metric", "shed_fraction_under_overload")])?.number("ratio")?;
+    let unanswered =
+        find_row(&rows, &[("metric", "unanswered_under_overload")])?.number("ratio")?;
+    Ok(vec![
+        GateOutcome {
+            name: "open_loop_latency.shed_fraction_under_overload".to_string(),
+            measured: shed,
+            threshold: min_shed,
+            passed: shed >= min_shed,
+        },
+        GateOutcome {
+            name: "open_loop_latency.unanswered_under_overload".to_string(),
+            measured: unanswered,
+            threshold: max_unanswered,
+            passed: unanswered <= max_unanswered,
+        },
+    ])
+}
+
+/// Renders outcomes as a GitHub-flavoured markdown table, for
+/// `$GITHUB_STEP_SUMMARY`.
+pub fn render_markdown(outcomes: &[GateOutcome]) -> String {
+    let mut out = String::from(
+        "### Bench gates\n\n| gate | measured | threshold | result |\n|---|---:|---:|---|\n",
+    );
+    for o in outcomes {
+        out.push_str(&format!(
+            "| `{}` | {:.4} | {:.4} | {} |\n",
+            o.name,
+            o.measured,
+            o.threshold,
+            if o.passed { "✅ pass" } else { "❌ **fail**" }
+        ));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders outcomes as machine-readable JSON (the `gates.json` artifact).
+pub fn render_json(outcomes: &[GateOutcome]) -> String {
+    let mut out = String::from("{\n  \"passed\": ");
+    out.push_str(if outcomes.iter().all(|o| o.passed) {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\n  \"gates\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"measured\": {}, \"threshold\": {}, \"passed\": {}}}{}\n",
+            json_escape(&o.name),
+            json_number(o.measured),
+            json_number(o.threshold),
+            o.passed,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a gate-runner *error* (unreadable file, missing row, bad config)
+/// as JSON, so the artifact carries the failure instead of going missing.
+pub fn render_json_error(error: &str) -> String {
+    format!(
+        "{{\n  \"passed\": false,\n  \"error\": \"{}\"\n}}\n",
+        json_escape(error)
+    )
+}
+
 /// Runs every gate against a results directory, returning the outcomes.
 /// Missing files or rows are errors, not passes.
 pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcome>, String> {
@@ -312,6 +428,10 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
         &read("shard_scaleout.txt")?,
         &config,
     )?);
+    outcomes.extend(check_open_loop_gates(
+        &read("open_loop_latency.txt")?,
+        &config,
+    )?);
     Ok(outcomes)
 }
 
@@ -338,7 +458,11 @@ min_scratch_speedup = 1.15\n\
 max_throughput_cost = 0.05\n\
 \n\
 [shard_scaleout]\n\
-max_mean_fanout_fraction = 0.5\n";
+max_mean_fanout_fraction = 0.5\n\
+\n\
+[open_loop_latency]\n\
+min_shed_fraction_under_overload = 0.30\n\
+max_unanswered_fraction = 0.0\n";
 
     #[test]
     fn parses_the_gate_file_subset() {
@@ -361,6 +485,30 @@ max_mean_fanout_fraction = 0.5\n";
         assert!(GateConfig::parse("key = 1.0").is_err());
         assert!(GateConfig::parse("[s]\nnot an assignment").is_err());
         assert!(GateConfig::parse("[s]\nkey = abc").is_err());
+    }
+
+    #[test]
+    fn hostile_gate_files_fail_with_typed_errors() {
+        // Duplicate key: the second assignment must not silently win.
+        let err = GateConfig::parse("[s]\nkey = 1.0\nkey = 2.0\n").unwrap_err();
+        assert!(err.contains("duplicate key"), "got: {err}");
+        assert!(err.contains("line 3"), "got: {err}");
+        // Duplicate section header: the two bodies must not silently merge.
+        let err = GateConfig::parse("[s]\na = 1.0\n[s]\nb = 2.0\n").unwrap_err();
+        assert!(err.contains("duplicate section"), "got: {err}");
+        // Assignment before any section header.
+        let err = GateConfig::parse("a = 1.0\n[s]\nb = 2.0\n").unwrap_err();
+        assert!(err.contains("before any [section]"), "got: {err}");
+        // Non-numeric threshold.
+        let err = GateConfig::parse("[s]\na = fast\n").unwrap_err();
+        assert!(err.contains("bad number"), "got: {err}");
+        // Trailing garbage after a numeric value is not a number either.
+        let err = GateConfig::parse("[s]\na = 1.0 oops\n").unwrap_err();
+        assert!(err.contains("bad number"), "got: {err}");
+        // Trailing garbage after a section header is not a header, and the
+        // line is not an assignment — typed error, not a lenient skip.
+        let err = GateConfig::parse("[s] trailing\na = 1.0\n").unwrap_err();
+        assert!(err.contains("expected `key = value`"), "got: {err}");
     }
 
     #[test]
@@ -463,6 +611,92 @@ max_mean_fanout_fraction = 0.5\n";
         );
         // A missing ratio row is an error, never a silent pass.
         assert!(check_shard_scaleout_gate("shards=8 mean_fanout=6.5", &config).is_err());
+    }
+
+    #[test]
+    fn open_loop_gates_hold_the_shed_floor_and_unanswered_ceiling() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "phase=burst  offered=all-at-once  answered=120  shed=392  unanswered=0\n\
+                    metric=shed_fraction_under_overload  ratio=0.7656\n\
+                    metric=unanswered_under_overload  ratio=0.0000\n";
+        let outcomes = check_open_loop_gates(good, &config).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.passed));
+        // A server that answers everything under overload is violating its
+        // latency budget instead of shedding — the floor catches it.
+        let no_shed = "metric=shed_fraction_under_overload  ratio=0.0000\n\
+                       metric=unanswered_under_overload  ratio=0.0000\n";
+        let outcomes = check_open_loop_gates(no_shed, &config).unwrap();
+        assert!(!outcomes[0].passed);
+        assert!(outcomes[1].passed);
+        // A silently dropped request is the worst outcome: typed failure.
+        let dropped = "metric=shed_fraction_under_overload  ratio=0.9000\n\
+                       metric=unanswered_under_overload  ratio=0.0100\n";
+        let outcomes = check_open_loop_gates(dropped, &config).unwrap();
+        assert!(outcomes[0].passed);
+        assert!(!outcomes[1].passed);
+        // Missing rows are errors, never silent passes.
+        assert!(check_open_loop_gates("phase=burst shed=1", &config).is_err());
+    }
+
+    #[test]
+    fn markdown_and_json_renderers_carry_every_outcome() {
+        let outcomes = vec![
+            GateOutcome {
+                name: "a.x".to_string(),
+                measured: 0.5,
+                threshold: 0.3,
+                passed: true,
+            },
+            GateOutcome {
+                name: "b.y".to_string(),
+                measured: 1.0,
+                threshold: 2.0,
+                passed: false,
+            },
+        ];
+        let md = render_markdown(&outcomes);
+        assert!(md.contains("| gate | measured | threshold | result |"));
+        assert!(md.contains("| `a.x` | 0.5000 | 0.3000 | ✅ pass |"));
+        assert!(md.contains("| `b.y` | 1.0000 | 2.0000 | ❌ **fail** |"));
+
+        let json = render_json(&outcomes);
+        assert!(json.contains("\"passed\": false,"));
+        assert!(json.contains(
+            "{\"name\": \"a.x\", \"measured\": 0.5, \"threshold\": 0.3, \"passed\": true},"
+        ));
+        assert!(json
+            .contains("{\"name\": \"b.y\", \"measured\": 1, \"threshold\": 2, \"passed\": false}"));
+        // All-green report sets the top-level flag.
+        assert!(render_json(&outcomes[..1]).contains("\"passed\": true,"));
+        // Non-finite measurements degrade to null, not invalid JSON.
+        let nan = vec![GateOutcome {
+            name: "c.z".to_string(),
+            measured: f64::NAN,
+            threshold: 1.0,
+            passed: false,
+        }];
+        assert!(render_json(&nan).contains("\"measured\": null"));
+        // Error rendering escapes quotes so the artifact stays parseable.
+        let err = render_json_error("cannot read \"x\"\n");
+        assert!(err.contains("\"error\": \"cannot read \\\"x\\\"\\u000a\""));
+        assert!(err.contains("\"passed\": false"));
+    }
+
+    #[test]
+    fn run_gates_fails_loudly_when_results_are_missing() {
+        // A results directory with no reports must be an error — a gate
+        // that cannot find its report never counts as a pass.
+        let dir = std::env::temp_dir().join("rknnt-gate-test-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gates = dir.join("ci_gates.toml");
+        std::fs::write(&gates, GATES).unwrap();
+        let err = run_gates(&dir, &gates).unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
+        assert!(err.contains("churn_throughput.txt"), "got: {err}");
+        // An unreadable gates file is equally loud.
+        let err = run_gates(&dir, &dir.join("nope.toml")).unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Blocking client speaking the [`crate::protocol`] codec.
+//!
+//! One request at a time via [`Client::query`] and friends, or pipelined
+//! via [`Client::send_query`] / [`Client::recv_query_reply`]. Every call
+//! that crosses admission control returns a [`Reply`], because the server
+//! may answer `Overloaded` instead — load shedding is part of the contract,
+//! not an error. Server-pushed [`Message::Delta`] frames arriving between
+//! replies are buffered and drained with [`Client::take_deltas`] (or
+//! awaited with [`Client::recv_delta`]).
+
+use crate::protocol::{read_frame, write_frame, Message, OverloadInfo};
+use rknnt_core::RknntQuery;
+use rknnt_data::codec::CodecError;
+use rknnt_index::TransitionId;
+use rknnt_service::{DeltaReason, StoreUpdate};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A failed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes the codec rejects.
+    Protocol(CodecError),
+    /// The server answered with a typed [`Message::Error`].
+    Server {
+        /// Echoed request id (0 if the server could not recover it).
+        id: u64,
+        /// The server's description of the failure.
+        message: String,
+    },
+    /// The server answered with a structurally valid but contextually wrong
+    /// message kind or id.
+    UnexpectedReply(&'static str),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { id, message } => {
+                write!(f, "server error (request {id}): {message}")
+            }
+            ClientError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// The outcome of an admitted-or-shed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply<T> {
+    /// The request was admitted, executed, and answered.
+    Answered(T),
+    /// Admission control shed the request; nothing was executed.
+    Overloaded(OverloadInfo),
+}
+
+impl<T> Reply<T> {
+    /// The answer, if the request was not shed.
+    pub fn answered(self) -> Option<T> {
+        match self {
+            Reply::Answered(v) => Some(v),
+            Reply::Overloaded(_) => None,
+        }
+    }
+
+    /// Whether the request was shed.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Reply::Overloaded(_))
+    }
+}
+
+/// A successful subscription registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Handle for [`Client::unsubscribe`] and delta correlation.
+    pub subscription: u64,
+    /// The standing query's initial result.
+    pub transitions: Vec<TransitionId>,
+}
+
+/// Counts from a successful [`Client::apply_updates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateCounts {
+    /// Updates applied to the stores.
+    pub applied: u64,
+    /// Updates rejected at the store boundary.
+    pub rejected: u64,
+}
+
+/// A server-pushed subscription result change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEvent {
+    /// The subscription handle the delta belongs to.
+    pub subscription: u64,
+    /// Transitions that entered the result, sorted ascending.
+    pub entered: Vec<TransitionId>,
+    /// Transitions that left the result, sorted ascending.
+    pub left: Vec<TransitionId>,
+    /// Why the result changed.
+    pub reason: DeltaReason,
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+    deltas: Vec<DeltaEvent>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            next_id: 1,
+            deltas: Vec::new(),
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &msg.encode())?;
+        Ok(())
+    }
+
+    /// Reads the next non-push message, buffering any deltas that arrive
+    /// in between.
+    fn recv(&mut self) -> Result<Message, ClientError> {
+        loop {
+            match read_frame(&mut self.stream, &mut self.buf)? {
+                Some(()) => {}
+                None => return Err(ClientError::Disconnected),
+            }
+            let msg = Message::decode(&self.buf)?;
+            if let Message::Delta {
+                subscription,
+                entered,
+                left,
+                reason,
+            } = msg
+            {
+                self.deltas.push(DeltaEvent {
+                    subscription,
+                    entered,
+                    left,
+                    reason,
+                });
+                continue;
+            }
+            return Ok(msg);
+        }
+    }
+
+    /// Executes one query round-trip.
+    pub fn query(&mut self, query: &RknntQuery) -> Result<Reply<Vec<TransitionId>>, ClientError> {
+        let id = self.send_query(query)?;
+        let (rid, reply) = self.recv_query_reply()?;
+        if rid != id {
+            return Err(ClientError::UnexpectedReply("reply id mismatch"));
+        }
+        Ok(reply)
+    }
+
+    /// Pipelining: sends a query without waiting, returning its request id.
+    pub fn send_query(&mut self, query: &RknntQuery) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Query {
+            id,
+            query: query.clone(),
+        })?;
+        Ok(id)
+    }
+
+    /// Pipelining: receives the next query reply (answered or shed) with
+    /// its request id. Replies come back in admission order per connection.
+    pub fn recv_query_reply(&mut self) -> Result<(u64, Reply<Vec<TransitionId>>), ClientError> {
+        match self.recv()? {
+            Message::QueryOk { id, transitions } => Ok((id, Reply::Answered(transitions))),
+            Message::Overloaded { id, info } => Ok((id, Reply::Overloaded(info))),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted a query reply")),
+        }
+    }
+
+    /// Registers a standing query.
+    pub fn subscribe(&mut self, query: &RknntQuery) -> Result<Reply<Subscription>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Subscribe {
+            id,
+            query: query.clone(),
+        })?;
+        match self.recv()? {
+            Message::SubscribeOk {
+                id: rid,
+                subscription,
+                transitions,
+            } if rid == id => Ok(Reply::Answered(Subscription {
+                subscription,
+                transitions,
+            })),
+            Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted a subscribe reply")),
+        }
+    }
+
+    /// Drops a standing query. `Answered(true)` iff the handle named a live
+    /// subscription owned by this connection.
+    pub fn unsubscribe(&mut self, subscription: u64) -> Result<Reply<bool>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Unsubscribe { id, subscription })?;
+        match self.recv()? {
+            Message::UnsubscribeOk { id: rid, existed } if rid == id => {
+                Ok(Reply::Answered(existed))
+            }
+            Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted an unsubscribe reply")),
+        }
+    }
+
+    /// Applies store updates through the server.
+    pub fn apply_updates(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+    ) -> Result<Reply<UpdateCounts>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::ApplyUpdates { id, updates })?;
+        match self.recv()? {
+            Message::UpdatesOk {
+                id: rid,
+                applied,
+                rejected,
+            } if rid == id => Ok(Reply::Answered(UpdateCounts { applied, rejected })),
+            Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted an updates reply")),
+        }
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<Reply<()>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Ping { id })?;
+        match self.recv()? {
+            Message::Pong { id: rid } if rid == id => Ok(Reply::Answered(())),
+            Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted a pong")),
+        }
+    }
+
+    /// Drains deltas buffered while waiting for replies.
+    pub fn take_deltas(&mut self) -> Vec<DeltaEvent> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    /// Blocks until at least one delta is available, then pops the oldest.
+    pub fn recv_delta(&mut self) -> Result<DeltaEvent, ClientError> {
+        while self.deltas.is_empty() {
+            match read_frame(&mut self.stream, &mut self.buf)? {
+                Some(()) => {}
+                None => return Err(ClientError::Disconnected),
+            }
+            match Message::decode(&self.buf)? {
+                Message::Delta {
+                    subscription,
+                    entered,
+                    left,
+                    reason,
+                } => self.deltas.push(DeltaEvent {
+                    subscription,
+                    entered,
+                    left,
+                    reason,
+                }),
+                Message::Error { id, message } => return Err(ClientError::Server { id, message }),
+                _ => return Err(ClientError::UnexpectedReply("wanted a delta push")),
+            }
+        }
+        Ok(self.deltas.remove(0))
+    }
+}

@@ -1,0 +1,60 @@
+//! The serving edge: RkNNT queries over TCP with admission control.
+//!
+//! Seven PRs of engine, batching, durability and sharding work all end at a
+//! function call; production traffic arrives over sockets and is judged by
+//! its p99s. This crate is that last hop, hermetically — no tokio, no serde
+//! backend, just `std::net::TcpStream`, threads, and the same little-endian
+//! codec + CRC framing the storage engine already trusts:
+//!
+//! * **[`protocol`]** — `crc | len | payload` frames (checksum covers
+//!   length *and* payload, so corrupted lengths cannot re-frame the
+//!   stream) carrying bounds-checked [`protocol::Message`] payloads, with
+//!   a per-request cost estimate ([`protocol::estimate_cost`]).
+//! * **[`Server`]** — one reader thread per connection feeding a bounded
+//!   global queue; a single executor thread drains it onto a [`Backend`]
+//!   ([`rknnt_service::QueryService`] or
+//!   [`rknnt_service::ShardedService`]), funnelling consecutive queries
+//!   through the batch path and pushing subscription deltas to their
+//!   owning connections. **Admission control** is the load-bearing part:
+//!   requests past the queue-capacity / queued-cost-budget /
+//!   per-connection-inflight limits are fast-failed with a typed
+//!   `Overloaded` reply — shed, never silently dropped — and every
+//!   decision lands in the `net.*` metrics (`net.admitted`, `net.shed`,
+//!   `net.queue_depth`, `net.request_ns`).
+//! * **[`Client`]** — a blocking client speaking the same codec, used by
+//!   the test suite and the `open_loop_latency` experiment. Answers are
+//!   byte-identical to in-process execution; `Overloaded` is a typed
+//!   [`Reply`] variant, not an error.
+//!
+//! ```no_run
+//! use rknnt_core::RknntQuery;
+//! use rknnt_geo::Point;
+//! use rknnt_index::{RouteStore, TransitionStore};
+//! use rknnt_net::{Backend, Client, Reply, Server, ServerConfig};
+//! use rknnt_service::{QueryService, ServiceConfig};
+//!
+//! let mut routes = RouteStore::default();
+//! routes.insert_route(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+//! let mut transitions = TransitionStore::default();
+//! transitions.insert(Point::new(10.0, 5.0), Point::new(90.0, 5.0)).unwrap();
+//! let service = QueryService::new(routes, transitions, ServiceConfig::default());
+//!
+//! let server = Server::start(Backend::Single(service), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let query = RknntQuery::exists(vec![Point::new(0.0, 10.0), Point::new(100.0, 10.0)], 1);
+//! match client.query(&query).unwrap() {
+//!     Reply::Answered(transitions) => println!("{} qualifying transitions", transitions.len()),
+//!     Reply::Overloaded(info) => println!("shed at queue depth {}", info.queue_depth),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientError, DeltaEvent, Reply, Subscription, UpdateCounts};
+pub use protocol::{Message, OverloadInfo, MAX_FRAME_BYTES};
+pub use server::{Backend, Server, ServerConfig};

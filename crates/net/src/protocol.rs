@@ -1,0 +1,667 @@
+//! Wire protocol: CRC-guarded length-prefixed frames carrying little-endian
+//! binary messages.
+//!
+//! Every frame on the socket is `crc:u32 | len:u32 | payload[len]`, all
+//! little-endian, where the checksum covers the length bytes *and* the
+//! payload — the same discipline as the storage WAL, so a frame whose length
+//! field is corrupted in flight cannot silently re-frame the stream. Payloads
+//! are [`Message`]s encoded through the `rknnt-data` codec (the build is
+//! hermetic — no serde backend — so the serving edge reuses the exact
+//! encoder/decoder the snapshots and WAL already trust).
+//!
+//! Decoding is hostile-input safe end to end: the frame length is capped at
+//! [`MAX_FRAME_BYTES`] before any allocation, the checksum is verified before
+//! the payload is parsed, and [`Message::decode`] inherits the codec's
+//! bounds-checked reads plus an exhaustion check, so trailing garbage inside
+//! a structurally valid frame is rejected too.
+
+use rknnt_core::{RknntQuery, Semantics};
+use rknnt_data::codec::{crc32, CodecError, CodecResult, Decoder, Encoder};
+use rknnt_index::TransitionId;
+use rknnt_service::{DeltaReason, StoreUpdate};
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload. A hostile or corrupted length field fails
+/// fast instead of driving a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one frame: `crc | len | payload`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds cap", payload.len()),
+        ));
+    }
+    // The checksum covers the length bytes and the payload in one pass, so
+    // build `len | payload` contiguously and prepend the crc on the wire.
+    let mut body = Vec::with_capacity(4 + payload.len());
+    body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    body.extend_from_slice(payload);
+    let crc = crc32(&body);
+    w.write_all(&crc.to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Reads one frame into `buf` (payload only, header stripped).
+///
+/// Returns `Ok(None)` on a clean EOF — the peer closed the connection on a
+/// frame boundary. EOF *inside* a frame, an over-cap length, or a checksum
+/// mismatch are all errors.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<()>> {
+    let mut header = [0u8; 8];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let crc = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[4..].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    buf.clear();
+    buf.resize(4 + len, 0);
+    buf[..4].copy_from_slice(&header[4..]);
+    r.read_exact(&mut buf[4..])?;
+    if crc32(buf) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    buf.drain(..4);
+    Ok(Some(()))
+}
+
+/// Why the server refused a request, echoed back in the [`Message::Overloaded`]
+/// reply so clients can make an informed backoff decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadInfo {
+    /// Requests waiting in the global queue at the shed decision.
+    pub queue_depth: u64,
+    /// Summed cost estimate of the queued requests.
+    pub queue_cost: u64,
+    /// Cost estimate of the request that was shed.
+    pub estimated_cost: u64,
+    /// The server's queued-cost budget.
+    pub cost_budget: u64,
+}
+
+/// One protocol message. Requests carry a client-chosen `id` that the
+/// matching reply echoes; [`Message::Delta`] is server-initiated (no id).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Execute one RkNNT query.
+    Query {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+        /// The query to execute.
+        query: RknntQuery,
+    },
+    /// Register a standing query; deltas stream back as the store churns.
+    Subscribe {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+        /// The standing query.
+        query: RknntQuery,
+    },
+    /// Drop a standing query previously registered on this connection.
+    Unsubscribe {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+        /// The subscription handle from [`Message::SubscribeOk`].
+        subscription: u64,
+    },
+    /// Apply store updates through the service's normal update path.
+    ApplyUpdates {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+        /// Updates, applied in order.
+        updates: Vec<StoreUpdate>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+    },
+    /// Successful [`Message::Query`] reply.
+    QueryOk {
+        /// Echoed request id.
+        id: u64,
+        /// Qualifying transition ids, sorted ascending — byte-identical to
+        /// in-process execution.
+        transitions: Vec<TransitionId>,
+    },
+    /// Successful [`Message::Subscribe`] reply.
+    SubscribeOk {
+        /// Echoed request id.
+        id: u64,
+        /// Handle for [`Message::Unsubscribe`] and delta correlation.
+        subscription: u64,
+        /// The subscription's initial result.
+        transitions: Vec<TransitionId>,
+    },
+    /// Successful [`Message::Unsubscribe`] reply.
+    UnsubscribeOk {
+        /// Echoed request id.
+        id: u64,
+        /// Whether the handle named a live subscription of this connection.
+        existed: bool,
+    },
+    /// Successful [`Message::ApplyUpdates`] reply.
+    UpdatesOk {
+        /// Echoed request id.
+        id: u64,
+        /// Updates applied to the stores.
+        applied: u64,
+        /// Updates rejected at the store boundary.
+        rejected: u64,
+    },
+    /// [`Message::Ping`] reply.
+    Pong {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Admission control refused the request — fast-failed, never queued.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// The admission state that triggered the shed.
+        info: OverloadInfo,
+    },
+    /// Protocol-level failure (malformed message, unexpected kind). `id` is
+    /// 0 when the request id could not be recovered.
+    Error {
+        /// Echoed request id, or 0.
+        id: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Server-initiated push: a subscription's result changed.
+    Delta {
+        /// The subscription handle from [`Message::SubscribeOk`].
+        subscription: u64,
+        /// Transitions that entered the result, sorted ascending.
+        entered: Vec<TransitionId>,
+        /// Transitions that left the result, sorted ascending.
+        left: Vec<TransitionId>,
+        /// Why the result changed.
+        reason: DeltaReason,
+    },
+}
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_SUBSCRIBE: u8 = 0x02;
+const TAG_UNSUBSCRIBE: u8 = 0x03;
+const TAG_APPLY_UPDATES: u8 = 0x04;
+const TAG_PING: u8 = 0x05;
+const TAG_QUERY_OK: u8 = 0x81;
+const TAG_SUBSCRIBE_OK: u8 = 0x82;
+const TAG_UNSUBSCRIBE_OK: u8 = 0x83;
+const TAG_UPDATES_OK: u8 = 0x84;
+const TAG_PONG: u8 = 0x85;
+const TAG_OVERLOADED: u8 = 0x90;
+const TAG_ERROR: u8 = 0x91;
+const TAG_DELTA: u8 = 0xA0;
+
+fn encode_query(enc: &mut Encoder, query: &RknntQuery) {
+    enc.u8(match query.semantics {
+        Semantics::Exists => 0,
+        Semantics::ForAll => 1,
+    });
+    enc.len_prefix(query.k);
+    enc.points(&query.route);
+}
+
+fn decode_query(dec: &mut Decoder<'_>) -> CodecResult<RknntQuery> {
+    let semantics = match dec.u8()? {
+        0 => Semantics::Exists,
+        1 => Semantics::ForAll,
+        other => {
+            return Err(CodecError {
+                offset: dec.position().saturating_sub(1),
+                detail: format!("bad semantics byte {other}"),
+            })
+        }
+    };
+    let k = dec.usize()?;
+    let route = dec.points()?;
+    Ok(RknntQuery {
+        route,
+        k,
+        semantics,
+    })
+}
+
+fn encode_transitions(enc: &mut Encoder, transitions: &[TransitionId]) {
+    enc.len_prefix(transitions.len());
+    for t in transitions {
+        enc.u32(t.raw());
+    }
+}
+
+fn decode_transitions(dec: &mut Decoder<'_>) -> CodecResult<Vec<TransitionId>> {
+    let len = dec.len_prefix(4)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(TransitionId::from(dec.u32()?));
+    }
+    Ok(out)
+}
+
+impl Message {
+    /// The request id this message carries (0 for [`Message::Delta`]).
+    pub fn request_id(&self) -> u64 {
+        match *self {
+            Message::Query { id, .. }
+            | Message::Subscribe { id, .. }
+            | Message::Unsubscribe { id, .. }
+            | Message::ApplyUpdates { id, .. }
+            | Message::Ping { id }
+            | Message::QueryOk { id, .. }
+            | Message::SubscribeOk { id, .. }
+            | Message::UnsubscribeOk { id, .. }
+            | Message::UpdatesOk { id, .. }
+            | Message::Pong { id }
+            | Message::Overloaded { id, .. }
+            | Message::Error { id, .. } => id,
+            Message::Delta { .. } => 0,
+        }
+    }
+
+    /// Whether this is a client→server request kind.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Message::Query { .. }
+                | Message::Subscribe { .. }
+                | Message::Unsubscribe { .. }
+                | Message::ApplyUpdates { .. }
+                | Message::Ping { .. }
+        )
+    }
+
+    /// Encodes the message to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Message::Query { id, query } => {
+                enc.u8(TAG_QUERY);
+                enc.u64(*id);
+                encode_query(&mut enc, query);
+            }
+            Message::Subscribe { id, query } => {
+                enc.u8(TAG_SUBSCRIBE);
+                enc.u64(*id);
+                encode_query(&mut enc, query);
+            }
+            Message::Unsubscribe { id, subscription } => {
+                enc.u8(TAG_UNSUBSCRIBE);
+                enc.u64(*id);
+                enc.u64(*subscription);
+            }
+            Message::ApplyUpdates { id, updates } => {
+                enc.u8(TAG_APPLY_UPDATES);
+                enc.u64(*id);
+                enc.len_prefix(updates.len());
+                for update in updates {
+                    enc.bytes(&update.to_wal_record());
+                }
+            }
+            Message::Ping { id } => {
+                enc.u8(TAG_PING);
+                enc.u64(*id);
+            }
+            Message::QueryOk { id, transitions } => {
+                enc.u8(TAG_QUERY_OK);
+                enc.u64(*id);
+                encode_transitions(&mut enc, transitions);
+            }
+            Message::SubscribeOk {
+                id,
+                subscription,
+                transitions,
+            } => {
+                enc.u8(TAG_SUBSCRIBE_OK);
+                enc.u64(*id);
+                enc.u64(*subscription);
+                encode_transitions(&mut enc, transitions);
+            }
+            Message::UnsubscribeOk { id, existed } => {
+                enc.u8(TAG_UNSUBSCRIBE_OK);
+                enc.u64(*id);
+                enc.bool(*existed);
+            }
+            Message::UpdatesOk {
+                id,
+                applied,
+                rejected,
+            } => {
+                enc.u8(TAG_UPDATES_OK);
+                enc.u64(*id);
+                enc.u64(*applied);
+                enc.u64(*rejected);
+            }
+            Message::Pong { id } => {
+                enc.u8(TAG_PONG);
+                enc.u64(*id);
+            }
+            Message::Overloaded { id, info } => {
+                enc.u8(TAG_OVERLOADED);
+                enc.u64(*id);
+                enc.u64(info.queue_depth);
+                enc.u64(info.queue_cost);
+                enc.u64(info.estimated_cost);
+                enc.u64(info.cost_budget);
+            }
+            Message::Error { id, message } => {
+                enc.u8(TAG_ERROR);
+                enc.u64(*id);
+                enc.str(message);
+            }
+            Message::Delta {
+                subscription,
+                entered,
+                left,
+                reason,
+            } => {
+                enc.u8(TAG_DELTA);
+                enc.u64(*subscription);
+                encode_transitions(&mut enc, entered);
+                encode_transitions(&mut enc, left);
+                enc.u8(match reason {
+                    DeltaReason::TransitionExpired => 0,
+                    DeltaReason::Reexecuted => 1,
+                });
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a frame payload, rejecting unknown tags and trailing bytes.
+    pub fn decode(payload: &[u8]) -> CodecResult<Message> {
+        let mut dec = Decoder::new(payload);
+        let tag = dec.u8()?;
+        let msg = match tag {
+            TAG_QUERY => Message::Query {
+                id: dec.u64()?,
+                query: decode_query(&mut dec)?,
+            },
+            TAG_SUBSCRIBE => Message::Subscribe {
+                id: dec.u64()?,
+                query: decode_query(&mut dec)?,
+            },
+            TAG_UNSUBSCRIBE => Message::Unsubscribe {
+                id: dec.u64()?,
+                subscription: dec.u64()?,
+            },
+            TAG_APPLY_UPDATES => {
+                let id = dec.u64()?;
+                let len = dec.len_prefix(8)?;
+                let mut updates = Vec::with_capacity(len);
+                for _ in 0..len {
+                    updates.push(StoreUpdate::from_wal_record(dec.bytes()?)?);
+                }
+                Message::ApplyUpdates { id, updates }
+            }
+            TAG_PING => Message::Ping { id: dec.u64()? },
+            TAG_QUERY_OK => Message::QueryOk {
+                id: dec.u64()?,
+                transitions: decode_transitions(&mut dec)?,
+            },
+            TAG_SUBSCRIBE_OK => Message::SubscribeOk {
+                id: dec.u64()?,
+                subscription: dec.u64()?,
+                transitions: decode_transitions(&mut dec)?,
+            },
+            TAG_UNSUBSCRIBE_OK => Message::UnsubscribeOk {
+                id: dec.u64()?,
+                existed: dec.bool()?,
+            },
+            TAG_UPDATES_OK => Message::UpdatesOk {
+                id: dec.u64()?,
+                applied: dec.u64()?,
+                rejected: dec.u64()?,
+            },
+            TAG_PONG => Message::Pong { id: dec.u64()? },
+            TAG_OVERLOADED => Message::Overloaded {
+                id: dec.u64()?,
+                info: OverloadInfo {
+                    queue_depth: dec.u64()?,
+                    queue_cost: dec.u64()?,
+                    estimated_cost: dec.u64()?,
+                    cost_budget: dec.u64()?,
+                },
+            },
+            TAG_ERROR => Message::Error {
+                id: dec.u64()?,
+                message: dec.str()?,
+            },
+            TAG_DELTA => Message::Delta {
+                subscription: dec.u64()?,
+                entered: decode_transitions(&mut dec)?,
+                left: decode_transitions(&mut dec)?,
+                reason: match dec.u8()? {
+                    0 => DeltaReason::TransitionExpired,
+                    1 => DeltaReason::Reexecuted,
+                    other => {
+                        return Err(CodecError {
+                            offset: dec.position().saturating_sub(1),
+                            detail: format!("bad delta reason byte {other}"),
+                        })
+                    }
+                },
+            },
+            other => {
+                return Err(CodecError {
+                    offset: 0,
+                    detail: format!("unknown message tag 0x{other:02X}"),
+                })
+            }
+        };
+        dec.expect_exhausted()?;
+        Ok(msg)
+    }
+}
+
+/// The admission-control cost estimate for a request.
+///
+/// Queries and subscriptions cost `route_points × k` — the same two
+/// quantities the batch layer's grouping and filter-sharing work scales
+/// with, so summed queue cost tracks queued execution work rather than
+/// request count. Control messages (unsubscribe, updates, ping) cost 1:
+/// they are store-bound, not query-engine-bound.
+pub fn estimate_cost(msg: &Message) -> u64 {
+    match msg {
+        Message::Query { query, .. } | Message::Subscribe { query, .. } => {
+            (query.route.len().max(1) as u64) * (query.k.max(1) as u64)
+        }
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknnt_geo::Point;
+
+    fn sample_messages() -> Vec<Message> {
+        let query = RknntQuery {
+            route: vec![Point::new(1.5, -2.5), Point::new(3.0, 4.0)],
+            k: 3,
+            semantics: Semantics::ForAll,
+        };
+        vec![
+            Message::Query {
+                id: 7,
+                query: query.clone(),
+            },
+            Message::Subscribe { id: 8, query },
+            Message::Unsubscribe {
+                id: 9,
+                subscription: 42,
+            },
+            Message::ApplyUpdates {
+                id: 10,
+                updates: vec![
+                    StoreUpdate::InsertTransition {
+                        origin: Point::new(0.0, 1.0),
+                        destination: Point::new(2.0, 3.0),
+                    },
+                    StoreUpdate::ExpireTransition(TransitionId::from(5)),
+                ],
+            },
+            Message::Ping { id: 11 },
+            Message::QueryOk {
+                id: 7,
+                transitions: vec![TransitionId::from(1), TransitionId::from(9)],
+            },
+            Message::SubscribeOk {
+                id: 8,
+                subscription: 42,
+                transitions: vec![TransitionId::from(2)],
+            },
+            Message::UnsubscribeOk {
+                id: 9,
+                existed: true,
+            },
+            Message::UpdatesOk {
+                id: 10,
+                applied: 2,
+                rejected: 0,
+            },
+            Message::Pong { id: 11 },
+            Message::Overloaded {
+                id: 12,
+                info: OverloadInfo {
+                    queue_depth: 3,
+                    queue_cost: 17,
+                    estimated_cost: 6,
+                    cost_budget: 20,
+                },
+            },
+            Message::Error {
+                id: 0,
+                message: "malformed frame".into(),
+            },
+            Message::Delta {
+                subscription: 42,
+                entered: vec![TransitionId::from(4)],
+                left: vec![],
+                reason: DeltaReason::Reexecuted,
+            },
+        ]
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            let back = Message::decode(&bytes).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        for msg in sample_messages() {
+            write_frame(&mut wire, &msg.encode()).unwrap();
+        }
+        let mut reader = wire.as_slice();
+        let mut buf = Vec::new();
+        let mut decoded = Vec::new();
+        while read_frame(&mut reader, &mut buf).unwrap().is_some() {
+            decoded.push(Message::decode(&buf).unwrap());
+        }
+        assert_eq!(decoded, sample_messages());
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Message::Ping { id: 1 }.encode()).unwrap();
+        for cut in 1..wire.len() {
+            let mut reader = &wire[..cut];
+            let mut buf = Vec::new();
+            let err = read_frame(&mut reader, &mut buf).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_fails_checksum() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Message::Ping { id: 1 }.encode()).unwrap();
+        for byte in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[byte] ^= 0x40;
+            let mut reader = bad.as_slice();
+            let mut buf = Vec::new();
+            // Every single-bit-ish corruption must fail — either the checksum
+            // or (if the length field grew) an EOF mid-payload.
+            assert!(
+                read_frame(&mut reader, &mut buf).is_err(),
+                "corruption at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_frame_length_is_capped_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = wire.as_slice();
+        let mut buf = Vec::new();
+        let err = read_frame(&mut reader, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_rejected() {
+        assert!(Message::decode(&[0x7F]).is_err());
+        let mut bytes = Message::Ping { id: 3 }.encode();
+        bytes.push(0);
+        let err = Message::decode(&bytes).unwrap_err();
+        assert!(err.detail.contains("trailing"));
+    }
+
+    #[test]
+    fn cost_estimate_scales_with_route_and_k() {
+        let small = Message::Query {
+            id: 1,
+            query: RknntQuery {
+                route: vec![Point::new(0.0, 0.0); 2],
+                k: 1,
+                semantics: Semantics::Exists,
+            },
+        };
+        let big = Message::Query {
+            id: 2,
+            query: RknntQuery {
+                route: vec![Point::new(0.0, 0.0); 10],
+                k: 8,
+                semantics: Semantics::Exists,
+            },
+        };
+        assert_eq!(estimate_cost(&small), 2);
+        assert_eq!(estimate_cost(&big), 80);
+        assert_eq!(estimate_cost(&Message::Ping { id: 3 }), 1);
+    }
+}

@@ -1,0 +1,710 @@
+//! Threaded TCP server multiplexing client connections onto the batch path,
+//! with admission control and load shedding.
+//!
+//! # Architecture
+//!
+//! One acceptor thread, one reader thread per connection, and a single
+//! executor thread that owns the [`Backend`]:
+//!
+//! * **Readers** decode frames, estimate each request's cost
+//!   ([`crate::protocol::estimate_cost`]) and run the admission decision.
+//!   Admitted requests enter a bounded global queue; shed requests are
+//!   answered with a typed [`Message::Overloaded`] reply *immediately, from
+//!   the reader thread* — a shed costs one frame write, never a queue slot,
+//!   and is never silently dropped.
+//! * The **executor** drains the queue in FIFO order up to
+//!   [`ServerConfig::max_batch`] jobs at a time, funnels consecutive query
+//!   runs through one `execute_batch` call (the service parallelizes
+//!   internally across its worker pool), applies control operations
+//!   (subscribe / unsubscribe / updates) serially at their queue position,
+//!   and pushes [`Message::Delta`] frames to subscribed connections after
+//!   every update batch.
+//!
+//! # Admission policy
+//!
+//! A request is shed iff, at arrival:
+//!
+//! * the global queue already holds [`ServerConfig::queue_capacity`]
+//!   requests, **or**
+//! * admitting it would push the summed cost estimate of queued requests
+//!   over [`ServerConfig::cost_budget`] (queue depth × per-request cost —
+//!   many cheap requests and few expensive ones hit the same ceiling),
+//!   **or**
+//! * the connection already has [`ServerConfig::per_conn_inflight`]
+//!   admitted-but-unanswered requests (one greedy pipeliner cannot starve
+//!   the fleet).
+//!
+//! Every decision lands in the metrics registry: `net.admitted` /
+//! `net.shed` counters, a `net.queue_depth` gauge, and a `net.request_ns`
+//! latency histogram over admitted requests (admission to reply write).
+
+use crate::protocol::{estimate_cost, read_frame, write_frame, Message, OverloadInfo};
+use rknnt_core::{RknntQuery, RknntResult};
+use rknnt_index::TransitionId;
+use rknnt_obs::{Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry};
+use rknnt_service::{
+    BatchStats, QueryService, ShardedService, StoreUpdate, SubscriptionDelta, SubscriptionId,
+    UpdateStats,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The service a [`Server`] exposes: a single [`QueryService`] or a
+/// [`ShardedService`] fleet — both present the same batch surface, so the
+/// serving edge is backend-agnostic.
+pub enum Backend {
+    /// One `QueryService`.
+    Single(QueryService),
+    /// A Z-order-sharded fleet behind the footprint-pruned router.
+    Sharded(ShardedService),
+}
+
+impl Backend {
+    fn execute_batch(&self, queries: &[RknntQuery]) -> (Vec<RknntResult>, BatchStats) {
+        match self {
+            Backend::Single(s) => s.execute_batch(queries),
+            Backend::Sharded(s) => s.execute_batch(queries),
+        }
+    }
+
+    fn subscribe(&mut self, query: RknntQuery) -> SubscriptionId {
+        match self {
+            Backend::Single(s) => s.subscribe(query),
+            Backend::Sharded(s) => s.subscribe(query),
+        }
+    }
+
+    fn subscription_result(&self, id: SubscriptionId) -> Option<&[TransitionId]> {
+        match self {
+            Backend::Single(s) => s.subscription_result(id),
+            Backend::Sharded(s) => s.subscription_result(id),
+        }
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        match self {
+            Backend::Single(s) => s.unsubscribe(id),
+            Backend::Sharded(s) => s.unsubscribe(id),
+        }
+    }
+
+    fn apply_updates(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
+        match self {
+            Backend::Single(s) => s.apply_updates(updates),
+            Backend::Sharded(s) => s.apply_updates(updates),
+        }
+    }
+
+    /// The backend's flight recorder (for `DumpOnPanic` in tests).
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        match self {
+            Backend::Single(s) => s.flight_recorder(),
+            Backend::Sharded(s) => s.flight_recorder(),
+        }
+    }
+}
+
+/// Admission-control and batching knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most jobs the executor drains per wakeup; consecutive queries within
+    /// a drain share one `execute_batch` call.
+    pub max_batch: usize,
+    /// Global queue slot cap — requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Cap on the summed cost estimate of queued requests.
+    pub cost_budget: u64,
+    /// Per-connection cap on admitted-but-unanswered requests.
+    pub per_conn_inflight: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 64,
+            queue_capacity: 256,
+            cost_budget: 1 << 20,
+            per_conn_inflight: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the executor drain cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the global queue slot cap.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the queued-cost budget.
+    pub fn with_cost_budget(mut self, cost_budget: u64) -> Self {
+        self.cost_budget = cost_budget;
+        self
+    }
+
+    /// Sets the per-connection inflight cap.
+    pub fn with_per_conn_inflight(mut self, per_conn_inflight: u64) -> Self {
+        self.per_conn_inflight = per_conn_inflight;
+        self
+    }
+}
+
+/// The serving-edge metric cells, registered once in a
+/// [`MetricsRegistry`] under the `net.` prefix.
+struct NetMetrics {
+    registry: Mutex<MetricsRegistry>,
+    admitted: Counter,
+    shed: Counter,
+    queue_depth: Gauge,
+    request_ns: Arc<Histogram>,
+    connections_opened: Counter,
+    connections_closed: Counter,
+    deltas_pushed: Counter,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        let admitted = registry.counter("net.admitted");
+        let shed = registry.counter("net.shed");
+        let queue_depth = registry.gauge("net.queue_depth");
+        let request_ns = registry.histogram("net.request_ns");
+        let connections_opened = registry.counter("net.connections_opened");
+        let connections_closed = registry.counter("net.connections_closed");
+        let deltas_pushed = registry.counter("net.deltas_pushed");
+        NetMetrics {
+            registry: Mutex::new(registry),
+            admitted,
+            shed,
+            queue_depth,
+            request_ns,
+            connections_opened,
+            connections_closed,
+            deltas_pushed,
+        }
+    }
+}
+
+/// Per-connection shared state. The writer half is a `try_clone` of the
+/// socket behind a mutex, so reply writes from the reader thread (sheds)
+/// and the executor (answers, delta pushes) interleave at frame
+/// granularity.
+struct Conn {
+    id: u64,
+    writer: Mutex<TcpStream>,
+    inflight: AtomicU64,
+}
+
+impl Conn {
+    fn send(&self, msg: &Message) -> io::Result<()> {
+        let payload = msg.encode();
+        let mut writer = self.writer.lock().expect("conn writer poisoned");
+        write_frame(&mut *writer, &payload)
+    }
+}
+
+enum Work {
+    /// An admitted client request.
+    Request(Message),
+    /// Internal: the connection's reader exited; reclaim its subscriptions.
+    Disconnect,
+}
+
+struct Job {
+    conn: Arc<Conn>,
+    work: Work,
+    cost: u64,
+    accepted_at: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    cost: u64,
+    open: bool,
+}
+
+struct Shared {
+    config: ServerConfig,
+    metrics: NetMetrics,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    shutting_down: AtomicBool,
+}
+
+/// A running server. Dropping it (or calling [`Server::stop`]) shuts the
+/// listener, wakes and joins the executor, and severs every connection.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<Backend>>,
+}
+
+impl Server {
+    /// Binds a loopback listener on an ephemeral port and starts serving
+    /// `backend`.
+    pub fn start(backend: Backend, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            metrics: NetMetrics::new(),
+            queue: Mutex::new(QueueState {
+                open: true,
+                ..QueueState::default()
+            }),
+            ready: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+        });
+        let acceptor = std::thread::Builder::new()
+            .name("rknnt-net-accept".into())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || accept_loop(listener, shared)
+            })?;
+        let executor = std::thread::Builder::new()
+            .name("rknnt-net-exec".into())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || executor_loop(backend, shared)
+            })?;
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            executor: Some(executor),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests admitted to the queue so far.
+    pub fn admitted(&self) -> u64 {
+        self.shared.metrics.admitted.get()
+    }
+
+    /// Requests shed with an `Overloaded` reply so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.metrics.shed.get()
+    }
+
+    /// Subscription deltas pushed to clients so far.
+    pub fn deltas_pushed(&self) -> u64 {
+        self.shared.metrics.deltas_pushed.get()
+    }
+
+    /// Connections whose reader has exited (the backend-side subscription
+    /// reclamation for each is already queued when this ticks).
+    pub fn connections_closed(&self) -> u64 {
+        self.shared.metrics.connections_closed.get()
+    }
+
+    /// Snapshot of the admitted-request latency histogram.
+    pub fn request_latency(&self) -> rknnt_obs::HistogramSnapshot {
+        self.shared.metrics.request_ns.snapshot()
+    }
+
+    /// Text exposition of the `net.*` metrics.
+    pub fn metrics_text(&self) -> String {
+        self.shared
+            .metrics
+            .registry
+            .lock()
+            .expect("metrics registry poisoned")
+            .render_text()
+    }
+
+    /// Stops the server and returns the backend, with every queued job
+    /// either answered or past the point of admission (the executor drains
+    /// the queue before exiting).
+    pub fn stop(mut self) -> Backend {
+        self.halt();
+        self.executor
+            .take()
+            .expect("executor already joined")
+            .join()
+            .expect("executor thread panicked")
+    }
+
+    fn halt(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let mut state = self.shared.queue.lock().expect("queue poisoned");
+            state.open = false;
+        }
+        self.shared.ready.notify_all();
+        // Unblock the acceptor's blocking accept() with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Severing the sockets unblocks every reader thread; readers are
+        // detached and exit on their own.
+        let conns = self.shared.conns.lock().expect("conns poisoned");
+        for conn in conns.values() {
+            if let Ok(writer) = conn.writer.lock() {
+                let _ = writer.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.halt();
+        if let Some(handle) = self.executor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_conn_id = 1u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let writer = match stream.try_clone() {
+            Ok(writer) => writer,
+            Err(_) => continue,
+        };
+        let conn = Arc::new(Conn {
+            id: next_conn_id,
+            writer: Mutex::new(writer),
+            inflight: AtomicU64::new(0),
+        });
+        next_conn_id += 1;
+        shared
+            .conns
+            .lock()
+            .expect("conns poisoned")
+            .insert(conn.id, Arc::clone(&conn));
+        shared.metrics.connections_opened.inc();
+        let spawned = std::thread::Builder::new()
+            .name(format!("rknnt-net-conn-{}", conn.id))
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || reader_loop(stream, conn, shared)
+            });
+        if spawned.is_err() {
+            // Could not spawn a reader; the socket just closes.
+            continue;
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>) {
+    let mut buf = Vec::new();
+    loop {
+        match read_frame(&mut stream, &mut buf) {
+            Ok(Some(())) => {}
+            Ok(None) => break,
+            Err(err) => {
+                // Garbage on the wire (bad checksum, hostile length, torn
+                // frame): answer with a typed error, then drop the
+                // connection — framing can no longer be trusted.
+                let _ = conn.send(&Message::Error {
+                    id: 0,
+                    message: format!("malformed frame: {err}"),
+                });
+                break;
+            }
+        }
+        let msg = match Message::decode(&buf) {
+            Ok(msg) => msg,
+            Err(err) => {
+                let _ = conn.send(&Message::Error {
+                    id: 0,
+                    message: format!("malformed message: {err}"),
+                });
+                break;
+            }
+        };
+        if !msg.is_request() {
+            let _ = conn.send(&Message::Error {
+                id: msg.request_id(),
+                message: "expected a request message".into(),
+            });
+            break;
+        }
+        admit(&shared, &conn, msg);
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conns poisoned")
+        .remove(&conn.id);
+    // Hand the executor a reclamation job so the backend drops this
+    // connection's subscriptions. Bypasses admission: it is internal and
+    // must not be sheddable. Enqueued *before* the closed counter ticks, so
+    // once `connections_closed` is visible the reclamation is already ahead
+    // of any later request in the FIFO queue.
+    {
+        let mut state = shared.queue.lock().expect("queue poisoned");
+        if state.open {
+            state.jobs.push_back(Job {
+                conn: Arc::clone(&conn),
+                work: Work::Disconnect,
+                cost: 0,
+                accepted_at: Instant::now(),
+            });
+            shared.ready.notify_one();
+        }
+    }
+    shared.metrics.connections_closed.inc();
+}
+
+/// The admission decision. Runs on the reader thread so a shed never
+/// touches the executor: the reply is written straight back and the request
+/// never occupies a queue slot.
+fn admit(shared: &Shared, conn: &Arc<Conn>, msg: Message) {
+    let cost = estimate_cost(&msg);
+    let id = msg.request_id();
+    let mut state = shared.queue.lock().expect("queue poisoned");
+    if !state.open {
+        return;
+    }
+    let over_capacity = state.jobs.len() >= shared.config.queue_capacity;
+    let over_budget = state.cost.saturating_add(cost) > shared.config.cost_budget;
+    let over_inflight = conn.inflight.load(Ordering::Acquire) >= shared.config.per_conn_inflight;
+    if over_capacity || over_budget || over_inflight {
+        let info = OverloadInfo {
+            queue_depth: state.jobs.len() as u64,
+            queue_cost: state.cost,
+            estimated_cost: cost,
+            cost_budget: shared.config.cost_budget,
+        };
+        drop(state);
+        shared.metrics.shed.inc();
+        let _ = conn.send(&Message::Overloaded { id, info });
+        return;
+    }
+    state.cost += cost;
+    state.jobs.push_back(Job {
+        conn: Arc::clone(conn),
+        work: Work::Request(msg),
+        cost,
+        accepted_at: Instant::now(),
+    });
+    shared.metrics.queue_depth.set(state.jobs.len() as u64);
+    conn.inflight.fetch_add(1, Ordering::AcqRel);
+    drop(state);
+    shared.metrics.admitted.inc();
+    shared.ready.notify_one();
+}
+
+/// Executor state for live subscriptions: wire handle → owning connection
+/// and the backend's (crate-private) id.
+#[derive(Default)]
+struct SubscriptionTable {
+    by_raw: HashMap<u64, (u64, SubscriptionId)>,
+    by_conn: HashMap<u64, Vec<u64>>,
+}
+
+fn executor_loop(mut backend: Backend, shared: Arc<Shared>) -> Backend {
+    let mut subs = SubscriptionTable::default();
+    let mut batch: Vec<Job> = Vec::new();
+    loop {
+        {
+            let mut state = shared.queue.lock().expect("queue poisoned");
+            while state.jobs.is_empty() {
+                if !state.open {
+                    return backend;
+                }
+                state = shared.ready.wait(state).expect("queue poisoned");
+            }
+            let take = state.jobs.len().min(shared.config.max_batch.max(1));
+            for _ in 0..take {
+                let job = state.jobs.pop_front().expect("checked non-empty");
+                state.cost -= job.cost;
+                batch.push(job);
+            }
+            shared.metrics.queue_depth.set(state.jobs.len() as u64);
+        }
+        process_batch(&mut backend, &shared, &mut subs, &mut batch);
+    }
+}
+
+/// Processes one drained batch in FIFO order, funnelling consecutive
+/// queries through a single `execute_batch` call so the service's grouping
+/// and worker pool see them together.
+fn process_batch(
+    backend: &mut Backend,
+    shared: &Shared,
+    subs: &mut SubscriptionTable,
+    batch: &mut Vec<Job>,
+) {
+    let mut queries: Vec<RknntQuery> = Vec::new();
+    let mut query_meta: Vec<(Arc<Conn>, u64, Instant)> = Vec::new();
+    let mut jobs = batch.drain(..).peekable();
+    while let Some(job) = jobs.next() {
+        match job.work {
+            Work::Request(Message::Query { id, query }) => {
+                queries.push(query);
+                query_meta.push((job.conn, id, job.accepted_at));
+                let next_is_query = matches!(
+                    jobs.peek(),
+                    Some(Job {
+                        work: Work::Request(Message::Query { .. }),
+                        ..
+                    })
+                );
+                if !next_is_query {
+                    flush_queries(backend, shared, &mut queries, &mut query_meta);
+                }
+            }
+            Work::Request(msg) => {
+                handle_control(backend, shared, subs, &job.conn, msg, job.accepted_at)
+            }
+            Work::Disconnect => {
+                for raw in subs.by_conn.remove(&job.conn.id).unwrap_or_default() {
+                    if let Some((_, sid)) = subs.by_raw.remove(&raw) {
+                        backend.unsubscribe(sid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn flush_queries(
+    backend: &Backend,
+    shared: &Shared,
+    queries: &mut Vec<RknntQuery>,
+    meta: &mut Vec<(Arc<Conn>, u64, Instant)>,
+) {
+    if queries.is_empty() {
+        return;
+    }
+    let (results, _stats) = backend.execute_batch(queries);
+    for ((conn, id, accepted_at), result) in meta.drain(..).zip(results) {
+        let _ = conn.send(&Message::QueryOk {
+            id,
+            transitions: result.transitions,
+        });
+        finish(shared, &conn, accepted_at);
+    }
+    queries.clear();
+}
+
+fn handle_control(
+    backend: &mut Backend,
+    shared: &Shared,
+    subs: &mut SubscriptionTable,
+    conn: &Arc<Conn>,
+    msg: Message,
+    accepted_at: Instant,
+) {
+    match msg {
+        Message::Subscribe { id, query } => {
+            let sid = backend.subscribe(query);
+            let raw = sid.raw();
+            let transitions = backend
+                .subscription_result(sid)
+                .map(<[TransitionId]>::to_vec)
+                .unwrap_or_default();
+            subs.by_raw.insert(raw, (conn.id, sid));
+            subs.by_conn.entry(conn.id).or_default().push(raw);
+            let _ = conn.send(&Message::SubscribeOk {
+                id,
+                subscription: raw,
+                transitions,
+            });
+        }
+        Message::Unsubscribe { id, subscription } => {
+            // Only the owning connection may drop a subscription.
+            let owned =
+                matches!(subs.by_raw.get(&subscription), Some((owner, _)) if *owner == conn.id);
+            let existed = if owned {
+                let (_, sid) = subs.by_raw.remove(&subscription).expect("checked present");
+                if let Some(raws) = subs.by_conn.get_mut(&conn.id) {
+                    raws.retain(|&r| r != subscription);
+                }
+                backend.unsubscribe(sid)
+            } else {
+                false
+            };
+            let _ = conn.send(&Message::UnsubscribeOk { id, existed });
+        }
+        Message::ApplyUpdates { id, updates } => {
+            let stats = backend.apply_updates(updates);
+            let _ = conn.send(&Message::UpdatesOk {
+                id,
+                applied: stats.applied as u64,
+                rejected: stats.rejected as u64,
+            });
+            push_deltas(shared, subs, stats.deltas);
+        }
+        Message::Ping { id } => {
+            let _ = conn.send(&Message::Pong { id });
+        }
+        // Readers only enqueue request kinds; queries are flushed upstream.
+        _ => {}
+    }
+    finish(shared, conn, accepted_at);
+}
+
+/// Streams result changes to the connections owning the affected
+/// subscriptions. Deltas for connections that have since disconnected are
+/// dropped — their subscriptions are reclaimed by the pending
+/// [`Work::Disconnect`] job.
+fn push_deltas(shared: &Shared, subs: &SubscriptionTable, deltas: Vec<SubscriptionDelta>) {
+    for delta in deltas {
+        let raw = delta.subscription.raw();
+        let Some(&(conn_id, _)) = subs.by_raw.get(&raw) else {
+            continue;
+        };
+        let conn = shared
+            .conns
+            .lock()
+            .expect("conns poisoned")
+            .get(&conn_id)
+            .cloned();
+        let Some(conn) = conn else { continue };
+        let pushed = conn.send(&Message::Delta {
+            subscription: raw,
+            entered: delta.entered,
+            left: delta.left,
+            reason: delta.reason,
+        });
+        if pushed.is_ok() {
+            shared.metrics.deltas_pushed.inc();
+        }
+    }
+}
+
+fn finish(shared: &Shared, conn: &Conn, accepted_at: Instant) {
+    conn.inflight.fetch_sub(1, Ordering::AcqRel);
+    let elapsed = accepted_at.elapsed().as_nanos();
+    shared
+        .metrics
+        .request_ns
+        .record(u64::try_from(elapsed).unwrap_or(u64::MAX));
+}

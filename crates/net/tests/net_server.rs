@@ -1,0 +1,381 @@
+//! Serving-edge invariants: answers over TCP are byte-identical to
+//! in-process execution (for both backends), subscription deltas stream to
+//! the owning connection, admission control sheds with a typed reply and
+//! never silently drops a request, and hostile bytes on the wire get a
+//! typed error instead of undefined behaviour.
+
+use rknnt_core::{EngineKind, RknntQuery, Semantics};
+use rknnt_geo::Point;
+use rknnt_index::{RouteStore, TransitionStore};
+use rknnt_net::{Backend, Client, Message, Reply, Server, ServerConfig};
+use rknnt_service::{
+    EnginePolicy, QueryService, ServiceConfig, ShardedConfig, ShardedService, StoreUpdate,
+};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// A deterministic little city: a grid of horizontal routes with transition
+/// endpoints scattered between them.
+fn small_world() -> (Vec<Vec<Point>>, Vec<(Point, Point)>) {
+    let mut routes = Vec::new();
+    for row in 0..6 {
+        let y = row as f64 * 120.0;
+        routes.push(vec![
+            p(0.0, y),
+            p(400.0, y + 10.0),
+            p(800.0, y),
+            p(1200.0, y - 10.0),
+        ]);
+    }
+    let mut pairs = Vec::new();
+    for i in 0..80 {
+        let x = (i % 10) as f64 * 120.0 + 15.0;
+        let y = (i / 10) as f64 * 80.0 + 25.0;
+        pairs.push((p(x, y), p(x + 60.0, y + 30.0)));
+    }
+    (routes, pairs)
+}
+
+fn stores(routes: &[Vec<Point>], pairs: &[(Point, Point)]) -> (RouteStore, TransitionStore) {
+    let mut route_store = RouteStore::default();
+    for route in routes {
+        route_store.insert_route(route.clone());
+    }
+    let mut transition_store = TransitionStore::default();
+    for (origin, destination) in pairs {
+        transition_store.insert(*origin, *destination).unwrap();
+    }
+    (route_store, transition_store)
+}
+
+fn query_mix() -> Vec<RknntQuery> {
+    let mut queries = Vec::new();
+    for k in [1usize, 2, 4] {
+        for (i, semantics) in [Semantics::Exists, Semantics::ForAll]
+            .into_iter()
+            .enumerate()
+        {
+            let y = 35.0 + (k * 7 + i) as f64 * 40.0;
+            queries.push(RknntQuery {
+                route: vec![p(10.0, y), p(500.0, y + 20.0), p(1100.0, y)],
+                k,
+                semantics,
+            });
+        }
+    }
+    queries
+}
+
+fn single_backend(config: ServiceConfig) -> Backend {
+    let (routes, pairs) = small_world();
+    let (route_store, transition_store) = stores(&routes, &pairs);
+    Backend::Single(QueryService::new(route_store, transition_store, config))
+}
+
+#[test]
+fn answers_over_tcp_are_byte_identical_to_in_process() {
+    let config = ServiceConfig::default()
+        .with_workers(2)
+        .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi));
+    let backend = single_backend(config);
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let (routes, pairs) = small_world();
+    let (route_store, transition_store) = stores(&routes, &pairs);
+    let twin = QueryService::new(route_store, transition_store, config);
+
+    let server = Server::start(backend, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    assert_eq!(client.ping().unwrap(), Reply::Answered(()));
+    for query in query_mix() {
+        let over_wire = client
+            .query(&query)
+            .unwrap()
+            .answered()
+            .expect("default budget must admit a serial client");
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        assert_eq!(
+            over_wire, expected[0].transitions,
+            "k={} {:?}",
+            query.k, query.semantics
+        );
+    }
+    assert_eq!(server.shed(), 0);
+    assert!(server.admitted() >= query_mix().len() as u64);
+    assert!(server.request_latency().count() >= query_mix().len() as u64);
+    let metrics = server.metrics_text();
+    assert!(metrics.contains("net.admitted"), "metrics text: {metrics}");
+}
+
+#[test]
+fn sharded_backend_matches_unsharded_twin_over_tcp() {
+    let (routes, pairs) = small_world();
+    let base = ServiceConfig::default().with_policy(EnginePolicy::Fixed(EngineKind::FilterRefine));
+    let sharded = ShardedService::bulk_build(
+        ShardedConfig::default().with_shards(4).with_base(base),
+        routes.clone(),
+        pairs.clone(),
+    );
+    let backend = Backend::Sharded(sharded);
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let (route_store, transition_store) = stores(&routes, &pairs);
+    let twin = QueryService::new(route_store, transition_store, base);
+
+    let server = Server::start(backend, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for query in query_mix() {
+        let over_wire = client.query(&query).unwrap().answered().unwrap();
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        assert_eq!(over_wire, expected[0].transitions);
+    }
+}
+
+#[test]
+fn subscription_deltas_stream_to_the_owning_connection() {
+    let config = ServiceConfig::default().with_policy(EnginePolicy::Fixed(EngineKind::Voronoi));
+    let backend = single_backend(config);
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    // Twin service receiving the same subscription and updates in the same
+    // order, so ids and deltas line up exactly.
+    let (routes, pairs) = small_world();
+    let (route_store, transition_store) = stores(&routes, &pairs);
+    let mut twin = QueryService::new(route_store, transition_store, config);
+
+    let server = Server::start(backend, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let standing = RknntQuery::exists(vec![p(0.0, 40.0), p(600.0, 40.0), p(1200.0, 40.0)], 2);
+    let sub = client.subscribe(&standing).unwrap().answered().unwrap();
+    let twin_sub = twin.subscribe(standing.clone());
+    assert_eq!(
+        Some(sub.transitions.as_slice()),
+        twin.subscription_result(twin_sub),
+        "initial subscription result must match the twin"
+    );
+
+    // Churn the store through the wire; the twin gets the same updates.
+    let updates = vec![
+        StoreUpdate::InsertTransition {
+            origin: p(100.0, 45.0),
+            destination: p(200.0, 50.0),
+        },
+        StoreUpdate::InsertTransition {
+            origin: p(300.0, 42.0),
+            destination: p(420.0, 38.0),
+        },
+    ];
+    let counts = client
+        .apply_updates(updates.clone())
+        .unwrap()
+        .answered()
+        .unwrap();
+    assert_eq!(counts.applied, 2);
+    assert_eq!(counts.rejected, 0);
+    let twin_stats = twin.apply_updates(updates);
+    let mut expected_deltas = twin_stats.deltas;
+    expected_deltas.retain(|d| d.subscription == twin_sub);
+
+    // The server pushes the same deltas (frames arrive after the
+    // UpdatesOk reply on this connection, in emission order).
+    for expected in &expected_deltas {
+        let event = client.recv_delta().unwrap();
+        assert_eq!(event.subscription, sub.subscription);
+        assert_eq!(event.entered, expected.entered);
+        assert_eq!(event.left, expected.left);
+        assert_eq!(event.reason, expected.reason);
+    }
+    assert_eq!(server.deltas_pushed(), expected_deltas.len() as u64);
+    assert!(
+        !expected_deltas.is_empty(),
+        "this world is built so inserts near the standing route change its result"
+    );
+
+    // Unsubscribe: first drop succeeds, second reports a dead handle.
+    assert_eq!(
+        client.unsubscribe(sub.subscription).unwrap(),
+        Reply::Answered(true)
+    );
+    assert_eq!(
+        client.unsubscribe(sub.subscription).unwrap(),
+        Reply::Answered(false)
+    );
+}
+
+#[test]
+fn burst_replies_are_all_accounted_and_answered_ones_byte_identical() {
+    let config = ServiceConfig::default()
+        .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi))
+        .with_cache_capacity(0);
+    let backend = single_backend(config);
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let (routes, pairs) = small_world();
+    let (route_store, transition_store) = stores(&routes, &pairs);
+    let twin = QueryService::new(route_store, transition_store, config);
+
+    // Tiny queue so a pipelined burst overruns admission; replies must still
+    // be one-per-request with nothing dropped.
+    let server = Server::start(
+        backend,
+        ServerConfig::default()
+            .with_queue_capacity(4)
+            .with_per_conn_inflight(1_000),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let queries = query_mix();
+    const ROUNDS: usize = 16;
+    let mut sent: BTreeMap<u64, usize> = BTreeMap::new();
+    for round in 0..ROUNDS {
+        for (qi, query) in queries.iter().enumerate() {
+            let id = client.send_query(query).unwrap();
+            assert!(sent.insert(id, qi).is_none(), "round {round}: duplicate id");
+        }
+    }
+
+    let total = sent.len();
+    let mut answered = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..total {
+        let (id, reply) = client.recv_query_reply().unwrap();
+        let qi = sent
+            .remove(&id)
+            .expect("reply for an unknown or repeated id");
+        match reply {
+            Reply::Answered(transitions) => {
+                let (expected, _) = twin.execute_batch(std::slice::from_ref(&queries[qi]));
+                assert_eq!(transitions, expected[0].transitions);
+                answered += 1;
+            }
+            Reply::Overloaded(info) => {
+                assert_eq!(info.cost_budget, ServerConfig::default().cost_budget);
+                shed += 1;
+            }
+        }
+    }
+    assert!(sent.is_empty(), "every request must get exactly one reply");
+    assert_eq!(answered + shed, total);
+    assert_eq!(server.admitted() as usize, answered);
+    assert_eq!(server.shed() as usize, shed);
+}
+
+#[test]
+fn zero_cost_budget_sheds_every_query_with_a_typed_reply() {
+    let backend = single_backend(ServiceConfig::default());
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let server = Server::start(backend, ServerConfig::default().with_cost_budget(0)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for query in query_mix() {
+        match client.query(&query).unwrap() {
+            Reply::Overloaded(info) => {
+                assert_eq!(info.cost_budget, 0);
+                assert!(info.estimated_cost >= 1);
+            }
+            Reply::Answered(_) => panic!("a zero budget must shed everything"),
+        }
+    }
+    assert_eq!(server.admitted(), 0);
+    assert_eq!(server.shed(), query_mix().len() as u64);
+}
+
+#[test]
+fn per_connection_inflight_cap_sheds_independently_of_the_global_queue() {
+    let backend = single_backend(ServiceConfig::default());
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let server = Server::start(backend, ServerConfig::default().with_per_conn_inflight(0)).unwrap();
+    let mut greedy = Client::connect(server.local_addr()).unwrap();
+    let query = &query_mix()[0];
+    assert!(greedy.query(query).unwrap().is_overloaded());
+    assert_eq!(server.shed(), 1);
+}
+
+#[test]
+fn hostile_bytes_get_a_typed_error_then_the_connection_closes() {
+    let backend = single_backend(ServiceConfig::default());
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let server = Server::start(backend, ServerConfig::default()).unwrap();
+
+    // Garbage that cannot even frame (bogus checksum and hostile length):
+    // the error reply has request id 0.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    use std::io::Write;
+    stream
+        .write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0xFF, 0xFF, 0xFF, 0x7F])
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut replies = Vec::new();
+    loop {
+        match rknnt_net::protocol::read_frame(&mut stream, &mut buf) {
+            Ok(Some(())) => replies.push(Message::decode(&buf).unwrap()),
+            Ok(None) => break,
+            Err(_) => break,
+        }
+    }
+    let error = replies
+        .iter()
+        .find_map(|m| match m {
+            Message::Error { id, message } => Some((*id, message.clone())),
+            _ => None,
+        })
+        .expect("hostile bytes must produce a typed error reply");
+    assert_eq!(error.0, 0);
+    assert!(error.1.contains("malformed"), "got: {}", error.1);
+
+    // A structurally valid frame carrying a *response* kind is a protocol
+    // violation too.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    rknnt_net::protocol::write_frame(&mut stream, &Message::Pong { id: 9 }.encode()).unwrap();
+    let mut got_error = false;
+    while let Ok(Some(())) = rknnt_net::protocol::read_frame(&mut stream, &mut buf) {
+        if let Ok(Message::Error { id, .. }) = Message::decode(&buf) {
+            assert_eq!(id, 9);
+            got_error = true;
+        }
+    }
+    assert!(
+        got_error,
+        "a response kind sent as a request must be rejected"
+    );
+}
+
+#[test]
+fn disconnect_reclaims_subscriptions_before_later_updates() {
+    let config = ServiceConfig::default().with_policy(EnginePolicy::Fixed(EngineKind::Voronoi));
+    let backend = single_backend(config);
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let server = Server::start(backend, ServerConfig::default()).unwrap();
+
+    let mut subscriber = Client::connect(server.local_addr()).unwrap();
+    let standing = RknntQuery::exists(vec![p(0.0, 40.0), p(600.0, 40.0), p(1200.0, 40.0)], 2);
+    subscriber.subscribe(&standing).unwrap().answered().unwrap();
+    drop(subscriber);
+
+    // `connections_closed` ticking guarantees the reclamation job is ahead
+    // of anything admitted afterwards.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.connections_closed() == 0 {
+        assert!(Instant::now() < deadline, "reader never noticed the close");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut updater = Client::connect(server.local_addr()).unwrap();
+    let counts = updater
+        .apply_updates(vec![StoreUpdate::InsertTransition {
+            origin: p(100.0, 45.0),
+            destination: p(200.0, 50.0),
+        }])
+        .unwrap()
+        .answered()
+        .unwrap();
+    assert_eq!(counts.applied, 1);
+    assert_eq!(
+        server.deltas_pushed(),
+        0,
+        "a dead connection's subscription must not generate pushes"
+    );
+}

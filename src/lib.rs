@@ -24,6 +24,10 @@
 //! * [`obs`] — hermetic telemetry: log-linear latency histograms, stage
 //!   spans over a pluggable clock, a metrics registry with text exposition
 //!   and snapshot diffing, and a flight recorder of recent pipeline events.
+//! * [`net`] — the TCP serving edge: a length-prefixed checksummed binary
+//!   protocol, a threaded server multiplexing connections onto the batch
+//!   path with cost-based admission control (overload is shed with a typed
+//!   reply, never silently dropped), and a blocking client.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! per-experiment index.
@@ -33,6 +37,7 @@ pub use rknnt_data as data;
 pub use rknnt_geo as geo;
 pub use rknnt_graph as graph;
 pub use rknnt_index as index;
+pub use rknnt_net as net;
 pub use rknnt_obs as obs;
 pub use rknnt_routeplan as routeplan;
 pub use rknnt_rtree as rtree;
@@ -49,6 +54,7 @@ pub mod prelude {
     pub use rknnt_geo::{Point, Rect};
     pub use rknnt_graph::RouteGraph;
     pub use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
+    pub use rknnt_net::{Backend, Client, Reply, Server, ServerConfig};
     pub use rknnt_routeplan::{Objective, PlannerConfig, Precomputation, RoutePlanner};
     pub use rknnt_service::{
         BatchStats, DeltaReason, EnginePolicy, QueryService, ServiceConfig, ShardedConfig,
