@@ -16,6 +16,9 @@ use rknnt_core::{
 use rknnt_data::{stats, workload};
 use rknnt_geo::Point;
 use rknnt_index::RouteStore;
+use rknnt_obs::{
+    MetricsRegistry, SlowQueryLog, SpanId, Telemetry, TraceContext, TraceCursor, TraceId,
+};
 use rknnt_routeplan::{
     BruteForcePlanner, Objective, PlanQuery, PlannerConfig, PrePlanner, Precomputation,
     PruningPlanner, RoutePlanner,
@@ -1649,6 +1652,164 @@ pub fn obs_overhead(ctx: &ExperimentContext, kind: DatasetKind, semantics: Seman
     report
 }
 
+/// Trace overhead — the PR 9 gate twin of [`obs_overhead`]: the same
+/// workload shape, but bounding the cost of *per-request span trees*
+/// rather than metrics instrumentation. Four modes run the identical
+/// batches: an untraced baseline, then head sampling at 0.0, 0.01 and 1.0
+/// (each sampled chunk gets a `request` root span and a cursor threaded
+/// through `execute_batch_traced`, exactly the server's shape). Answers
+/// are asserted byte-identical across all modes before anything is
+/// reported.
+///
+/// Gated ratios (machine-independent):
+/// * `throughput_cost` — `1 − qps(sample=1.0) / qps(baseline)`, the cost
+///   of tracing *every* request; held at ≤ 5 %.
+/// * `slow_log_mismatch` — worst `|promoted − over_threshold|` across the
+///   sampled modes. The slow log runs with threshold 0, so every completed
+///   trace is over threshold and must be captured: the ring may evict old
+///   entries but must never *miss* a promotion. Held at exactly 0.
+///
+/// Every mode also records per-chunk latency into an
+/// [`rknnt_obs::Histogram`] and reports its text exposition, exercising
+/// the `p999` column end to end.
+pub fn trace_overhead(ctx: &ExperimentContext, kind: DatasetKind, semantics: Semantics) -> Report {
+    let mut report =
+        Report::new("Trace overhead — sampled request tracing vs untraced service throughput");
+    let dataset = Dataset::build(kind, &ctx.scale);
+    let total = (ctx.scale.queries_per_point * 64).clamp(64, 1_024);
+    let queries = service_workload(ctx, &dataset, semantics, total);
+    report.line(format!(
+        "{} — {} queries (pool cycling), batch 16, k = {}, {} semantics, Voronoi engine, 1 worker",
+        dataset.kind.name(),
+        queries.len(),
+        ctx.default_k(),
+        semantics,
+    ));
+
+    // One timed pass per mode, best of 3, each on a fresh service (cold
+    // cache) and a fresh slow-query log. `sample: None` is the untraced
+    // baseline (the plain `execute_batch` entry point); `Some(p)` stamps
+    // each chunk with a sequential trace id and lets the deterministic
+    // head sampler decide, mirroring the serving edge.
+    struct ModeOutcome {
+        qps: f64,
+        checksum: usize,
+        completed: u64,
+        over_threshold: u64,
+        promoted: u64,
+        histogram_text: String,
+    }
+    let run_mode = |sample: Option<f64>| -> ModeOutcome {
+        let mut best_secs = f64::INFINITY;
+        let mut checksum = 0usize;
+        let mut completed = 0u64;
+        let mut over_threshold = 0u64;
+        let mut promoted = 0u64;
+        let mut histogram_text = String::new();
+        for _ in 0..3 {
+            let service = QueryService::new(
+                dataset.routes.clone(),
+                dataset.transitions.clone(),
+                ServiceConfig::default()
+                    .with_workers(1)
+                    .with_policy(EnginePolicy::Fixed(EngineKind::Voronoi)),
+            );
+            let slow_log = SlowQueryLog::new(0, 8);
+            let telemetry = Telemetry::monotonic();
+            let mut registry = MetricsRegistry::new();
+            let batch_ns = registry.histogram("trace.batch_ns");
+            let started = std::time::Instant::now();
+            let mut results = 0usize;
+            let mut seq = 0u64;
+            for chunk in queries.chunks(16) {
+                seq += 1;
+                let chunk_started = std::time::Instant::now();
+                let outs = match sample {
+                    None => service.execute_batch(chunk).0,
+                    Some(p) => {
+                        let id = TraceId::from_raw(seq);
+                        if id.sampled(p) {
+                            let trace = TraceContext::begin(id, telemetry.clone());
+                            let root = trace.begin_span("request", SpanId::NONE);
+                            let cursor = TraceCursor::new(&trace, root);
+                            let outs = service.execute_batch_traced(chunk, Some(&cursor)).0;
+                            trace.end_span(root);
+                            slow_log.observe(trace.finish(), None);
+                            outs
+                        } else {
+                            service.execute_batch_traced(chunk, None).0
+                        }
+                    }
+                };
+                batch_ns
+                    .record(u64::try_from(chunk_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                results += outs.iter().map(|r| r.len()).sum::<usize>();
+            }
+            best_secs = best_secs.min(started.elapsed().as_secs_f64());
+            checksum = results;
+            completed = slow_log.completed();
+            over_threshold = slow_log.over_threshold();
+            promoted = slow_log.promoted();
+            histogram_text = registry.render_text();
+        }
+        ModeOutcome {
+            qps: queries.len() as f64 / best_secs.max(1e-9),
+            checksum,
+            completed,
+            over_threshold,
+            promoted,
+            histogram_text,
+        }
+    };
+
+    let baseline = run_mode(None);
+    let modes: Vec<(f64, ModeOutcome)> = [0.0, 0.01, 1.0]
+        .into_iter()
+        .map(|p| (p, run_mode(Some(p))))
+        .collect();
+    let mut mismatch = 0u64;
+    for (p, outcome) in &modes {
+        assert_eq!(
+            outcome.checksum, baseline.checksum,
+            "traced answers (sample={p}) diverged from the untraced baseline"
+        );
+        mismatch = mismatch.max(outcome.promoted.abs_diff(outcome.over_threshold));
+    }
+    report.row(&[
+        ("mode", "baseline".to_string()),
+        ("qps", format!("{:.0}", baseline.qps)),
+        ("results", baseline.checksum.to_string()),
+    ]);
+    for (p, outcome) in &modes {
+        report.row(&[
+            ("mode", format!("sample={p}")),
+            ("qps", format!("{:.0}", outcome.qps)),
+            ("results", outcome.checksum.to_string()),
+            ("traces", outcome.completed.to_string()),
+            ("promoted", outcome.promoted.to_string()),
+        ]);
+    }
+    let full = &modes.last().expect("three modes").1;
+    let cost = 1.0 - full.qps / baseline.qps.max(1e-9);
+    report.row(&[
+        ("metric", "throughput_cost".to_string()),
+        ("ratio", format!("{cost:.4}")),
+    ]);
+    report.row(&[
+        ("metric", "slow_log_mismatch".to_string()),
+        ("ratio", format!("{:.1}", mismatch as f64)),
+    ]);
+    report.line("per-chunk latency, untraced baseline:".to_string());
+    for line in baseline.histogram_text.lines() {
+        report.line(line.to_string());
+    }
+    report.line("per-chunk latency, sample=1.0:".to_string());
+    for line in full.histogram_text.lines() {
+        report.line(line.to_string());
+    }
+    report
+}
+
 /// Shard scale-out: the same churn workload (interleaved queries and
 /// updates, 1 % and 10 % update ratios) replayed through a
 /// [`ShardedService`] at 1, 2, 4 and 8 shards, with an unsharded
@@ -1895,6 +2056,7 @@ fn open_loop_point(
                 let frame = Message::Query {
                     id,
                     query: pool[qi].clone(),
+                    trace: None,
                 }
                 .encode();
                 if write_frame(&mut write_half, &frame).is_err() {
@@ -2176,6 +2338,7 @@ pub fn all(ctx: &ExperimentContext, options: &RunOptions) -> Vec<Report> {
         cold_start(ctx, options.service_dataset, options.semantics),
         verify_hot_path(ctx, options.service_dataset),
         obs_overhead(ctx, options.service_dataset, options.semantics),
+        trace_overhead(ctx, options.service_dataset, options.semantics),
         shard_scaleout(ctx, options.service_dataset, options.semantics),
         open_loop_latency(ctx, options.service_dataset, options.semantics),
     ]
@@ -2226,6 +2389,11 @@ pub fn run(ctx: &ExperimentContext, name: &str, options: &RunOptions) -> Option<
             options.service_dataset,
             options.semantics,
         )),
+        "trace_overhead" | "trace" => single(trace_overhead(
+            ctx,
+            options.service_dataset,
+            options.semantics,
+        )),
         "shard_scaleout" | "scaleout" => single(shard_scaleout(
             ctx,
             options.service_dataset,
@@ -2267,6 +2435,7 @@ pub fn experiment_names() -> &'static [&'static str] {
         "cold_start",
         "verify_hot_path",
         "obs_overhead",
+        "trace_overhead",
         "shard_scaleout",
         "open_loop_latency",
         "all",

@@ -273,6 +273,40 @@ pub fn check_obs_overhead_gate(report: &str, config: &GateConfig) -> Result<Gate
     })
 }
 
+/// Checks the trace-overhead gates against the report text: full (1.0)
+/// trace sampling must cost at most `trace_overhead.max_throughput_cost`
+/// of baseline throughput — `1 − sampled_qps / baseline_qps`, same run,
+/// same workload, best-of-3 each — and the slow-query log's promoted count
+/// must match its over-threshold count *exactly* (the experiment runs the
+/// log at threshold 0, so every completed trace is over threshold and
+/// `slow_log_mismatch` is a machine-independent exact count, gated at 0).
+/// Identical answers across all sampling rates are asserted inside the
+/// experiment before anything is compared.
+pub fn check_trace_overhead_gates(
+    report: &str,
+    config: &GateConfig,
+) -> Result<Vec<GateOutcome>, String> {
+    let max_cost = config.threshold("trace_overhead", "max_throughput_cost")?;
+    let max_mismatch = config.threshold("trace_overhead", "max_slow_log_mismatch")?;
+    let rows = parse_report_rows(report);
+    let cost = find_row(&rows, &[("metric", "throughput_cost")])?.number("ratio")?;
+    let mismatch = find_row(&rows, &[("metric", "slow_log_mismatch")])?.number("ratio")?;
+    Ok(vec![
+        GateOutcome {
+            name: "trace_overhead.throughput_cost".to_string(),
+            measured: cost,
+            threshold: max_cost,
+            passed: cost <= max_cost,
+        },
+        GateOutcome {
+            name: "trace_overhead.slow_log_mismatch".to_string(),
+            measured: mismatch,
+            threshold: max_mismatch,
+            passed: mismatch <= max_mismatch,
+        },
+    ])
+}
+
 /// Checks the shard-scaleout gate against the report text: the router's
 /// worst mean fan-out at 8 shards, expressed as a fraction of the fleet,
 /// must stay at or below `shard_scaleout.max_mean_fanout_fraction`. The
@@ -424,6 +458,10 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
         &read("obs_overhead.txt")?,
         &config,
     )?);
+    outcomes.extend(check_trace_overhead_gates(
+        &read("trace_overhead.txt")?,
+        &config,
+    )?);
     outcomes.push(check_shard_scaleout_gate(
         &read("shard_scaleout.txt")?,
         &config,
@@ -456,6 +494,10 @@ min_scratch_speedup = 1.15\n\
 \n\
 [obs_overhead]\n\
 max_throughput_cost = 0.05\n\
+\n\
+[trace_overhead]\n\
+max_throughput_cost = 0.05\n\
+max_slow_log_mismatch = 0.0\n\
 \n\
 [shard_scaleout]\n\
 max_mean_fanout_fraction = 0.5\n\
@@ -593,6 +635,39 @@ max_unanswered_fraction = 0.0\n";
         assert!(!check_obs_overhead_gate(regressed, &config).unwrap().passed);
         // A missing ratio row is an error, never a silent pass.
         assert!(check_obs_overhead_gate("mode=instrumented qps=1", &config).is_err());
+    }
+
+    #[test]
+    fn trace_overhead_gates_hold_cost_and_mismatch() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "mode=baseline  qps=52000  results=900\n\
+                    mode=sample-1.00  qps=51000  results=900  traces=64  promoted=64\n\
+                    metric=throughput_cost  ratio=0.0192\n\
+                    metric=slow_log_mismatch  ratio=0.0\n";
+        let outcomes = check_trace_overhead_gates(good, &config).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.passed));
+        // Negative cost (traced faster, i.e. noise) still passes.
+        let noisy = "metric=throughput_cost  ratio=-0.0100\n\
+                     metric=slow_log_mismatch  ratio=0.0\n";
+        assert!(check_trace_overhead_gates(noisy, &config)
+            .unwrap()
+            .iter()
+            .all(|o| o.passed));
+        // A hot-path regression trips the cost ceiling.
+        let slow = "metric=throughput_cost  ratio=0.1200\n\
+                    metric=slow_log_mismatch  ratio=0.0\n";
+        let outcomes = check_trace_overhead_gates(slow, &config).unwrap();
+        assert!(!outcomes[0].passed);
+        assert!(outcomes[1].passed);
+        // A single lost slow-query promotion is an exact-count failure.
+        let lossy = "metric=throughput_cost  ratio=0.0100\n\
+                     metric=slow_log_mismatch  ratio=1.0\n";
+        let outcomes = check_trace_overhead_gates(lossy, &config).unwrap();
+        assert!(outcomes[0].passed);
+        assert!(!outcomes[1].passed);
+        // Missing rows are errors, never silent passes.
+        assert!(check_trace_overhead_gates("mode=baseline qps=1", &config).is_err());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! replies are buffered and drained with [`Client::take_deltas`] (or
 //! awaited with [`Client::recv_delta`]).
 
-use crate::protocol::{read_frame, write_frame, Message, OverloadInfo};
+use crate::protocol::{
+    read_frame, write_frame, IntrospectReport, IntrospectWhat, Message, OverloadInfo,
+};
 use rknnt_core::RknntQuery;
 use rknnt_data::codec::CodecError;
 use rknnt_index::TransitionId;
@@ -197,8 +199,32 @@ impl Client {
         self.send(&Message::Query {
             id,
             query: query.clone(),
+            trace: None,
         })?;
         Ok(id)
+    }
+
+    /// [`Client::query`] with a trace id: the server samples the id
+    /// deterministically and, if kept, records a span tree for this exact
+    /// request (retrievable via [`Client::introspect`] once the request is
+    /// slow enough to promote). The answer is byte-identical to the
+    /// untraced call.
+    pub fn query_traced(
+        &mut self,
+        query: &RknntQuery,
+        trace_id: u64,
+    ) -> Result<Reply<Vec<TransitionId>>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Query {
+            id,
+            query: query.clone(),
+            trace: Some(trace_id),
+        })?;
+        let (rid, reply) = self.recv_query_reply()?;
+        if rid != id {
+            return Err(ClientError::UnexpectedReply("reply id mismatch"));
+        }
+        Ok(reply)
     }
 
     /// Pipelining: receives the next query reply (answered or shed) with
@@ -254,8 +280,26 @@ impl Client {
         &mut self,
         updates: Vec<StoreUpdate>,
     ) -> Result<Reply<UpdateCounts>, ClientError> {
+        self.apply_updates_inner(updates, None)
+    }
+
+    /// [`Client::apply_updates`] with a trace id — the update-side twin of
+    /// [`Client::query_traced`]; the WAL append lands in the span tree.
+    pub fn apply_updates_traced(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace_id: u64,
+    ) -> Result<Reply<UpdateCounts>, ClientError> {
+        self.apply_updates_inner(updates, Some(trace_id))
+    }
+
+    fn apply_updates_inner(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace: Option<u64>,
+    ) -> Result<Reply<UpdateCounts>, ClientError> {
         let id = self.fresh_id();
-        self.send(&Message::ApplyUpdates { id, updates })?;
+        self.send(&Message::ApplyUpdates { id, updates, trace })?;
         match self.recv()? {
             Message::UpdatesOk {
                 id: rid,
@@ -265,6 +309,20 @@ impl Client {
             Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
             Message::Error { id, message } => Err(ClientError::Server { id, message }),
             _ => Err(ClientError::UnexpectedReply("wanted an updates reply")),
+        }
+    }
+
+    /// Fetches server internals: metrics exposition, the slow-query log, or
+    /// a flight-recorder window. Answered from the server's reader thread,
+    /// so it works even while the executor is saturated — there is no
+    /// `Overloaded` arm because introspection is never queued or shed.
+    pub fn introspect(&mut self, what: IntrospectWhat) -> Result<IntrospectReport, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Introspect { id, what })?;
+        match self.recv()? {
+            Message::IntrospectOk { id: rid, report } if rid == id => Ok(report),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted an introspect reply")),
         }
     }
 

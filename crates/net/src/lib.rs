@@ -19,8 +19,15 @@
 //!   requests past the queue-capacity / queued-cost-budget /
 //!   per-connection-inflight limits are fast-failed with a typed
 //!   `Overloaded` reply — shed, never silently dropped — and every
-//!   decision lands in the `net.*` metrics (`net.admitted`, `net.shed`,
-//!   `net.queue_depth`, `net.request_ns`).
+//!   decision lands in the `net.*` metrics (`net.admitted`, per-reason
+//!   `net.shed.*` counters, `net.queue_depth`, `net.request_ns`).
+//! * **Tracing + introspection** — requests tagged with a trace id get a
+//!   per-request span tree through admission, queueing, execution and the
+//!   backend's batch pipeline (down to per-shard routing decisions and WAL
+//!   appends); slow traces are retained in a bounded ring, and
+//!   [`Message::Introspect`] / [`Client::introspect`] fetch metrics, slow
+//!   queries or flight-recorder windows remotely, answered from the reader
+//!   thread even when the executor is saturated.
 //! * **[`Client`]** — a blocking client speaking the same codec, used by
 //!   the test suite and the `open_loop_latency` experiment. Answers are
 //!   byte-identical to in-process execution; `Overloaded` is a typed
@@ -56,5 +63,8 @@ pub mod protocol;
 mod server;
 
 pub use client::{Client, ClientError, DeltaEvent, Reply, Subscription, UpdateCounts};
-pub use protocol::{Message, OverloadInfo, MAX_FRAME_BYTES};
+pub use protocol::{
+    IntrospectReport, IntrospectWhat, Message, OverloadInfo, WireSlowQuery, WireSpan,
+    MAX_FRAME_BYTES,
+};
 pub use server::{Backend, Server, ServerConfig};

@@ -18,6 +18,7 @@
 use rknnt_core::{RknntQuery, Semantics};
 use rknnt_data::codec::{crc32, CodecError, CodecResult, Decoder, Encoder};
 use rknnt_index::TransitionId;
+use rknnt_obs::SlowQueryEntry;
 use rknnt_service::{DeltaReason, StoreUpdate};
 use std::io::{self, Read, Write};
 
@@ -101,6 +102,111 @@ pub struct OverloadInfo {
     pub cost_budget: u64,
 }
 
+/// What a [`Message::Introspect`] request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntrospectWhat {
+    /// The server's `net.*` metrics plus the backend's registries, in the
+    /// text exposition format.
+    Metrics,
+    /// The slow-query log: promoted traces with their span trees.
+    SlowQueries,
+    /// The backend's flight-recorder window, rendered.
+    FlightRecorder,
+}
+
+/// One span of a slow trace as it travels on the wire: the in-memory
+/// [`rknnt_obs::TraceSpan`]'s static strings become owned ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name.
+    pub name: String,
+    /// Start offset in nanoseconds on the trace's clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Index of the parent span in the trace, or `u32::MAX` for a root.
+    pub parent: u32,
+    /// Integer attributes, in recording order.
+    pub attrs: Vec<(String, u64)>,
+}
+
+impl WireSpan {
+    /// The parent span's index, if any.
+    pub fn parent_index(&self) -> Option<usize> {
+        if self.parent == u32::MAX {
+            None
+        } else {
+            Some(self.parent as usize)
+        }
+    }
+}
+
+/// One promoted slow query as reported by [`Message::IntrospectOk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSlowQuery {
+    /// The trace id.
+    pub trace_id: u64,
+    /// Root span duration in nanoseconds.
+    pub root_dur_ns: u64,
+    /// Spans that overflowed the trace slab and were dropped.
+    pub dropped: u32,
+    /// The retained span tree, in recording order (root first).
+    pub spans: Vec<WireSpan>,
+    /// The flight-recorder window captured when the trace was promoted.
+    pub events: String,
+}
+
+impl From<&SlowQueryEntry> for WireSlowQuery {
+    fn from(entry: &SlowQueryEntry) -> Self {
+        WireSlowQuery {
+            trace_id: entry.trace.id().raw(),
+            root_dur_ns: entry.trace.root_duration_ns(),
+            dropped: entry.trace.dropped(),
+            spans: entry
+                .trace
+                .spans()
+                .iter()
+                .map(|span| WireSpan {
+                    name: span.name().to_string(),
+                    start_ns: span.start_ns(),
+                    dur_ns: span.dur_ns(),
+                    parent: span
+                        .parent()
+                        .and_then(|p| p.index())
+                        .map(|i| i as u32)
+                        .unwrap_or(u32::MAX),
+                    attrs: span
+                        .attrs()
+                        .iter()
+                        .map(|&(name, value)| (name.to_string(), value))
+                        .collect(),
+                })
+                .collect(),
+            events: entry.events.clone(),
+        }
+    }
+}
+
+/// An [`Message::IntrospectOk`] payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntrospectReport {
+    /// Text exposition of every registry the server can reach.
+    Metrics {
+        /// The rendered metrics.
+        text: String,
+    },
+    /// The retained slow-query entries, oldest first.
+    SlowQueries {
+        /// Promoted traces with their span trees.
+        entries: Vec<WireSlowQuery>,
+    },
+    /// The backend's flight-recorder window.
+    FlightRecorder {
+        /// The rendered events.
+        text: String,
+    },
+}
+
 /// One protocol message. Requests carry a client-chosen `id` that the
 /// matching reply echoes; [`Message::Delta`] is server-initiated (no id).
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +217,10 @@ pub enum Message {
         id: u64,
         /// The query to execute.
         query: RknntQuery,
+        /// Optional trace id for end-to-end request tracing. `None`
+        /// encodes to the original (pre-tracing) wire bytes, so old
+        /// clients and servers interoperate unchanged.
+        trace: Option<u64>,
     },
     /// Register a standing query; deltas stream back as the store churns.
     Subscribe {
@@ -132,11 +242,23 @@ pub enum Message {
         id: u64,
         /// Updates, applied in order.
         updates: Vec<StoreUpdate>,
+        /// Optional trace id (same backwards-compatible encoding rule as
+        /// [`Message::Query`]).
+        trace: Option<u64>,
     },
     /// Liveness probe.
     Ping {
         /// Client-chosen request id, echoed by the reply.
         id: u64,
+    },
+    /// Fetch server-side observability state. Answered directly from the
+    /// connection's reader thread — never queued, never shed — so it works
+    /// even while the executor is saturated.
+    Introspect {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+        /// What to fetch.
+        what: IntrospectWhat,
     },
     /// Successful [`Message::Query`] reply.
     QueryOk {
@@ -176,6 +298,13 @@ pub enum Message {
         /// Echoed request id.
         id: u64,
     },
+    /// Successful [`Message::Introspect`] reply.
+    IntrospectOk {
+        /// Echoed request id.
+        id: u64,
+        /// The requested observability state.
+        report: IntrospectReport,
+    },
     /// Admission control refused the request — fast-failed, never queued.
     Overloaded {
         /// Echoed request id.
@@ -209,11 +338,19 @@ const TAG_SUBSCRIBE: u8 = 0x02;
 const TAG_UNSUBSCRIBE: u8 = 0x03;
 const TAG_APPLY_UPDATES: u8 = 0x04;
 const TAG_PING: u8 = 0x05;
+const TAG_INTROSPECT: u8 = 0x06;
+// Traced twins of Query / ApplyUpdates. Untraced messages keep the original
+// tags and byte layout, so pre-tracing peers interoperate unchanged; the
+// trace id only ever appears under a tag an old decoder would reject
+// outright rather than misparse.
+const TAG_QUERY_TRACED: u8 = 0x07;
+const TAG_APPLY_UPDATES_TRACED: u8 = 0x08;
 const TAG_QUERY_OK: u8 = 0x81;
 const TAG_SUBSCRIBE_OK: u8 = 0x82;
 const TAG_UNSUBSCRIBE_OK: u8 = 0x83;
 const TAG_UPDATES_OK: u8 = 0x84;
 const TAG_PONG: u8 = 0x85;
+const TAG_INTROSPECT_OK: u8 = 0x86;
 const TAG_OVERLOADED: u8 = 0x90;
 const TAG_ERROR: u8 = 0x91;
 const TAG_DELTA: u8 = 0xA0;
@@ -272,11 +409,13 @@ impl Message {
             | Message::Unsubscribe { id, .. }
             | Message::ApplyUpdates { id, .. }
             | Message::Ping { id }
+            | Message::Introspect { id, .. }
             | Message::QueryOk { id, .. }
             | Message::SubscribeOk { id, .. }
             | Message::UnsubscribeOk { id, .. }
             | Message::UpdatesOk { id, .. }
             | Message::Pong { id }
+            | Message::IntrospectOk { id, .. }
             | Message::Overloaded { id, .. }
             | Message::Error { id, .. } => id,
             Message::Delta { .. } => 0,
@@ -292,6 +431,7 @@ impl Message {
                 | Message::Unsubscribe { .. }
                 | Message::ApplyUpdates { .. }
                 | Message::Ping { .. }
+                | Message::Introspect { .. }
         )
     }
 
@@ -299,8 +439,16 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         match self {
-            Message::Query { id, query } => {
-                enc.u8(TAG_QUERY);
+            Message::Query { id, query, trace } => {
+                // An untraced query encodes byte-for-byte like the
+                // pre-tracing protocol; the trace id rides a new tag.
+                match trace {
+                    None => enc.u8(TAG_QUERY),
+                    Some(t) => {
+                        enc.u8(TAG_QUERY_TRACED);
+                        enc.u64(*t);
+                    }
+                }
                 enc.u64(*id);
                 encode_query(&mut enc, query);
             }
@@ -314,8 +462,14 @@ impl Message {
                 enc.u64(*id);
                 enc.u64(*subscription);
             }
-            Message::ApplyUpdates { id, updates } => {
-                enc.u8(TAG_APPLY_UPDATES);
+            Message::ApplyUpdates { id, updates, trace } => {
+                match trace {
+                    None => enc.u8(TAG_APPLY_UPDATES),
+                    Some(t) => {
+                        enc.u8(TAG_APPLY_UPDATES_TRACED);
+                        enc.u64(*t);
+                    }
+                }
                 enc.u64(*id);
                 enc.len_prefix(updates.len());
                 for update in updates {
@@ -325,6 +479,15 @@ impl Message {
             Message::Ping { id } => {
                 enc.u8(TAG_PING);
                 enc.u64(*id);
+            }
+            Message::Introspect { id, what } => {
+                enc.u8(TAG_INTROSPECT);
+                enc.u64(*id);
+                enc.u8(match what {
+                    IntrospectWhat::Metrics => 0,
+                    IntrospectWhat::SlowQueries => 1,
+                    IntrospectWhat::FlightRecorder => 2,
+                });
             }
             Message::QueryOk { id, transitions } => {
                 enc.u8(TAG_QUERY_OK);
@@ -359,6 +522,42 @@ impl Message {
             Message::Pong { id } => {
                 enc.u8(TAG_PONG);
                 enc.u64(*id);
+            }
+            Message::IntrospectOk { id, report } => {
+                enc.u8(TAG_INTROSPECT_OK);
+                enc.u64(*id);
+                match report {
+                    IntrospectReport::Metrics { text } => {
+                        enc.u8(0);
+                        enc.str(text);
+                    }
+                    IntrospectReport::SlowQueries { entries } => {
+                        enc.u8(1);
+                        enc.len_prefix(entries.len());
+                        for entry in entries {
+                            enc.u64(entry.trace_id);
+                            enc.u64(entry.root_dur_ns);
+                            enc.u32(entry.dropped);
+                            enc.len_prefix(entry.spans.len());
+                            for span in &entry.spans {
+                                enc.str(&span.name);
+                                enc.u64(span.start_ns);
+                                enc.u64(span.dur_ns);
+                                enc.u32(span.parent);
+                                enc.len_prefix(span.attrs.len());
+                                for (name, value) in &span.attrs {
+                                    enc.str(name);
+                                    enc.u64(*value);
+                                }
+                            }
+                            enc.str(&entry.events);
+                        }
+                    }
+                    IntrospectReport::FlightRecorder { text } => {
+                        enc.u8(2);
+                        enc.str(text);
+                    }
+                }
             }
             Message::Overloaded { id, info } => {
                 enc.u8(TAG_OVERLOADED);
@@ -400,7 +599,16 @@ impl Message {
             TAG_QUERY => Message::Query {
                 id: dec.u64()?,
                 query: decode_query(&mut dec)?,
+                trace: None,
             },
+            TAG_QUERY_TRACED => {
+                let trace = Some(dec.u64()?);
+                Message::Query {
+                    id: dec.u64()?,
+                    query: decode_query(&mut dec)?,
+                    trace,
+                }
+            }
             TAG_SUBSCRIBE => Message::Subscribe {
                 id: dec.u64()?,
                 query: decode_query(&mut dec)?,
@@ -409,16 +617,35 @@ impl Message {
                 id: dec.u64()?,
                 subscription: dec.u64()?,
             },
-            TAG_APPLY_UPDATES => {
+            TAG_APPLY_UPDATES | TAG_APPLY_UPDATES_TRACED => {
+                let trace = if tag == TAG_APPLY_UPDATES_TRACED {
+                    Some(dec.u64()?)
+                } else {
+                    None
+                };
                 let id = dec.u64()?;
                 let len = dec.len_prefix(8)?;
                 let mut updates = Vec::with_capacity(len);
                 for _ in 0..len {
                     updates.push(StoreUpdate::from_wal_record(dec.bytes()?)?);
                 }
-                Message::ApplyUpdates { id, updates }
+                Message::ApplyUpdates { id, updates, trace }
             }
             TAG_PING => Message::Ping { id: dec.u64()? },
+            TAG_INTROSPECT => Message::Introspect {
+                id: dec.u64()?,
+                what: match dec.u8()? {
+                    0 => IntrospectWhat::Metrics,
+                    1 => IntrospectWhat::SlowQueries,
+                    2 => IntrospectWhat::FlightRecorder,
+                    other => {
+                        return Err(CodecError {
+                            offset: dec.position().saturating_sub(1),
+                            detail: format!("bad introspect kind byte {other}"),
+                        })
+                    }
+                },
+            },
             TAG_QUERY_OK => Message::QueryOk {
                 id: dec.u64()?,
                 transitions: decode_transitions(&mut dec)?,
@@ -438,6 +665,58 @@ impl Message {
                 rejected: dec.u64()?,
             },
             TAG_PONG => Message::Pong { id: dec.u64()? },
+            TAG_INTROSPECT_OK => {
+                let id = dec.u64()?;
+                let report = match dec.u8()? {
+                    0 => IntrospectReport::Metrics { text: dec.str()? },
+                    1 => {
+                        let len = dec.len_prefix(21)?;
+                        let mut entries = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            let trace_id = dec.u64()?;
+                            let root_dur_ns = dec.u64()?;
+                            let dropped = dec.u32()?;
+                            let span_count = dec.len_prefix(25)?;
+                            let mut spans = Vec::with_capacity(span_count);
+                            for _ in 0..span_count {
+                                let name = dec.str()?;
+                                let start_ns = dec.u64()?;
+                                let dur_ns = dec.u64()?;
+                                let parent = dec.u32()?;
+                                let attr_count = dec.len_prefix(12)?;
+                                let mut attrs = Vec::with_capacity(attr_count);
+                                for _ in 0..attr_count {
+                                    let attr_name = dec.str()?;
+                                    attrs.push((attr_name, dec.u64()?));
+                                }
+                                spans.push(WireSpan {
+                                    name,
+                                    start_ns,
+                                    dur_ns,
+                                    parent,
+                                    attrs,
+                                });
+                            }
+                            entries.push(WireSlowQuery {
+                                trace_id,
+                                root_dur_ns,
+                                dropped,
+                                spans,
+                                events: dec.str()?,
+                            });
+                        }
+                        IntrospectReport::SlowQueries { entries }
+                    }
+                    2 => IntrospectReport::FlightRecorder { text: dec.str()? },
+                    other => {
+                        return Err(CodecError {
+                            offset: dec.position().saturating_sub(1),
+                            detail: format!("bad introspect report byte {other}"),
+                        })
+                    }
+                };
+                Message::IntrospectOk { id, report }
+            }
             TAG_OVERLOADED => Message::Overloaded {
                 id: dec.u64()?,
                 info: OverloadInfo {
@@ -509,6 +788,12 @@ mod tests {
             Message::Query {
                 id: 7,
                 query: query.clone(),
+                trace: None,
+            },
+            Message::Query {
+                id: 13,
+                query: query.clone(),
+                trace: Some(0xDEAD_BEEF),
             },
             Message::Subscribe { id: 8, query },
             Message::Unsubscribe {
@@ -524,8 +809,26 @@ mod tests {
                     },
                     StoreUpdate::ExpireTransition(TransitionId::from(5)),
                 ],
+                trace: None,
+            },
+            Message::ApplyUpdates {
+                id: 14,
+                updates: vec![StoreUpdate::ExpireTransition(TransitionId::from(6))],
+                trace: Some(0xDEAD_BEEF),
             },
             Message::Ping { id: 11 },
+            Message::Introspect {
+                id: 15,
+                what: IntrospectWhat::Metrics,
+            },
+            Message::Introspect {
+                id: 16,
+                what: IntrospectWhat::SlowQueries,
+            },
+            Message::Introspect {
+                id: 17,
+                what: IntrospectWhat::FlightRecorder,
+            },
             Message::QueryOk {
                 id: 7,
                 transitions: vec![TransitionId::from(1), TransitionId::from(9)],
@@ -545,6 +848,45 @@ mod tests {
                 rejected: 0,
             },
             Message::Pong { id: 11 },
+            Message::IntrospectOk {
+                id: 15,
+                report: IntrospectReport::Metrics {
+                    text: "counter=net.admitted value=3\n".into(),
+                },
+            },
+            Message::IntrospectOk {
+                id: 16,
+                report: IntrospectReport::SlowQueries {
+                    entries: vec![WireSlowQuery {
+                        trace_id: 0xDEAD_BEEF,
+                        root_dur_ns: 1_234_567,
+                        dropped: 2,
+                        spans: vec![
+                            WireSpan {
+                                name: "request".into(),
+                                start_ns: 0,
+                                dur_ns: 1_234_567,
+                                parent: u32::MAX,
+                                attrs: vec![],
+                            },
+                            WireSpan {
+                                name: "shard".into(),
+                                start_ns: 100,
+                                dur_ns: 900,
+                                parent: 0,
+                                attrs: vec![("shard".into(), 3), ("pruned".into(), 1)],
+                            },
+                        ],
+                        events: "#0 t=1ns event=checkpoint_begin\n".into(),
+                    }],
+                },
+            },
+            Message::IntrospectOk {
+                id: 17,
+                report: IntrospectReport::FlightRecorder {
+                    text: "flight recorder: showing last 0 of 0 event(s)\n".into(),
+                },
+            },
             Message::Overloaded {
                 id: 12,
                 info: OverloadInfo {
@@ -642,6 +984,65 @@ mod tests {
         assert!(err.detail.contains("trailing"));
     }
 
+    /// The wire-compatibility contract: an untraced Query / ApplyUpdates
+    /// encodes byte-for-byte under the original tags, so a pre-tracing
+    /// decoder still accepts it — the trace id only ever travels under the
+    /// new tags.
+    #[test]
+    fn untraced_messages_keep_the_original_wire_tags() {
+        let query = RknntQuery {
+            route: vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            k: 2,
+            semantics: Semantics::Exists,
+        };
+        let untraced = Message::Query {
+            id: 1,
+            query: query.clone(),
+            trace: None,
+        }
+        .encode();
+        assert_eq!(untraced[0], TAG_QUERY);
+        let traced = Message::Query {
+            id: 1,
+            query: query.clone(),
+            trace: Some(99),
+        }
+        .encode();
+        assert_eq!(traced[0], TAG_QUERY_TRACED);
+        // Dropping the tag and the 8 trace-id bytes recovers exactly the
+        // untraced encoding's body.
+        assert_eq!(&traced[9..], &untraced[1..]);
+
+        let updates = vec![StoreUpdate::ExpireTransition(TransitionId::from(1))];
+        let untraced = Message::ApplyUpdates {
+            id: 2,
+            updates: updates.clone(),
+            trace: None,
+        }
+        .encode();
+        assert_eq!(untraced[0], TAG_APPLY_UPDATES);
+        let traced = Message::ApplyUpdates {
+            id: 2,
+            updates,
+            trace: Some(7),
+        }
+        .encode();
+        assert_eq!(traced[0], TAG_APPLY_UPDATES_TRACED);
+        assert_eq!(&traced[9..], &untraced[1..]);
+    }
+
+    #[test]
+    fn bad_introspect_bytes_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.u8(TAG_INTROSPECT);
+        enc.u64(1);
+        enc.u8(9);
+        assert!(Message::decode(&enc.into_bytes())
+            .unwrap_err()
+            .detail
+            .contains("introspect kind"));
+    }
+
     #[test]
     fn cost_estimate_scales_with_route_and_k() {
         let small = Message::Query {
@@ -651,6 +1052,7 @@ mod tests {
                 k: 1,
                 semantics: Semantics::Exists,
             },
+            trace: None,
         };
         let big = Message::Query {
             id: 2,
@@ -659,6 +1061,7 @@ mod tests {
                 k: 8,
                 semantics: Semantics::Exists,
             },
+            trace: None,
         };
         assert_eq!(estimate_cost(&small), 2);
         assert_eq!(estimate_cost(&big), 80);

@@ -34,14 +34,37 @@
 //!   admitted-but-unanswered requests (one greedy pipeliner cannot starve
 //!   the fleet).
 //!
-//! Every decision lands in the metrics registry: `net.admitted` /
-//! `net.shed` counters, a `net.queue_depth` gauge, and a `net.request_ns`
-//! latency histogram over admitted requests (admission to reply write).
+//! Every decision lands in the metrics registry: a `net.admitted` counter,
+//! per-reason shed counters (`net.shed.queue_full` / `net.shed.cost_budget`
+//! / `net.shed.inflight`), a `net.queue_depth` gauge, and a
+//! `net.request_ns` latency histogram over admitted requests (admission to
+//! reply write).
+//!
+//! # Request tracing and introspection
+//!
+//! A request carrying a trace id ([`Message::Query`] /
+//! [`Message::ApplyUpdates`] with `trace: Some(..)`) that passes the
+//! deterministic head sampler ([`ServerConfig::trace_sample`]) gets a
+//! per-request span tree: a `request` root with `admission`, `queue` and
+//! `execute` children recorded here, and the backend's `batch` / phase /
+//! `worker` / `group` / `shard` / `wal_append` spans below the `execute`
+//! span. Completed traces feed a [`SlowQueryLog`]; those over
+//! [`ServerConfig::slow_query_threshold_ns`] are retained with their full
+//! tree and a correlated flight-recorder window. [`Message::Introspect`]
+//! fetches metrics, slow queries or the flight recorder remotely — it is
+//! answered *from the reader thread*, so introspection works even while the
+//! executor is saturated, and is never queued or shed.
 
-use crate::protocol::{estimate_cost, read_frame, write_frame, Message, OverloadInfo};
+use crate::protocol::{
+    estimate_cost, read_frame, write_frame, IntrospectReport, IntrospectWhat, Message,
+    OverloadInfo, WireSlowQuery,
+};
 use rknnt_core::{RknntQuery, RknntResult};
 use rknnt_index::TransitionId;
-use rknnt_obs::{Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry};
+use rknnt_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, SlowQueryLog, SpanId, Telemetry,
+    TraceContext, TraceCursor, TraceId,
+};
 use rknnt_service::{
     BatchStats, QueryService, ShardedService, StoreUpdate, SubscriptionDelta, SubscriptionId,
     UpdateStats,
@@ -65,10 +88,14 @@ pub enum Backend {
 }
 
 impl Backend {
-    fn execute_batch(&self, queries: &[RknntQuery]) -> (Vec<RknntResult>, BatchStats) {
+    fn execute_batch_traced(
+        &self,
+        queries: &[RknntQuery],
+        trace: Option<&TraceCursor>,
+    ) -> (Vec<RknntResult>, BatchStats) {
         match self {
-            Backend::Single(s) => s.execute_batch(queries),
-            Backend::Sharded(s) => s.execute_batch(queries),
+            Backend::Single(s) => s.execute_batch_traced(queries, trace),
+            Backend::Sharded(s) => s.execute_batch_traced(queries, trace),
         }
     }
 
@@ -93,10 +120,14 @@ impl Backend {
         }
     }
 
-    fn apply_updates(&mut self, updates: Vec<StoreUpdate>) -> UpdateStats {
+    fn apply_updates_traced(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace: Option<&TraceCursor>,
+    ) -> UpdateStats {
         match self {
-            Backend::Single(s) => s.apply_updates(updates),
-            Backend::Sharded(s) => s.apply_updates(updates),
+            Backend::Single(s) => s.apply_updates_traced(updates, trace),
+            Backend::Sharded(s) => s.apply_updates_traced(updates, trace),
         }
     }
 
@@ -105,6 +136,30 @@ impl Backend {
         match self {
             Backend::Single(s) => s.flight_recorder(),
             Backend::Sharded(s) => s.flight_recorder(),
+        }
+    }
+
+    /// Live handles to the backend's metric registries, for answering
+    /// `Introspect { Metrics }` from the reader threads after the backend
+    /// itself has moved into the executor. Registry clones share the
+    /// underlying cells, so the handles stay current. The `String` is the
+    /// exposition-line prefix (empty for the top level, `shard.<i>.` for a
+    /// sharded fleet's members, mirroring `ShardedService::metrics_text`).
+    fn introspection_registries(&self) -> Vec<(String, MetricsRegistry)> {
+        match self {
+            Backend::Single(s) => vec![(String::new(), s.metrics().registry().clone())],
+            Backend::Sharded(s) => {
+                let mut out = vec![(String::new(), s.metrics().registry().clone())];
+                for index in 0..s.shard_count() {
+                    if let Some(shard) = s.shard_service(index) {
+                        out.push((
+                            format!("shard.{index}."),
+                            shard.metrics().registry().clone(),
+                        ));
+                    }
+                }
+                out
+            }
         }
     }
 }
@@ -121,6 +176,17 @@ pub struct ServerConfig {
     pub cost_budget: u64,
     /// Per-connection cap on admitted-but-unanswered requests.
     pub per_conn_inflight: u64,
+    /// Head-sampling probability for requests carrying a trace id
+    /// (deterministic in the id — see [`rknnt_obs::TraceId::sampled`] — so
+    /// every server in a fleet keeps or drops the same traces without
+    /// coordination). `1.0` traces every tagged request, `0.0` none.
+    pub trace_sample: f64,
+    /// Completed traces whose root span exceeds this duration are promoted
+    /// into the slow-query log with their full span tree and a correlated
+    /// flight-recorder window.
+    pub slow_query_threshold_ns: u64,
+    /// Slow-query ring capacity (oldest entries are evicted first).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +196,9 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             cost_budget: 1 << 20,
             per_conn_inflight: 64,
+            trace_sample: 1.0,
+            slow_query_threshold_ns: 10_000_000,
+            slow_query_capacity: 32,
         }
     }
 }
@@ -158,6 +227,24 @@ impl ServerConfig {
         self.per_conn_inflight = per_conn_inflight;
         self
     }
+
+    /// Sets the trace head-sampling probability.
+    pub fn with_trace_sample(mut self, trace_sample: f64) -> Self {
+        self.trace_sample = trace_sample;
+        self
+    }
+
+    /// Sets the slow-query promotion threshold in nanoseconds.
+    pub fn with_slow_query_threshold_ns(mut self, threshold_ns: u64) -> Self {
+        self.slow_query_threshold_ns = threshold_ns;
+        self
+    }
+
+    /// Sets the slow-query ring capacity.
+    pub fn with_slow_query_capacity(mut self, capacity: usize) -> Self {
+        self.slow_query_capacity = capacity;
+        self
+    }
 }
 
 /// The serving-edge metric cells, registered once in a
@@ -165,7 +252,9 @@ impl ServerConfig {
 struct NetMetrics {
     registry: Mutex<MetricsRegistry>,
     admitted: Counter,
-    shed: Counter,
+    shed_queue_full: Counter,
+    shed_cost_budget: Counter,
+    shed_inflight: Counter,
     queue_depth: Gauge,
     request_ns: Arc<Histogram>,
     connections_opened: Counter,
@@ -177,7 +266,9 @@ impl NetMetrics {
     fn new() -> Self {
         let mut registry = MetricsRegistry::new();
         let admitted = registry.counter("net.admitted");
-        let shed = registry.counter("net.shed");
+        let shed_queue_full = registry.counter("net.shed.queue_full");
+        let shed_cost_budget = registry.counter("net.shed.cost_budget");
+        let shed_inflight = registry.counter("net.shed.inflight");
         let queue_depth = registry.gauge("net.queue_depth");
         let request_ns = registry.histogram("net.request_ns");
         let connections_opened = registry.counter("net.connections_opened");
@@ -186,13 +277,20 @@ impl NetMetrics {
         NetMetrics {
             registry: Mutex::new(registry),
             admitted,
-            shed,
+            shed_queue_full,
+            shed_cost_budget,
+            shed_inflight,
             queue_depth,
             request_ns,
             connections_opened,
             connections_closed,
             deltas_pushed,
         }
+    }
+
+    /// Total sheds across every reason.
+    fn shed_total(&self) -> u64 {
+        self.shed_queue_full.get() + self.shed_cost_budget.get() + self.shed_inflight.get()
     }
 }
 
@@ -221,11 +319,53 @@ enum Work {
     Disconnect,
 }
 
+/// The span bookkeeping for one sampled request, threaded from admission
+/// (where the root opens) through the executor (where `queue` ends and
+/// `execute` brackets the backend call) to the reply write (where the root
+/// closes and the completed trace feeds the slow-query log).
+struct RequestTrace {
+    ctx: TraceContext,
+    root: SpanId,
+    queue: Option<SpanId>,
+    execute: Option<SpanId>,
+}
+
+impl RequestTrace {
+    /// Ends the `queue` span, opens `execute`, and returns a cursor under
+    /// it for the backend to hang its spans from.
+    fn start_execute(&mut self) -> TraceCursor {
+        let root = TraceCursor::new(&self.ctx, self.root);
+        if let Some(queue) = self.queue.take() {
+            root.end(queue);
+        }
+        let execute = root.begin("execute");
+        self.execute = Some(execute);
+        root.at(execute)
+    }
+
+    /// Closes any open spans plus the root and hands the completed trace to
+    /// the slow-query log (with the flight recorder for window capture).
+    fn finish(mut self, shared: &Shared) {
+        let root = TraceCursor::new(&self.ctx, self.root);
+        if let Some(queue) = self.queue.take() {
+            root.end(queue);
+        }
+        if let Some(execute) = self.execute.take() {
+            root.end(execute);
+        }
+        self.ctx.end_span(self.root);
+        shared
+            .slow_log
+            .observe(self.ctx.finish(), Some(&shared.recorder));
+    }
+}
+
 struct Job {
     conn: Arc<Conn>,
     work: Work,
     cost: u64,
     accepted_at: Instant,
+    trace: Option<RequestTrace>,
 }
 
 #[derive(Default)]
@@ -242,6 +382,17 @@ struct Shared {
     ready: Condvar,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     shutting_down: AtomicBool,
+    /// Clock for request traces (one source for every span in a tree).
+    telemetry: Telemetry,
+    /// Completed-trace ring; promotes over-threshold traces.
+    slow_log: Arc<SlowQueryLog>,
+    /// The backend's flight recorder, captured before the backend moved
+    /// into the executor — read by introspection and slow-log capture.
+    recorder: Arc<FlightRecorder>,
+    /// Live backend registry handles for reader-thread metrics
+    /// introspection (prefix, registry) — see
+    /// [`Backend::introspection_registries`].
+    registries: Vec<(String, MetricsRegistry)>,
 }
 
 /// A running server. Dropping it (or calling [`Server::stop`]) shuts the
@@ -259,6 +410,15 @@ impl Server {
     pub fn start(backend: Backend, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        // Introspection handles must be captured *before* the backend moves
+        // into the executor thread: reader threads answer `Introspect`
+        // directly from these.
+        let recorder = backend.flight_recorder();
+        let registries = backend.introspection_registries();
+        let slow_log = Arc::new(SlowQueryLog::new(
+            config.slow_query_threshold_ns,
+            config.slow_query_capacity,
+        ));
         let shared = Arc::new(Shared {
             config,
             metrics: NetMetrics::new(),
@@ -269,6 +429,10 @@ impl Server {
             ready: Condvar::new(),
             conns: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
+            telemetry: Telemetry::monotonic(),
+            slow_log,
+            recorder,
+            registries,
         });
         let acceptor = std::thread::Builder::new()
             .name("rknnt-net-accept".into())
@@ -300,9 +464,17 @@ impl Server {
         self.shared.metrics.admitted.get()
     }
 
-    /// Requests shed with an `Overloaded` reply so far.
+    /// Requests shed with an `Overloaded` reply so far (all reasons; the
+    /// per-reason split is in the `net.shed.*` counters of
+    /// [`Server::metrics_text`]).
     pub fn shed(&self) -> u64 {
-        self.shared.metrics.shed.get()
+        self.shared.metrics.shed_total()
+    }
+
+    /// Shared handle to the slow-query log (the same ring `Introspect {
+    /// SlowQueries }` answers from).
+    pub fn slow_query_log(&self) -> Arc<SlowQueryLog> {
+        Arc::clone(&self.shared.slow_log)
     }
 
     /// Subscription deltas pushed to clients so far.
@@ -454,6 +626,14 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>) {
             });
             break;
         }
+        // Introspection is answered right here on the reader thread: it
+        // must work while the executor is saturated, so it never takes a
+        // queue slot and is never shed.
+        if let Message::Introspect { id, what } = msg {
+            let report = introspect(&shared, what);
+            let _ = conn.send(&Message::IntrospectOk { id, report });
+            continue;
+        }
         admit(&shared, &conn, msg);
     }
     shared
@@ -474,11 +654,85 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>) {
                 work: Work::Disconnect,
                 cost: 0,
                 accepted_at: Instant::now(),
+                trace: None,
             });
             shared.ready.notify_one();
         }
     }
     shared.metrics.connections_closed.inc();
+}
+
+/// Builds the reply to an [`Message::Introspect`] request from the shared
+/// handles (never from the backend itself, which the executor owns).
+fn introspect(shared: &Shared, what: IntrospectWhat) -> IntrospectReport {
+    match what {
+        IntrospectWhat::Metrics => {
+            let mut text = shared
+                .metrics
+                .registry
+                .lock()
+                .expect("metrics registry poisoned")
+                .render_text();
+            for (prefix, registry) in &shared.registries {
+                for line in registry.render_text().lines() {
+                    text.push_str(prefix);
+                    text.push_str(line);
+                    text.push('\n');
+                }
+            }
+            IntrospectReport::Metrics { text }
+        }
+        IntrospectWhat::SlowQueries => IntrospectReport::SlowQueries {
+            entries: shared
+                .slow_log
+                .entries()
+                .iter()
+                .map(WireSlowQuery::from)
+                .collect(),
+        },
+        IntrospectWhat::FlightRecorder => IntrospectReport::FlightRecorder {
+            text: shared.recorder.render(rknnt_obs::SLOW_LOG_EVENT_WINDOW),
+        },
+    }
+}
+
+/// The trace id a request carries on the wire, if any.
+fn wire_trace(msg: &Message) -> Option<u64> {
+    match msg {
+        Message::Query { trace, .. } | Message::ApplyUpdates { trace, .. } => *trace,
+        _ => None,
+    }
+}
+
+/// Opens the span tree for a tagged request that passes the head sampler:
+/// a `request` root, a closed `admission` marker carrying the admission
+/// inputs, and an open `queue` span the executor will close when it picks
+/// the job up.
+fn begin_request_trace(
+    shared: &Shared,
+    msg: &Message,
+    cost: u64,
+    queue_depth: u64,
+) -> Option<RequestTrace> {
+    let id = TraceId::from_raw(wire_trace(msg)?);
+    if !id.sampled(shared.config.trace_sample) {
+        return None;
+    }
+    let ctx = TraceContext::begin(id, shared.telemetry.clone());
+    let root = ctx.begin_span("request", SpanId::NONE);
+    let cursor = TraceCursor::new(&ctx, root);
+    cursor.record(
+        "admission",
+        0,
+        &[("cost", cost), ("queue_depth", queue_depth)],
+    );
+    let queue = cursor.begin("queue");
+    Some(RequestTrace {
+        ctx,
+        root,
+        queue: Some(queue),
+        execute: None,
+    })
 }
 
 /// The admission decision. Runs on the reader thread so a shed never
@@ -502,16 +756,26 @@ fn admit(shared: &Shared, conn: &Arc<Conn>, msg: Message) {
             cost_budget: shared.config.cost_budget,
         };
         drop(state);
-        shared.metrics.shed.inc();
+        // One shed, one reason: the checks cascade, so attribute the shed
+        // to the first tripwire in queue → budget → inflight order.
+        if over_capacity {
+            shared.metrics.shed_queue_full.inc();
+        } else if over_budget {
+            shared.metrics.shed_cost_budget.inc();
+        } else {
+            shared.metrics.shed_inflight.inc();
+        }
         let _ = conn.send(&Message::Overloaded { id, info });
         return;
     }
+    let trace = begin_request_trace(shared, &msg, cost, state.jobs.len() as u64);
     state.cost += cost;
     state.jobs.push_back(Job {
         conn: Arc::clone(conn),
         work: Work::Request(msg),
         cost,
         accepted_at: Instant::now(),
+        trace,
     });
     shared.metrics.queue_depth.set(state.jobs.len() as u64);
     conn.inflight.fetch_add(1, Ordering::AcqRel);
@@ -562,13 +826,13 @@ fn process_batch(
     batch: &mut Vec<Job>,
 ) {
     let mut queries: Vec<RknntQuery> = Vec::new();
-    let mut query_meta: Vec<(Arc<Conn>, u64, Instant)> = Vec::new();
+    let mut query_meta: Vec<QueryMeta> = Vec::new();
     let mut jobs = batch.drain(..).peekable();
     while let Some(job) = jobs.next() {
         match job.work {
-            Work::Request(Message::Query { id, query }) => {
+            Work::Request(Message::Query { id, query, .. }) => {
                 queries.push(query);
-                query_meta.push((job.conn, id, job.accepted_at));
+                query_meta.push((job.conn, id, job.accepted_at, job.trace));
                 let next_is_query = matches!(
                     jobs.peek(),
                     Some(Job {
@@ -580,9 +844,15 @@ fn process_batch(
                     flush_queries(backend, shared, &mut queries, &mut query_meta);
                 }
             }
-            Work::Request(msg) => {
-                handle_control(backend, shared, subs, &job.conn, msg, job.accepted_at)
-            }
+            Work::Request(msg) => handle_control(
+                backend,
+                shared,
+                subs,
+                &job.conn,
+                msg,
+                job.accepted_at,
+                job.trace,
+            ),
             Work::Disconnect => {
                 for raw in subs.by_conn.remove(&job.conn.id).unwrap_or_default() {
                     if let Some((_, sid)) = subs.by_raw.remove(&raw) {
@@ -594,17 +864,39 @@ fn process_batch(
     }
 }
 
+/// Per-query reply bookkeeping through a funnelled batch: connection,
+/// request id, admission time, and the request's trace (if sampled).
+type QueryMeta = (Arc<Conn>, u64, Instant, Option<RequestTrace>);
+
 fn flush_queries(
     backend: &Backend,
     shared: &Shared,
     queries: &mut Vec<RknntQuery>,
-    meta: &mut Vec<(Arc<Conn>, u64, Instant)>,
+    meta: &mut Vec<QueryMeta>,
 ) {
     if queries.is_empty() {
         return;
     }
-    let (results, _stats) = backend.execute_batch(queries);
-    for ((conn, id, accepted_at), result) in meta.drain(..).zip(results) {
+    // Every traced request in the funnel gets its `queue` span closed and
+    // an `execute` span bracketing the backend call; the backend's own
+    // span tree hangs off the *first* traced request (one `execute_batch`
+    // serves the whole funnel, so its internals belong to one tree).
+    let mut batch_cursor: Option<TraceCursor> = None;
+    for (_, _, _, trace) in meta.iter_mut() {
+        if let Some(rt) = trace.as_mut() {
+            let cursor = rt.start_execute();
+            if batch_cursor.is_none() {
+                batch_cursor = Some(cursor);
+            }
+        }
+    }
+    let (results, _stats) = backend.execute_batch_traced(queries, batch_cursor.as_ref());
+    for ((conn, id, accepted_at, trace), result) in meta.drain(..).zip(results) {
+        // Finish the trace *before* the reply leaves: a client that has its
+        // answer can immediately introspect and find the promoted trace.
+        if let Some(rt) = trace {
+            rt.finish(shared);
+        }
         let _ = conn.send(&Message::QueryOk {
             id,
             transitions: result.transitions,
@@ -621,6 +913,7 @@ fn handle_control(
     conn: &Arc<Conn>,
     msg: Message,
     accepted_at: Instant,
+    mut trace: Option<RequestTrace>,
 ) {
     match msg {
         Message::Subscribe { id, query } => {
@@ -653,8 +946,15 @@ fn handle_control(
             };
             let _ = conn.send(&Message::UnsubscribeOk { id, existed });
         }
-        Message::ApplyUpdates { id, updates } => {
-            let stats = backend.apply_updates(updates);
+        Message::ApplyUpdates { id, updates, .. } => {
+            let cursor = trace.as_mut().map(RequestTrace::start_execute);
+            let stats = backend.apply_updates_traced(updates, cursor.as_ref());
+            // Finish the trace *before* the reply leaves: a client that has
+            // its answer can immediately introspect and find the promoted
+            // trace.
+            if let Some(rt) = trace.take() {
+                rt.finish(shared);
+            }
             let _ = conn.send(&Message::UpdatesOk {
                 id,
                 applied: stats.applied as u64,
@@ -667,6 +967,9 @@ fn handle_control(
         }
         // Readers only enqueue request kinds; queries are flushed upstream.
         _ => {}
+    }
+    if let Some(rt) = trace {
+        rt.finish(shared);
     }
     finish(shared, conn, accepted_at);
 }

@@ -7,12 +7,17 @@
 use rknnt_core::{EngineKind, RknntQuery, Semantics};
 use rknnt_geo::Point;
 use rknnt_index::{RouteStore, TransitionStore};
-use rknnt_net::{Backend, Client, Message, Reply, Server, ServerConfig};
+use rknnt_net::{
+    Backend, Client, IntrospectReport, IntrospectWhat, Message, Reply, Server, ServerConfig,
+    WireSlowQuery,
+};
 use rknnt_service::{
-    EnginePolicy, QueryService, ServiceConfig, ShardedConfig, ShardedService, StoreUpdate,
+    EnginePolicy, QueryService, ServiceConfig, ShardedConfig, ShardedService, StorageConfig,
+    StoreUpdate,
 };
 use std::collections::BTreeMap;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn p(x: f64, y: f64) -> Point {
@@ -341,6 +346,262 @@ fn hostile_bytes_get_a_typed_error_then_the_connection_closes() {
         got_error,
         "a response kind sent as a request must be rejected"
     );
+}
+
+/// A guard that writes a trace/introspection dump under
+/// `target/test-dumps/` if the current thread panics while it is alive —
+/// CI uploads that directory as an artifact on test failure.
+struct DumpFileOnPanic {
+    name: &'static str,
+    text: String,
+}
+
+impl Drop for DumpFileOnPanic {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("../../target"))
+            .join("test-dumps");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(self.name);
+        let _ = std::fs::write(&path, &self.text);
+        eprintln!("wrote failure dump to {}", path.display());
+    }
+}
+
+/// The index of the first span named `name`, or a panic naming what is
+/// missing from the tree.
+fn span_index(entry: &WireSlowQuery, name: &str) -> usize {
+    entry
+        .spans
+        .iter()
+        .position(|s| s.name == name)
+        .unwrap_or_else(|| panic!("trace {:#x} has no {name:?} span", entry.trace_id))
+}
+
+/// An integer attribute of span `index`, or a panic naming what is missing.
+fn span_attr(entry: &WireSlowQuery, index: usize, key: &str) -> u64 {
+    entry.spans[index]
+        .attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| {
+            panic!(
+                "span {:?} of trace {:#x} has no {key:?} attr",
+                entry.spans[index].name, entry.trace_id
+            )
+        })
+}
+
+/// Whether span `index` sits under `ancestor` in the tree (or is it).
+fn descends_from(entry: &WireSlowQuery, mut index: usize, ancestor: usize) -> bool {
+    loop {
+        if index == ancestor {
+            return true;
+        }
+        match entry.spans[index].parent_index() {
+            Some(parent) => index = parent,
+            None => return false,
+        }
+    }
+}
+
+#[test]
+fn introspect_fetches_the_slow_trace_span_tree_over_tcp() {
+    // Sharded durable backend, so per-shard routing decisions and WAL
+    // appends both appear in the trace.
+    let (routes, pairs) = small_world();
+    let base = ServiceConfig::default().with_policy(EnginePolicy::Fixed(EngineKind::FilterRefine));
+    let mut sharded = ShardedService::bulk_build(
+        ShardedConfig::default().with_shards(4).with_base(base),
+        routes.clone(),
+        pairs.clone(),
+    );
+    let dir = std::env::temp_dir().join(format!("rknnt-net-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    sharded
+        .attach_storage(&dir, StorageConfig::default().with_fsync(false))
+        .unwrap();
+    let backend = Backend::Sharded(sharded);
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+
+    // Threshold 0: every completed trace counts as slow, so promotion is
+    // deterministic on any machine.
+    let server = Server::start(
+        backend,
+        ServerConfig::default()
+            .with_trace_sample(1.0)
+            .with_slow_query_threshold_ns(0),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // One traced update (exercises the WAL path) and one traced query
+    // (exercises shard routing), with distinct caller-chosen trace ids.
+    const UPDATE_TRACE: u64 = 0x0DECAF;
+    const QUERY_TRACE: u64 = 0xC0FFEE;
+    let counts = client
+        .apply_updates_traced(
+            vec![StoreUpdate::InsertTransition {
+                origin: p(100.0, 45.0),
+                destination: p(200.0, 50.0),
+            }],
+            UPDATE_TRACE,
+        )
+        .unwrap()
+        .answered()
+        .unwrap();
+    assert_eq!(counts.applied, 1);
+    let query = &query_mix()[0];
+    client
+        .query_traced(query, QUERY_TRACE)
+        .unwrap()
+        .answered()
+        .expect("a serial client under the default budget is never shed");
+    // An *untraced* request must not add a slow-log entry.
+    client.query(query).unwrap().answered().unwrap();
+
+    let report = client.introspect(IntrospectWhat::SlowQueries).unwrap();
+    let IntrospectReport::SlowQueries { entries } = report else {
+        panic!("asked for SlowQueries, got {report:?}");
+    };
+    let _entries_dump = DumpFileOnPanic {
+        name: "introspect-slow-queries.txt",
+        text: format!("{entries:#?}"),
+    };
+    assert_eq!(
+        entries.len(),
+        2,
+        "exactly the two traced requests promote at threshold 0"
+    );
+
+    // The update trace: request -> execute -> wal_append with real frames.
+    let update = entries
+        .iter()
+        .find(|e| e.trace_id == UPDATE_TRACE)
+        .expect("the traced update must be in the slow log");
+    assert_eq!(update.spans[0].name, "request");
+    assert!(update.root_dur_ns > 0);
+    let execute = span_index(update, "execute");
+    let wal = span_index(update, "wal_append");
+    assert!(descends_from(update, wal, execute));
+    assert!(span_attr(update, wal, "frames") >= 1);
+    assert!(span_attr(update, wal, "bytes") > 0);
+
+    // The query trace: admission and queue under the root, the batch
+    // pipeline under execute, and a routing decision for every shard.
+    let entry = entries
+        .iter()
+        .find(|e| e.trace_id == QUERY_TRACE)
+        .expect("the traced query must be in the slow log");
+    assert_eq!(entry.spans[0].name, "request");
+    let admission = span_index(entry, "admission");
+    assert_eq!(entry.spans[admission].parent_index(), Some(0));
+    assert!(span_attr(entry, admission, "cost") >= 1);
+    span_attr(entry, admission, "queue_depth");
+    assert_eq!(
+        entry.spans[span_index(entry, "queue")].parent_index(),
+        Some(0)
+    );
+    let execute = span_index(entry, "execute");
+    for name in ["batch", "worker", "group"] {
+        let index = span_index(entry, name);
+        assert!(
+            descends_from(entry, index, execute),
+            "{name} must hang under execute"
+        );
+    }
+    let shard_spans: Vec<usize> = entry
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "shard")
+        .map(|(i, _)| i)
+        .collect();
+    let mut decided: Vec<u64> = Vec::new();
+    for index in shard_spans {
+        assert!(descends_from(entry, index, execute));
+        decided.push(span_attr(entry, index, "shard"));
+        match span_attr(entry, index, "pruned") {
+            // Certificate-pruned shards record a zero-duration marker.
+            1 => assert_eq!(span_attr(entry, index, "certificate"), 1),
+            0 => {
+                span_attr(entry, index, "candidates");
+            }
+            other => panic!("pruned attr must be 0 or 1, got {other}"),
+        }
+    }
+    decided.sort_unstable();
+    assert_eq!(
+        decided,
+        vec![0, 1, 2, 3],
+        "the trace must record a prune decision for every shard"
+    );
+    // The correlated flight-recorder window rode along with the trace.
+    assert!(entry.events.contains("flight recorder"));
+
+    // Metrics introspection reaches the per-reason shed counters and the
+    // shard-prefixed backend registries from the reader thread.
+    let IntrospectReport::Metrics { text } = client.introspect(IntrospectWhat::Metrics).unwrap()
+    else {
+        panic!("asked for Metrics, got something else");
+    };
+    for needle in [
+        "net.shed.queue_full",
+        "net.shed.cost_budget",
+        "net.shed.inflight",
+        "shard.0.",
+    ] {
+        assert!(text.contains(needle), "metrics text missing {needle}");
+    }
+
+    // Flight-recorder introspection renders the backend's window.
+    let IntrospectReport::FlightRecorder { text } =
+        client.introspect(IntrospectWhat::FlightRecorder).unwrap()
+    else {
+        panic!("asked for FlightRecorder, got something else");
+    };
+    assert!(text.contains("flight recorder"), "got: {text}");
+
+    // The server-side log agrees with what travelled over the wire.
+    let log = server.slow_query_log();
+    assert_eq!(log.promoted(), 2);
+    assert_eq!(log.over_threshold(), 2);
+}
+
+#[test]
+fn trace_sampling_zero_keeps_the_slow_log_empty() {
+    let backend = single_backend(ServiceConfig::default());
+    let _dump = rknnt_obs::DumpOnPanic::new(backend.flight_recorder(), 32);
+    let server = Server::start(
+        backend,
+        ServerConfig::default()
+            .with_trace_sample(0.0)
+            .with_slow_query_threshold_ns(0),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for (i, query) in query_mix().iter().enumerate() {
+        client
+            .query_traced(query, 0x1000 + i as u64)
+            .unwrap()
+            .answered()
+            .unwrap();
+    }
+    let IntrospectReport::SlowQueries { entries } =
+        client.introspect(IntrospectWhat::SlowQueries).unwrap()
+    else {
+        panic!("asked for SlowQueries, got something else");
+    };
+    assert!(
+        entries.is_empty(),
+        "sampling 0.0 must trace nothing, got {entries:#?}"
+    );
+    assert_eq!(server.slow_query_log().completed(), 0);
 }
 
 #[test]

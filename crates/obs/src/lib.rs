@@ -33,6 +33,7 @@ mod clock;
 mod histogram;
 mod metrics;
 mod recorder;
+mod trace;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
 pub use histogram::{Histogram, HistogramSnapshot};
@@ -41,3 +42,7 @@ pub use metrics::{
     Telemetry,
 };
 pub use recorder::{DumpOnPanic, Event, EventKind, FlightRecorder};
+pub use trace::{
+    CompletedTrace, SlowQueryEntry, SlowQueryLog, SpanId, TraceContext, TraceCursor, TraceId,
+    TraceSpan, MAX_SPAN_ATTRS, MAX_TRACE_SPANS, SLOW_LOG_EVENT_WINDOW,
+};

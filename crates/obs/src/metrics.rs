@@ -238,7 +238,7 @@ pub struct MetricId(usize);
 /// that the registry is read-only and the returned cells are the only way to
 /// write. Names must be unique `'static` strings — they double as the
 /// stable exposition ids.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
     telemetry: Telemetry,
     entries: Vec<(&'static str, Metric)>,
@@ -450,7 +450,7 @@ impl MetricsSnapshot {
     /// ```text
     /// counter=<name> value=<n>
     /// gauge=<name> value=<n>
-    /// histogram=<name> count=<n> p50=<ns> p90=<ns> p99=<ns> max=<ns> mean=<ns>
+    /// histogram=<name> count=<n> p50=<ns> p90=<ns> p99=<ns> p999=<ns> max=<ns> mean=<ns>
     /// ```
     ///
     /// Rows are sorted by metric name; all latency figures are nanoseconds.
@@ -467,11 +467,12 @@ impl MetricsSnapshot {
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(
                         out,
-                        "histogram={name} count={} p50={} p90={} p99={} max={} mean={:.0}",
+                        "histogram={name} count={} p50={} p90={} p99={} p999={} max={} mean={:.0}",
                         h.count(),
                         h.percentile(50.0),
                         h.percentile(90.0),
                         h.percentile(99.0),
+                        h.percentile(99.9),
                         h.max().unwrap_or(0),
                         h.mean(),
                     );
@@ -579,6 +580,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "counter=a.hits value=3");
         assert!(lines[1].starts_with("histogram=b.stage_ns count=1 p50=100"));
+        assert!(lines[1].contains("p999=100"));
         assert!(lines[1].contains("max=100"));
         assert_eq!(lines[2], "gauge=c.depth value=11");
     }

@@ -331,6 +331,70 @@ mod tests {
         assert!(!text.contains("batch_admitted"));
     }
 
+    /// Concurrent wraparound: N threads hammer the ring at every small
+    /// capacity (including the 0 → 1 clamp). Events must never tear (each
+    /// decodes to a legal (thread, index) pair), the total count must be
+    /// monotone under a concurrent reader, and the dump must be exactly
+    /// the last `capacity` events in strictly increasing sequence order.
+    #[test]
+    fn concurrent_wraparound_never_tears_and_dumps_stay_well_formed() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 200;
+        for capacity in [0usize, 1, 2, 3, 8, 64] {
+            let recorder = Arc::new(FlightRecorder::new(
+                capacity,
+                Telemetry::with_clock(Arc::new(MockClock::new())),
+            ));
+            assert_eq!(recorder.capacity(), capacity.max(1));
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let recorder = Arc::clone(&recorder);
+                    scope.spawn(move || {
+                        for i in 0..PER_THREAD {
+                            // Encode (thread, index) into the payload so a
+                            // torn write would decode to an illegal pair.
+                            recorder.record(EventKind::CheckpointEnd {
+                                nanos: t * 1_000_000 + i,
+                            });
+                        }
+                    });
+                }
+                // A concurrent reader: the total must be monotone and every
+                // mid-flight dump well-formed (sorted seqs, legal payloads).
+                let mut last_total = 0;
+                for _ in 0..50 {
+                    let total = recorder.total_recorded();
+                    assert!(total >= last_total, "count went backwards");
+                    last_total = total;
+                    let events = recorder.dump();
+                    assert!(events.len() <= recorder.capacity());
+                    for pair in events.windows(2) {
+                        assert!(pair[0].seq < pair[1].seq, "dump out of order");
+                    }
+                }
+            });
+            let total = recorder.total_recorded();
+            assert_eq!(total, THREADS * PER_THREAD);
+            let events = recorder.dump();
+            assert_eq!(events.len(), recorder.capacity().min(total as usize));
+            // The retained window is exactly the last `len` sequence
+            // numbers, in order.
+            let expect_first = total - events.len() as u64;
+            for (offset, event) in events.iter().enumerate() {
+                assert_eq!(event.seq, expect_first + offset as u64);
+                let EventKind::CheckpointEnd { nanos } = event.kind else {
+                    panic!("unexpected kind {:?}", event.kind);
+                };
+                let (t, i) = (nanos / 1_000_000, nanos % 1_000_000);
+                assert!(t < THREADS && i < PER_THREAD, "torn event payload");
+            }
+            // render() stays well-formed at every capacity.
+            let text = recorder.render(recorder.capacity());
+            assert!(text.starts_with("flight recorder: showing last"));
+            assert_eq!(text.lines().count(), 1 + events.len());
+        }
+    }
+
     #[test]
     fn event_display_is_key_value_shaped() {
         let event = Event {

@@ -9,6 +9,7 @@ use rknnt_core::{
 };
 use rknnt_geo::Point;
 use rknnt_index::{RouteStore, TransitionStore};
+use rknnt_obs::TraceCursor;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
@@ -185,7 +186,15 @@ pub(crate) fn run_group<'q>(
     scratch: &mut QueryScratch,
     out: &mut Vec<GroupOutput>,
     metrics: &ServiceMetrics,
+    trace: Option<&TraceCursor>,
 ) {
+    // Trace plumbing: one "group" span per group; fresh filter
+    // constructions get a "filter_build" child each. All spans land in the
+    // request's bounded slab — a huge batch overflows into the dropped
+    // counter, never an allocation.
+    let group_span = trace.map(|t| (t.clone(), t.begin("group")));
+    let group_trace = group_span.as_ref().map(|(t, span)| t.at(*span));
+    let mut filter_builds = 0u64;
     // (route, k, semantics) -> position in `out` of the first identical
     // query's result, for exact-duplicate coalescing.
     let mut seen: HashMap<(RouteBits, usize, Semantics), usize> = HashMap::new();
@@ -218,7 +227,12 @@ pub(crate) fn run_group<'q>(
                         }
                         std::collections::hash_map::Entry::Vacant(entry) => {
                             metrics.filter_constructions.inc();
+                            filter_builds += 1;
+                            let span = group_trace.as_ref().map(|t| t.begin("filter_build"));
                             let outcome = fr.build_filter(job.query);
+                            if let (Some(t), Some(span)) = (group_trace.as_ref(), span) {
+                                t.end_with(span, &[("k", job.query.k as u64)]);
+                            }
                             let footprint = Arc::new(fr.footprint_for(job.query, &outcome));
                             entry.insert((outcome, footprint))
                         }
@@ -234,6 +248,15 @@ pub(crate) fn run_group<'q>(
         metrics.record_engine_timings(&result.timings);
         seen.insert(full_key, out.len());
         out.push((job.index, result, footprint));
+    }
+    if let Some((t, span)) = group_span {
+        t.end_with(
+            span,
+            &[
+                ("jobs", group.jobs.len() as u64),
+                ("filter_builds", filter_builds),
+            ],
+        );
     }
 }
 

@@ -80,6 +80,15 @@ impl StoreUpdate {
     }
 }
 
+/// Encodes a batch of updates as WAL records and reports the payload byte
+/// total — the shared helper for the service-level append paths, whose
+/// traced twins want the frame count and byte figure as span attributes.
+pub(crate) fn wal_records(updates: &[StoreUpdate]) -> (Vec<Vec<u8>>, u64) {
+    let records: Vec<Vec<u8>> = updates.iter().map(StoreUpdate::to_wal_record).collect();
+    let bytes = records.iter().map(|r| r.len() as u64).sum();
+    (records, bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +117,18 @@ mod tests {
             // Byte identity through a second round.
             assert_eq!(back.to_wal_record(), record);
         }
+    }
+
+    #[test]
+    fn wal_records_reports_the_payload_byte_total() {
+        let updates = vec![
+            StoreUpdate::ExpireTransition(TransitionId(1)),
+            StoreUpdate::RemoveRoute(RouteId(2)),
+        ];
+        let (records, bytes) = wal_records(&updates);
+        assert_eq!(records.len(), 2);
+        assert_eq!(bytes, records.iter().map(|r| r.len() as u64).sum::<u64>());
+        assert!(bytes > 0);
     }
 
     #[test]

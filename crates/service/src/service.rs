@@ -10,7 +10,7 @@ use crate::region::EntryRegion;
 use rknnt_core::{FilterFootprint, RknntQuery, RknntResult};
 use rknnt_geo::{Point, Rect};
 use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
-use rknnt_obs::{EventKind, FlightRecorder, MetricsSnapshot, Span};
+use rknnt_obs::{EventKind, FlightRecorder, MetricsSnapshot, Span, TraceCursor};
 use rknnt_storage::{Storage, StorageConfig, StorageError, StorageStats};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -541,12 +541,41 @@ impl QueryService {
         &mut self,
         updates: Vec<StoreUpdate>,
     ) -> Result<UpdateStats, StorageError> {
+        self.try_apply_updates_traced(updates, None)
+    }
+
+    /// [`QueryService::apply_updates`] with request tracing: when `trace` is
+    /// present the WAL append (the update path's dominant latency source)
+    /// gets a `wal_append` span carrying the frame count and payload bytes.
+    ///
+    /// # Panics
+    /// Panics when storage is attached and the WAL append fails.
+    pub fn apply_updates_traced(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace: Option<&TraceCursor>,
+    ) -> UpdateStats {
+        self.try_apply_updates_traced(updates, trace)
+            .expect("WAL append failed (use try_apply_updates_traced to handle storage errors)")
+    }
+
+    /// Fallible form of [`QueryService::apply_updates_traced`] — the same
+    /// error contract as [`QueryService::try_apply_updates`].
+    pub fn try_apply_updates_traced(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace: Option<&TraceCursor>,
+    ) -> Result<UpdateStats, StorageError> {
         // Read the counter baseline *before* the WAL append so the frames
         // and bytes the storage instruments record land in this call's diff.
         let base = self.metrics.update_view();
         if let Some(storage) = &mut self.storage {
-            let records: Vec<Vec<u8>> = updates.iter().map(StoreUpdate::to_wal_record).collect();
+            let (records, bytes) = crate::durable::wal_records(&updates);
+            let span = trace.map(|t| t.begin("wal_append"));
             storage.append(&records)?;
+            if let (Some(t), Some(span)) = (trace, span) {
+                t.end_with(span, &[("frames", records.len() as u64), ("bytes", bytes)]);
+            }
         }
         Ok(self.apply_updates_from(updates, base))
     }
@@ -750,6 +779,24 @@ impl QueryService {
     /// [`rknnt_core::RknnTEngine::execute`]: grouping and sharding only
     /// decide *where* and *how often* work runs, never *what* it computes.
     pub fn execute_batch(&self, queries: &[RknntQuery]) -> (Vec<RknntResult>, BatchStats) {
+        self.execute_batch_traced(queries, None)
+    }
+
+    /// [`QueryService::execute_batch`] with request tracing: when `trace` is
+    /// present, a `batch` span is opened under the cursor's parent and each
+    /// pipeline phase lands as a closed child span (`cache_lookup`,
+    /// `grouping`, `execution`, `finalize`) carrying the batch counters as
+    /// attributes; workers and groups add their own spans below that.
+    ///
+    /// Tracing never changes what is computed: results are byte-identical
+    /// to the untraced call (asserted by the `trace_overhead` experiment),
+    /// and the per-phase span durations are the *same* measurements the
+    /// returned [`BatchStats::timings`] report.
+    pub fn execute_batch_traced(
+        &self,
+        queries: &[RknntQuery],
+        trace: Option<&TraceCursor>,
+    ) -> (Vec<RknntResult>, BatchStats) {
         let mut stats = BatchStats {
             queries: queries.len(),
             ..BatchStats::default()
@@ -758,6 +805,8 @@ impl QueryService {
         if queries.is_empty() {
             return (Vec::new(), stats);
         }
+        let batch_span = trace.map(|t| t.begin("batch"));
+        let bt = trace.zip(batch_span).map(|(t, s)| t.at(s));
         let generation_at_start = self.generation();
         self.metrics.batches.inc();
         self.metrics.queries.add(queries.len() as u64);
@@ -793,6 +842,16 @@ impl QueryService {
         }
         stats.timings.lookup = span.finish();
         stats.cache_hits = (self.metrics.cache.hits.get() - base.cache_hits) as usize;
+        if let Some(bt) = &bt {
+            bt.record(
+                "cache_lookup",
+                stats.timings.lookup.as_nanos() as u64,
+                &[
+                    ("queries", queries.len() as u64),
+                    ("cache_hits", stats.cache_hits as u64),
+                ],
+            );
+        }
         self.metrics.record_event(EventKind::BatchAdmitted {
             queries: u32::try_from(queries.len()).unwrap_or(u32::MAX),
             cache_hits: u32::try_from(stats.cache_hits).unwrap_or(u32::MAX),
@@ -809,12 +868,24 @@ impl QueryService {
         stats.groups = groups.len();
         self.metrics.groups.add(groups.len() as u64);
         stats.timings.grouping = span.finish();
+        if let Some(bt) = &bt {
+            bt.record(
+                "grouping",
+                stats.timings.grouping.as_nanos() as u64,
+                &[("groups", groups.len() as u64)],
+            );
+        }
 
         // Phase 3: execution over the worker pool.
         let span = Span::enter(&self.metrics.stage_execution);
-        let (mut computed, workers_used) = self.run_groups(&groups);
+        let exec_span = bt.as_ref().map(|t| t.begin("execution"));
+        let et = bt.as_ref().zip(exec_span).map(|(t, s)| t.at(s));
+        let (mut computed, workers_used) = self.run_groups(&groups, et.as_ref());
         stats.workers_used = workers_used;
         stats.timings.execution = span.finish();
+        if let (Some(bt), Some(exec_span)) = (&bt, exec_span) {
+            bt.end_with(exec_span, &[("workers", workers_used as u64)]);
+        }
 
         // Phase 4: merge into input order and feed the cache.
         let span = Span::enter(&self.metrics.stage_finalize);
@@ -860,13 +931,34 @@ impl QueryService {
         stats.filters_saved = (view.filters_saved - base.filters_saved) as usize;
         stats.duplicates_coalesced =
             (view.duplicates_coalesced - base.duplicates_coalesced) as usize;
+        if let Some(bt) = &bt {
+            bt.record(
+                "finalize",
+                stats.timings.finalize.as_nanos() as u64,
+                &[("filter_constructions", stats.filter_constructions as u64)],
+            );
+        }
+        if let (Some(t), Some(batch_span)) = (trace, batch_span) {
+            t.end_with(
+                batch_span,
+                &[
+                    ("queries", queries.len() as u64),
+                    ("cache_hits", stats.cache_hits as u64),
+                    ("groups", stats.groups as u64),
+                ],
+            );
+        }
         (results, stats)
     }
 
     /// Executes pre-formed groups over the worker pool, returning the
     /// outputs and the worker count used. Work counters go straight to the
     /// registry cells (they are atomic, so workers increment them directly).
-    fn run_groups(&self, groups: &[Group<'_>]) -> (Vec<crate::batch::GroupOutput>, usize) {
+    fn run_groups(
+        &self,
+        groups: &[Group<'_>],
+        trace: Option<&TraceCursor>,
+    ) -> (Vec<crate::batch::GroupOutput>, usize) {
         let workers = self.config.workers.max(1).min(groups.len().max(1));
         let workers_used = if groups.is_empty() { 0 } else { workers };
         let mut computed: Vec<crate::batch::GroupOutput> = Vec::new();
@@ -875,11 +967,26 @@ impl QueryService {
             // The scratch is this worker's own (see `rknnt_core::scratch` for
             // the ownership rules) and is reused across every query of the
             // batch, so per-candidate work stops allocating once warmed.
+            let worker_span = match (trace, groups.is_empty()) {
+                (Some(t), false) => Some((t.clone(), t.begin("worker"))),
+                _ => None,
+            };
+            let wt = worker_span.as_ref().map(|(t, s)| t.at(*s));
             let mut engines = WorkerEngines::default();
             let mut scratch = rknnt_core::QueryScratch::new();
             for group in groups {
                 let engine = engines.for_kind(group, &self.routes, &self.transitions);
-                run_group(engine, group, &mut scratch, &mut computed, &self.metrics);
+                run_group(
+                    engine,
+                    group,
+                    &mut scratch,
+                    &mut computed,
+                    &self.metrics,
+                    wt.as_ref(),
+                );
+            }
+            if let Some((t, span)) = worker_span {
+                t.end_with(span, &[("worker", 0), ("groups", groups.len() as u64)]);
             }
         } else {
             // Round-robin shard the groups, spawn one scoped worker per
@@ -892,17 +999,36 @@ impl QueryService {
             let outputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .into_iter()
-                    .map(|shard| {
+                    .enumerate()
+                    .map(|(w, shard)| {
                         let (routes, transitions) = (&self.routes, &self.transitions);
                         let metrics = &self.metrics;
+                        // Each worker records its own "worker" span; the
+                        // trace slab is behind a mutex, so concurrent span
+                        // pushes interleave safely (order within the slab is
+                        // scheduling-dependent, parenthood is not).
+                        let wt: Option<TraceCursor> = trace.cloned();
                         scope.spawn(move || {
+                            let shard_groups = shard.len() as u64;
+                            let span = wt.as_ref().map(|t| t.begin("worker"));
+                            let child = wt.as_ref().zip(span).map(|(t, s)| t.at(s));
                             let mut engines = WorkerEngines::default();
                             // One scratch per worker thread, never shared.
                             let mut scratch = rknnt_core::QueryScratch::new();
                             let mut out = Vec::new();
                             for group in shard {
                                 let engine = engines.for_kind(group, routes, transitions);
-                                run_group(engine, group, &mut scratch, &mut out, metrics);
+                                run_group(
+                                    engine,
+                                    group,
+                                    &mut scratch,
+                                    &mut out,
+                                    metrics,
+                                    child.as_ref(),
+                                );
+                            }
+                            if let (Some(t), Some(span)) = (wt.as_ref(), span) {
+                                t.end_with(span, &[("worker", w as u64), ("groups", shard_groups)]);
                             }
                             out
                         })
@@ -965,7 +1091,7 @@ impl QueryService {
             self.config.policy,
             self.config.group_cell,
         );
-        let (mut computed, _) = self.run_groups(&groups);
+        let (mut computed, _) = self.run_groups(&groups, None);
         self.fill_footprint_fallbacks(queries, &mut computed);
         let mut slots: Vec<Option<(RknntResult, Option<Arc<FilterFootprint>>)>> =
             (0..queries.len()).map(|_| None).collect();

@@ -53,7 +53,7 @@ use rknnt_index::{
     partition_routes, partition_transitions, EndpointKind, IdSpace, NList, RouteId, RouteStore,
     TransitionId, TransitionStore,
 };
-use rknnt_obs::{EventKind, FlightRecorder, MetricsSnapshot, Span};
+use rknnt_obs::{EventKind, FlightRecorder, MetricsSnapshot, Span, TraceCursor};
 use rknnt_rtree::RTreeConfig;
 use rknnt_storage::{
     detect_shard_layout, dir_has_storage_data, parse_shard_subdir, shard_subdir, Storage,
@@ -343,6 +343,21 @@ impl ShardedService {
     /// against the planner. Returned transition sets are byte-identical to
     /// the unsharded service's.
     pub fn execute_batch(&self, queries: &[RknntQuery]) -> (Vec<RknntResult>, BatchStats) {
+        self.execute_batch_traced(queries, None)
+    }
+
+    /// [`ShardedService::execute_batch`] with request tracing — the sharded
+    /// mirror of [`QueryService::execute_batch_traced`]. On top of the
+    /// per-phase spans, every routed query records one `shard` span per
+    /// shard it considered, carrying the routing decision as attributes:
+    /// `pruned=1 certificate=1` when the root-MBR certificate skipped the
+    /// shard without dispatching, or `pruned=0` with the local candidate
+    /// count when it was consulted.
+    pub fn execute_batch_traced(
+        &self,
+        queries: &[RknntQuery],
+        trace: Option<&TraceCursor>,
+    ) -> (Vec<RknntResult>, BatchStats) {
         let mut stats = BatchStats {
             queries: queries.len(),
             ..BatchStats::default()
@@ -351,6 +366,8 @@ impl ShardedService {
         if queries.is_empty() {
             return (Vec::new(), stats);
         }
+        let batch_span = trace.map(|t| t.begin("batch"));
+        let bt = trace.zip(batch_span).map(|(t, s)| t.at(s));
         let generation_at_start = self.generation();
         self.metrics.batches.inc();
         self.metrics.queries.add(queries.len() as u64);
@@ -382,6 +399,16 @@ impl ShardedService {
         }
         stats.timings.lookup = span.finish();
         stats.cache_hits = (self.metrics.cache.hits.get() - base.cache_hits) as usize;
+        if let Some(bt) = &bt {
+            bt.record(
+                "cache_lookup",
+                stats.timings.lookup.as_nanos() as u64,
+                &[
+                    ("queries", queries.len() as u64),
+                    ("cache_hits", stats.cache_hits as u64),
+                ],
+            );
+        }
         self.metrics.record_event(EventKind::BatchAdmitted {
             queries: u32::try_from(queries.len()).unwrap_or(u32::MAX),
             cache_hits: u32::try_from(stats.cache_hits).unwrap_or(u32::MAX),
@@ -398,12 +425,24 @@ impl ShardedService {
         stats.groups = groups.len();
         self.metrics.groups.add(groups.len() as u64);
         stats.timings.grouping = span.finish();
+        if let Some(bt) = &bt {
+            bt.record(
+                "grouping",
+                stats.timings.grouping.as_nanos() as u64,
+                &[("groups", groups.len() as u64)],
+            );
+        }
 
         // Phase 3: routed execution over the worker pool.
         let span = Span::enter(&self.metrics.stage_execution);
-        let (computed, workers_used) = self.run_sharded_groups(&groups);
+        let exec_span = bt.as_ref().map(|t| t.begin("execution"));
+        let et = bt.as_ref().zip(exec_span).map(|(t, s)| t.at(s));
+        let (computed, workers_used) = self.run_sharded_groups(&groups, et.as_ref());
         stats.workers_used = workers_used;
         stats.timings.execution = span.finish();
+        if let (Some(bt), Some(exec_span)) = (&bt, exec_span) {
+            bt.end_with(exec_span, &[("workers", workers_used as u64)]);
+        }
 
         // Phase 4: merge into input order and feed the cache. Every
         // non-degenerate result already carries its footprint (the router
@@ -440,6 +479,23 @@ impl ShardedService {
         stats.filters_saved = (view.filters_saved - base.filters_saved) as usize;
         stats.duplicates_coalesced =
             (view.duplicates_coalesced - base.duplicates_coalesced) as usize;
+        if let Some(bt) = &bt {
+            bt.record(
+                "finalize",
+                stats.timings.finalize.as_nanos() as u64,
+                &[("filter_constructions", stats.filter_constructions as u64)],
+            );
+        }
+        if let (Some(t), Some(batch_span)) = (trace, batch_span) {
+            t.end_with(
+                batch_span,
+                &[
+                    ("queries", queries.len() as u64),
+                    ("cache_hits", stats.cache_hits as u64),
+                    ("groups", stats.groups as u64),
+                ],
+            );
+        }
         (results, stats)
     }
 
@@ -460,6 +516,7 @@ impl ShardedService {
         query: &RknntQuery,
         outcome: &FilterOutcome,
         use_voronoi: bool,
+        trace: Option<&TraceCursor>,
     ) -> RknntResult {
         let mut result = RknntResult::default();
 
@@ -480,17 +537,37 @@ impl ShardedService {
                 // candidate can live there, skip without dispatching.
                 self.router.shards_pruned.inc();
                 pruned_nodes += 1;
+                if let Some(t) = trace {
+                    // Zero-duration marker: the decision itself is the
+                    // interesting part, not the (sub-microsecond) test.
+                    t.record(
+                        "shard",
+                        0,
+                        &[("shard", index as u64), ("pruned", 1), ("certificate", 1)],
+                    );
+                }
                 continue;
             }
             consulted += 1;
             self.router.dispatches.inc();
             self.router.shard_dispatches[index].inc();
+            let shard_span = trace.map(|t| t.begin("shard"));
             let local = prune_transitions(
                 shard.service.transitions(),
                 &outcome.filter_set,
                 query.k,
                 use_voronoi,
             );
+            if let (Some(t), Some(span)) = (trace, shard_span) {
+                t.end_with(
+                    span,
+                    &[
+                        ("shard", index as u64),
+                        ("pruned", 0),
+                        ("candidates", local.candidates.len() as u64),
+                    ],
+                );
+            }
             self.metrics.record_event(EventKind::ShardDispatch {
                 shard: index as u32,
                 candidates: u32::try_from(local.candidates.len()).unwrap_or(u32::MAX),
@@ -562,7 +639,19 @@ impl ShardedService {
     /// built for *every* engine kind (all engines agree on result
     /// transitions, so routing through the filter pipeline preserves
     /// byte-identity while giving every cached entry a real footprint).
-    fn run_shard_group(&self, nlist: &NList, group: &Group<'_>, out: &mut Vec<GroupOutput>) {
+    fn run_shard_group(
+        &self,
+        nlist: &NList,
+        group: &Group<'_>,
+        out: &mut Vec<GroupOutput>,
+        trace: Option<&TraceCursor>,
+    ) {
+        // Mirrors `crate::batch::run_group`'s trace shape: a "group" span
+        // with "filter_build" children, plus the router's per-shard spans
+        // recorded by `route_query` below.
+        let group_span = trace.map(|t| (t.clone(), t.begin("group")));
+        let group_trace = group_span.as_ref().map(|(t, span)| t.at(*span));
+        let mut filter_builds = 0u64;
         // Exact-identity keys mirroring `crate::batch::RouteBits`: coalescing
         // keys on (route bits, k, semantics), filter sharing only on
         // (route bits, k) since the filter set is semantics-independent.
@@ -592,15 +681,20 @@ impl ShardedService {
                     }
                     Entry::Vacant(entry) => {
                         self.metrics.filter_constructions.inc();
+                        filter_builds += 1;
+                        let span = group_trace.as_ref().map(|t| t.begin("filter_build"));
                         let outcome =
                             build_filter_set(&self.planner, &job.query.route, job.query.k);
+                        if let (Some(t), Some(span)) = (group_trace.as_ref(), span) {
+                            t.end_with(span, &[("k", job.query.k as u64)]);
+                        }
                         let footprint =
                             Arc::new(FilterFootprint::from_outcome(&job.query.route, &outcome));
                         entry.insert((outcome, footprint))
                     }
                 };
                 (
-                    self.route_query(nlist, job.query, outcome, use_voronoi),
+                    self.route_query(nlist, job.query, outcome, use_voronoi, group_trace.as_ref()),
                     Some(footprint.clone()),
                 )
             };
@@ -608,18 +702,39 @@ impl ShardedService {
             seen.insert(full_key, out.len());
             out.push((job.index, result, footprint));
         }
+        if let Some((t, span)) = group_span {
+            t.end_with(
+                span,
+                &[
+                    ("jobs", group.jobs.len() as u64),
+                    ("filter_builds", filter_builds),
+                ],
+            );
+        }
     }
 
     /// Executes pre-formed groups over the worker pool (round-robin group
     /// sharding, scoped threads, one planner [`NList`] per worker).
-    fn run_sharded_groups(&self, groups: &[Group<'_>]) -> (Vec<GroupOutput>, usize) {
+    fn run_sharded_groups(
+        &self,
+        groups: &[Group<'_>],
+        trace: Option<&TraceCursor>,
+    ) -> (Vec<GroupOutput>, usize) {
         let workers = self.config.base.workers.max(1).min(groups.len().max(1));
         let workers_used = if groups.is_empty() { 0 } else { workers };
         let mut computed: Vec<GroupOutput> = Vec::new();
         if workers <= 1 {
+            let worker_span = match (trace, groups.is_empty()) {
+                (Some(t), false) => Some((t.clone(), t.begin("worker"))),
+                _ => None,
+            };
+            let wt = worker_span.as_ref().map(|(t, s)| t.at(*s));
             let nlist = NList::build(&self.planner);
             for group in groups {
-                self.run_shard_group(&nlist, group, &mut computed);
+                self.run_shard_group(&nlist, group, &mut computed, wt.as_ref());
+            }
+            if let Some((t, span)) = worker_span {
+                t.end_with(span, &[("worker", 0), ("groups", groups.len() as u64)]);
             }
         } else {
             let assignments: Vec<Vec<&Group>> = (0..workers)
@@ -628,12 +743,20 @@ impl ShardedService {
             let outputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = assignments
                     .into_iter()
-                    .map(|list| {
+                    .enumerate()
+                    .map(|(w, list)| {
+                        let wt: Option<TraceCursor> = trace.cloned();
                         scope.spawn(move || {
+                            let shard_groups = list.len() as u64;
+                            let span = wt.as_ref().map(|t| t.begin("worker"));
+                            let child = wt.as_ref().zip(span).map(|(t, s)| t.at(s));
                             let nlist = NList::build(&self.planner);
                             let mut out = Vec::new();
                             for group in list {
-                                self.run_shard_group(&nlist, group, &mut out);
+                                self.run_shard_group(&nlist, group, &mut out, child.as_ref());
+                            }
+                            if let (Some(t), Some(span)) = (wt.as_ref(), span) {
+                                t.end_with(span, &[("worker", w as u64), ("groups", shard_groups)]);
                             }
                             out
                         })
@@ -664,7 +787,7 @@ impl ShardedService {
             self.config.base.policy,
             self.config.base.group_cell,
         );
-        let (computed, _) = self.run_sharded_groups(&groups);
+        let (computed, _) = self.run_sharded_groups(&groups, None);
         let mut slots: Vec<Option<(RknntResult, Option<Arc<FilterFootprint>>)>> =
             (0..queries.len()).map(|_| None).collect();
         for (index, result, footprint) in computed {
@@ -707,11 +830,41 @@ impl ShardedService {
         &mut self,
         updates: Vec<StoreUpdate>,
     ) -> Result<UpdateStats, StorageError> {
+        self.try_apply_updates_traced(updates, None)
+    }
+
+    /// [`ShardedService::apply_updates`] with request tracing: the
+    /// router-level WAL append gets a `wal_append` span carrying frame and
+    /// byte counts (shard-local double-logging stays untraced — it rides
+    /// the forwarded per-shard `apply_updates` calls).
+    ///
+    /// # Panics
+    /// Panics when storage is attached and a WAL append fails.
+    pub fn apply_updates_traced(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace: Option<&TraceCursor>,
+    ) -> UpdateStats {
+        self.try_apply_updates_traced(updates, trace)
+            .expect("WAL append failed (use try_apply_updates_traced to handle storage errors)")
+    }
+
+    /// Fallible form of [`ShardedService::apply_updates_traced`] — the same
+    /// error contract as [`ShardedService::try_apply_updates`].
+    pub fn try_apply_updates_traced(
+        &mut self,
+        updates: Vec<StoreUpdate>,
+        trace: Option<&TraceCursor>,
+    ) -> Result<UpdateStats, StorageError> {
         // Baseline before the append so router WAL frames land in the diff.
         let base = self.metrics.update_view();
         if let Some(storage) = &mut self.storage {
-            let records: Vec<Vec<u8>> = updates.iter().map(StoreUpdate::to_wal_record).collect();
+            let (records, bytes) = crate::durable::wal_records(&updates);
+            let span = trace.map(|t| t.begin("wal_append"));
             storage.append(&records)?;
+            if let (Some(t), Some(span)) = (trace, span) {
+                t.end_with(span, &[("frames", records.len() as u64), ("bytes", bytes)]);
+            }
         }
         let mut stats = UpdateStats {
             deltas: self.monitor.take_pending(),

@@ -9,7 +9,10 @@
 //!    executing the same batch in-process,
 //! 2. a subscription whose delta is pushed to the client when an update
 //!    lands, and
-//! 3. a deliberately overloaded server (zero cost budget) that *sheds*
+//! 3. a traced query whose span tree — admission, queue, execution, the
+//!    batch pipeline — is promoted into the slow-query log and fetched
+//!    back over the same socket via `Introspect`, and
+//! 4. a deliberately overloaded server (zero cost budget) that *sheds*
 //!    every query with a typed `Overloaded` reply carrying the admission
 //!    numbers — never a silent drop, never an unbounded queue.
 //!
@@ -17,6 +20,7 @@
 //! `cargo run --release --example net_serving`.
 
 use rknnt::data::workload;
+use rknnt::net::{IntrospectReport, IntrospectWhat};
 use rknnt::prelude::*;
 use rknnt::service::StoreUpdate;
 
@@ -29,7 +33,7 @@ fn main() {
         ServiceConfig::default(),
     );
     // An identical twin stays in-process to check the wire answers against.
-    let twin = QueryService::new(
+    let mut twin = QueryService::new(
         city.route_store(),
         TransitionStore::bulk_build(Default::default(), pairs),
         ServiceConfig::default(),
@@ -78,6 +82,11 @@ fn main() {
         .answered()
         .expect("an idle server admits the update");
     assert_eq!(counts.applied, 1, "the insert must apply");
+    // Keep the twin in lockstep so later wire answers stay comparable.
+    twin.apply_updates(vec![StoreUpdate::InsertTransition {
+        origin: route[0],
+        destination: route[1],
+    }]);
     let delta = client.recv_delta().expect("the delta is pushed to us");
     assert_eq!(delta.subscription, sub.subscription);
     assert!(
@@ -90,7 +99,65 @@ fn main() {
         delta.entered.len()
     );
 
-    // 3. Overload: a server with a zero cost budget sheds every query with
+    // 3. Tracing: tag a query with a caller-chosen trace id, let the
+    // slow-query log promote it (threshold 0 — everything counts as slow),
+    // and pull the span tree back over the same socket. `Introspect` is
+    // answered from the connection's reader thread, so it works even when
+    // the executor is saturated.
+    let backend = server.stop();
+    let server = Server::start(
+        backend,
+        ServerConfig::default().with_slow_query_threshold_ns(0),
+    )
+    .expect("bind a loopback listener");
+    let mut client = Client::connect(server.local_addr()).expect("connect to the server");
+    const TRACE_ID: u64 = 0x00C0_FFEE;
+    let (post_update, _) = twin.execute_batch(std::slice::from_ref(&queries[0]));
+    match client
+        .query_traced(&queries[0], TRACE_ID)
+        .expect("traced query round trip")
+    {
+        Reply::Answered(transitions) => assert_eq!(
+            transitions, post_update[0].transitions,
+            "a traced query must answer byte-identically to an untraced one"
+        ),
+        Reply::Overloaded(info) => panic!("an idle server shed the traced query: {info:?}"),
+    }
+    let report = client
+        .introspect(IntrospectWhat::SlowQueries)
+        .expect("introspect round trip");
+    let IntrospectReport::SlowQueries { entries } = report else {
+        panic!("asked for SlowQueries, got a different report")
+    };
+    let slow = entries
+        .iter()
+        .find(|entry| entry.trace_id == TRACE_ID)
+        .expect("a threshold-0 log must promote the traced query");
+    println!(
+        "trace {:#x}: {} span(s), root {} ns",
+        slow.trace_id,
+        slow.spans.len(),
+        slow.root_dur_ns
+    );
+    for span in &slow.spans {
+        // Indent by tree depth so the hierarchy reads off the terminal.
+        let mut depth = 0;
+        let mut at = span.parent_index();
+        while let Some(parent) = at {
+            depth += 1;
+            at = slow.spans[parent].parent_index();
+        }
+        println!(
+            "  {:indent$}{} {} ns {:?}",
+            "",
+            span.name,
+            span.dur_ns,
+            span.attrs,
+            indent = depth * 2
+        );
+    }
+
+    // 4. Overload: a server with a zero cost budget sheds every query with
     // a typed reply — load shedding is an answer, not a dropped request.
     let backend = server.stop();
     let server = Server::start(backend, ServerConfig::default().with_cost_budget(0))
