@@ -327,6 +327,56 @@ pub fn check_shard_scaleout_gate(report: &str, config: &GateConfig) -> Result<Ga
     })
 }
 
+/// Checks the shard-failover gates against the report text: with one shard
+/// of four killed mid-stream and restarted later, every query must get a
+/// typed result (`unanswered = 0`), every degraded answer must be exactly
+/// the healthy-shard subset of the unsharded reference answer
+/// (`degraded_mismatch = 0`), answers must return to byte-identity after
+/// the watermark resync (`post_recovery_divergence = 0`), and the outage
+/// window must actually cover queries (`degraded_answers >= 1`) so the
+/// other three gates cannot pass vacuously. All pure counts — fully
+/// machine-independent.
+pub fn check_shard_failover_gates(
+    report: &str,
+    config: &GateConfig,
+) -> Result<Vec<GateOutcome>, String> {
+    let max_unanswered = config.threshold("shard_failover", "max_unanswered")?;
+    let max_mismatch = config.threshold("shard_failover", "max_degraded_mismatch")?;
+    let max_divergence = config.threshold("shard_failover", "max_post_recovery_divergence")?;
+    let min_degraded = config.threshold("shard_failover", "min_degraded_answers")?;
+    let rows = parse_report_rows(report);
+    let unanswered = find_row(&rows, &[("metric", "unanswered")])?.number("ratio")?;
+    let mismatch = find_row(&rows, &[("metric", "degraded_mismatch")])?.number("ratio")?;
+    let divergence = find_row(&rows, &[("metric", "post_recovery_divergence")])?.number("ratio")?;
+    let degraded = find_row(&rows, &[("metric", "degraded_answers")])?.number("ratio")?;
+    Ok(vec![
+        GateOutcome {
+            name: "shard_failover.unanswered".to_string(),
+            measured: unanswered,
+            threshold: max_unanswered,
+            passed: unanswered <= max_unanswered,
+        },
+        GateOutcome {
+            name: "shard_failover.degraded_mismatch".to_string(),
+            measured: mismatch,
+            threshold: max_mismatch,
+            passed: mismatch <= max_mismatch,
+        },
+        GateOutcome {
+            name: "shard_failover.post_recovery_divergence".to_string(),
+            measured: divergence,
+            threshold: max_divergence,
+            passed: divergence <= max_divergence,
+        },
+        GateOutcome {
+            name: "shard_failover.degraded_answers".to_string(),
+            measured: degraded,
+            threshold: min_degraded,
+            passed: degraded >= min_degraded,
+        },
+    ])
+}
+
 /// Checks the open-loop serving gates against the report text. Under the
 /// experiment's overload burst the server must *shed* with typed replies
 /// rather than violate: `shed_fraction_under_overload` must clear
@@ -466,6 +516,10 @@ pub fn run_gates(results_dir: &Path, gates_file: &Path) -> Result<Vec<GateOutcom
         &read("shard_scaleout.txt")?,
         &config,
     )?);
+    outcomes.extend(check_shard_failover_gates(
+        &read("shard_failover.txt")?,
+        &config,
+    )?);
     outcomes.extend(check_open_loop_gates(
         &read("open_loop_latency.txt")?,
         &config,
@@ -501,6 +555,12 @@ max_slow_log_mismatch = 0.0\n\
 \n\
 [shard_scaleout]\n\
 max_mean_fanout_fraction = 0.5\n\
+\n\
+[shard_failover]\n\
+max_unanswered = 0.0\n\
+max_degraded_mismatch = 0.0\n\
+max_post_recovery_divergence = 0.0\n\
+min_degraded_answers = 1.0\n\
 \n\
 [open_loop_latency]\n\
 min_shed_fraction_under_overload = 0.30\n\
@@ -686,6 +746,37 @@ max_unanswered_fraction = 0.0\n";
         );
         // A missing ratio row is an error, never a silent pass.
         assert!(check_shard_scaleout_gate("shards=8 mean_fanout=6.5", &config).is_err());
+    }
+
+    #[test]
+    fn shard_failover_gates_hold_every_partial_failure_invariant() {
+        let config = GateConfig::parse(GATES).unwrap();
+        let good = "queries=120  answered=120  degraded_answers=38  degraded_mismatches=0\n\
+                    metric=unanswered  ratio=0\n\
+                    metric=degraded_mismatch  ratio=0\n\
+                    metric=post_recovery_divergence  ratio=0\n\
+                    metric=degraded_answers  ratio=38\n";
+        let outcomes = check_shard_failover_gates(good, &config).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.passed));
+        // A single degraded answer that is not exactly the healthy subset
+        // is a silent-wrong-answer bug: typed failure.
+        let wrong = "metric=unanswered  ratio=0\n\
+                     metric=degraded_mismatch  ratio=1\n\
+                     metric=post_recovery_divergence  ratio=0\n\
+                     metric=degraded_answers  ratio=38\n";
+        let outcomes = check_shard_failover_gates(wrong, &config).unwrap();
+        assert!(!outcomes[1].passed);
+        // An outage window that covered no queries passes the other gates
+        // vacuously — the coverage floor catches it.
+        let vacuous = "metric=unanswered  ratio=0\n\
+                       metric=degraded_mismatch  ratio=0\n\
+                       metric=post_recovery_divergence  ratio=0\n\
+                       metric=degraded_answers  ratio=0\n";
+        let outcomes = check_shard_failover_gates(vacuous, &config).unwrap();
+        assert!(!outcomes[3].passed);
+        // Missing rows are errors, never silent passes.
+        assert!(check_shard_failover_gates("queries=120", &config).is_err());
     }
 
     #[test]

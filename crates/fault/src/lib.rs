@@ -1,0 +1,371 @@
+//! Deterministic fault injection: seeded failpoint plans.
+//!
+//! Robustness work is only trustworthy when failures can be *scheduled*
+//! rather than waited for. This crate is the scheduling layer: a
+//! [`FaultPlan`] is a seeded, declarative list of rules — "cut the
+//! connection on its 3rd frame", "fail the 2nd fsync", "kill the shard at
+//! frame 5" — compiled into an [`Failpoints`] handle that instrumented code
+//! consults at named **sites**. A site is a stable string (`"net.client.write"`,
+//! `"storage.wal.fsync"`, …) hit once per traversal; each rule fires on an
+//! exact hit ordinal, so a plan replays identically on every run with no
+//! sleeps, races, or real-clock dependence.
+//!
+//! The crate is hermetic and std-only. Production code pays one atomic load
+//! per site when no plan is armed (`Failpoints::hit` on an empty handle is a
+//! counter bump and a `None`); the injection actions themselves are
+//! interpreted by the instrumented layer — this crate only decides *whether*
+//! and *what*, never *how*.
+//!
+//! ```
+//! use rknnt_fault::{FaultAction, FaultPlan};
+//!
+//! let fp = FaultPlan::new(0xC0FFEE)
+//!     .cut("net.client.write", 3)
+//!     .fail("storage.wal.fsync", 2, "injected fsync failure")
+//!     .arm();
+//! assert!(fp.hit("net.client.write").is_none()); // 1st hit: clean
+//! assert!(fp.hit("net.client.write").is_none()); // 2nd hit: clean
+//! assert!(matches!(
+//!     fp.hit("net.client.write"),                // 3rd hit: fires
+//!     Some(FaultAction::Cut { .. })
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What an armed rule injects when its site reaches the trigger ordinal.
+/// The instrumented layer interprets the action; unknown-to-it actions are
+/// ignored (a plan written for the client is harmless if armed on a server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sever the connection / stream at this site. When `after` is set,
+    /// deliver only the first `after` bytes of the in-flight frame first —
+    /// a mid-frame cut, the classic torn write.
+    Cut {
+        /// Bytes of the current frame to deliver before severing.
+        after: Option<usize>,
+    },
+    /// Flip bits in the in-flight frame: XOR the byte at `offset` (clamped
+    /// to the last frame byte) with `mask` before it reaches the wire.
+    Corrupt {
+        /// Byte offset into the frame (clamped to its last byte).
+        offset: usize,
+        /// XOR mask; the interpreting layer normalises `0` to a nonzero
+        /// mask so corruption never degenerates into a no-op.
+        mask: u8,
+    },
+    /// A logical delay of `nanos`. Interpreted against the layer's pluggable
+    /// clock (or recorded by a mock sleeper) — never a real `thread::sleep`
+    /// in tests.
+    Delay {
+        /// Nanoseconds of injected latency.
+        nanos: u64,
+    },
+    /// Fail the operation with a typed error carrying this message
+    /// (e.g. a failed fsync or a refused write).
+    Fail {
+        /// Message the synthesized error carries.
+        message: String,
+    },
+    /// Kill the component hosting the site: a server stops accepting,
+    /// severs every connection, and its executor exits.
+    Kill,
+    /// Panic the thread that hits the site (exercises panic containment).
+    Panic {
+        /// Panic payload message.
+        message: String,
+    },
+}
+
+/// One declarative rule: at hit number `at` (1-based) of `site`, inject
+/// `action`.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// The site the rule watches.
+    pub site: String,
+    /// 1-based hit ordinal at which the rule fires.
+    pub at: u64,
+    /// What to inject.
+    pub action: FaultAction,
+}
+
+/// A seeded, declarative schedule of failures. Build with the fluent
+/// methods, then [`FaultPlan::arm`] it into the shareable [`Failpoints`]
+/// handle the instrumented layers consult.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with a seed (the seed feeds [`Failpoints::next_u64`],
+    /// used by tests to derive corruption offsets/masks deterministically).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds an explicit rule.
+    pub fn rule(mut self, site: &str, at: u64, action: FaultAction) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            at: at.max(1),
+            action,
+        });
+        self
+    }
+
+    /// Cut the connection cleanly at hit `at` of `site`.
+    pub fn cut(self, site: &str, at: u64) -> Self {
+        self.rule(site, at, FaultAction::Cut { after: None })
+    }
+
+    /// Cut the connection mid-frame at hit `at`, delivering `after` bytes.
+    pub fn cut_mid_frame(self, site: &str, at: u64, after: usize) -> Self {
+        self.rule(site, at, FaultAction::Cut { after: Some(after) })
+    }
+
+    /// Corrupt the in-flight frame at hit `at`.
+    pub fn corrupt(self, site: &str, at: u64, offset: usize, mask: u8) -> Self {
+        self.rule(site, at, FaultAction::Corrupt { offset, mask })
+    }
+
+    /// Inject a logical delay at hit `at`.
+    pub fn delay(self, site: &str, at: u64, nanos: u64) -> Self {
+        self.rule(site, at, FaultAction::Delay { nanos })
+    }
+
+    /// Fail the operation at hit `at` with a typed error.
+    pub fn fail(self, site: &str, at: u64, message: &str) -> Self {
+        self.rule(
+            site,
+            at,
+            FaultAction::Fail {
+                message: message.to_string(),
+            },
+        )
+    }
+
+    /// Kill the hosting component at hit `at`.
+    pub fn kill(self, site: &str, at: u64) -> Self {
+        self.rule(site, at, FaultAction::Kill)
+    }
+
+    /// Panic the hitting thread at hit `at`.
+    pub fn panic_at(self, site: &str, at: u64, message: &str) -> Self {
+        self.rule(
+            site,
+            at,
+            FaultAction::Panic {
+                message: message.to_string(),
+            },
+        )
+    }
+
+    /// The rules added so far.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Compiles the plan into a shareable, thread-safe handle.
+    pub fn arm(self) -> Arc<Failpoints> {
+        Arc::new(Failpoints::from_plan(self))
+    }
+}
+
+/// Per-site armed state: the hit counter plus the rules watching it.
+#[derive(Debug, Default)]
+struct SiteState {
+    hits: u64,
+    /// `(ordinal, action)` pairs, each consumed at most once.
+    pending: Vec<(u64, FaultAction)>,
+}
+
+/// The armed form of a [`FaultPlan`]: shareable across threads, consulted
+/// at sites via [`Failpoints::hit`]. Every consultation is counted, fired
+/// or not, so tests can assert a site was actually traversed.
+#[derive(Debug, Default)]
+pub struct Failpoints {
+    sites: Mutex<HashMap<String, SiteState>>,
+    injected: AtomicU64,
+    rng: AtomicU64,
+}
+
+impl Failpoints {
+    /// A handle with no rules: every `hit` counts and returns `None`.
+    pub fn none() -> Arc<Failpoints> {
+        Arc::new(Failpoints::default())
+    }
+
+    fn from_plan(plan: FaultPlan) -> Failpoints {
+        let mut sites: HashMap<String, SiteState> = HashMap::new();
+        for rule in plan.rules {
+            sites
+                .entry(rule.site)
+                .or_default()
+                .pending
+                .push((rule.at, rule.action));
+        }
+        Failpoints {
+            sites: Mutex::new(sites),
+            injected: AtomicU64::new(0),
+            // splitmix64 wants a nonzero-ish stream; any seed works, but
+            // keep 0 distinguishable from 1.
+            rng: AtomicU64::new(plan.seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Registers one traversal of `site`. Returns the action to inject when
+    /// a rule's ordinal matches this hit, `None` otherwise. A fired rule is
+    /// consumed — rules are one-shot by construction, so a retried
+    /// operation succeeds unless the plan says otherwise.
+    pub fn hit(&self, site: &str) -> Option<FaultAction> {
+        let mut sites = self.sites.lock().expect("failpoint table poisoned");
+        let state = sites.entry(site.to_string()).or_default();
+        state.hits += 1;
+        let now = state.hits;
+        let slot = state.pending.iter().position(|(at, _)| *at == now)?;
+        let (_, action) = state.pending.swap_remove(slot);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(action)
+    }
+
+    /// Traversals of `site` observed so far (fired or not).
+    pub fn hits(&self, site: &str) -> u64 {
+        self.sites
+            .lock()
+            .expect("failpoint table poisoned")
+            .get(site)
+            .map(|s| s.hits)
+            .unwrap_or(0)
+    }
+
+    /// Total actions injected so far across every site.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Rules armed but not yet fired (a test's "did everything I scheduled
+    /// actually happen" check).
+    pub fn unfired(&self) -> usize {
+        self.sites
+            .lock()
+            .expect("failpoint table poisoned")
+            .values()
+            .map(|s| s.pending.len())
+            .sum()
+    }
+
+    /// The next value of the plan's seeded splitmix64 stream — shared
+    /// deterministic randomness for deriving corruption offsets, masks, or
+    /// jitter in tests without touching the real RNG or clock.
+    pub fn next_u64(&self) -> u64 {
+        // fetch_add returns the pre-add state; mix the post-add value so the
+        // stream matches the free-standing [`splitmix64`] step for step.
+        let mut x = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+/// Standalone splitmix64 step, for seeded jitter streams that live outside
+/// an armed plan (e.g. retry backoff in the connection pool).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_fire_on_their_exact_ordinal_and_only_once() {
+        let fp = FaultPlan::new(7)
+            .cut("a", 2)
+            .fail("a", 4, "boom")
+            .kill("b", 1)
+            .arm();
+        assert_eq!(fp.hit("a"), None);
+        assert_eq!(fp.hit("a"), Some(FaultAction::Cut { after: None }));
+        assert_eq!(fp.hit("a"), None);
+        assert_eq!(
+            fp.hit("a"),
+            Some(FaultAction::Fail {
+                message: "boom".into()
+            })
+        );
+        assert_eq!(fp.hit("a"), None);
+        assert_eq!(fp.hit("b"), Some(FaultAction::Kill));
+        assert_eq!(fp.hits("a"), 5);
+        assert_eq!(fp.hits("b"), 1);
+        assert_eq!(fp.injected(), 3);
+        assert_eq!(fp.unfired(), 0);
+    }
+
+    #[test]
+    fn unarmed_sites_count_but_never_fire() {
+        let fp = Failpoints::none();
+        for _ in 0..100 {
+            assert_eq!(fp.hit("anything"), None);
+        }
+        assert_eq!(fp.hits("anything"), 100);
+        assert_eq!(fp.injected(), 0);
+    }
+
+    #[test]
+    fn seeded_stream_is_deterministic_per_seed() {
+        let a = FaultPlan::new(42).arm();
+        let b = FaultPlan::new(42).arm();
+        let c = FaultPlan::new(43).arm();
+        let draw = |fp: &Failpoints| (0..8).map(|_| fp.next_u64()).collect::<Vec<_>>();
+        assert_eq!(draw(&a), draw(&b));
+        assert_ne!(draw(&a), draw(&c));
+        let mut s = 42u64 ^ 0x9E37_79B9_7F4A_7C15;
+        // The free function walks the same stream as the handle.
+        let direct: Vec<u64> = (0..8).map(|_| splitmix64(&mut s)).collect();
+        assert_eq!(draw(&FaultPlan::new(42).arm()), direct);
+    }
+
+    #[test]
+    fn concurrent_hits_fire_each_rule_exactly_once() {
+        let fp = FaultPlan::new(1).cut("s", 50).arm();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let fp = Arc::clone(&fp);
+            handles.push(std::thread::spawn(move || {
+                let mut fired = 0;
+                for _ in 0..25 {
+                    if fp.hit("s").is_some() {
+                        fired += 1;
+                    }
+                }
+                fired
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1, "exactly one thread observes the injection");
+        assert_eq!(fp.hits("s"), 100);
+    }
+
+    #[test]
+    fn ordinal_zero_is_clamped_to_first_hit() {
+        let fp = FaultPlan::new(0).cut("s", 0).arm();
+        assert_eq!(fp.hit("s"), Some(FaultAction::Cut { after: None }));
+    }
+}

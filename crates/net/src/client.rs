@@ -9,21 +9,29 @@
 //! awaited with [`Client::recv_delta`]).
 
 use crate::protocol::{
-    read_frame, write_frame, IntrospectReport, IntrospectWhat, Message, OverloadInfo,
+    frame_bytes, read_frame, IntrospectReport, IntrospectWhat, Message, OverloadInfo,
 };
 use rknnt_core::RknntQuery;
 use rknnt_data::codec::CodecError;
+use rknnt_fault::{Failpoints, FaultAction};
 use rknnt_index::TransitionId;
 use rknnt_service::{DeltaReason, StoreUpdate};
 use std::fmt;
-use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A failed client call.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
+    /// A blocking read exceeded the configured
+    /// [`ClientConfig::read_timeout`] deadline. The connection is left in an
+    /// indeterminate mid-read state — retry on a fresh connection, never on
+    /// this one.
+    Timeout,
     /// The server sent bytes the codec rejects.
     Protocol(CodecError),
     /// The server answered with a typed [`Message::Error`].
@@ -40,10 +48,15 @@ pub enum ClientError {
     Disconnected,
 }
 
+/// The net crate's error type. `ClientError` predates the remote-shard
+/// layer; this alias is the name new code should use.
+pub type NetError = ClientError;
+
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Timeout => write!(f, "read timed out waiting for a reply"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Server { id, message } => {
                 write!(f, "server error (request {id}): {message}")
@@ -58,6 +71,14 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
+        // A timed-out blocking socket read surfaces as `WouldBlock` on Unix
+        // and `TimedOut` on Windows; both mean the deadline fired.
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            return ClientError::Timeout;
+        }
         ClientError::Io(e)
     }
 }
@@ -123,25 +144,78 @@ pub struct DeltaEvent {
     pub reason: DeltaReason,
 }
 
+/// Backend health as reported by a [`Client::health`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthStatus {
+    /// The backend's store generation.
+    pub generation: u64,
+    /// Applied-update watermark (see [`Message::HealthOk`]).
+    pub watermark: u64,
+}
+
+/// Connection-level knobs for [`Client::connect_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Deadline for each blocking read. `None` (the default) blocks forever
+    /// — the pre-existing behaviour. With a deadline, a stalled server
+    /// surfaces as [`ClientError::Timeout`] instead of a hang.
+    pub read_timeout: Option<Duration>,
+    /// Armed failpoints for deterministic fault injection on this
+    /// connection's write path (site `net.client.write`, hit once per
+    /// outgoing frame). `None` sends clean frames.
+    pub failpoints: Option<Arc<Failpoints>>,
+}
+
+impl ClientConfig {
+    /// Sets the per-read deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Arms failpoints on the write path.
+    pub fn with_failpoints(mut self, failpoints: Arc<Failpoints>) -> Self {
+        self.failpoints = Some(failpoints);
+        self
+    }
+}
+
+/// Failpoint site hit once per frame the client writes.
+pub const CLIENT_WRITE_SITE: &str = "net.client.write";
+
 /// A blocking connection to a [`crate::Server`].
 pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
     next_id: u64,
     deltas: Vec<DeltaEvent>,
+    failpoints: Option<Arc<Failpoints>>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a server with explicit connection-level knobs.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
         Ok(Client {
             stream,
             buf: Vec::new(),
             next_id: 1,
             deltas: Vec::new(),
+            failpoints: config.failpoints,
         })
+    }
+
+    /// Changes the per-read deadline on the live connection. `None` removes
+    /// it (reads block forever again).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -151,7 +225,38 @@ impl Client {
     }
 
     fn send(&mut self, msg: &Message) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, &msg.encode())?;
+        let mut frame = frame_bytes(&msg.encode())?;
+        if let Some(fp) = &self.failpoints {
+            match fp.hit(CLIENT_WRITE_SITE) {
+                Some(FaultAction::Cut { after }) => {
+                    // Sever mid-frame: push a prefix of the frame, then shut
+                    // the write half so the server sees a hard EOF inside
+                    // the frame, never a clean boundary.
+                    let keep = after.unwrap_or(0).min(frame.len().saturating_sub(1));
+                    self.stream.write_all(&frame[..keep])?;
+                    let _ = self.stream.shutdown(Shutdown::Write);
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        format!("injected cut after {keep} of {} frame bytes", frame.len()),
+                    )));
+                }
+                Some(FaultAction::Corrupt { offset, mask }) => {
+                    // Flip bits in the wire bytes; the frame still ships, so
+                    // the corruption must be caught by the server's
+                    // checksum, not by this client erroring early.
+                    let at = offset.min(frame.len() - 1);
+                    frame[at] ^= if mask == 0 { 0x01 } else { mask };
+                }
+                Some(FaultAction::Fail { message }) => {
+                    return Err(ClientError::Io(io::Error::other(message)));
+                }
+                Some(FaultAction::Delay { nanos }) => {
+                    std::thread::sleep(Duration::from_nanos(nanos));
+                }
+                Some(FaultAction::Kill) | Some(FaultAction::Panic { .. }) | None => {}
+            }
+        }
+        self.stream.write_all(&frame)?;
         Ok(())
     }
 
@@ -335,6 +440,28 @@ impl Client {
             Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
             Message::Error { id, message } => Err(ClientError::Server { id, message }),
             _ => Err(ClientError::UnexpectedReply("wanted a pong")),
+        }
+    }
+
+    /// Health / resync probe: fetches the backend's store generation and
+    /// applied-update watermark. Travels the full executor path (unlike
+    /// [`Client::introspect`]), so an answer proves the request pipeline is
+    /// live end to end.
+    pub fn health(&mut self) -> Result<Reply<HealthStatus>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Message::Health { id })?;
+        match self.recv()? {
+            Message::HealthOk {
+                id: rid,
+                generation,
+                watermark,
+            } if rid == id => Ok(Reply::Answered(HealthStatus {
+                generation,
+                watermark,
+            })),
+            Message::Overloaded { id: rid, info } if rid == id => Ok(Reply::Overloaded(info)),
+            Message::Error { id, message } => Err(ClientError::Server { id, message }),
+            _ => Err(ClientError::UnexpectedReply("wanted a health reply")),
         }
     }
 

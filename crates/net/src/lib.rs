@@ -31,7 +31,27 @@
 //! * **[`Client`]** — a blocking client speaking the same codec, used by
 //!   the test suite and the `open_loop_latency` experiment. Answers are
 //!   byte-identical to in-process execution; `Overloaded` is a typed
-//!   [`Reply`] variant, not an error.
+//!   [`Reply`] variant, not an error. Blocking reads carry an optional
+//!   read deadline ([`ClientConfig::with_read_timeout`]) that surfaces as
+//!   a typed [`ClientError::Timeout`] instead of hanging forever.
+//! * **[`RemoteShard`]** — a health-tracked dispatch handle over one
+//!   server: per-request deadlines, seeded exponential-backoff retry, and
+//!   a closed/open/half-open **circuit breaker** driven by a pluggable
+//!   clock so every state transition is deterministic under test.
+//! * **[`FleetRouter`]** — the distributed fleet: each shard its own
+//!   server reached through a [`RemoteShard`], transitions partitioned by
+//!   origin cell, routes replicated. A dead shard degrades queries to a
+//!   typed partial [`FleetResult`] naming the missing shards — never a
+//!   silent wrong answer, never a hang — while its updates defer in a
+//!   per-shard router log; on restart the router health-probes the
+//!   shard's applied-update watermark, replays exactly the missing
+//!   suffix, and re-establishes subscriptions.
+//! * **Fault injection** — the reader, writer and executor paths carry
+//!   [`rknnt_fault`] failpoints ([`SERVER_READ_SITE`],
+//!   [`SERVER_WRITE_SITE`], [`SERVER_EXECUTOR_SITE`],
+//!   [`CLIENT_WRITE_SITE`]), so mid-frame cuts, corruption, stalls,
+//!   panics and whole-process kills are deterministic, seeded test
+//!   inputs rather than flaky sleeps.
 //!
 //! ```no_run
 //! use rknnt_core::RknntQuery;
@@ -59,12 +79,26 @@
 #![warn(missing_docs)]
 
 mod client;
+mod fleet;
 pub mod protocol;
+mod remote;
 mod server;
 
-pub use client::{Client, ClientError, DeltaEvent, Reply, Subscription, UpdateCounts};
+pub use client::{
+    Client, ClientConfig, ClientError, DeltaEvent, HealthStatus, NetError, Reply, Subscription,
+    UpdateCounts, CLIENT_WRITE_SITE,
+};
+pub use fleet::{
+    FleetApply, FleetConfig, FleetDelta, FleetError, FleetResult, FleetRouter, ShardState,
+};
 pub use protocol::{
     IntrospectReport, IntrospectWhat, Message, OverloadInfo, WireSlowQuery, WireSpan,
     MAX_FRAME_BYTES,
 };
-pub use server::{Backend, Server, ServerConfig};
+pub use remote::{
+    BreakerState, CircuitBreaker, RecordingSleeper, RemoteError, RemoteShard, RemoteShardConfig,
+    RemoteShardStats, RetryPolicy, Sleeper, ThreadSleeper,
+};
+pub use server::{
+    Backend, Server, ServerConfig, SERVER_EXECUTOR_SITE, SERVER_READ_SITE, SERVER_WRITE_SITE,
+};

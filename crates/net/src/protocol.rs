@@ -26,8 +26,11 @@ use std::io::{self, Read, Write};
 /// fast instead of driving a multi-gigabyte allocation.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
-/// Writes one frame: `crc | len | payload`.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+/// Builds the full wire bytes of one frame: `crc | len | payload`. The
+/// fault-injection paths need the frame as a contiguous buffer (to corrupt
+/// a byte or sever mid-frame at an exact offset), so framing and writing
+/// are split.
+pub fn frame_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -36,12 +39,18 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     }
     // The checksum covers the length bytes and the payload in one pass, so
     // build `len | payload` contiguously and prepend the crc on the wire.
-    let mut body = Vec::with_capacity(4 + payload.len());
+    let mut body = Vec::with_capacity(8 + payload.len());
+    body.extend_from_slice(&[0u8; 4]);
     body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     body.extend_from_slice(payload);
-    let crc = crc32(&body);
-    w.write_all(&crc.to_le_bytes())?;
-    w.write_all(&body)
+    let crc = crc32(&body[4..]);
+    body[..4].copy_from_slice(&crc.to_le_bytes());
+    Ok(body)
+}
+
+/// Writes one frame: `crc | len | payload`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&frame_bytes(payload)?)
 }
 
 /// Reads one frame into `buf` (payload only, header stripped).
@@ -260,6 +269,15 @@ pub enum Message {
         /// What to fetch.
         what: IntrospectWhat,
     },
+    /// Health / resync probe: asks the backend for its store generation and
+    /// applied-update watermark. Routed through the executor queue (unlike
+    /// [`Message::Introspect`]) — a probe that comes back proves the whole
+    /// request path is live, which is exactly what a half-open circuit
+    /// breaker needs to know.
+    Health {
+        /// Client-chosen request id, echoed by the reply.
+        id: u64,
+    },
     /// Successful [`Message::Query`] reply.
     QueryOk {
         /// Echoed request id.
@@ -305,6 +323,19 @@ pub enum Message {
         /// The requested observability state.
         report: IntrospectReport,
     },
+    /// Successful [`Message::Health`] reply.
+    HealthOk {
+        /// Echoed request id.
+        id: u64,
+        /// The backend's store generation (bumps on every applied change).
+        generation: u64,
+        /// Applied-update watermark: how many update records this backend
+        /// has ever received, durable across restarts when storage is
+        /// attached (`StorageStats::next_seq − 1` — one WAL frame per
+        /// record). A router replays its per-shard update log from exactly
+        /// this index to resync a recovered shard.
+        watermark: u64,
+    },
     /// Admission control refused the request — fast-failed, never queued.
     Overloaded {
         /// Echoed request id.
@@ -345,12 +376,14 @@ const TAG_INTROSPECT: u8 = 0x06;
 // outright rather than misparse.
 const TAG_QUERY_TRACED: u8 = 0x07;
 const TAG_APPLY_UPDATES_TRACED: u8 = 0x08;
+const TAG_HEALTH: u8 = 0x09;
 const TAG_QUERY_OK: u8 = 0x81;
 const TAG_SUBSCRIBE_OK: u8 = 0x82;
 const TAG_UNSUBSCRIBE_OK: u8 = 0x83;
 const TAG_UPDATES_OK: u8 = 0x84;
 const TAG_PONG: u8 = 0x85;
 const TAG_INTROSPECT_OK: u8 = 0x86;
+const TAG_HEALTH_OK: u8 = 0x87;
 const TAG_OVERLOADED: u8 = 0x90;
 const TAG_ERROR: u8 = 0x91;
 const TAG_DELTA: u8 = 0xA0;
@@ -410,12 +443,14 @@ impl Message {
             | Message::ApplyUpdates { id, .. }
             | Message::Ping { id }
             | Message::Introspect { id, .. }
+            | Message::Health { id }
             | Message::QueryOk { id, .. }
             | Message::SubscribeOk { id, .. }
             | Message::UnsubscribeOk { id, .. }
             | Message::UpdatesOk { id, .. }
             | Message::Pong { id }
             | Message::IntrospectOk { id, .. }
+            | Message::HealthOk { id, .. }
             | Message::Overloaded { id, .. }
             | Message::Error { id, .. } => id,
             Message::Delta { .. } => 0,
@@ -432,6 +467,7 @@ impl Message {
                 | Message::ApplyUpdates { .. }
                 | Message::Ping { .. }
                 | Message::Introspect { .. }
+                | Message::Health { .. }
         )
     }
 
@@ -488,6 +524,10 @@ impl Message {
                     IntrospectWhat::SlowQueries => 1,
                     IntrospectWhat::FlightRecorder => 2,
                 });
+            }
+            Message::Health { id } => {
+                enc.u8(TAG_HEALTH);
+                enc.u64(*id);
             }
             Message::QueryOk { id, transitions } => {
                 enc.u8(TAG_QUERY_OK);
@@ -558,6 +598,16 @@ impl Message {
                         enc.str(text);
                     }
                 }
+            }
+            Message::HealthOk {
+                id,
+                generation,
+                watermark,
+            } => {
+                enc.u8(TAG_HEALTH_OK);
+                enc.u64(*id);
+                enc.u64(*generation);
+                enc.u64(*watermark);
             }
             Message::Overloaded { id, info } => {
                 enc.u8(TAG_OVERLOADED);
@@ -646,6 +696,7 @@ impl Message {
                     }
                 },
             },
+            TAG_HEALTH => Message::Health { id: dec.u64()? },
             TAG_QUERY_OK => Message::QueryOk {
                 id: dec.u64()?,
                 transitions: decode_transitions(&mut dec)?,
@@ -717,6 +768,11 @@ impl Message {
                 };
                 Message::IntrospectOk { id, report }
             }
+            TAG_HEALTH_OK => Message::HealthOk {
+                id: dec.u64()?,
+                generation: dec.u64()?,
+                watermark: dec.u64()?,
+            },
             TAG_OVERLOADED => Message::Overloaded {
                 id: dec.u64()?,
                 info: OverloadInfo {
@@ -829,6 +885,7 @@ mod tests {
                 id: 17,
                 what: IntrospectWhat::FlightRecorder,
             },
+            Message::Health { id: 18 },
             Message::QueryOk {
                 id: 7,
                 transitions: vec![TransitionId::from(1), TransitionId::from(9)],
@@ -886,6 +943,11 @@ mod tests {
                 report: IntrospectReport::FlightRecorder {
                     text: "flight recorder: showing last 0 of 0 event(s)\n".into(),
                 },
+            },
+            Message::HealthOk {
+                id: 18,
+                generation: 4,
+                watermark: 37,
             },
             Message::Overloaded {
                 id: 12,

@@ -56,10 +56,11 @@
 //! executor is saturated, and is never queued or shed.
 
 use crate::protocol::{
-    estimate_cost, read_frame, write_frame, IntrospectReport, IntrospectWhat, Message,
+    estimate_cost, frame_bytes, read_frame, IntrospectReport, IntrospectWhat, Message,
     OverloadInfo, WireSlowQuery,
 };
 use rknnt_core::{RknntQuery, RknntResult};
+use rknnt_fault::{Failpoints, FaultAction};
 use rknnt_index::TransitionId;
 use rknnt_obs::{
     Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, SlowQueryLog, SpanId, Telemetry,
@@ -70,12 +71,20 @@ use rknnt_service::{
     UpdateStats,
 };
 use std::collections::{HashMap, VecDeque};
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Failpoint site hit once per frame a reader thread receives.
+pub const SERVER_READ_SITE: &str = "net.server.read";
+/// Failpoint site hit once per frame the server writes to any connection.
+pub const SERVER_WRITE_SITE: &str = "net.server.write";
+/// Failpoint site hit once per batch the executor drains.
+pub const SERVER_EXECUTOR_SITE: &str = "net.server.executor";
 
 /// The service a [`Server`] exposes: a single [`QueryService`] or a
 /// [`ShardedService`] fleet — both present the same batch surface, so the
@@ -129,6 +138,25 @@ impl Backend {
             Backend::Single(s) => s.apply_updates_traced(updates, trace),
             Backend::Sharded(s) => s.apply_updates_traced(updates, trace),
         }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            Backend::Single(s) => s.generation(),
+            Backend::Sharded(s) => s.generation(),
+        }
+    }
+
+    /// The durable applied-update watermark, when storage is attached:
+    /// every update record is WAL-appended before it applies (one frame per
+    /// record), so `next_seq − 1` counts exactly the records this backend
+    /// has ever received — across restarts.
+    fn durable_watermark(&self) -> Option<u64> {
+        let stats = match self {
+            Backend::Single(s) => s.storage_stats(),
+            Backend::Sharded(s) => s.storage_stats(),
+        };
+        stats.map(|st| st.next_seq.saturating_sub(1))
     }
 
     /// The backend's flight recorder (for `DumpOnPanic` in tests).
@@ -187,6 +215,11 @@ pub struct ServerConfig {
     pub slow_query_threshold_ns: u64,
     /// Slow-query ring capacity (oldest entries are evicted first).
     pub slow_query_capacity: usize,
+    /// Armed failpoints for deterministic fault injection on this server's
+    /// read path ([`SERVER_READ_SITE`]), write path ([`SERVER_WRITE_SITE`])
+    /// and executor ([`SERVER_EXECUTOR_SITE`]). `None` (the default) runs
+    /// clean.
+    pub failpoints: Option<Arc<Failpoints>>,
 }
 
 impl Default for ServerConfig {
@@ -199,6 +232,7 @@ impl Default for ServerConfig {
             trace_sample: 1.0,
             slow_query_threshold_ns: 10_000_000,
             slow_query_capacity: 32,
+            failpoints: None,
         }
     }
 }
@@ -245,6 +279,12 @@ impl ServerConfig {
         self.slow_query_capacity = capacity;
         self
     }
+
+    /// Arms failpoints on the server's read/write/executor paths.
+    pub fn with_failpoints(mut self, failpoints: Arc<Failpoints>) -> Self {
+        self.failpoints = Some(failpoints);
+        self
+    }
 }
 
 /// The serving-edge metric cells, registered once in a
@@ -260,6 +300,7 @@ struct NetMetrics {
     connections_opened: Counter,
     connections_closed: Counter,
     deltas_pushed: Counter,
+    subscriptions_reclaimed: Counter,
 }
 
 impl NetMetrics {
@@ -274,6 +315,7 @@ impl NetMetrics {
         let connections_opened = registry.counter("net.connections_opened");
         let connections_closed = registry.counter("net.connections_closed");
         let deltas_pushed = registry.counter("net.deltas_pushed");
+        let subscriptions_reclaimed = registry.counter("net.subscriptions_reclaimed");
         NetMetrics {
             registry: Mutex::new(registry),
             admitted,
@@ -285,6 +327,7 @@ impl NetMetrics {
             connections_opened,
             connections_closed,
             deltas_pushed,
+            subscriptions_reclaimed,
         }
     }
 
@@ -302,13 +345,44 @@ struct Conn {
     id: u64,
     writer: Mutex<TcpStream>,
     inflight: AtomicU64,
+    /// Armed failpoints for the outgoing-frame path ([`SERVER_WRITE_SITE`]).
+    failpoints: Option<Arc<Failpoints>>,
 }
 
 impl Conn {
     fn send(&self, msg: &Message) -> io::Result<()> {
-        let payload = msg.encode();
+        let mut frame = frame_bytes(&msg.encode())?;
+        if let Some(fp) = &self.failpoints {
+            match fp.hit(SERVER_WRITE_SITE) {
+                Some(FaultAction::Cut { after }) => {
+                    // Sever mid-frame: the client must see a hard EOF inside
+                    // the frame, never a clean boundary.
+                    let keep = after.unwrap_or(0).min(frame.len().saturating_sub(1));
+                    let mut writer = self.writer.lock().expect("conn writer poisoned");
+                    let _ = writer.write_all(&frame[..keep]);
+                    let _ = writer.shutdown(Shutdown::Both);
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        format!("injected cut after {keep} of {} frame bytes", frame.len()),
+                    ));
+                }
+                Some(FaultAction::Corrupt { offset, mask }) => {
+                    // The frame still ships; the client's checksum must
+                    // catch the damage.
+                    let at = offset.min(frame.len() - 1);
+                    frame[at] ^= if mask == 0 { 0x01 } else { mask };
+                }
+                Some(FaultAction::Fail { message }) => {
+                    return Err(io::Error::other(message));
+                }
+                Some(FaultAction::Delay { nanos }) => {
+                    std::thread::sleep(Duration::from_nanos(nanos));
+                }
+                Some(FaultAction::Kill) | Some(FaultAction::Panic { .. }) | None => {}
+            }
+        }
         let mut writer = self.writer.lock().expect("conn writer poisoned");
-        write_frame(&mut *writer, &payload)
+        writer.write_all(&frame)
     }
 }
 
@@ -382,6 +456,12 @@ struct Shared {
     ready: Condvar,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     shutting_down: AtomicBool,
+    /// The listener address — needed by fault paths to unblock the
+    /// acceptor's blocking `accept()` with a throwaway connect.
+    addr: SocketAddr,
+    /// Why the server died, when it died by fault (injected kill or a
+    /// contained executor panic) rather than an orderly [`Server::stop`].
+    dead: Mutex<Option<String>>,
     /// Clock for request traces (one source for every span in a tree).
     telemetry: Telemetry,
     /// Completed-trace ring; promotes over-threshold traces.
@@ -429,6 +509,8 @@ impl Server {
             ready: Condvar::new(),
             conns: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
+            addr,
+            dead: Mutex::new(None),
             telemetry: Telemetry::monotonic(),
             slow_log,
             recorder,
@@ -488,9 +570,37 @@ impl Server {
         self.shared.metrics.connections_closed.get()
     }
 
+    /// Subscriptions dropped because their owning connection closed.
+    pub fn subscriptions_reclaimed(&self) -> u64 {
+        self.shared.metrics.subscriptions_reclaimed.get()
+    }
+
     /// Snapshot of the admitted-request latency histogram.
     pub fn request_latency(&self) -> rknnt_obs::HistogramSnapshot {
         self.shared.metrics.request_ns.snapshot()
+    }
+
+    /// Why the server died by fault (injected kill or a contained executor
+    /// panic), or `None` while it is healthy / after an orderly stop.
+    pub fn fault(&self) -> Option<String> {
+        self.shared.dead.lock().expect("dead poisoned").clone()
+    }
+
+    /// Whether the server died by fault. Dead servers refuse new work with
+    /// typed errors or closed connections — never silence — and
+    /// [`Server::stop`] still returns the backend.
+    pub fn is_dead(&self) -> bool {
+        self.fault().is_some()
+    }
+
+    /// Chaos hook: kills the serving side right now, exactly as the
+    /// [`rknnt_fault::FaultAction::Kill`] failpoint would — the queue
+    /// closes and empties unanswered, every connection is severed, and the
+    /// listener shuts so reconnects fail instantly. Lets harness code place
+    /// the kill at a deterministic point in a request stream without
+    /// counting frames for a failpoint ordinal.
+    pub fn kill(&self, reason: &str) {
+        kill_server(&self.shared, reason);
     }
 
     /// Text exposition of the `net.*` metrics.
@@ -571,6 +681,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             id: next_conn_id,
             writer: Mutex::new(writer),
             inflight: AtomicU64::new(0),
+            failpoints: shared.config.failpoints.clone(),
         });
         next_conn_id += 1;
         shared
@@ -607,6 +718,25 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>) {
                     message: format!("malformed frame: {err}"),
                 });
                 break;
+            }
+        }
+        // Deterministic fault injection on the receive path: one hit per
+        // frame, before the frame is acted on.
+        if let Some(fp) = &shared.config.failpoints {
+            match fp.hit(SERVER_READ_SITE) {
+                Some(FaultAction::Cut { .. }) => break,
+                Some(FaultAction::Fail { message }) => {
+                    let _ = conn.send(&Message::Error { id: 0, message });
+                    break;
+                }
+                Some(FaultAction::Kill) => {
+                    kill_server(&shared, "injected kill at net.server.read");
+                    break;
+                }
+                Some(FaultAction::Delay { nanos }) => {
+                    std::thread::sleep(Duration::from_nanos(nanos));
+                }
+                Some(FaultAction::Corrupt { .. }) | Some(FaultAction::Panic { .. }) | None => {}
             }
         }
         let msg = match Message::decode(&buf) {
@@ -743,6 +873,19 @@ fn admit(shared: &Shared, conn: &Arc<Conn>, msg: Message) {
     let id = msg.request_id();
     let mut state = shared.queue.lock().expect("queue poisoned");
     if !state.open {
+        drop(state);
+        // Answer-or-close: a request that arrives after the queue closed
+        // gets a typed refusal, never silence.
+        let reason = shared
+            .dead
+            .lock()
+            .expect("dead poisoned")
+            .clone()
+            .unwrap_or_else(|| "server is shutting down".into());
+        let _ = conn.send(&Message::Error {
+            id,
+            message: format!("request refused: {reason}"),
+        });
         return;
     }
     let over_capacity = state.jobs.len() >= shared.config.queue_capacity;
@@ -795,6 +938,10 @@ struct SubscriptionTable {
 fn executor_loop(mut backend: Backend, shared: Arc<Shared>) -> Backend {
     let mut subs = SubscriptionTable::default();
     let mut batch: Vec<Job> = Vec::new();
+    // Update records applied this process lifetime — the health watermark
+    // for storage-less backends (in-memory state and executor lifetime
+    // coincide, so a process-local count is exact).
+    let mut applied_records: u64 = 0;
     loop {
         {
             let mut state = shared.queue.lock().expect("queue poisoned");
@@ -812,7 +959,143 @@ fn executor_loop(mut backend: Backend, shared: Arc<Shared>) -> Backend {
             }
             shared.metrics.queue_depth.set(state.jobs.len() as u64);
         }
-        process_batch(&mut backend, &shared, &mut subs, &mut batch);
+        let injected = shared
+            .config
+            .failpoints
+            .as_ref()
+            .and_then(|fp| fp.hit(SERVER_EXECUTOR_SITE));
+        if matches!(injected, Some(FaultAction::Kill)) {
+            kill_server(&shared, "injected kill at net.server.executor");
+            batch.clear();
+            return backend;
+        }
+        if let Some(FaultAction::Delay { nanos }) = &injected {
+            // An injected stall: the batch is delayed wholesale, exactly
+            // like an executor wedged on a slow backend.
+            std::thread::sleep(Duration::from_nanos(*nanos));
+        }
+        // Snapshot who is owed a reply *before* running the batch: if the
+        // executor panics we can still answer every request in it.
+        let pending: Vec<(Arc<Conn>, u64)> = batch
+            .iter()
+            .filter_map(|job| match &job.work {
+                Work::Request(msg) => Some((Arc::clone(&job.conn), msg.request_id())),
+                Work::Disconnect => None,
+            })
+            .collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(FaultAction::Panic { message }) = &injected {
+                panic!("{}", message.clone());
+            }
+            process_batch(
+                &mut backend,
+                &shared,
+                &mut subs,
+                &mut batch,
+                &mut applied_records,
+            );
+        }));
+        if let Err(payload) = outcome {
+            executor_panicked(&shared, &pending, payload);
+            batch.clear();
+            // The backend may hold a half-applied batch; it goes back to the
+            // caller (via `Server::stop`) for inspection, but serves no
+            // further traffic.
+            return backend;
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Executor-panic containment: no request may be stranded waiting on a
+/// reply that will never come. Every request in the failed batch and every
+/// request still queued gets a typed [`Message::Error`], the queue closes
+/// (later arrivals are refused in [`admit`]), and every connection is
+/// severed so blocked readers observe a close rather than a hang. A reply
+/// may duplicate one already written before the panic landed — an extra
+/// `Error` for an answered id is noise the client discards; a missing reply
+/// would be a hang.
+fn executor_panicked(
+    shared: &Shared,
+    pending: &[(Arc<Conn>, u64)],
+    payload: Box<dyn std::any::Any + Send>,
+) {
+    let message = format!("server executor panicked: {}", panic_message(payload));
+    {
+        let mut dead = shared.dead.lock().expect("dead poisoned");
+        if dead.is_none() {
+            *dead = Some(message.clone());
+        }
+    }
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    for (conn, id) in pending {
+        let _ = conn.send(&Message::Error {
+            id: *id,
+            message: message.clone(),
+        });
+    }
+    // Close the queue and answer everything still in it, FIFO order.
+    let drained: Vec<Job> = {
+        let mut state = shared.queue.lock().expect("queue poisoned");
+        state.open = false;
+        state.cost = 0;
+        state.jobs.drain(..).collect()
+    };
+    for job in &drained {
+        if let Work::Request(msg) = &job.work {
+            let _ = job.conn.send(&Message::Error {
+                id: msg.request_id(),
+                message: message.clone(),
+            });
+        }
+    }
+    shared.ready.notify_all();
+    // Unblock the acceptor so the listener closes: reconnect attempts fail
+    // instantly instead of hanging.
+    let _ = TcpStream::connect(shared.addr);
+    let conns = shared.conns.lock().expect("conns poisoned");
+    for conn in conns.values() {
+        if let Ok(writer) = conn.writer.lock() {
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Injected hard kill: the process "dies" — the queue closes and empties
+/// without answering (a real crash answers nothing), every connection is
+/// severed so clients observe a close immediately, and the listener shuts
+/// so reconnect attempts get connection-refused rather than a hang.
+fn kill_server(shared: &Shared, reason: &str) {
+    {
+        let mut dead = shared.dead.lock().expect("dead poisoned");
+        if dead.is_none() {
+            *dead = Some(reason.to_string());
+        }
+    }
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    {
+        let mut state = shared.queue.lock().expect("queue poisoned");
+        state.open = false;
+        state.cost = 0;
+        state.jobs.clear();
+    }
+    shared.ready.notify_all();
+    let _ = TcpStream::connect(shared.addr);
+    let conns = shared.conns.lock().expect("conns poisoned");
+    for conn in conns.values() {
+        if let Ok(writer) = conn.writer.lock() {
+            let _ = writer.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -824,6 +1107,7 @@ fn process_batch(
     shared: &Shared,
     subs: &mut SubscriptionTable,
     batch: &mut Vec<Job>,
+    applied_records: &mut u64,
 ) {
     let mut queries: Vec<RknntQuery> = Vec::new();
     let mut query_meta: Vec<QueryMeta> = Vec::new();
@@ -852,11 +1136,13 @@ fn process_batch(
                 msg,
                 job.accepted_at,
                 job.trace,
+                applied_records,
             ),
             Work::Disconnect => {
                 for raw in subs.by_conn.remove(&job.conn.id).unwrap_or_default() {
                     if let Some((_, sid)) = subs.by_raw.remove(&raw) {
                         backend.unsubscribe(sid);
+                        shared.metrics.subscriptions_reclaimed.inc();
                     }
                 }
             }
@@ -906,6 +1192,7 @@ fn flush_queries(
     queries.clear();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_control(
     backend: &mut Backend,
     shared: &Shared,
@@ -914,6 +1201,7 @@ fn handle_control(
     msg: Message,
     accepted_at: Instant,
     mut trace: Option<RequestTrace>,
+    applied_records: &mut u64,
 ) {
     match msg {
         Message::Subscribe { id, query } => {
@@ -947,6 +1235,9 @@ fn handle_control(
             let _ = conn.send(&Message::UnsubscribeOk { id, existed });
         }
         Message::ApplyUpdates { id, updates, .. } => {
+            // Counts records *received*, mirroring the WAL watermark (which
+            // appends every record before applying, rejected ones included).
+            *applied_records += updates.len() as u64;
             let cursor = trace.as_mut().map(RequestTrace::start_execute);
             let stats = backend.apply_updates_traced(updates, cursor.as_ref());
             // Finish the trace *before* the reply leaves: a client that has
@@ -964,6 +1255,16 @@ fn handle_control(
         }
         Message::Ping { id } => {
             let _ = conn.send(&Message::Pong { id });
+        }
+        Message::Health { id } => {
+            // Durable watermark when storage is attached (survives
+            // restarts); the executor-local count otherwise.
+            let watermark = backend.durable_watermark().unwrap_or(*applied_records);
+            let _ = conn.send(&Message::HealthOk {
+                id,
+                generation: backend.generation(),
+                watermark,
+            });
         }
         // Readers only enqueue request kinds; queries are flushed upstream.
         _ => {}
@@ -991,15 +1292,16 @@ fn push_deltas(shared: &Shared, subs: &SubscriptionTable, deltas: Vec<Subscripti
             .get(&conn_id)
             .cloned();
         let Some(conn) = conn else { continue };
-        let pushed = conn.send(&Message::Delta {
+        // Count before writing: a client that has received the frame must
+        // observe the incremented counter. Frames lost to a connection
+        // closing mid-write still count — they were pushed, not dropped.
+        shared.metrics.deltas_pushed.inc();
+        let _ = conn.send(&Message::Delta {
             subscription: raw,
             entered: delta.entered,
             left: delta.left,
             reason: delta.reason,
         });
-        if pushed.is_ok() {
-            shared.metrics.deltas_pushed.inc();
-        }
     }
 }
 

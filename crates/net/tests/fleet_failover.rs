@@ -1,0 +1,344 @@
+//! Partial-failure invariants for the distributed shard fleet: a complete
+//! fleet is byte-identical to an unsharded twin; a killed shard degrades
+//! answers to a typed partial result that is exactly the healthy-shard
+//! subset (never a silent wrong answer, never a hang); updates to a down
+//! shard defer in the router log and replay from the recovered shard's
+//! watermark; standing queries are re-established with resync deltas; and
+//! after recovery the fleet is byte-identical to a fleet that never failed.
+
+use rknnt_core::{EngineKind, RknntQuery, Semantics};
+use rknnt_geo::Point;
+use rknnt_index::{RouteStore, TransitionId, TransitionStore};
+use rknnt_net::{
+    BreakerState, FleetConfig, FleetRouter, RecordingSleeper, RemoteShardConfig, ServerConfig,
+};
+use rknnt_obs::MockClock;
+use rknnt_service::{EnginePolicy, QueryService, ServiceConfig, StoreUpdate};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// Same deterministic world as the serving-edge tests: horizontal routes,
+/// transitions scattered so every shard of a 3-way x-split owns some.
+fn small_world() -> (Vec<Vec<Point>>, Vec<(Point, Point)>) {
+    let mut routes = Vec::new();
+    for row in 0..6 {
+        let y = row as f64 * 120.0;
+        routes.push(vec![
+            p(0.0, y),
+            p(400.0, y + 10.0),
+            p(800.0, y),
+            p(1200.0, y - 10.0),
+        ]);
+    }
+    let mut pairs = Vec::new();
+    for i in 0..80 {
+        let x = (i % 10) as f64 * 120.0 + 15.0;
+        let y = (i / 10) as f64 * 80.0 + 25.0;
+        pairs.push((p(x, y), p(x + 60.0, y + 30.0)));
+    }
+    (routes, pairs)
+}
+
+fn query_mix() -> Vec<RknntQuery> {
+    let mut queries = Vec::new();
+    for k in [1usize, 2, 4] {
+        for (i, semantics) in [Semantics::Exists, Semantics::ForAll]
+            .into_iter()
+            .enumerate()
+        {
+            let y = 35.0 + (k * 7 + i) as f64 * 40.0;
+            queries.push(RknntQuery {
+                route: vec![p(10.0, y), p(500.0, y + 20.0), p(1100.0, y)],
+                k,
+                semantics,
+            });
+        }
+    }
+    queries
+}
+
+fn churn() -> Vec<StoreUpdate> {
+    vec![
+        StoreUpdate::InsertTransition {
+            origin: p(100.0, 45.0),
+            destination: p(200.0, 50.0),
+        },
+        StoreUpdate::InsertTransition {
+            origin: p(1100.0, 42.0),
+            destination: p(1020.0, 38.0),
+        },
+        StoreUpdate::ExpireTransition(TransitionId::from(3)),
+        StoreUpdate::InsertTransition {
+            origin: p(620.0, 200.0),
+            destination: p(700.0, 260.0),
+        },
+    ]
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::default().with_policy(EnginePolicy::Fixed(EngineKind::FilterRefine))
+}
+
+/// A fleet wired for deterministic tests: recorded (not slept) backoffs, a
+/// hand-advanced breaker clock, and a tiny retry budget so a dead shard is
+/// declared missing quickly.
+fn test_fleet(
+    shards: usize,
+    storage_root: Option<PathBuf>,
+) -> (FleetRouter, Arc<RecordingSleeper>, Arc<MockClock>) {
+    let sleeper = Arc::new(RecordingSleeper::new());
+    let clock = Arc::new(MockClock::new());
+    let config = FleetConfig {
+        shards,
+        service: service_config(),
+        server: ServerConfig::default(),
+        remote: RemoteShardConfig {
+            deadline: Duration::from_secs(2),
+            failure_threshold: 2,
+            open_for: Duration::from_millis(50),
+            ..RemoteShardConfig::default()
+        },
+        storage_root,
+        ..FleetConfig::default()
+    };
+    let (routes, pairs) = small_world();
+    let fleet = FleetRouter::bulk_build_with_parts(
+        config,
+        routes,
+        pairs,
+        clock.clone(),
+        Some(sleeper.clone() as _),
+    )
+    .expect("fleet build");
+    (fleet, sleeper, clock)
+}
+
+fn twin() -> QueryService {
+    let (routes, pairs) = small_world();
+    let mut route_store = RouteStore::default();
+    for route in &routes {
+        route_store.insert_route(route.clone());
+    }
+    let mut transition_store = TransitionStore::default();
+    for (origin, destination) in &pairs {
+        transition_store.insert(*origin, *destination).unwrap();
+    }
+    QueryService::new(route_store, transition_store, service_config())
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rknnt-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn complete_fleet_is_byte_identical_to_unsharded_twin() {
+    let (mut fleet, _, _) = test_fleet(3, None);
+    let mut twin = twin();
+    for query in query_mix() {
+        let fleet_answer = fleet.execute(&query);
+        assert!(fleet_answer.is_complete());
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        assert_eq!(fleet_answer.transitions, expected[0].transitions);
+    }
+    // Updates route through shard logs and land identically.
+    let applied = fleet.apply_updates(churn());
+    assert_eq!(applied.rejected, 0);
+    assert!(applied.deferred_shards.is_empty());
+    twin.apply_updates(churn());
+    for query in query_mix() {
+        let fleet_answer = fleet.execute(&query);
+        assert!(fleet_answer.is_complete());
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        assert_eq!(fleet_answer.transitions, expected[0].transitions);
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn killed_shard_degrades_to_exactly_the_healthy_subset() {
+    let (mut fleet, sleeper, _) = test_fleet(3, None);
+    let twin = twin();
+    let victim = 1usize;
+    fleet.kill_shard(victim, "chaos: killed by test");
+    for query in query_mix() {
+        let degraded = fleet.execute(&query);
+        assert_eq!(degraded.missing_shards, vec![victim], "typed, never silent");
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        let healthy_subset: Vec<TransitionId> = expected[0]
+            .transitions
+            .iter()
+            .copied()
+            .filter(|id| fleet.owner_of(*id) != Some(victim))
+            .collect();
+        assert_eq!(
+            degraded.transitions, healthy_subset,
+            "degraded answer must be exactly the healthy-shard subset"
+        );
+    }
+    // The retry schedule ran (recorded, not slept) and stayed within the
+    // policy's cap.
+    let slept = sleeper.slept();
+    assert!(!slept.is_empty(), "retries must back off");
+    let max = fleet.shard_stats(victim);
+    assert!(max.retries > 0);
+    assert!(max.failures > 0);
+    fleet.shutdown();
+}
+
+#[test]
+fn breaker_opens_after_threshold_then_half_opens_on_clock() {
+    let (mut fleet, _, clock) = test_fleet(2, None);
+    let victim = 0usize;
+    fleet.kill_shard(victim, "chaos: breaker test");
+    let query = &query_mix()[0];
+    // failure_threshold = 2: two failed dispatches trip the breaker.
+    let _ = fleet.execute(query);
+    let _ = fleet.execute(query);
+    assert_eq!(fleet.shard_breaker_state(victim), BreakerState::Open);
+    // While open, dispatches fast-fail without dialling.
+    let denials_before = fleet.shard_stats(victim).breaker_denials;
+    let degraded = fleet.execute(query);
+    assert_eq!(degraded.missing_shards, vec![victim]);
+    assert!(fleet.shard_stats(victim).breaker_denials > denials_before);
+    // Past the cooldown the breaker half-opens and admits a probe; the
+    // shard is still dead, so the probe fails and it re-opens.
+    clock.advance(Duration::from_millis(51).as_nanos() as u64);
+    assert_eq!(fleet.shard_breaker_state(victim), BreakerState::HalfOpen);
+    let _ = fleet.execute(query);
+    assert_eq!(fleet.shard_breaker_state(victim), BreakerState::Open);
+    // Recovery closes it.
+    fleet.restart_shard(victim).expect("restart");
+    assert_eq!(fleet.shard_breaker_state(victim), BreakerState::Closed);
+    assert!(fleet.execute(query).is_complete());
+    fleet.shutdown();
+}
+
+#[test]
+fn deferred_updates_replay_on_in_memory_restart() {
+    let (mut fleet, _, _) = test_fleet(3, None);
+    let mut twin = twin();
+    let victim = 1usize;
+    fleet.kill_shard(victim, "chaos: defer test");
+    let applied = fleet.apply_updates(churn());
+    twin.apply_updates(churn());
+    assert_eq!(applied.rejected, 0);
+    assert!(applied.deferred_shards.contains(&victim));
+    let (acked, total) = fleet.shard_progress(victim);
+    assert!(acked < total, "records must defer, not vanish");
+    // Degraded but typed while down.
+    for query in query_mix() {
+        assert_eq!(fleet.execute(&query).missing_shards, vec![victim]);
+    }
+    fleet.restart_shard(victim).expect("restart");
+    let (acked, total) = fleet.shard_progress(victim);
+    assert_eq!(acked, total, "restart must replay the full deferred suffix");
+    for query in query_mix() {
+        let recovered = fleet.execute(&query);
+        assert!(recovered.is_complete());
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        assert_eq!(
+            recovered.transitions, expected[0].transitions,
+            "after recovery the fleet must be byte-identical to a twin that never failed"
+        );
+    }
+    assert!(fleet.metrics_text().contains("fleet.replayed_records"));
+    fleet.shutdown();
+}
+
+#[test]
+fn durable_shard_recovers_from_disk_and_replays_only_the_suffix() {
+    let root = temp_root("durable");
+    let (mut fleet, _, _) = test_fleet(3, Some(root.clone()));
+    let mut twin = twin();
+    // Phase 1: updates land everywhere and are durably acked.
+    let pre = vec![StoreUpdate::InsertTransition {
+        origin: p(50.0, 140.0),
+        destination: p(90.0, 180.0),
+    }];
+    assert!(fleet.apply_updates(pre.clone()).deferred_shards.is_empty());
+    twin.apply_updates(pre);
+    let victim = 0usize;
+    let durable_watermark = fleet.shard_progress(victim).0;
+    // Phase 2: kill, then route more records at the dead shard.
+    fleet.kill_shard(victim, "chaos: durable test");
+    let applied = fleet.apply_updates(churn());
+    twin.apply_updates(churn());
+    assert!(applied.deferred_shards.contains(&victim));
+    fleet.restart_shard(victim).expect("restart from disk");
+    // The health probe reports the on-disk watermark, so only the
+    // post-kill suffix replays — not the whole log.
+    let replayed: u64 = fleet
+        .metrics_text()
+        .lines()
+        .find(|l| l.contains("fleet.replayed_records"))
+        .and_then(|l| l.rsplit("value=").next()?.trim().parse().ok())
+        .expect("replayed_records metric");
+    let (acked, total) = fleet.shard_progress(victim);
+    assert_eq!(acked, total);
+    assert_eq!(
+        replayed,
+        total - durable_watermark,
+        "only the suffix past the durable watermark may replay"
+    );
+    for query in query_mix() {
+        let recovered = fleet.execute(&query);
+        assert!(recovered.is_complete());
+        let (expected, _) = twin.execute_batch(std::slice::from_ref(&query));
+        assert_eq!(recovered.transitions, expected[0].transitions);
+    }
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn subscriptions_resync_after_failover() {
+    let (mut fleet, _, _) = test_fleet(3, None);
+    let mut twin = twin();
+    let standing = RknntQuery::exists(vec![p(0.0, 40.0), p(600.0, 40.0), p(1200.0, 40.0)], 2);
+    let (sub, initial) = fleet.subscribe(&standing);
+    assert!(initial.is_complete());
+    let twin_sub = twin.subscribe(standing.clone());
+    assert_eq!(
+        Some(initial.transitions.as_slice()),
+        twin.subscription_result(twin_sub)
+    );
+    let victim = 1usize;
+    fleet.kill_shard(victim, "chaos: subscription test");
+    // Churn while the shard is down: healthy shards stream deltas now, the
+    // victim's changes arrive as a resync delta after recovery.
+    fleet.apply_updates(churn());
+    twin.apply_updates(churn());
+    fleet.restart_shard(victim).expect("restart");
+    // Fold every fleet delta over the initial view; the result must equal
+    // the recorded subscription result AND the twin's.
+    let mut view: std::collections::BTreeSet<TransitionId> =
+        initial.transitions.iter().copied().collect();
+    for delta in fleet.take_deltas() {
+        assert_eq!(delta.subscription, sub);
+        for id in delta.entered {
+            view.insert(id);
+        }
+        for id in delta.left {
+            view.remove(&id);
+        }
+    }
+    let folded: Vec<TransitionId> = view.into_iter().collect();
+    assert_eq!(
+        fleet.subscription_result(sub).as_deref(),
+        Some(folded.as_slice()),
+        "deltas must reconstruct the recorded view"
+    );
+    assert_eq!(
+        twin.subscription_result(twin_sub),
+        Some(folded.as_slice()),
+        "resynced subscription must match the twin"
+    );
+    fleet.shutdown();
+}

@@ -42,7 +42,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use error::StorageError;
-pub use wal::WalConfig;
+pub use wal::{WalConfig, WAL_FSYNC_SITE, WAL_ROLLBACK_SITE, WAL_WRITE_SITE};
 
 use rknnt_index::{RouteStore, TransitionStore};
 use rknnt_obs::{Counter, EventKind, FlightRecorder, Gauge, Span, Stage};
@@ -397,6 +397,15 @@ impl Storage {
     /// Installs the telemetry cells this handle records into from now on.
     pub fn set_instruments(&mut self, instruments: StorageInstruments) {
         self.instruments = Some(instruments);
+    }
+
+    /// Arms a deterministic fault plan on the WAL's sync points
+    /// ([`WAL_WRITE_SITE`], [`WAL_FSYNC_SITE`], [`WAL_ROLLBACK_SITE`]): an
+    /// injected failure takes exactly the path a real disk error would —
+    /// rollback to the pre-batch length, or poison when rollback itself
+    /// fails.
+    pub fn set_failpoints(&mut self, failpoints: Arc<rknnt_fault::Failpoints>) {
+        self.wal.set_failpoints(failpoints);
     }
 
     /// Appends a batch of opaque records to the WAL (one write, one fsync).

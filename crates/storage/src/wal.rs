@@ -36,9 +36,11 @@
 
 use crate::error::StorageError;
 use rknnt_data::codec::crc32;
+use rknnt_fault::{Failpoints, FaultAction};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Frame header bytes: crc (u32) + len (u32).
 const FRAME_HEADER_BYTES: usize = 8;
@@ -197,7 +199,18 @@ pub struct Wal {
     /// them would make the whole directory unrecoverable. Every further
     /// append fails loudly instead.
     poisoned: bool,
+    /// Armed fault plan, consulted at the append sync points
+    /// ([`WAL_WRITE_SITE`], [`WAL_FSYNC_SITE`], [`WAL_ROLLBACK_SITE`]).
+    failpoints: Option<Arc<Failpoints>>,
 }
+
+/// Failpoint site hit before the batched `write(2)` of an append.
+pub const WAL_WRITE_SITE: &str = "storage.wal.write";
+/// Failpoint site hit before the `fdatasync` of an append (fsync on).
+pub const WAL_FSYNC_SITE: &str = "storage.wal.fsync";
+/// Failpoint site hit inside rollback — a `Fail` here forces the
+/// could-not-roll-back path, poisoning the log.
+pub const WAL_ROLLBACK_SITE: &str = "storage.wal.rollback";
 
 impl Wal {
     /// Resumes a log in `dir`: `next_seq` is the first sequence number to
@@ -222,6 +235,22 @@ impl Wal {
             next_seq: next_seq.max(1),
             appends: 0,
             poisoned: false,
+            failpoints: None,
+        }
+    }
+
+    /// Arms a fault plan on this log's sync points. Only
+    /// [`FaultAction::Fail`] is meaningful here; other actions are ignored.
+    pub fn set_failpoints(&mut self, failpoints: Arc<Failpoints>) {
+        self.failpoints = Some(failpoints);
+    }
+
+    /// Consults the armed plan at `site`, returning the injected failure
+    /// message if a `Fail` rule fires.
+    fn injected_failure(&self, site: &str) -> Option<String> {
+        match self.failpoints.as_ref()?.hit(site) {
+            Some(FaultAction::Fail { message }) => Some(message),
+            _ => None,
         }
     }
 
@@ -304,22 +333,45 @@ impl Wal {
             self.next_seq += 1;
         }
         let fsync = self.config.fsync;
+        // Fault decisions land *before* the file borrow: an injected write
+        // failure takes the same rollback path a real one would, and an
+        // injected fsync failure fails the batch after the bytes hit the
+        // page cache — the classic lost-durability crash signature.
+        let fail_write = self.injected_failure(WAL_WRITE_SITE);
+        let fail_fsync = if fsync {
+            self.injected_failure(WAL_FSYNC_SITE)
+        } else {
+            None
+        };
         let path = self
             .active_path
             .clone()
             .expect("active path set with active file");
         let file = self.active.as_mut().expect("active file just opened");
-        let committed = file
-            .write_all(&buf)
-            .map_err(|e| StorageError::io("append WAL frames", &path, e))
-            .and_then(|()| {
-                if fsync {
-                    file.sync_data()
-                        .map_err(|e| StorageError::io("fsync WAL segment", &path, e))
-                } else {
-                    Ok(())
-                }
-            });
+        let committed = match fail_write {
+            Some(message) => Err(StorageError::io(
+                "append WAL frames",
+                &path,
+                std::io::Error::other(message),
+            )),
+            None => file
+                .write_all(&buf)
+                .map_err(|e| StorageError::io("append WAL frames", &path, e)),
+        }
+        .and_then(|()| {
+            if !fsync {
+                return Ok(());
+            }
+            if let Some(message) = fail_fsync {
+                return Err(StorageError::io(
+                    "fsync WAL segment",
+                    &path,
+                    std::io::Error::other(message),
+                ));
+            }
+            file.sync_data()
+                .map_err(|e| StorageError::io("fsync WAL segment", &path, e))
+        });
         if let Err(err) = committed {
             self.rollback_failed_append(first_seq);
             return Err(err);
@@ -338,6 +390,10 @@ impl Wal {
     /// never existed); on failure the log is poisoned.
     fn rollback_failed_append(&mut self, first_seq: u64) {
         use std::io::Seek;
+        if self.injected_failure(WAL_ROLLBACK_SITE).is_some() {
+            self.poisoned = true;
+            return;
+        }
         let restored = (|| -> std::io::Result<()> {
             let file = self
                 .active

@@ -1,0 +1,162 @@
+//! Deterministic fsync/write-failure injection at the WAL sync points.
+//!
+//! Pins the documented append-failure contract end to end:
+//!
+//! * a failed `write` or `fdatasync` fails the batch with a typed error and
+//!   rolls the log back to its exact pre-batch state — the failed frames
+//!   never existed, sequence numbering resumes without a gap, and a retry
+//!   succeeds;
+//! * recovery from the directory after a failed append is byte-identical to
+//!   recovery from the pre-failure state;
+//! * when rollback itself fails, the log poisons: every further append is a
+//!   loud typed error, never a silent write behind partial frame bytes.
+
+use rknnt_fault::FaultPlan;
+use rknnt_storage::{Storage, StorageConfig, WAL_FSYNC_SITE, WAL_ROLLBACK_SITE, WAL_WRITE_SITE};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rknnt-fsyncfp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> StorageConfig {
+    StorageConfig {
+        fsync: true,
+        ..StorageConfig::default()
+    }
+}
+
+/// The recovered view of a directory: every WAL record past the snapshot,
+/// in sequence order. Two directories in the same logical state must
+/// produce byte-identical tails.
+fn recovered_tail(dir: &Path) -> Vec<Vec<u8>> {
+    let (_, recovery) = Storage::open(dir, config()).unwrap();
+    recovery.tail
+}
+
+#[test]
+fn injected_fsync_failure_rolls_back_and_a_retry_succeeds() {
+    let dir = temp_dir("fsync-rollback");
+    let (mut storage, _) = Storage::open(&dir, config()).unwrap();
+    let fp = FaultPlan::new(11)
+        .fail(WAL_FSYNC_SITE, 2, "injected fsync failure")
+        .arm();
+    storage.set_failpoints(fp.clone());
+
+    storage.append(&[b"alpha".to_vec()]).unwrap();
+    let before = recovered_tail(&dir);
+    assert_eq!(before, vec![b"alpha".to_vec()]);
+    let pre_stats = storage.stats();
+
+    // Second append hits the armed fsync rule: typed error, nothing kept.
+    let err = storage.append(&[b"beta".to_vec(), b"gamma".to_vec()]);
+    let err = err.expect_err("injected fsync failure must surface");
+    assert!(
+        err.to_string().contains("injected fsync failure"),
+        "error must carry the injected message: {err}"
+    );
+    assert_eq!(fp.injected(), 1);
+
+    // Rollback contract: the directory recovers byte-identically to the
+    // pre-failure state, and the handle's counters match.
+    assert_eq!(recovered_tail(&dir), before);
+    let stats = storage.stats();
+    assert_eq!(stats.next_seq, pre_stats.next_seq, "seq must roll back");
+    assert_eq!(stats.wal_bytes, pre_stats.wal_bytes);
+
+    // The failed frames never existed: the retry reuses their sequence
+    // numbers and lands with no gap.
+    storage
+        .append(&[b"beta".to_vec(), b"gamma".to_vec()])
+        .unwrap();
+    assert_eq!(
+        recovered_tail(&dir),
+        vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_write_failure_takes_the_same_rollback_path() {
+    let dir = temp_dir("write-rollback");
+    let (mut storage, _) = Storage::open(&dir, config()).unwrap();
+    storage.set_failpoints(
+        FaultPlan::new(5)
+            .fail(WAL_WRITE_SITE, 1, "injected write failure")
+            .arm(),
+    );
+    let err = storage.append(&[b"lost".to_vec()]).unwrap_err();
+    assert!(err.to_string().contains("injected write failure"));
+    assert!(recovered_tail(&dir).is_empty(), "nothing may survive");
+    // Disarm path: the next append (rule consumed) commits cleanly.
+    storage.append(&[b"kept".to_vec()]).unwrap();
+    assert_eq!(recovered_tail(&dir), vec![b"kept".to_vec()]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_rollback_poisons_the_log_loudly() {
+    let dir = temp_dir("poison");
+    let (mut storage, _) = Storage::open(&dir, config()).unwrap();
+    storage.set_failpoints(
+        FaultPlan::new(7)
+            .fail(WAL_FSYNC_SITE, 1, "injected fsync failure")
+            .fail(WAL_ROLLBACK_SITE, 1, "injected rollback failure")
+            .arm(),
+    );
+    let err = storage.append(&[b"doomed".to_vec()]).unwrap_err();
+    assert!(err.to_string().contains("injected fsync failure"));
+    // Rollback failed too: the log is poisoned, and every further append —
+    // even a perfectly healthy one — errors loudly rather than risk
+    // writing after partial frame bytes.
+    for _ in 0..3 {
+        let err = storage.append(&[b"after".to_vec()]).unwrap_err();
+        assert!(
+            err.to_string().contains("poisoned"),
+            "poisoned log must refuse appends loudly: {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_after_failed_append_matches_a_never_failed_twin() {
+    let twin_a = temp_dir("twin-clean");
+    let twin_b = temp_dir("twin-faulted");
+    let records: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 9]).collect();
+
+    // Twin A never fails.
+    let (mut clean, _) = Storage::open(&twin_a, config()).unwrap();
+    for r in &records {
+        clean.append(std::slice::from_ref(r)).unwrap();
+    }
+
+    // Twin B suffers an injected fsync failure between records 2 and 3,
+    // retries the failed batch, and finishes the same stream.
+    let (mut faulted, _) = Storage::open(&twin_b, config()).unwrap();
+    faulted.set_failpoints(
+        FaultPlan::new(3)
+            .fail(WAL_FSYNC_SITE, 3, "injected fsync failure")
+            .arm(),
+    );
+    let mut failures = 0;
+    for r in &records {
+        if faulted.append(std::slice::from_ref(r)).is_err() {
+            failures += 1;
+            faulted.append(std::slice::from_ref(r)).unwrap(); // retry commits
+        }
+    }
+    assert_eq!(failures, 1, "the scheduled failure must actually fire");
+
+    // Both directories recover the identical record stream with identical
+    // sequence numbering.
+    assert_eq!(recovered_tail(&twin_a), recovered_tail(&twin_b));
+    let (a, _) = Storage::open(&twin_a, config()).unwrap();
+    let (b, _) = Storage::open(&twin_b, config()).unwrap();
+    assert_eq!(a.stats().next_seq, b.stats().next_seq);
+    let _ = std::fs::remove_dir_all(&twin_a);
+    let _ = std::fs::remove_dir_all(&twin_b);
+}

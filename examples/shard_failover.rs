@@ -1,0 +1,147 @@
+//! Distributed shard fleet with partial-failure semantics: a shard dies
+//! mid-stream, the router degrades to typed partial answers, and recovery
+//! resyncs the shard from the router's update log.
+//!
+//! The example builds a four-shard [`FleetRouter`] — each shard a real
+//! `rknnt_net` server behind a health-tracked connection with deadlines,
+//! seeded retry backoff and a circuit breaker — plus an unsharded
+//! [`QueryService`] as the reference. A stream of localized demand probes
+//! and updates runs against both; a third of the way in, one shard is
+//! killed. While it is down every answer is a typed [`FleetResult`] naming
+//! the missing shard and carrying *exactly* the healthy-shard subset of
+//! the reference answer (asserted below — never a silent wrong answer,
+//! never a hang), and updates routed to the dead shard defer in the
+//! router's log. After a restart the router health-probes the shard's
+//! applied-update watermark, replays only the missing suffix, and answers
+//! are byte-identical to the reference again.
+//!
+//! Run with `cargo run --release --example shard_failover`.
+//! Exits nonzero if any invariant fails — CI runs it as a chaos smoke.
+
+use rknnt::data::workload;
+use rknnt::net::{FleetConfig, FleetRouter, RemoteShardConfig};
+use rknnt::prelude::*;
+use rknnt::service::StoreUpdate;
+
+/// Local trips only: both endpoints in one neighbourhood, so transitions
+/// shard cleanly by origin cell.
+fn local_pairs(city: &rknnt::data::City, count: usize, seed: u64) -> Vec<(Point, Point)> {
+    TransitionGenerator::new(TransitionConfig::checkin_like(count, seed))
+        .generate(city)
+        .into_iter()
+        .map(|(origin, destination)| {
+            let dx = destination.x - origin.x;
+            let dy = destination.y - origin.y;
+            let len = (dx * dx + dy * dy).sqrt().max(1.0);
+            let cap = 600.0_f64.min(len);
+            (
+                origin,
+                Point::new(origin.x + dx * cap / len, origin.y + dy * cap / len),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let city = CityGenerator::new(CityConfig::small(42)).generate();
+    let pairs = local_pairs(&city, 2_000, 7);
+
+    let mut reference = QueryService::new(
+        city.route_store(),
+        TransitionStore::bulk_build(Default::default(), pairs.clone()),
+        ServiceConfig::default(),
+    );
+    let mut fleet = FleetRouter::bulk_build(
+        FleetConfig {
+            shards: 4,
+            remote: RemoteShardConfig {
+                failure_threshold: 2,
+                ..RemoteShardConfig::default()
+            },
+            ..FleetConfig::default()
+        },
+        city.routes.clone(),
+        pairs,
+    )
+    .expect("fleet build");
+    println!(
+        "fleet up: {} shards, each a TCP server behind retry + breaker dispatch",
+        fleet.shard_count()
+    );
+
+    // A stream of neighbourhood probes interleaved with inserts near the
+    // probed corridors.
+    let probes: Vec<RknntQuery> = workload::rknnt_queries(&city, 30, 3, 400.0, 42 ^ 0xbee)
+        .into_iter()
+        .map(|route| RknntQuery::exists(route, 1))
+        .collect();
+    let inserts = local_pairs(&city, probes.len(), 99);
+    let victim = 1usize;
+    let kill_at = probes.len() / 3;
+    let recover_at = 2 * probes.len() / 3;
+    let mut degraded = 0usize;
+    for (i, probe) in probes.iter().enumerate() {
+        if i == kill_at {
+            fleet.kill_shard(victim, "example: simulated shard crash");
+            println!("-- step {i}: shard {victim} killed --");
+        }
+        if i == recover_at {
+            fleet
+                .restart_shard(victim)
+                .expect("restart must resync from the router log");
+            let (acked, total) = fleet.shard_progress(victim);
+            assert_eq!(acked, total, "resync must drain the deferred records");
+            println!("-- step {i}: shard {victim} restarted, log replayed to {total} --");
+        }
+        // One insert per step keeps the stores churning; while the victim
+        // is down its records defer in the router log.
+        let (origin, destination) = inserts[i];
+        reference.apply_updates(vec![StoreUpdate::InsertTransition {
+            origin,
+            destination,
+        }]);
+        fleet.apply_updates(vec![StoreUpdate::InsertTransition {
+            origin,
+            destination,
+        }]);
+
+        let want = reference.execute(probe).transitions;
+        let answer = fleet.execute(probe);
+        if answer.is_complete() {
+            assert_eq!(
+                answer.transitions, want,
+                "a complete fleet answer must be byte-identical to the reference"
+            );
+        } else {
+            degraded += 1;
+            assert_eq!(
+                answer.missing_shards,
+                vec![victim],
+                "degradation must name exactly the dead shard"
+            );
+            let healthy: Vec<TransitionId> = want
+                .iter()
+                .copied()
+                .filter(|id| fleet.owner_of(*id) != Some(victim))
+                .collect();
+            assert_eq!(
+                answer.transitions, healthy,
+                "a degraded answer must be exactly the healthy-shard subset"
+            );
+        }
+    }
+    assert!(degraded > 0, "the outage window must cover some probes");
+    let stats = fleet.shard_stats(victim);
+    println!(
+        "{} probes: {} degraded (typed, exact healthy subset), rest byte-identical",
+        probes.len(),
+        degraded
+    );
+    println!(
+        "victim dispatch stats: {} dispatches, {} retries, {} breaker denials, {} dials",
+        stats.dispatches, stats.retries, stats.breaker_denials, stats.dials
+    );
+    print!("{}", fleet.metrics_text());
+    fleet.shutdown();
+    println!("every partial-failure invariant held");
+}

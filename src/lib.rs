@@ -27,13 +27,22 @@
 //! * [`net`] — the TCP serving edge: a length-prefixed checksummed binary
 //!   protocol, a threaded server multiplexing connections onto the batch
 //!   path with cost-based admission control (overload is shed with a typed
-//!   reply, never silently dropped), and a blocking client.
+//!   reply, never silently dropped), a blocking client with typed read
+//!   timeouts, and the distributed shard fleet — `RemoteShard` dispatch
+//!   (deadlines, seeded retry backoff, circuit breaker) under a
+//!   `FleetRouter` that degrades to typed partial results when shards die
+//!   and resyncs them from its update log on recovery.
+//! * [`fault`] — deterministic fault injection: seeded, hermetic
+//!   failpoints (`FaultPlan` → `Failpoints`) threaded through the net and
+//!   storage crates so crashes, cuts, corruption and stalls are
+//!   reproducible test inputs.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! per-experiment index.
 
 pub use rknnt_core as core;
 pub use rknnt_data as data;
+pub use rknnt_fault as fault;
 pub use rknnt_geo as geo;
 pub use rknnt_graph as graph;
 pub use rknnt_index as index;
@@ -51,10 +60,14 @@ pub mod prelude {
         RknnTEngine, RknntQuery, Semantics, VoronoiEngine,
     };
     pub use rknnt_data::{CityConfig, CityGenerator, TransitionConfig, TransitionGenerator};
+    pub use rknnt_fault::{Failpoints, FaultPlan};
     pub use rknnt_geo::{Point, Rect};
     pub use rknnt_graph::RouteGraph;
     pub use rknnt_index::{RouteId, RouteStore, TransitionId, TransitionStore};
-    pub use rknnt_net::{Backend, Client, Reply, Server, ServerConfig};
+    pub use rknnt_net::{
+        Backend, Client, FleetConfig, FleetResult, FleetRouter, RemoteShardConfig, Reply, Server,
+        ServerConfig,
+    };
     pub use rknnt_routeplan::{Objective, PlannerConfig, Precomputation, RoutePlanner};
     pub use rknnt_service::{
         BatchStats, DeltaReason, EnginePolicy, QueryService, ServiceConfig, ShardedConfig,
